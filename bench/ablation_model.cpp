@@ -1,0 +1,103 @@
+// Ablation of the memory-model calibration (DESIGN.md §2.1 /
+// EXPERIMENTS.md §Calibration): sweep each load-bearing knob around its
+// default and report how coarse, fine best (LIFO/natural) and guided
+// respond at N=2^15 — the quantitative backing for the chosen defaults.
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "simfft/experiment.hpp"
+
+using namespace c64fft;
+
+namespace {
+
+struct Point {
+  std::string label;
+  std::function<void(c64::ChipConfig&)> apply;
+};
+
+void sweep(const std::string& name, const std::vector<Point>& points, std::uint64_t n,
+           const c64::ChipConfig& base, util::TextTable& table) {
+  for (const auto& p : points) {
+    auto cfg = base;
+    p.apply(cfg);
+    simfft::SimFftOptions opts;
+    opts.ordering = {codelet::PoolPolicy::kLifo, fft::SeedOrder::kNatural, 1};
+    const auto coarse = simfft::run_fft_sim(simfft::SimVariant::kCoarse, n, cfg, opts);
+    const auto fine = simfft::run_fft_sim(simfft::SimVariant::kFineCustom, n, cfg, opts);
+    const auto guided = simfft::run_fft_sim(simfft::SimVariant::kFineGuided, n, cfg, opts);
+    const auto hash = simfft::run_fft_sim(simfft::SimVariant::kFineHash, n, cfg, opts);
+    table.add_row({name, p.label, util::TextTable::num(coarse.gflops, 3),
+                   util::TextTable::num(fine.gflops, 3),
+                   util::TextTable::num(guided.gflops, 3),
+                   util::TextTable::num(hash.gflops, 3),
+                   util::TextTable::num(guided.gflops / coarse.gflops, 3)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Ablation of the C64 model knobs: GFLOPS of coarse / fine(lifo,nat) / "
+      "guided / fine-hash per setting, plus the guided:coarse ratio");
+  cli.add_int("logn", 15, "log2 of the input size");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto base = bench::chip_from_cli(cli);
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+
+  bench::banner("Model ablations, N=2^" + std::to_string(cli.get_int("logn")) + ", " +
+                std::to_string(base.thread_units) + " TUs (* = default)");
+  util::TextTable table(
+      {"knob", "setting", "coarse", "fine", "guided", "fine hash", "guided/coarse"});
+
+  sweep("max_outstanding",
+        {{"1 (blocking loads)*", [](c64::ChipConfig& c) { c.max_outstanding = 1; }},
+         {"2", [](c64::ChipConfig& c) { c.max_outstanding = 2; }},
+         {"8 (deep pipeline)", [](c64::ChipConfig& c) { c.max_outstanding = 8; }}},
+        n, base, table);
+
+  sweep("dram_latency",
+        {{"25", [](c64::ChipConfig& c) { c.dram_latency = 25; }},
+         {"100*", [](c64::ChipConfig& c) { c.dram_latency = 100; }},
+         {"200", [](c64::ChipConfig& c) { c.dram_latency = 200; }}},
+        n, base, table);
+
+  sweep("hol_window",
+        {{"1 (strict HOL)", [](c64::ChipConfig& c) { c.hol_window = 1; }},
+         {"16", [](c64::ChipConfig& c) { c.hol_window = 16; }},
+         {"256 (per-bank)*", [](c64::ChipConfig& c) { c.hol_window = 256; }}},
+        n, base, table);
+
+  sweep("bank_queue_depth",
+        {{"2 (buffer hogging)", [](c64::ChipConfig& c) { c.bank_queue_depth = 2; }},
+         {"64*", [](c64::ChipConfig& c) { c.bank_queue_depth = 64; }}},
+        n, base, table);
+
+  sweep("barrier_cycles",
+        {{"0", [](c64::ChipConfig& c) { c.barrier_cycles = 0; }},
+         {"4096*", [](c64::ChipConfig& c) { c.barrier_cycles = 4096; }},
+         {"32768", [](c64::ChipConfig& c) { c.barrier_cycles = 32768; }}},
+        n, base, table);
+
+  sweep("hash_cycles_per_bit",
+        {{"0 (free hash)", [](c64::ChipConfig& c) { c.hash_cycles_per_bit = 0; }},
+         {"6*", [](c64::ChipConfig& c) { c.hash_cycles_per_bit = 6; }},
+         {"12", [](c64::ChipConfig& c) { c.hash_cycles_per_bit = 12; }}},
+        n, base, table);
+
+  sweep("coalesce_limit",
+        {{"16 (no merging)", [](c64::ChipConfig& c) { c.coalesce_limit = 16; }},
+         {"64 (line)*", [](c64::ChipConfig& c) { c.coalesce_limit = 64; }}},
+        n, base, table);
+
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction binaries: common CLI
+// options, chip-config overrides, and uniform table emission.
+
+#include <iostream>
+#include <string>
+
+#include "c64/config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace c64fft::bench {
+
+/// Registers the chip-model overrides shared by every figure binary.
+inline void add_chip_options(util::CliParser& cli) {
+  cli.add_int("tus", 156, "thread units (paper: 156 of 160)");
+  cli.add_int("dram-latency", -1, "override DRAM request latency in cycles");
+  cli.add_int("barrier-cycles", -1, "override barrier cost in cycles");
+  cli.add_int("max-outstanding", -1, "override per-TU outstanding requests");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+}
+
+/// Builds the chip config from defaults + CLI overrides.
+inline c64::ChipConfig chip_from_cli(const util::CliParser& cli) {
+  c64::ChipConfig cfg;
+  cfg.thread_units = static_cast<unsigned>(cli.get_int("tus"));
+  if (cli.get_int("dram-latency") >= 0)
+    cfg.dram_latency = static_cast<unsigned>(cli.get_int("dram-latency"));
+  if (cli.get_int("barrier-cycles") >= 0)
+    cfg.barrier_cycles = static_cast<unsigned>(cli.get_int("barrier-cycles"));
+  if (cli.get_int("max-outstanding") > 0)
+    cfg.max_outstanding = static_cast<unsigned>(cli.get_int("max-outstanding"));
+  return cfg;
+}
+
+/// Prints the table in the format selected on the command line.
+inline void emit(const util::TextTable& table, const util::CliParser& cli) {
+  if (cli.flag("csv"))
+    table.csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+/// Uniform banner so bench output is self-describing in logs.
+inline void banner(const std::string& what) {
+  std::cout << "\n== " << what << " ==\n";
+}
+
+}  // namespace c64fft::bench

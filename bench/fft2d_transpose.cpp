@@ -1,0 +1,45 @@
+// Extension experiment (not a paper figure): 2-D FFT on the simulated C64
+// with naive vs tiled transpose. The transpose's column reads stride by a
+// multiple of the 64 B interleave — the same single-bank pathology the
+// paper diagnoses for the twiddle array — and tiling fixes it the same
+// way balancing fixes the twiddles.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "simfft/fft2d_sim.hpp"
+
+using namespace c64fft;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "2-D FFT on the simulated C64: naive vs tiled transpose bank behaviour");
+  cli.add_int("log-rows", 8, "log2 of the row count");
+  cli.add_int("log-cols", 8, "log2 of the column count");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto cfg = bench::chip_from_cli(cli);
+  simfft::Fft2dSimOptions opts;
+  opts.rows = std::uint64_t{1} << cli.get_int("log-rows");
+  opts.cols = std::uint64_t{1} << cli.get_int("log-cols");
+
+  bench::banner("2-D FFT " + std::to_string(opts.rows) + "x" + std::to_string(opts.cols) +
+                ", " + std::to_string(cfg.thread_units) + " TUs");
+  util::TextTable table({"transpose", "row pass", "transpose cyc", "col pass", "total",
+                         "gflops", "transpose imbalance"});
+  for (bool tiled : {false, true}) {
+    opts.tiled_transpose = tiled;
+    const auto r = simfft::run_fft2d_sim(cfg, opts);
+    table.add_row({tiled ? "tiled 4x4" : "naive column",
+                   util::TextTable::num(r.row_pass.cycles),
+                   util::TextTable::num(r.transpose.cycles),
+                   util::TextTable::num(r.col_pass.cycles),
+                   util::TextTable::num(r.total_cycles),
+                   util::TextTable::num(r.gflops, 3),
+                   util::TextTable::num(r.transpose_bank_imbalance, 2)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fig. 1: "Access rates of the 4 off-chip memory banks in the coarse-grain
+// FFT algorithm. Bank 0 is accessed three times more than the other banks,
+// causing contention."
+
+#include "bench/fig_bank_rates.hpp"
+
+int main(int argc, char** argv) {
+  return c64fft::bench::run_bank_rate_figure("Fig. 1", c64fft::simfft::SimVariant::kCoarse,
+                                             argc, argv);
+}

@@ -1,0 +1,10 @@
+// Fig. 2: "Access rates of the 4 off-chip memory banks in our designed
+// fine-grain FFT algorithm" — the guided fine-grain version, whose
+// reordering shifts bank-0 pressure toward the end of the run.
+
+#include "bench/fig_bank_rates.hpp"
+
+int main(int argc, char** argv) {
+  return c64fft::bench::run_bank_rate_figure(
+      "Fig. 2", c64fft::simfft::SimVariant::kFineGuided, argc, argv);
+}

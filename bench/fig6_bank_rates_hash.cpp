@@ -1,0 +1,10 @@
+// Fig. 6: "Access rates of the 4 off-chip memory banks in the fine-grain
+// FFT algorithm with randomized twiddle factor addresses. Using the hash
+// function, all banks are accessed in a uniform manner."
+
+#include "bench/fig_bank_rates.hpp"
+
+int main(int argc, char** argv) {
+  return c64fft::bench::run_bank_rate_figure(
+      "Fig. 6", c64fft::simfft::SimVariant::kFineHash, argc, argv);
+}

@@ -1,0 +1,44 @@
+// Fig. 8: "Performance of the 5 versions of FFT algorithms on C64" as the
+// input size varies from 2^15 to 2^22 elements with 156 thread units.
+// One row per input size, one column per Table-I version, in GFLOPS.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "simfft/experiment.hpp"
+
+using namespace c64fft;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Fig. 8: GFLOPS of the six Table-I result rows vs input size "
+      "(2^min-logn .. 2^max-logn), 156 TUs");
+  cli.add_int("min-logn", 15, "log2 of the smallest input size");
+  cli.add_int("max-logn", 22, "log2 of the largest input size");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto cfg = bench::chip_from_cli(cli);
+  bench::banner("Fig. 8 — GFLOPS vs input size, " + std::to_string(cfg.thread_units) +
+                " TUs");
+  util::TextTable table({"log2(N)", "coarse", "coarse hash", "fine worst", "fine best",
+                         "fine hash", "fine guided", "guided/coarse"});
+
+  for (std::int64_t logn = cli.get_int("min-logn"); logn <= cli.get_int("max-logn");
+       ++logn) {
+    const std::uint64_t n = std::uint64_t{1} << logn;
+    const auto rows = simfft::run_all_variants(n, cfg);
+    const double coarse = rows[static_cast<int>(simfft::SimVariant::kCoarse)].gflops;
+    const double guided =
+        rows[static_cast<int>(simfft::SimVariant::kFineGuided)].gflops;
+    std::vector<std::string> cells{util::TextTable::num(std::uint64_t(logn))};
+    for (const auto& row : rows) cells.push_back(util::TextTable::num(row.gflops, 3));
+    cells.push_back(util::TextTable::num(guided / coarse, 3));
+    table.add_row(std::move(cells));
+    std::cerr << "  [fig8] 2^" << logn << " done\n";
+  }
+  bench::emit(table, cli);
+  return 0;
+}

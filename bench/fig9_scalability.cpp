@@ -1,0 +1,44 @@
+// Fig. 9: "Performance of 5 versions of FFT algorithms on C64 for an input
+// size of 2^15 data elements and 64-point butterfly codelets" vs the
+// number of thread units (20, 40, ..., 140, 156).
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "simfft/experiment.hpp"
+
+using namespace c64fft;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Fig. 9: GFLOPS of the six Table-I result rows vs thread-unit count "
+      "at N=2^15 (paper: 20,40,...,140,156 TUs)");
+  cli.add_int("logn", 15, "log2 of the input size");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+  bench::banner("Fig. 9 — GFLOPS vs thread units, N=2^" +
+                std::to_string(cli.get_int("logn")));
+  util::TextTable table({"TUs", "coarse", "coarse hash", "fine worst", "fine best",
+                         "fine hash", "fine guided", "guided/coarse"});
+
+  std::vector<unsigned> tu_counts{20, 40, 60, 80, 100, 120, 140, 156};
+  for (unsigned tus : tu_counts) {
+    auto cfg = bench::chip_from_cli(cli);
+    cfg.thread_units = tus;
+    const auto rows = simfft::run_all_variants(n, cfg);
+    const double coarse = rows[static_cast<int>(simfft::SimVariant::kCoarse)].gflops;
+    const double guided =
+        rows[static_cast<int>(simfft::SimVariant::kFineGuided)].gflops;
+    std::vector<std::string> cells{util::TextTable::num(std::uint64_t{tus})};
+    for (const auto& row : rows) cells.push_back(util::TextTable::num(row.gflops, 3));
+    cells.push_back(util::TextTable::num(guided / coarse, 3));
+    table.add_row(std::move(cells));
+    std::cerr << "  [fig9] " << tus << " TUs done\n";
+  }
+  bench::emit(table, cli);
+  return 0;
+}

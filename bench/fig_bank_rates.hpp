@@ -1,0 +1,70 @@
+#pragma once
+// Shared driver for the paper's per-bank access-rate figures (Figs. 1, 2
+// and 6): run one FFT version on the simulated C64, bucket every DRAM
+// element access into fixed windows, and print one row per window — the
+// textual equivalent of the figures' four curves.
+
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "c64/trace.hpp"
+#include "simfft/experiment.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::bench {
+
+inline int run_bank_rate_figure(const std::string& figure, simfft::SimVariant variant,
+                                int argc, const char* const* argv) {
+  util::CliParser cli(figure + ": per-bank DRAM access rates over time for the '" +
+                      simfft::to_string(variant) + "' FFT version");
+  cli.add_int("logn", 18, "log2 of the input size");
+  cli.add_int("windows", 30, "number of time buckets across the run");
+  add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto cfg = chip_from_cli(cli);
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+
+  // First pass sizes the run, second traces it with the requested bucket
+  // count (the paper buckets per 3e6 cycles; we scale to the run length).
+  simfft::SimFftOptions opts;
+  const auto sizing = simfft::run_fft_sim(variant, n, cfg, opts);
+  const std::uint64_t window =
+      std::max<std::uint64_t>(1, sizing.sim.cycles / cli.get_int("windows"));
+  c64::BankTrace trace(cfg.dram_banks, window);
+  const auto run = simfft::run_fft_sim(variant, n, cfg, opts, &trace);
+
+  banner(figure + " — " + run.name + ", N=2^" + std::to_string(cli.get_int("logn")) +
+         ", " + std::to_string(cfg.thread_units) + " TUs, window=" +
+         std::to_string(window) + " cycles");
+  util::TextTable table({"window", "t_kcycles", "bank0", "bank1", "bank2", "bank3",
+                         "bank0/mean"});
+  for (std::size_t w = 0; w < trace.windows(); ++w) {
+    double sum = 0;
+    for (unsigned b = 0; b < 4; ++b) sum += static_cast<double>(trace.at(w, b));
+    const double mean = sum / 4.0;
+    table.add_row({util::TextTable::num(std::uint64_t{w}),
+                   util::TextTable::num(static_cast<std::uint64_t>(w * window / 1000)),
+                   util::TextTable::num(trace.at(w, 0)),
+                   util::TextTable::num(trace.at(w, 1)),
+                   util::TextTable::num(trace.at(w, 2)),
+                   util::TextTable::num(trace.at(w, 3)),
+                   util::TextTable::num(mean > 0 ? trace.at(w, 0) / mean : 1.0, 2)});
+  }
+  emit(table, cli);
+
+  const auto totals = trace.totals();
+  std::uint64_t total = 0, hot = 0;
+  for (auto t : totals) total += t;
+  hot = totals[0];
+  std::cout << "run: " << run.sim.cycles << " cycles, " << util::TextTable::num(run.gflops, 3)
+            << " GFLOPS; bank0 carried "
+            << util::TextTable::num(100.0 * static_cast<double>(hot) /
+                                        static_cast<double>(total),
+                                    1)
+            << "% of all accesses (balanced = 25%)\n";
+  return 0;
+}
+
+}  // namespace c64fft::bench

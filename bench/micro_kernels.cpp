@@ -1,0 +1,151 @@
+// google-benchmark microbenchmarks of the host-side computational kernels:
+// butterfly chains, full codelets, bit reversal, twiddle construction, and
+// end-to-end host FFTs. These measure real wall time on the build machine
+// (unlike the fig*/table* binaries, which measure simulated C64 cycles).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codelet/pool.hpp"
+#include "fft/api.hpp"
+#include "fft/bit_reversal.hpp"
+#include "fft/kernel.hpp"
+#include "fft/real_fft.hpp"
+#include "fft/reference.hpp"
+#include "fft/stockham.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace c64fft;
+using fft::cplx;
+
+std::vector<cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+void BM_ButterflyChain64(benchmark::State& state) {
+  const std::uint64_t n = 1 << 12;
+  const fft::TwiddleTable tw(n, fft::TwiddleLayout::kLinear);
+  auto chain = random_signal(64, 1);
+  for (auto _ : state) {
+    fft::butterfly_chain(chain, 0, 1, 0, 6, 12, tw);
+    benchmark::DoNotOptimize(chain.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 192);  // butterflies
+}
+BENCHMARK(BM_ButterflyChain64);
+
+void BM_RunCodelet(benchmark::State& state) {
+  const std::uint64_t n = 1 << 15;
+  const unsigned r = static_cast<unsigned>(state.range(0));
+  const fft::FftPlan plan(n, r);
+  const fft::TwiddleTable tw(n, fft::TwiddleLayout::kLinear);
+  auto data = random_signal(n, 2);
+  std::vector<cplx> scratch(plan.radix());
+  std::uint64_t task = 0;
+  for (auto _ : state) {
+    fft::run_codelet(plan, 0, task, data, tw, scratch);
+    task = (task + 1) % plan.tasks_per_stage();
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(plan.radix()));
+}
+BENCHMARK(BM_RunCodelet)->Arg(3)->Arg(6);
+
+void BM_BitReversal(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 3);
+  for (auto _ : state) {
+    fft::bit_reverse_permute(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_BitReversal)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_TwiddleTableBuild(benchmark::State& state) {
+  const std::uint64_t n = std::uint64_t{1} << state.range(0);
+  const auto layout = state.range(1) ? fft::TwiddleLayout::kBitReversed
+                                     : fft::TwiddleLayout::kLinear;
+  for (auto _ : state) {
+    fft::TwiddleTable tw(n, layout);
+    benchmark::DoNotOptimize(tw.storage().data());
+  }
+}
+BENCHMARK(BM_TwiddleTableBuild)->Args({16, 0})->Args({16, 1})->Args({20, 0});
+
+void BM_PoolPushPop(benchmark::State& state) {
+  codelet::ConcurrentPool pool(codelet::PoolPolicy::kLifo);
+  for (auto _ : state) {
+    pool.push({0, 1});
+    benchmark::DoNotOptimize(pool.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PoolPushPop);
+
+void BM_HostFftFine(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 4);
+  fft::HostFftOptions opts;
+  opts.workers = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    fft::forward(data, opts, fft::Variant::kFine);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HostFftFine)->Args({14, 1})->Args({14, 2})->Args({16, 2});
+
+void BM_HostFftCoarse(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 5);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  for (auto _ : state) {
+    fft::forward(data, opts, fft::Variant::kCoarse);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_HostFftCoarse)->Arg(14);
+
+void BM_StockhamFft(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 7);
+  for (auto _ : state) {
+    auto out = fft::fft_stockham(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StockhamFft)->Arg(14)->Arg(16);
+
+void BM_RealFft(benchmark::State& state) {
+  const std::uint64_t n = std::uint64_t{1} << state.range(0);
+  util::Xoshiro256 rng(8);
+  std::vector<double> signal(n);
+  for (auto& x : signal) x = rng.next_double() * 2 - 1;
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  for (auto _ : state) {
+    auto spec = fft::real_forward(signal, opts);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_RealFft)->Arg(14)->Arg(16);
+
+void BM_SerialReferenceFft(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 6);
+  for (auto _ : state) {
+    fft::fft_serial_inplace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_SerialReferenceFft)->Arg(14)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table I: the five tested FFT versions (six result rows) with their
+// descriptions, plus a reference measurement of each at one configuration
+// so the table is self-validating.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "simfft/experiment.hpp"
+
+using namespace c64fft;
+
+namespace {
+const char* description(simfft::SimVariant v) {
+  switch (v) {
+    case simfft::SimVariant::kCoarse:
+      return "Coarse-grain synchronization (Alg. 1, barrier per stage)";
+    case simfft::SimVariant::kCoarseHash:
+      return "Coarse-grain with hashed twiddle factor array (Sec. IV-B)";
+    case simfft::SimVariant::kFineWorst:
+      return "Worst execution time for fine-grain synchronization (Alg. 2)";
+    case simfft::SimVariant::kFineBest:
+      return "Best execution time for fine-grain synchronization (Alg. 2)";
+    case simfft::SimVariant::kFineHash:
+      return "Fine-grain with hashed twiddle factor array (Sec. IV-B)";
+    case simfft::SimVariant::kFineGuided:
+      return "Guided fine-grain synchronization (Alg. 3)";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Table I: tested FFT versions, with a reference run of each");
+  cli.add_int("logn", 15, "log2 of the reference input size");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto cfg = bench::chip_from_cli(cli);
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+
+  bench::banner("Table I — versions and reference run (N=2^" +
+                std::to_string(cli.get_int("logn")) + ", " +
+                std::to_string(cfg.thread_units) + " TUs)");
+  util::TextTable table({"name", "description", "cycles", "gflops", "bank0 share"});
+  const auto rows = simfft::run_all_variants(n, cfg);
+  for (const auto& row : rows) {
+    simfft::SimVariant v{};
+    for (int i = 0; i <= static_cast<int>(simfft::SimVariant::kFineGuided); ++i)
+      if (simfft::to_string(static_cast<simfft::SimVariant>(i)) == row.name)
+        v = static_cast<simfft::SimVariant>(i);
+    std::uint64_t total = 0;
+    for (auto t : row.bank_totals) total += t;
+    table.add_row({row.name, description(v), util::TextTable::num(row.sim.cycles),
+                   util::TextTable::num(row.gflops, 3),
+                   util::TextTable::num(
+                       100.0 * static_cast<double>(row.bank_totals[0]) /
+                           static_cast<double>(total),
+                       1) +
+                       "%"});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

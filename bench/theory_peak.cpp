@@ -1,0 +1,42 @@
+// Section V-A, Equations (1)-(4): the closed-form theoretical peak of the
+// off-chip FFT on C64 — 10 GFLOPS for 64-point tasks at 16 GB/s — and the
+// per-task-size table behind the Fig. 7 discussion.
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "c64/peak_model.hpp"
+
+using namespace c64fft;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Theoretical peak performance (paper Eq. 1-4)");
+  cli.add_int("logn", 18, "log2 of N for the N-dependent form (Eq. 2 ceiling)");
+  bench::add_chip_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  c64::PeakModel peak{bench::chip_from_cli(cli)};
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+
+  bench::banner("Theoretical peak (Eq. 1-4), DRAM " +
+                util::TextTable::num(peak.chip.total_dram_gbps(), 1) + " GB/s");
+  util::TextTable table({"task_size", "bytes/task", "tasks (N=2^" +
+                                          std::to_string(cli.get_int("logn")) + ")",
+                         "peak_gflops(N)", "peak_gflops(asymptotic)"});
+  for (unsigned r = 2; r <= 7; ++r) {
+    const std::uint64_t size = std::uint64_t{1} << r;
+    table.add_row({util::TextTable::num(size),
+                   util::TextTable::num(c64::PeakModel::task_bytes(size)),
+                   util::TextTable::num(c64::PeakModel::task_count(n, size)),
+                   util::TextTable::num(peak.peak_gflops(n, size), 3),
+                   util::TextTable::num(peak.peak_gflops_asymptotic(size), 3)});
+  }
+  bench::emit(table, cli);
+  std::cout << "paper Eq. 4 headline: peak(64-point tasks) = "
+            << util::TextTable::num(peak.peak_gflops_asymptotic(64), 2)
+            << " GFLOPS (paper: 10)\n"
+            << "compute-bound ceiling: "
+            << util::TextTable::num(peak.compute_peak_gflops(), 1) << " GFLOPS\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Contention explorer: run any FFT version on the simulated Cyclops-64
+// node and inspect what the paper is about — how the DRAM banks load up
+// over time, how the versions compare, and what each model knob does.
+//
+//   contention_explorer --variant=coarse --logn=16
+//   contention_explorer --variant=guided --logn=16 --tus=64
+//   contention_explorer --all --logn=15
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "c64/trace.hpp"
+#include "simfft/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace c64fft;
+
+namespace {
+
+simfft::SimVariant parse_variant(const std::string& name) {
+  if (name == "coarse") return simfft::SimVariant::kCoarse;
+  if (name == "coarse-hash") return simfft::SimVariant::kCoarseHash;
+  if (name == "fine-worst") return simfft::SimVariant::kFineWorst;
+  if (name == "fine-best") return simfft::SimVariant::kFineBest;
+  if (name == "fine-hash") return simfft::SimVariant::kFineHash;
+  if (name == "guided") return simfft::SimVariant::kFineGuided;
+  throw std::invalid_argument("unknown variant '" + name + "'");
+}
+
+void heat_row(std::uint64_t value, std::uint64_t max) {
+  const int width = max ? static_cast<int>(40 * value / max) : 0;
+  std::cout << std::string(width, '#') << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Explore DRAM bank contention of the FFT versions on the simulated "
+      "C64 node");
+  cli.add_string("variant", "coarse",
+                 "coarse | coarse-hash | fine-worst | fine-best | fine-hash | guided");
+  cli.add_int("logn", 15, "log2 of the input size");
+  cli.add_int("tus", 156, "thread units");
+  cli.add_flag("all", "summarise all six versions instead of one");
+  if (!cli.parse(argc, argv)) return 0;
+
+  c64::ChipConfig cfg;
+  cfg.thread_units = static_cast<unsigned>(cli.get_int("tus"));
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+
+  if (cli.flag("all")) {
+    util::TextTable table({"version", "cycles", "gflops", "bank0 share", "imbalance"});
+    for (const auto& row : simfft::run_all_variants(n, cfg)) {
+      std::uint64_t total = 0;
+      for (auto t : row.bank_totals) total += t;
+      double mx = 0;
+      for (auto t : row.bank_totals) mx = std::max(mx, static_cast<double>(t));
+      table.add_row({row.name, util::TextTable::num(row.sim.cycles),
+                     util::TextTable::num(row.gflops, 3),
+                     util::TextTable::num(100.0 * row.bank_totals[0] / double(total), 1) + "%",
+                     util::TextTable::num(mx * 4.0 / double(total), 2)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  const auto variant = parse_variant(cli.get_string("variant"));
+  simfft::SimFftOptions opts;
+  const auto sizing = simfft::run_fft_sim(variant, n, cfg, opts);
+  c64::BankTrace trace(cfg.dram_banks, std::max<std::uint64_t>(1, sizing.sim.cycles / 24));
+  const auto run = simfft::run_fft_sim(variant, n, cfg, opts, &trace);
+
+  std::cout << run.name << ": " << run.sim.cycles << " cycles, "
+            << util::TextTable::num(run.gflops, 3) << " GFLOPS\n"
+            << "per-bank access heat over time (rows = time windows):\n";
+  std::uint64_t max = 0;
+  for (std::size_t w = 0; w < trace.windows(); ++w)
+    for (unsigned b = 0; b < 4; ++b) max = std::max(max, trace.at(w, b));
+  for (std::size_t w = 0; w < trace.windows(); ++w) {
+    for (unsigned b = 0; b < 4; ++b) {
+      std::cout << "  t" << w << " bank" << b << ' ';
+      heat_row(trace.at(w, b), max);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: transform a small signal with the fine-grain codelet FFT,
+// verify it against the naive DFT, and round-trip back. This is the
+// 60-second tour of the public API (fft/api.hpp).
+
+#include <complex>
+#include <iostream>
+#include <vector>
+
+#include "fft/api.hpp"
+#include "fft/reference.hpp"
+
+using c64fft::fft::cplx;
+
+int main() {
+  // 1. Make a signal: a 3-cycle cosine over 1024 samples.
+  const std::size_t n = 1024;
+  std::vector<cplx> signal(n);
+  for (std::size_t i = 0; i < n; ++i)
+    signal[i] = cplx(std::cos(2.0 * 3.14159265358979 * 3.0 * i / n), 0.0);
+
+  // 2. Forward FFT in place. The default engine is the fine-grain
+  //    (barrier-free, dependency-counted) codelet scheduler of Alg. 2.
+  c64fft::fft::HostFftOptions opts;
+  opts.workers = 4;
+  auto spectrum = signal;
+  c64fft::fft::forward(spectrum, opts);
+
+  // 3. The energy concentrates in bins 3 and n-3 (real input).
+  std::cout << "quickstart: |X[2]| = " << std::abs(spectrum[2])
+            << ", |X[3]| = " << std::abs(spectrum[3])
+            << ", |X[4]| = " << std::abs(spectrum[4]) << '\n';
+
+  // 4. Cross-check against the O(N^2) DFT and round-trip.
+  const auto truth = c64fft::fft::dft_reference(signal);
+  std::cout << "quickstart: max |fft - dft| = "
+            << c64fft::fft::max_abs_error(spectrum, truth) << '\n';
+
+  auto back = spectrum;
+  c64fft::fft::inverse(back, opts);
+  std::cout << "quickstart: round-trip max error = "
+            << c64fft::fft::max_abs_error(back, signal) << '\n';
+
+  // 5. The same call can run the coarse (Alg. 1) or guided (Alg. 3)
+  //    scheduler — results are identical, only scheduling differs.
+  auto guided = signal;
+  c64fft::fft::forward(guided, opts, c64fft::fft::Variant::kGuided);
+  std::cout << "quickstart: guided vs fine max diff = "
+            << c64fft::fft::max_abs_error(guided, spectrum) << '\n';
+  return 0;
+}

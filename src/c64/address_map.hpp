@@ -1,0 +1,48 @@
+#pragma once
+// Byte-address -> DRAM-bank mapping of the C64 node: data is interleaved
+// across the banks round-robin, switching banks every `interleave_bytes`
+// (64 B = 4 double-precision complex elements). This tiny piece of address
+// algebra is the root cause of the whole paper: twiddle indices that are
+// multiples of 4 elements all land on the bank holding the array base.
+
+#include <cstdint>
+
+#include "c64/config.hpp"
+
+namespace c64fft::c64 {
+
+class AddressMap {
+ public:
+  explicit AddressMap(const ChipConfig& cfg)
+      : banks_(cfg.dram_banks), interleave_(cfg.interleave_bytes) {}
+
+  AddressMap(unsigned banks, unsigned interleave_bytes)
+      : banks_(banks), interleave_(interleave_bytes) {}
+
+  unsigned banks() const noexcept { return banks_; }
+  unsigned interleave_bytes() const noexcept { return interleave_; }
+
+  /// Bank holding byte address `addr`.
+  unsigned bank_of(std::uint64_t addr) const noexcept {
+    return static_cast<unsigned>((addr / interleave_) % banks_);
+  }
+
+  /// Bank of element `index` (of `elem_bytes` each) in an array whose
+  /// first byte lives at `base`.
+  unsigned bank_of_element(std::uint64_t base, std::uint64_t index,
+                           unsigned elem_bytes) const noexcept {
+    return bank_of(base + index * elem_bytes);
+  }
+
+  /// Number of bytes from `addr` to the end of its interleave line
+  /// (i.e. the longest run starting at `addr` that stays in one bank).
+  std::uint64_t bytes_left_in_line(std::uint64_t addr) const noexcept {
+    return interleave_ - (addr % interleave_);
+  }
+
+ private:
+  unsigned banks_;
+  unsigned interleave_;
+};
+
+}  // namespace c64fft::c64

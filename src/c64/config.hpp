@@ -1,0 +1,102 @@
+#pragma once
+// Timing/topology parameters of the modelled Cyclops-64 node.
+//
+// Architectural constants (core count, clock, bank count, interleave,
+// bandwidths) are taken from the paper's Section III-A. The queueing /
+// overhead constants are *model calibration knobs*: the paper used the
+// proprietary FAST simulator, so we expose every mechanism it models
+// (port bandwidth, request latency, per-bank queueing behind an in-order
+// admission stream, bounded outstanding requests per in-order TU, barrier
+// and runtime overheads) as explicit, documented numbers. See DESIGN.md
+// §2.1 for the load-bearing choice: blocking loads + element-granular
+// strided requests keep the machine latency-bound below DRAM saturation,
+// which is the only regime where codelet reordering can pay (a purely
+// bandwidth-bound model is provably order-invariant).
+
+#include <cstdint>
+
+namespace c64fft::c64 {
+
+struct ChipConfig {
+  // ---- Architecture (Section III-A of the paper) ----
+  /// Thread units available to the application (160 minus 4 reserved for
+  /// the OS kernel, as in the paper's experiments).
+  unsigned thread_units = 156;
+  /// Core clock in GHz (500 MHz).
+  double clock_ghz = 0.5;
+  /// Off-chip DRAM ports/banks.
+  unsigned dram_banks = 4;
+  /// Bank interleave granularity in bytes ("switching banks every 64
+  /// bytes (or 4 double precision complex elements)").
+  unsigned interleave_bytes = 64;
+  /// Per-bank service bandwidth in bytes/cycle. 16 GB/s aggregate over 4
+  /// banks at 500 MHz = 8 B/cycle per bank.
+  double bank_bytes_per_cycle = 8.0;
+  /// Sustained floating-point throughput per TU in flops/cycle. Two TUs
+  /// share one FMA unit issuing 1 FMA (2 flops) per cycle -> 1 flop/cycle
+  /// per TU.
+  double flops_per_cycle_per_tu = 1.0;
+
+  // ---- Memory-system model knobs ----
+  /// Fixed pipeline latency (cycles) added to every off-chip request on
+  /// top of its bank service time.
+  unsigned dram_latency = 100;
+  /// The shared request stream may be dispatched out of order only within
+  /// this many entries from the head (1 = strict head-of-line blocking).
+  unsigned hol_window = 256;
+  /// Per-bank controller queue slots. A request is admitted from the
+  /// shared stream only when its bank has a free slot; shallow settings
+  /// model "buffer hogging" at the crossbar->DRAM path (a saturated bank
+  /// blocks admission and starves the others). The wide default makes the
+  /// banks effectively independent FIFO queues; the knob is exposed for
+  /// the ablation bench.
+  unsigned bank_queue_depth = 64;
+  /// Maximum outstanding off-chip requests per thread unit (in-order core
+  /// with a small load/store queue).
+  unsigned max_outstanding = 1;
+  /// Cycles to issue one memory request from a TU.
+  unsigned issue_cycles = 1;
+  /// Same-bank address-adjacent accesses from one codelet are merged into
+  /// requests of at most this many bytes (simulation granularity knob;
+  /// element-exact traffic is preserved, see DESIGN.md).
+  unsigned coalesce_limit = 64;
+
+  // ---- Runtime overheads ----
+  /// Cycles to pop one codelet from the concurrent pool.
+  unsigned pop_cycles = 30;
+  /// Cycles per codelet for dependency-counter updates (fine variants).
+  unsigned counter_update_cycles = 20;
+  /// Cycles for a full-chip hardware barrier (coarse/guided variants).
+  unsigned barrier_cycles = 4096;
+  /// Fixed per-codelet kernel entry/exit overhead in cycles.
+  unsigned task_overhead_cycles = 64;
+
+  // ---- Capacity limits ----
+  /// Usable per-TU scratchpad working set in bytes. A 64-point codelet
+  /// (64 in-place points + 63 twiddles = 2032 B) fits; a 128-point codelet
+  /// (4080 B) does not and spills (paper §V-A: sizes over 64 "exceed the
+  /// scratchpad limit").
+  unsigned scratchpad_bytes = 3072;
+
+  // ---- Hash (bit-reversed twiddle layout) cost model ----
+  /// Cycles charged before issuing each hashed twiddle load:
+  /// hash_base_cycles + hash_cycles_per_bit * bits(index). The paper
+  /// observes this cost grows with the input size ("the work of handling
+  /// more bits for each element").
+  unsigned hash_base_cycles = 2;
+  double hash_cycles_per_bit = 6.0;
+
+  /// Hash cost in cycles for an index of `bits` significant bits.
+  unsigned hash_cost(unsigned bits) const {
+    return hash_base_cycles + static_cast<unsigned>(hash_cycles_per_bit * bits);
+  }
+
+  /// Aggregate off-chip bandwidth in bytes/cycle.
+  double total_dram_bytes_per_cycle() const { return bank_bytes_per_cycle * dram_banks; }
+  /// Aggregate off-chip bandwidth in GB/s.
+  double total_dram_gbps() const { return total_dram_bytes_per_cycle() * clock_ghz; }
+  /// Seconds per cycle.
+  double seconds_per_cycle() const { return 1e-9 / clock_ghz; }
+};
+
+}  // namespace c64fft::c64

@@ -1,0 +1,250 @@
+#include "c64/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c64fft::c64 {
+
+std::vector<double> SimResult::bank_utilisation() const {
+  std::vector<double> out(bank_busy_cycles.size(), 0.0);
+  if (cycles == 0) return out;
+  for (std::size_t b = 0; b < out.size(); ++b)
+    out[b] = static_cast<double>(bank_busy_cycles[b]) / static_cast<double>(cycles);
+  return out;
+}
+
+SimEngine::SimEngine(const ChipConfig& cfg, SimProgram& program, BankTrace* trace)
+    : cfg_(cfg), program_(program), trace_(trace) {
+  if (cfg_.thread_units == 0) throw std::invalid_argument("SimEngine: zero thread units");
+  if (cfg_.dram_banks == 0) throw std::invalid_argument("SimEngine: zero banks");
+  if (cfg_.max_outstanding == 0) throw std::invalid_argument("SimEngine: max_outstanding == 0");
+  if (cfg_.hol_window == 0) throw std::invalid_argument("SimEngine: hol_window == 0");
+  if (cfg_.bank_queue_depth == 0)
+    throw std::invalid_argument("SimEngine: bank_queue_depth == 0");
+  tus_.resize(cfg_.thread_units);
+  tu_idle_parked_.assign(cfg_.thread_units, false);
+  tu_finished_.assign(cfg_.thread_units, false);
+  bank_free_.assign(cfg_.dram_banks, 0);
+  bank_depth_.assign(cfg_.dram_banks, 0);
+  result_.bank_busy_cycles.assign(cfg_.dram_banks, 0);
+  result_.bank_bytes.assign(cfg_.dram_banks, 0);
+}
+
+void SimEngine::push_event(std::uint64_t time, EventKind kind, std::uint32_t tu) {
+  events_.push(Event{time, seq_++, kind, tu});
+}
+
+SimResult SimEngine::run() {
+  for (std::uint32_t tu = 0; tu < cfg_.thread_units; ++tu)
+    push_event(0, EventKind::kTuReady, tu);
+
+  std::uint64_t last_time = 0;
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    last_time = std::max(last_time, ev.time);
+    switch (ev.kind) {
+      case EventKind::kTuReady:
+        on_tu_ready(ev.tu, ev.time);
+        break;
+      case EventKind::kTuIssue:
+        on_tu_issue(ev.tu, ev.time);
+        break;
+      case EventKind::kReqDone:
+        on_req_done(ev.tu, ev.time);
+        break;
+      case EventKind::kBankSlotFree:
+        --bank_depth_[ev.tu];  // `tu` field carries the bank id here
+        dispatch_pending(ev.time);
+        break;
+      case EventKind::kComputeDone:
+        on_compute_done(ev.tu, ev.time);
+        break;
+      case EventKind::kTaskDone:
+        on_task_done(ev.tu, ev.time);
+        break;
+    }
+  }
+
+  if (!program_.finished())
+    throw std::runtime_error(
+        "SimEngine: deadlock — event queue drained but the program reports "
+        "unfinished work (malformed codelet graph or barrier)");
+
+  result_.cycles = last_time;
+  result_.seconds = static_cast<double>(last_time) * cfg_.seconds_per_cycle();
+  return result_;
+}
+
+void SimEngine::on_tu_ready(std::uint32_t tu, std::uint64_t now) {
+  if (tu_finished_[tu]) return;
+  if (tu_idle_parked_[tu]) tu_idle_parked_[tu] = false;
+
+  TuContext& ctx = tus_[tu];
+  if (ctx.state != TuState::kIdle) return;  // stale wake-up while busy
+
+  ctx.task.clear();
+  std::uint64_t wake_at = 0;
+  switch (program_.next_task(tu, now, ctx.task, wake_at)) {
+    case PopResult::kTask: {
+      ctx.state = TuState::kLoads;
+      ctx.busy_since = now;
+      ctx.next_req = 0;
+      ctx.inflight = 0;
+      ctx.issue_limit = ctx.task.first_store;
+      ctx.issue_scheduled = false;
+      begin_phase(tu, now + ctx.task.start_overhead_cycles);
+      break;
+    }
+    case PopResult::kWait:
+      if (wake_at <= now)
+        throw std::logic_error("SimProgram returned kWait with wake_at <= now");
+      push_event(wake_at, EventKind::kTuReady, tu);
+      break;
+    case PopResult::kIdle:
+      if (!tu_idle_parked_[tu]) {
+        tu_idle_parked_[tu] = true;
+        idle_tus_.push_back(tu);
+      }
+      break;
+    case PopResult::kFinished:
+      tu_finished_[tu] = true;
+      break;
+  }
+}
+
+void SimEngine::begin_phase(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  if (ctx.next_req >= ctx.issue_limit && ctx.inflight == 0) {
+    phase_complete(tu, now);
+    return;
+  }
+  schedule_issue(tu, now);
+}
+
+void SimEngine::schedule_issue(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  if (ctx.issue_scheduled) return;
+  if (ctx.next_req >= ctx.issue_limit) return;
+  if (ctx.inflight >= cfg_.max_outstanding) return;
+  const MemRequest& req = ctx.task.requests[ctx.next_req];
+  ctx.issue_scheduled = true;
+  push_event(now + cfg_.issue_cycles + req.pre_issue_cycles, EventKind::kTuIssue, tu);
+}
+
+void SimEngine::on_tu_issue(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  ctx.issue_scheduled = false;
+  assert(ctx.next_req < ctx.issue_limit);
+  assert(ctx.inflight < cfg_.max_outstanding);
+  const MemRequest& req = ctx.task.requests[ctx.next_req];
+  ++ctx.next_req;
+  ++ctx.inflight;
+  pending_.push_back(PendingReq{tu, req.bank, req.bytes});
+  dispatch_pending(now);
+  schedule_issue(tu, now);
+}
+
+void SimEngine::on_req_done(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  assert(ctx.inflight > 0);
+  --ctx.inflight;
+  if (ctx.next_req >= ctx.issue_limit && ctx.inflight == 0) {
+    phase_complete(tu, now);
+  } else {
+    schedule_issue(tu, now);
+  }
+}
+
+void SimEngine::phase_complete(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  if (ctx.state == TuState::kLoads) {
+    ctx.state = TuState::kCompute;
+    push_event(now + ctx.task.compute_cycles, EventKind::kComputeDone, tu);
+  } else {
+    assert(ctx.state == TuState::kStores);
+    push_event(now + ctx.task.finish_overhead_cycles, EventKind::kTaskDone, tu);
+  }
+}
+
+void SimEngine::on_compute_done(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  assert(ctx.state == TuState::kCompute);
+  ctx.state = TuState::kStores;
+  ctx.issue_limit = static_cast<std::uint32_t>(ctx.task.requests.size());
+  begin_phase(tu, now);
+}
+
+void SimEngine::on_task_done(std::uint32_t tu, std::uint64_t now) {
+  TuContext& ctx = tus_[tu];
+  ctx.state = TuState::kIdle;
+  result_.tu_busy_cycles += now - ctx.busy_since;
+  ++result_.tasks_completed;
+  program_.task_done(tu, ctx.task.task_id, now);
+  wake_idle_tus(now);
+  push_event(now, EventKind::kTuReady, tu);
+}
+
+void SimEngine::wake_idle_tus(std::uint64_t now) {
+  if (idle_tus_.empty()) return;
+  for (std::uint32_t tu : idle_tus_) {
+    if (tu_idle_parked_[tu]) {
+      tu_idle_parked_[tu] = false;
+      push_event(now, EventKind::kTuReady, tu);
+    }
+  }
+  idle_tus_.clear();
+}
+
+void SimEngine::dispatch_pending(std::uint64_t now) {
+  // Drop leading tombstones, compact occasionally.
+  auto live_head = [&]() {
+    while (pending_head_ < pending_.size() && pending_[pending_head_].bytes == 0)
+      ++pending_head_;
+  };
+  live_head();
+  if (pending_head_ > 4096 && pending_head_ * 2 > pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
+
+  // Admit requests from the stream head (with `hol_window` lookahead)
+  // into any bank with a free controller slot. A request admitted to a
+  // busy bank queues behind it; a bank with no free slot blocks admission
+  // of its requests — and, within the window, of everything behind them.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    unsigned scanned = 0;
+    for (std::size_t i = pending_head_;
+         i < pending_.size() && scanned < cfg_.hol_window; ++i) {
+      PendingReq& req = pending_[i];
+      if (req.bytes == 0) continue;  // tombstone
+      ++scanned;
+      if (bank_depth_[req.bank] < cfg_.bank_queue_depth) {
+        const auto svc = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(req.bytes) / cfg_.bank_bytes_per_cycle));
+        const std::uint64_t start = std::max(now, bank_free_[req.bank]);
+        bank_free_[req.bank] = start + svc;
+        ++bank_depth_[req.bank];
+        result_.bank_busy_cycles[req.bank] += svc;
+        result_.bank_bytes[req.bank] += req.bytes;
+        result_.bytes += req.bytes;
+        ++result_.requests;
+        if (trace_) trace_->record(start, req.bank, req.bytes / 16);
+        push_event(start + svc, EventKind::kBankSlotFree, req.bank);
+        push_event(start + svc + cfg_.dram_latency, EventKind::kReqDone, req.tu);
+        req.bytes = 0;  // tombstone
+        progressed = true;
+        break;
+      }
+    }
+    live_head();
+  }
+  // A blocked head always waits on a bank whose kBankSlotFree event is
+  // already scheduled, so no extra wake-up bookkeeping is needed.
+}
+
+}  // namespace c64fft::c64

@@ -1,0 +1,192 @@
+#pragma once
+// Discrete-event model of a C64 node executing a pool of tasks (codelets).
+//
+// The engine models:
+//   * `thread_units` in-order TUs. Each TU repeatedly asks the SimProgram
+//     for a task, pays the pool-pop cost, issues the task's load requests
+//     (bounded by `max_outstanding`, one per `issue_cycles`, plus any
+//     per-request pre-issue cost such as the twiddle hash), waits for all
+//     loads, computes, issues and waits for the stores, then reports
+//     completion (which is when the program updates dependency counters
+//     and may make new tasks ready).
+//   * a shared off-chip request stream with bounded-lookahead dispatch
+//     (`hol_window`) feeding `dram_banks` banks of `bank_bytes_per_cycle`
+//     service bandwidth each, plus a fixed `dram_latency`.
+//
+// The event loop is deterministic: ties are broken by event sequence
+// number, and the program's callbacks are invoked in a fixed order.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "c64/config.hpp"
+#include "c64/trace.hpp"
+
+namespace c64fft::c64 {
+
+/// One off-chip memory request of a task. `pre_issue_cycles` is charged on
+/// the issuing TU before the request enters the memory system (used for the
+/// hashed-twiddle address computation).
+struct MemRequest {
+  std::uint16_t bank = 0;
+  std::uint16_t pre_issue_cycles = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// A schedulable unit of work (one codelet instance).
+struct TaskSpec {
+  /// Opaque program-defined identity, echoed back in task_done().
+  std::uint64_t task_id = 0;
+  /// Busy-compute cycles between the last load and the first store.
+  std::uint64_t compute_cycles = 0;
+  /// Cycles charged before the first load issues (pool pop, kernel entry).
+  std::uint32_t start_overhead_cycles = 0;
+  /// Cycles charged after the last store completes (dependency-counter
+  /// updates, children enqueue) before task_done() fires.
+  std::uint32_t finish_overhead_cycles = 0;
+  /// requests[0..first_store) are loads; requests[first_store..) stores.
+  std::uint32_t first_store = 0;
+  std::vector<MemRequest> requests;
+
+  void clear() {
+    task_id = 0;
+    compute_cycles = 0;
+    start_overhead_cycles = 0;
+    finish_overhead_cycles = 0;
+    first_store = 0;
+    requests.clear();
+  }
+};
+
+/// What a SimProgram tells an idle TU.
+enum class PopResult {
+  kTask,      ///< `out` was filled; run it.
+  kWait,      ///< nothing ready; retry at `wake_at` (e.g. barrier release).
+  kIdle,      ///< nothing ready; retry when any task completes.
+  kFinished,  ///< this TU is done for good.
+};
+
+/// The workload driven by the engine. Implementations provide the codelet
+/// pool semantics (ordering policy, dependency counters, barriers).
+class SimProgram {
+ public:
+  virtual ~SimProgram() = default;
+
+  /// Called when TU `tu` is free at `now`. On kTask, fill `out`
+  /// (out.requests may reuse its capacity). On kWait, set `wake_at > now`.
+  virtual PopResult next_task(unsigned tu, std::uint64_t now, TaskSpec& out,
+                              std::uint64_t& wake_at) = 0;
+
+  /// Called when the task `task_id` issued by `tu` has fully completed
+  /// (stores done, runtime overhead paid) at `now`.
+  virtual void task_done(unsigned tu, std::uint64_t task_id, std::uint64_t now) = 0;
+
+  /// True when every task has been issued and completed.
+  virtual bool finished() const = 0;
+};
+
+/// Aggregate results of one simulation.
+struct SimResult {
+  std::uint64_t cycles = 0;          ///< makespan in cycles
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t requests = 0;        ///< off-chip requests dispatched
+  std::uint64_t bytes = 0;           ///< off-chip bytes moved
+  std::vector<std::uint64_t> bank_busy_cycles;  ///< per-bank service occupancy
+  std::vector<std::uint64_t> bank_bytes;        ///< per-bank bytes moved
+  std::uint64_t tu_busy_cycles = 0;  ///< summed non-idle TU time
+  double seconds = 0.0;              ///< makespan in seconds
+
+  /// Per-bank service utilisation over the makespan.
+  std::vector<double> bank_utilisation() const;
+};
+
+class SimEngine {
+ public:
+  /// `trace` may be null; when provided, every dispatched request records
+  /// bytes/16 element accesses on its bank at dispatch time.
+  SimEngine(const ChipConfig& cfg, SimProgram& program, BankTrace* trace = nullptr);
+
+  /// Run to completion and return aggregate statistics.
+  /// Throws std::runtime_error on deadlock (program not finished but no
+  /// event can ever fire) — which would indicate a malformed codelet graph.
+  SimResult run();
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kTuReady,    ///< TU is free; ask program for work
+    kTuIssue,    ///< TU attempts to issue its next memory request
+    kReqDone,    ///< a TU's memory request completed
+    kBankSlotFree,  ///< a bank finished one service; a queue slot freed
+    kComputeDone,  ///< TU finished its compute phase
+    kTaskDone,   ///< task fully retired (incl. finish overhead)
+  };
+
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;
+    EventKind kind;
+    std::uint32_t tu;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  enum class TuState : std::uint8_t {
+    kIdle,
+    kLoads,      ///< issuing/waiting loads
+    kCompute,
+    kStores,     ///< issuing/waiting stores
+  };
+
+  struct TuContext {
+    TuState state = TuState::kIdle;
+    TaskSpec task;
+    std::uint32_t next_req = 0;      ///< next request index to issue
+    std::uint32_t inflight = 0;      ///< outstanding requests
+    std::uint32_t issue_limit = 0;   ///< one-past-last request of current phase
+    bool issue_scheduled = false;    ///< a kTuIssue event is pending
+    std::uint64_t busy_since = 0;
+  };
+
+  struct PendingReq {
+    std::uint32_t tu;
+    std::uint16_t bank;
+    std::uint32_t bytes;
+  };
+
+  void push_event(std::uint64_t time, EventKind kind, std::uint32_t tu);
+  void on_tu_ready(std::uint32_t tu, std::uint64_t now);
+  void on_tu_issue(std::uint32_t tu, std::uint64_t now);
+  void on_req_done(std::uint32_t tu, std::uint64_t now);
+  void on_compute_done(std::uint32_t tu, std::uint64_t now);
+  void on_task_done(std::uint32_t tu, std::uint64_t now);
+  void begin_phase(std::uint32_t tu, std::uint64_t now);
+  void schedule_issue(std::uint32_t tu, std::uint64_t now);
+  void phase_complete(std::uint32_t tu, std::uint64_t now);
+  void dispatch_pending(std::uint64_t now);
+  void wake_idle_tus(std::uint64_t now);
+
+  const ChipConfig& cfg_;
+  SimProgram& program_;
+  BankTrace* trace_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+
+  std::vector<TuContext> tus_;
+  std::vector<std::uint32_t> idle_tus_;  // TUs parked in kIdle PopResult
+  std::vector<bool> tu_idle_parked_;
+  std::vector<bool> tu_finished_;
+
+  std::vector<PendingReq> pending_;  // admission FIFO via head index
+  std::size_t pending_head_ = 0;
+  std::vector<std::uint64_t> bank_free_;   // service-pipe availability
+  std::vector<std::uint32_t> bank_depth_;  // occupied controller slots
+
+  SimResult result_;
+};
+
+}  // namespace c64fft::c64

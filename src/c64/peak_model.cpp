@@ -1,0 +1,50 @@
+#include "c64/peak_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit_ops.hpp"
+
+namespace c64fft::c64 {
+
+double PeakModel::fft_flops(std::uint64_t n) {
+  if (!util::is_pow2(n)) throw std::invalid_argument("fft_flops: N must be a power of two");
+  return 5.0 * static_cast<double>(n) * static_cast<double>(util::ilog2(n));
+}
+
+std::uint64_t PeakModel::task_count(std::uint64_t n, std::uint64_t task_size) {
+  if (!util::is_pow2(n) || !util::is_pow2(task_size) || task_size < 2 || task_size > n)
+    throw std::invalid_argument("task_count: bad N or task size");
+  const std::uint64_t stages = util::ceil_div(util::ilog2(n), util::ilog2(task_size));
+  return n / task_size * stages;
+}
+
+std::uint64_t PeakModel::task_bytes(std::uint64_t task_size) {
+  return (task_size + task_size + (task_size - 1)) * 16;
+}
+
+double PeakModel::task_seconds(std::uint64_t task_size) const {
+  const double bw_bytes_per_sec = chip.total_dram_gbps() * 1e9;
+  return static_cast<double>(task_bytes(task_size)) / bw_bytes_per_sec;
+}
+
+double PeakModel::peak_gflops(std::uint64_t n, std::uint64_t task_size) const {
+  const double total_seconds =
+      task_seconds(task_size) * static_cast<double>(task_count(n, task_size));
+  return fft_flops(n) / total_seconds / 1e9;
+}
+
+double PeakModel::peak_gflops_asymptotic(std::uint64_t task_size) const {
+  // peak = 5 * log2(R) * R * BW / ((3R - 1) * 16), in flops/sec.
+  const double r = static_cast<double>(task_size);
+  const double bw = chip.total_dram_gbps() * 1e9;
+  const double lg = static_cast<double>(util::ilog2(task_size));
+  return 5.0 * lg * r * bw / ((3.0 * r - 1.0) * 16.0) / 1e9;
+}
+
+double PeakModel::compute_peak_gflops() const {
+  return chip.flops_per_cycle_per_tu * static_cast<double>(chip.thread_units) *
+         chip.clock_ghz;
+}
+
+}  // namespace c64fft::c64

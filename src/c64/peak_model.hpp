@@ -1,0 +1,49 @@
+#pragma once
+// Closed-form theoretical peak performance of off-chip FFT on C64,
+// Equations (1)-(4) of the paper (Section V-A):
+//
+//   peak = (5 N log2 N) / (exectime_per_task * #tasks)
+//   #tasks = N/R * ceil(log2 N / log2 R)           (R = task size)
+//   exectime_per_task = (R + R + (R-1)) * 16 B / DRAM_bandwidth
+//
+// With R = 64 and 16 GB/s this evaluates to 10 GFLOPS. The model assumes
+// the off-chip ports are fully and evenly busy; any bank imbalance or
+// synchronization stall only lowers achieved performance.
+
+#include <cstdint>
+
+#include "c64/config.hpp"
+
+namespace c64fft::c64 {
+
+struct PeakModel {
+  ChipConfig chip;
+
+  /// Flops the radix-2 FFT performs on N points (5 N log2 N, paper Eq. 1).
+  static double fft_flops(std::uint64_t n);
+
+  /// Number of R-point tasks for an N-point FFT (paper Eq. 2, with the
+  /// ceiling retained).
+  static std::uint64_t task_count(std::uint64_t n, std::uint64_t task_size);
+
+  /// Off-chip bytes one R-point task moves: R loads + R stores + (R-1)
+  /// twiddle loads, 16 B each (paper Eq. 3 numerator).
+  static std::uint64_t task_bytes(std::uint64_t task_size);
+
+  /// Best-case execution seconds of one task (paper Eq. 3).
+  double task_seconds(std::uint64_t task_size) const;
+
+  /// Theoretical peak in GFLOPS for an N-point FFT with R-point tasks
+  /// (paper Eq. 1). Dropping the stage ceiling, this is independent of N:
+  /// peak(R=64) = 10.05 GFLOPS.
+  double peak_gflops(std::uint64_t n, std::uint64_t task_size) const;
+
+  /// N-independent closed form (ceiling removed as in paper Eq. 4).
+  double peak_gflops_asymptotic(std::uint64_t task_size) const;
+
+  /// Compute-bound ceiling from the TU/FPU budget, for completeness:
+  /// flops_per_cycle_per_tu * thread_units * clock.
+  double compute_peak_gflops() const;
+};
+
+}  // namespace c64fft::c64

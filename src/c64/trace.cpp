@@ -1,0 +1,31 @@
+#include "c64/trace.hpp"
+
+namespace c64fft::c64 {
+
+std::vector<double> BankTrace::imbalance_series() const {
+  std::vector<double> out;
+  out.reserve(windows());
+  for (std::size_t w = 0; w < windows(); ++w) {
+    std::uint64_t sum = 0, mx = 0;
+    for (unsigned b = 0; b < banks(); ++b) {
+      const std::uint64_t v = at(w, b);
+      sum += v;
+      if (v > mx) mx = v;
+    }
+    out.push_back(sum == 0 ? 1.0
+                           : static_cast<double>(mx) * banks() / static_cast<double>(sum));
+  }
+  return out;
+}
+
+double BankTrace::total_imbalance() const {
+  const auto t = totals();
+  std::uint64_t sum = 0, mx = 0;
+  for (auto v : t) {
+    sum += v;
+    if (v > mx) mx = v;
+  }
+  return sum == 0 ? 1.0 : static_cast<double>(mx) * banks() / static_cast<double>(sum);
+}
+
+}  // namespace c64fft::c64

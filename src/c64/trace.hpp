@@ -1,0 +1,54 @@
+#pragma once
+// Per-bank access-rate tracing: the instrument behind the paper's Figs. 1,
+// 2 and 6 ("access rates (number of memory accesses per 3x10^6 cycles) of
+// the 4 memory banks").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/timeseries.hpp"
+
+namespace c64fft::c64 {
+
+class BankTrace {
+ public:
+  BankTrace(unsigned banks, std::uint64_t window_cycles)
+      : series_(banks, window_cycles) {}
+
+  /// Record `elements` accesses to `bank` at cycle `t`.
+  void record(std::uint64_t t, unsigned bank, std::uint64_t elements) {
+    series_.record(t, bank, elements);
+  }
+
+  unsigned banks() const noexcept { return static_cast<unsigned>(series_.channels()); }
+  std::uint64_t window_cycles() const noexcept { return series_.window_width(); }
+  std::size_t windows() const noexcept { return series_.windows(); }
+
+  /// Accesses on `bank` during window `w`.
+  std::uint64_t at(std::size_t w, unsigned bank) const { return series_.at(w, bank); }
+
+  /// Full series for one bank.
+  std::vector<std::uint64_t> bank_series(unsigned bank) const {
+    return series_.channel_series(bank);
+  }
+
+  /// Total accesses per bank over the whole run.
+  std::vector<std::uint64_t> totals() const {
+    std::vector<std::uint64_t> out(banks());
+    for (unsigned b = 0; b < banks(); ++b) out[b] = series_.channel_total(b);
+    return out;
+  }
+
+  /// max/mean access-count ratio per window; 1.0 means perfectly balanced.
+  std::vector<double> imbalance_series() const;
+
+  /// max/mean ratio of the whole-run per-bank totals.
+  double total_imbalance() const;
+
+  void clear() { series_.clear(); }
+
+ private:
+  util::WindowedSeries series_;
+};
+
+}  // namespace c64fft::c64

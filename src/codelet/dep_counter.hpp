@@ -1,0 +1,88 @@
+#pragma once
+// Shared dependency counters (Section IV-A2).
+//
+// In the fine-grain FFT every 64 sibling codelets have exactly the same 64
+// parents, so they can share one counter: a parent completion performs ONE
+// atomic increment, and when the counter reaches the threshold the whole
+// sibling group becomes ready at once. The paper reports this sharing
+// "greatly reduces the overhead of updating and checking the counters, as
+// well as the storage requirement".
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace c64fft::codelet {
+
+class DependencyCounters {
+ public:
+  /// One counter bank per stage; `groups_per_stage[s]` counters in stage
+  /// s, each becoming ready after `thresholds[s]` producer completions
+  /// (64 for the full stages of the paper's radix-64 FFT; the partial
+  /// last stage may differ). A stage with zero groups is legal (stage 0
+  /// has no producers).
+  DependencyCounters(std::span<const std::uint64_t> groups_per_stage,
+                     std::span<const std::uint32_t> thresholds) {
+    if (groups_per_stage.size() != thresholds.size())
+      throw std::invalid_argument("DependencyCounters: size mismatch");
+    stages_.reserve(groups_per_stage.size());
+    for (std::size_t s = 0; s < groups_per_stage.size(); ++s) {
+      if (groups_per_stage[s] != 0 && thresholds[s] == 0)
+        throw std::invalid_argument("DependencyCounters: zero threshold");
+      stages_.push_back(std::make_unique<std::atomic<std::uint32_t>[]>(groups_per_stage[s]));
+    }
+    sizes_.assign(groups_per_stage.begin(), groups_per_stage.end());
+    thresholds_.assign(thresholds.begin(), thresholds.end());
+    reset();
+  }
+
+  /// Convenience: one threshold for every stage.
+  DependencyCounters(std::span<const std::uint64_t> groups_per_stage,
+                     std::uint32_t threshold)
+      : DependencyCounters(groups_per_stage,
+                           std::vector<std::uint32_t>(groups_per_stage.size(), threshold)) {}
+
+  std::uint32_t threshold(std::size_t stage) const { return thresholds_.at(stage); }
+  std::size_t stages() const noexcept { return sizes_.size(); }
+  std::uint64_t groups(std::size_t stage) const { return sizes_.at(stage); }
+
+  /// Record one producer completion for (stage, group). Returns true for
+  /// exactly the completion that fills the group (makes it ready).
+  bool arrive(std::size_t stage, std::uint64_t group) {
+    check(stage, group);
+    const std::uint32_t before =
+        stages_[stage][group].fetch_add(1, std::memory_order_acq_rel);
+    if (before >= thresholds_[stage])
+      throw std::logic_error("DependencyCounters: group over-satisfied");
+    return before + 1 == thresholds_[stage];
+  }
+
+  /// Current value (mainly for tests/diagnostics).
+  std::uint32_t value(std::size_t stage, std::uint64_t group) const {
+    check(stage, group);
+    return stages_[stage][group].load(std::memory_order_acquire);
+  }
+
+  /// Zero every counter (the guided algorithm reuses the table between its
+  /// two phases, as in Alg. 3).
+  void reset() {
+    for (std::size_t s = 0; s < sizes_.size(); ++s)
+      for (std::uint64_t g = 0; g < sizes_[s]; ++g)
+        stages_[s][g].store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void check(std::size_t stage, std::uint64_t group) const {
+    if (stage >= sizes_.size() || group >= sizes_[stage])
+      throw std::out_of_range("DependencyCounters: bad (stage, group)");
+  }
+
+  std::vector<std::unique_ptr<std::atomic<std::uint32_t>[]>> stages_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint32_t> thresholds_;
+};
+
+}  // namespace c64fft::codelet

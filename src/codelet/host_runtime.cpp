@@ -1,0 +1,136 @@
+#include "codelet/host_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace c64fft::codelet {
+
+namespace {
+
+// Phase state shared by the workers: pool + in-flight accounting with a
+// condition variable for sleep/wake and quiescence detection.
+class PhaseState final : public Pusher {
+ public:
+  PhaseState(std::span<const CodeletKey> seeds, PoolPolicy policy) : policy_(policy) {
+    items_.assign(seeds.begin(), seeds.end());
+  }
+
+  void push(CodeletKey ready) override {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(ready);
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until work is available or the phase is quiescent.
+  // Returns false when the phase is over.
+  bool pop(CodeletKey& out) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || executing_ == 0 || failed_; });
+    if (items_.empty() || failed_) return false;
+    if (policy_ == PoolPolicy::kLifo) {
+      out = items_.back();
+      items_.pop_back();
+    } else {
+      out = items_.front();
+      items_.pop_front();
+    }
+    ++executing_;
+    return true;
+  }
+
+  void done() {
+    bool quiescent = false;
+    {
+      std::lock_guard lock(mutex_);
+      --executing_;
+      quiescent = executing_ == 0 && items_.empty();
+    }
+    if (quiescent)
+      cv_.notify_all();
+    else
+      cv_.notify_one();
+  }
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = e;
+      failed_ = true;
+      --executing_;
+    }
+    cv_.notify_all();
+  }
+
+  std::exception_ptr error() {
+    std::lock_guard lock(mutex_);
+    return error_;
+  }
+
+ private:
+  PoolPolicy policy_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<CodeletKey> items_;
+  unsigned executing_ = 0;
+  bool failed_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+HostRuntime::HostRuntime(unsigned workers) : workers_(workers), per_worker_(workers, 0) {
+  if (workers == 0) throw std::invalid_argument("HostRuntime: zero workers");
+}
+
+double HostRuntime::balance_ratio() const noexcept {
+  std::uint64_t total = 0, mx = 0;
+  for (auto v : per_worker_) {
+    total += v;
+    mx = std::max(mx, v);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(mx) * workers_ / static_cast<double>(total);
+}
+
+void HostRuntime::run_phase(std::span<const CodeletKey> seeds, PoolPolicy policy,
+                            const CodeletBody& body) {
+  PhaseState state(seeds, policy);
+  std::atomic<std::uint64_t> executed{0};
+  std::vector<std::atomic<std::uint64_t>> per_worker(workers_);
+
+  auto worker_main = [&](unsigned worker) {
+    CodeletKey c;
+    while (state.pop(c)) {
+      try {
+        body(c, worker, state);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        per_worker[worker].fetch_add(1, std::memory_order_relaxed);
+        state.done();
+      } catch (...) {
+        state.fail(std::current_exception());
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) threads.emplace_back(worker_main, w);
+  worker_main(0);
+  for (auto& t : threads) t.join();
+
+  executed_ += executed.load(std::memory_order_relaxed);
+  for (unsigned w = 0; w < workers_; ++w)
+    per_worker_[w] += per_worker[w].load(std::memory_order_relaxed);
+  if (auto e = state.error()) std::rethrow_exception(e);
+}
+
+}  // namespace c64fft::codelet

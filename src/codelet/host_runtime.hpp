@@ -1,0 +1,65 @@
+#pragma once
+// Host codelet runtime: real std::thread workers draining a shared ready
+// pool. This is the functional counterpart of the simulated machine — the
+// same FFT variants run on it with actual arithmetic, which is how the
+// library serves as a usable FFT on commodity multicore and how the
+// simulator's kernels are known to be numerically correct.
+//
+// Phase semantics: run_phase() seeds the pool, lets the workers drain it
+// (codelets may push further codelets), and returns when no codelet is
+// queued or executing. A phase boundary therefore acts as the coarse-grain
+// barrier of Alg. 1/Alg. 3; fully fine-grain algorithms use a single phase.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "codelet/codelet.hpp"
+
+namespace c64fft::codelet {
+
+/// Handed to the codelet body so it can enable children.
+class Pusher {
+ public:
+  virtual ~Pusher() = default;
+  virtual void push(CodeletKey ready) = 0;
+};
+
+/// Codelet body: execute the codelet, then enable any children that became
+/// ready (typically after DependencyCounters::arrive returns true).
+using CodeletBody = std::function<void(CodeletKey, unsigned worker, Pusher&)>;
+
+class HostRuntime {
+ public:
+  /// `workers` real threads are spawned per phase (>= 1).
+  explicit HostRuntime(unsigned workers);
+
+  unsigned workers() const noexcept { return workers_; }
+
+  /// Run one phase to quiescence. Exceptions thrown by `body` are captured
+  /// on the worker and rethrown here after the phase drains.
+  void run_phase(std::span<const CodeletKey> seeds, PoolPolicy policy,
+                 const CodeletBody& body);
+
+  /// Total codelets executed across all phases so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Codelets executed per worker across all phases — the dynamic
+  /// workload-balance evidence the fine-grain model is known for (the
+  /// prior-work claim the paper builds on).
+  const std::vector<std::uint64_t>& executed_per_worker() const noexcept {
+    return per_worker_;
+  }
+
+  /// max/mean ratio of the per-worker counts (1.0 = perfectly balanced).
+  double balance_ratio() const noexcept;
+
+ private:
+  unsigned workers_;
+  std::uint64_t executed_ = 0;
+  std::vector<std::uint64_t> per_worker_;
+};
+
+}  // namespace c64fft::codelet

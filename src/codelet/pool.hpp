@@ -1,0 +1,62 @@
+#pragma once
+// Concurrent ready-codelet pool used by the host runtime. A mutex-guarded
+// deque with LIFO/FIFO pop policies; correctness (not raw throughput) is
+// what the host runtime is for — timing studies run on the simulator.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+
+#include "codelet/codelet.hpp"
+
+namespace c64fft::codelet {
+
+class ConcurrentPool {
+ public:
+  explicit ConcurrentPool(PoolPolicy policy) : policy_(policy) {}
+
+  /// Push one ready codelet.
+  void push(CodeletKey c) {
+    std::lock_guard lock(mutex_);
+    items_.push_back(c);
+  }
+
+  /// Push a batch atomically, preserving the given order.
+  void push_batch(std::span<const CodeletKey> batch) {
+    std::lock_guard lock(mutex_);
+    items_.insert(items_.end(), batch.begin(), batch.end());
+  }
+
+  /// Non-blocking pop per the policy; nullopt when empty.
+  std::optional<CodeletKey> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    CodeletKey c;
+    if (policy_ == PoolPolicy::kLifo) {
+      c = items_.back();
+      items_.pop_back();
+    } else {
+      c = items_.front();
+      items_.pop_front();
+    }
+    return c;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  PoolPolicy policy() const noexcept { return policy_; }
+
+ private:
+  PoolPolicy policy_;
+  mutable std::mutex mutex_;
+  std::deque<CodeletKey> items_;
+};
+
+}  // namespace c64fft::codelet

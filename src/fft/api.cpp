@@ -1,0 +1,73 @@
+#include "fft/api.hpp"
+
+#include <stdexcept>
+
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+namespace {
+// The codelet decomposition needs at least one radix-R stage; tiny inputs
+// use a narrower radix transparently.
+HostFftOptions clamp_radix(std::span<const cplx> data, HostFftOptions opts) {
+  if (!util::is_pow2(data.size()) || data.size() < 2)
+    throw std::invalid_argument("fft: size must be a power of two >= 2");
+  const unsigned bits = util::ilog2(data.size());
+  if (opts.radix_log2 > bits) opts.radix_log2 = bits;
+  return opts;
+}
+}  // namespace
+
+void forward(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
+  fft_host(data, variant, clamp_radix(data, opts));
+}
+
+void inverse(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
+  for (auto& v : data) v = std::conj(v);
+  fft_host(data, variant, clamp_radix(data, opts));
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v = std::conj(v) * inv;
+}
+
+std::vector<cplx> forward_copy(std::span<const cplx> data, const HostFftOptions& opts,
+                               Variant variant) {
+  std::vector<cplx> out(data.begin(), data.end());
+  forward(out, opts, variant);
+  return out;
+}
+
+std::vector<cplx> inverse_copy(std::span<const cplx> data, const HostFftOptions& opts,
+                               Variant variant) {
+  std::vector<cplx> out(data.begin(), data.end());
+  inverse(out, opts, variant);
+  return out;
+}
+
+std::vector<double> power_spectrum(std::span<const double> signal,
+                                   const HostFftOptions& opts) {
+  if (signal.empty()) return {};
+  std::uint64_t n = util::next_pow2(signal.size());
+  n = std::max<std::uint64_t>(n, 2);
+  std::vector<cplx> buf(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = cplx(signal[i], 0.0);
+  forward(buf, opts);
+  std::vector<double> out(n / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = std::norm(buf[k]) / static_cast<double>(n);
+  return out;
+}
+
+std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cplx> b,
+                                    const HostFftOptions& opts) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("circular_convolve: length mismatch");
+  std::vector<cplx> fa(a.begin(), a.end());
+  std::vector<cplx> fb(b.begin(), b.end());
+  forward(fa, opts);
+  forward(fb, opts);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  inverse(fa, opts);
+  return fa;
+}
+
+}  // namespace c64fft::fft

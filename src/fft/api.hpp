@@ -1,0 +1,41 @@
+#pragma once
+// Public façade of the library: one-call forward/inverse transforms on
+// the host codelet runtime, plus convenience spectrum helpers used by the
+// examples. Include this (and fft/fft2d.hpp for 2-D) to consume the
+// library; the lower-level headers stay available for research use.
+
+#include <span>
+#include <vector>
+
+#include "fft/variants.hpp"
+
+namespace c64fft::fft {
+
+/// In-place forward FFT. Defaults: fine-grain algorithm (Alg. 2), radix
+/// 64, LIFO/natural ordering, linear twiddles.
+void forward(std::span<cplx> data, const HostFftOptions& opts = {},
+             Variant variant = Variant::kFine);
+
+/// In-place inverse FFT (unitary 1/N scaling), same engine.
+void inverse(std::span<cplx> data, const HostFftOptions& opts = {},
+             Variant variant = Variant::kFine);
+
+/// Out-of-place convenience forms.
+std::vector<cplx> forward_copy(std::span<const cplx> data,
+                               const HostFftOptions& opts = {},
+                               Variant variant = Variant::kFine);
+std::vector<cplx> inverse_copy(std::span<const cplx> data,
+                               const HostFftOptions& opts = {},
+                               Variant variant = Variant::kFine);
+
+/// Power spectrum |X[k]|^2 / N of a real-valued signal (returns N/2+1
+/// bins). Pads to the next power of two >= max(n, radix).
+std::vector<double> power_spectrum(std::span<const double> signal,
+                                   const HostFftOptions& opts = {});
+
+/// Circular convolution of two equal-length power-of-two sequences via
+/// FFT (pointwise product in the frequency domain).
+std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cplx> b,
+                                    const HostFftOptions& opts = {});
+
+}  // namespace c64fft::fft

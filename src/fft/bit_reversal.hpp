@@ -1,0 +1,22 @@
+#pragma once
+// Bit-reversal permutation of the input array — the first step of every
+// Cooley-Tukey variant in the paper (Fig. 4: "applied once and only once
+// in the whole FFT computation").
+
+#include <cstdint>
+#include <span>
+
+#include "fft/types.hpp"
+
+namespace c64fft::fft {
+
+/// In-place bit-reversal permutation; data.size() must be a power of two.
+void bit_reverse_permute(std::span<cplx> data);
+
+/// Parallel variant: the permutation is split into `chunks` independent
+/// codelets executed on `workers` threads (the paper's
+/// "Bit_reversal(D) in parallel"). Equivalent to the serial form.
+void bit_reverse_permute_parallel(std::span<cplx> data, unsigned workers,
+                                  unsigned chunks = 0);
+
+}  // namespace c64fft::fft

@@ -1,0 +1,61 @@
+#include "fft/fft2d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "codelet/host_runtime.hpp"
+#include "fft/reference.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+namespace {
+
+void check_dims(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols) {
+  if (!util::is_pow2(rows) || !util::is_pow2(cols) || rows < 2 || cols < 2)
+    throw std::invalid_argument("fft2d: dimensions must be powers of two >= 2");
+  if (data.size() != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
+}
+
+// Transform every row with a pool of per-row codelets. Each codelet runs
+// the serial in-place kernel on its own row — parallelism across rows is
+// the codelet-level parallelism here.
+void rows_pass(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+               unsigned workers) {
+  codelet::HostRuntime rt(workers);
+  std::vector<codelet::CodeletKey> seeds(rows);
+  for (std::uint64_t r = 0; r < rows; ++r) seeds[r] = {0, r};
+  rt.run_phase(seeds, codelet::PoolPolicy::kFifo,
+               [&](codelet::CodeletKey key, unsigned, codelet::Pusher&) {
+                 fft_serial_inplace(data.subspan(key.index * cols, cols));
+               });
+}
+
+void transpose_into(std::span<const cplx> src, std::span<cplx> dst, std::uint64_t rows,
+                    std::uint64_t cols) {
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+}
+
+}  // namespace
+
+void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts, Variant /*variant*/) {
+  check_dims(data, rows, cols);
+  rows_pass(data, rows, cols, opts.workers);
+  std::vector<cplx> t(data.size());
+  transpose_into(data, t, rows, cols);
+  rows_pass(t, cols, rows, opts.workers);
+  transpose_into(t, data, cols, rows);
+}
+
+void inverse_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts, Variant variant) {
+  check_dims(data, rows, cols);
+  for (auto& v : data) v = std::conj(v);
+  forward_2d(data, rows, cols, opts, variant);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v = std::conj(v) * inv;
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,23 @@
+#pragma once
+// 2-D FFT (row-column decomposition) built on the 1-D codelet variants —
+// the extension direction the paper inherits from Chen et al.'s 1-D/2-D
+// C64 study. Rows and columns are independent 1-D transforms, so each
+// pass is itself a pool of parallel codelets.
+
+#include <cstdint>
+#include <span>
+
+#include "fft/variants.hpp"
+
+namespace c64fft::fft {
+
+/// In-place 2-D forward FFT of a row-major `rows x cols` matrix; both
+/// dimensions must be powers of two >= 2.
+void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
+
+/// In-place 2-D inverse FFT (1/(rows*cols) scaling).
+void inverse_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
+
+}  // namespace c64fft::fft

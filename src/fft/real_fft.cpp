@@ -1,0 +1,76 @@
+#include "fft/real_fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fft/api.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+std::vector<cplx> real_forward(std::span<const double> signal,
+                               const HostFftOptions& opts, Variant variant) {
+  const std::uint64_t n = signal.size();
+  if (!util::is_pow2(n) || n < 2)
+    throw std::invalid_argument("real_forward: length must be a power of two >= 2");
+  const std::uint64_t half = n / 2;
+
+  // Pack even samples into the real parts and odd samples into the
+  // imaginary parts of an N/2-point complex sequence.
+  std::vector<cplx> packed(half);
+  for (std::uint64_t i = 0; i < half; ++i)
+    packed[i] = cplx(signal[2 * i], signal[2 * i + 1]);
+  if (half >= 2) forward(packed, opts, variant);
+  else packed[0] = cplx(signal[0], signal[1]);
+
+  // Untangle: with E/O the transforms of the even/odd subsequences,
+  //   Z[k] = E[k] + i O[k],  Z*[half-k] = E[k] - i O[k]
+  //   X[k] = E[k] + w^k O[k],  w = exp(-2 pi i / N).
+  std::vector<cplx> out(half + 1);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::uint64_t k = 0; k <= half; ++k) {
+    const cplx zk = packed[k % half];
+    const cplx zm = std::conj(packed[(half - k) % half]);
+    const cplx even = 0.5 * (zk + zm);
+    const cplx odd = cplx(0.0, -0.5) * (zk - zm);
+    const cplx w(std::cos(step * static_cast<double>(k)),
+                 std::sin(step * static_cast<double>(k)));
+    out[k] = even + w * odd;
+  }
+  return out;
+}
+
+std::vector<double> real_inverse(std::span<const cplx> half_spectrum,
+                                 const HostFftOptions& opts, Variant variant) {
+  if (half_spectrum.size() < 2)
+    throw std::invalid_argument("real_inverse: need at least 2 bins");
+  const std::uint64_t half = half_spectrum.size() - 1;
+  const std::uint64_t n = 2 * half;
+  if (!util::is_pow2(n))
+    throw std::invalid_argument("real_inverse: (bins-1)*2 must be a power of two");
+
+  // Invert the untangling: recover Z[k] = E[k] + i O[k] for k < half.
+  std::vector<cplx> packed(half);
+  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::uint64_t k = 0; k < half; ++k) {
+    const cplx xk = half_spectrum[k];
+    const cplx xm = std::conj(half_spectrum[half - k]);
+    const cplx even = 0.5 * (xk + xm);
+    const cplx odd_w = 0.5 * (xk - xm);  // w^k O[k]
+    const cplx winv(std::cos(step * static_cast<double>(k)),
+                    std::sin(step * static_cast<double>(k)));
+    const cplx odd = winv * odd_w;
+    packed[k] = even + cplx(0.0, 1.0) * odd;
+  }
+  if (half >= 2) inverse(packed, opts, variant);
+
+  std::vector<double> out(n);
+  for (std::uint64_t i = 0; i < half; ++i) {
+    out[2 * i] = packed[i].real();
+    out[2 * i + 1] = packed[i].imag();
+  }
+  return out;
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,28 @@
+#pragma once
+// Real-input FFT via the classic packing trick: an N-point real sequence
+// is transformed with one N/2-point complex FFT plus an O(N) untangling
+// pass — halving both the work and the off-chip traffic for the common
+// signal-processing case the paper's introduction motivates.
+
+#include <span>
+#include <vector>
+
+#include "fft/variants.hpp"
+
+namespace c64fft::fft {
+
+/// Forward transform of a real sequence (power-of-two length N >= 2).
+/// Returns the N/2+1 non-redundant spectrum bins X[0..N/2]; the remaining
+/// bins are their conjugate mirror. Runs on the host codelet engine with
+/// `opts` / `variant` (same knobs as fft::forward).
+std::vector<cplx> real_forward(std::span<const double> signal,
+                               const HostFftOptions& opts = {},
+                               Variant variant = Variant::kFine);
+
+/// Inverse of real_forward: reconstructs the N-sample real sequence from
+/// its N/2+1 half-spectrum.
+std::vector<double> real_inverse(std::span<const cplx> half_spectrum,
+                                 const HostFftOptions& opts = {},
+                                 Variant variant = Variant::kFine);
+
+}  // namespace c64fft::fft

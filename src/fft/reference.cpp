@@ -1,0 +1,106 @@
+#include "fft/reference.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "fft/bit_reversal.hpp"
+#include "fft/twiddle.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+std::vector<cplx> dft_reference(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  std::vector<cplx> out(n);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = step * static_cast<double>((j * k) % n);
+      acc += input[j] * cplx(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+namespace {
+void fft_rec(std::span<cplx> v) {
+  const std::size_t n = v.size();
+  if (n <= 1) return;
+  std::vector<cplx> even(n / 2), odd(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    even[i] = v[2 * i];
+    odd[i] = v[2 * i + 1];
+  }
+  fft_rec(even);
+  fft_rec(odd);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = step * static_cast<double>(k);
+    const cplx t = cplx(std::cos(angle), std::sin(angle)) * odd[k];
+    v[k] = even[k] + t;
+    v[k + n / 2] = even[k] - t;
+  }
+}
+}  // namespace
+
+std::vector<cplx> fft_recursive(std::span<const cplx> input) {
+  if (!util::is_pow2(input.size()))
+    throw std::invalid_argument("fft_recursive: N must be a power of two");
+  std::vector<cplx> out(input.begin(), input.end());
+  fft_rec(out);
+  return out;
+}
+
+void fft_serial_inplace(std::span<cplx> data) {
+  const std::uint64_t n = data.size();
+  if (!util::is_pow2(n)) throw std::invalid_argument("fft_serial_inplace: non-power-of-two");
+  if (n == 1) return;
+  bit_reverse_permute(data);
+  const TwiddleTable tw(n, TwiddleLayout::kLinear);
+  const unsigned bits = util::ilog2(n);
+  for (unsigned level = 0; level < bits; ++level) {
+    const std::uint64_t half = std::uint64_t{1} << level;
+    const unsigned shift = bits - level - 1;
+    for (std::uint64_t block = 0; block < n; block += 2 * half) {
+      for (std::uint64_t p = 0; p < half; ++p) {
+        const cplx w = tw.at(p << shift);
+        const cplx t = w * data[block + p + half];
+        data[block + p + half] = data[block + p] - t;
+        data[block + p] += t;
+      }
+    }
+  }
+}
+
+std::vector<cplx> ifft_reference(std::span<const cplx> input) {
+  std::vector<cplx> tmp(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) tmp[i] = std::conj(input[i]);
+  fft_serial_inplace(tmp);
+  const double inv = 1.0 / static_cast<double>(input.size());
+  for (auto& v : tmp) v = std::conj(v) * inv;
+  return tmp;
+}
+
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+double rel_l2_error(std::span<const cplx> a, std::span<const cplx> b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - b[i]);
+    den += std::norm(b[i]);
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,35 @@
+#pragma once
+// Reference transforms for correctness checking: a naive O(N^2) DFT (the
+// ground truth for small sizes) and a serial recursive radix-2 FFT (for
+// sizes where the DFT is too slow). Also inverse transforms and error
+// metrics.
+
+#include <span>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace c64fft::fft {
+
+/// Naive O(N^2) forward DFT: X[k] = sum_j x[j] exp(-2 pi i jk / N).
+/// Any N >= 1.
+std::vector<cplx> dft_reference(std::span<const cplx> input);
+
+/// Serial recursive radix-2 decimation-in-time FFT (power-of-two N),
+/// out-of-place.
+std::vector<cplx> fft_recursive(std::span<const cplx> input);
+
+/// In-place serial iterative radix-2 FFT (bit reversal + n levels).
+void fft_serial_inplace(std::span<cplx> data);
+
+/// Inverse FFT via conjugation: ifft(x) = conj(fft(conj(x))) / N.
+std::vector<cplx> ifft_reference(std::span<const cplx> input);
+
+/// Max elementwise absolute error between two vectors (inf for size
+/// mismatch).
+double max_abs_error(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Relative L2 error ||a-b|| / max(||b||, eps).
+double rel_l2_error(std::span<const cplx> a, std::span<const cplx> b);
+
+}  // namespace c64fft::fft

@@ -1,0 +1,55 @@
+#include "fft/stockham.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+namespace {
+
+// One decimation step: combine sub-transforms of length `len` from `src`
+// into length 2*len in `dst`, autosorting along the way.
+void stockham_pass(const cplx* src, cplx* dst, std::uint64_t n, std::uint64_t len) {
+  const std::uint64_t half = n / 2;
+  const std::uint64_t groups = half / len;  // sub-transform pairs
+  const double step = -std::numbers::pi / static_cast<double>(len);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    for (std::uint64_t k = 0; k < len; ++k) {
+      const double angle = step * static_cast<double>(k);
+      const cplx w(std::cos(angle), std::sin(angle));
+      const cplx a = src[g * len + k];
+      const cplx b = src[g * len + k + half];
+      const cplx t = w * b;
+      dst[2 * g * len + k] = a + t;
+      dst[2 * g * len + k + len] = a - t;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<cplx> fft_stockham(std::span<const cplx> input) {
+  const std::uint64_t n = input.size();
+  if (!util::is_pow2(n) || n == 0)
+    throw std::invalid_argument("fft_stockham: N must be a power of two >= 1");
+  std::vector<cplx> a(input.begin(), input.end());
+  if (n == 1) return a;
+  std::vector<cplx> b(n);
+  cplx* src = a.data();
+  cplx* dst = b.data();
+  for (std::uint64_t len = 1; len < n; len *= 2) {
+    stockham_pass(src, dst, n, len);
+    std::swap(src, dst);
+  }
+  return src == a.data() ? a : b;
+}
+
+void fft_stockham_inplace(std::span<cplx> data) {
+  auto out = fft_stockham(data);
+  std::copy(out.begin(), out.end(), data.begin());
+}
+
+}  // namespace c64fft::fft

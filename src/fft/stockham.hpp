@@ -1,0 +1,22 @@
+#pragma once
+// Stockham autosort FFT — the baseline algorithm the paper's related-work
+// section contrasts with Cooley-Tukey ("the radix-2 Stockham algorithm
+// (which avoids the bit reversal preliminary stage)"). Ping-pongs between
+// two buffers, permuting as it goes, so no bit-reversal pass is needed —
+// at the price of out-of-place stages and a different access pattern.
+
+#include <span>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace c64fft::fft {
+
+/// Out-of-place forward FFT (power-of-two N) via the radix-2 Stockham
+/// autosort algorithm.
+std::vector<cplx> fft_stockham(std::span<const cplx> input);
+
+/// In-place convenience wrapper (uses one scratch buffer internally).
+void fft_stockham_inplace(std::span<cplx> data);
+
+}  // namespace c64fft::fft

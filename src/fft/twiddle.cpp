@@ -1,0 +1,23 @@
+#include "fft/twiddle.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace c64fft::fft {
+
+TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout)
+    : n_(n), layout_(layout) {
+  if (!util::is_pow2(n) || n < 2)
+    throw std::invalid_argument("TwiddleTable: N must be a power of two >= 2");
+  const std::uint64_t m = n / 2;
+  bits_ = m > 1 ? util::ilog2(m) : 0;
+  table_.resize(m);
+  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::uint64_t t = 0; t < m; ++t) {
+    const double angle = step * static_cast<double>(t);
+    table_[storage_index(t)] = cplx(std::cos(angle), std::sin(angle));
+  }
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,56 @@
+#pragma once
+// Twiddle-factor table W[t] = exp(-2*pi*i * t / N), t in [0, N/2).
+//
+// Two storage layouts (Section IV-B):
+//  * kLinear      — W[t] stored at index t. Early-stage accesses have
+//                   strides that are multiples of 4 elements, so on the
+//                   64 B-interleaved DRAM they all hit the bank holding
+//                   the array base (the paper's bank-0 hotspot).
+//  * kBitReversed — W[t] stored at index BR(t) over log2(N/2) bits (the
+//                   paper's software "hash"). Accesses spread uniformly
+//                   over the banks at the price of computing BR on every
+//                   access.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fft/types.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+enum class TwiddleLayout { kLinear, kBitReversed };
+
+class TwiddleTable {
+ public:
+  /// Precompute the N/2 twiddles of an N-point transform (N = power of
+  /// two, N >= 2) in the given layout.
+  TwiddleTable(std::uint64_t n, TwiddleLayout layout);
+
+  std::uint64_t fft_size() const noexcept { return n_; }
+  std::uint64_t size() const noexcept { return table_.size(); }
+  TwiddleLayout layout() const noexcept { return layout_; }
+  /// Significant bits of a table index (log2(N/2)); the hash cost model
+  /// charges per-access work proportional to this.
+  unsigned index_bits() const noexcept { return bits_; }
+
+  /// Storage slot of logical twiddle index `t` (identity for kLinear).
+  std::uint64_t storage_index(std::uint64_t t) const noexcept {
+    return layout_ == TwiddleLayout::kLinear ? t : util::bit_reverse(t, bits_);
+  }
+
+  /// W[t] (logical index, layout-transparent).
+  cplx at(std::uint64_t t) const noexcept { return table_[storage_index(t)]; }
+
+  /// Raw storage (for address/bank analysis).
+  std::span<const cplx> storage() const noexcept { return table_; }
+
+ private:
+  std::uint64_t n_;
+  TwiddleLayout layout_;
+  unsigned bits_;
+  std::vector<cplx> table_;
+};
+
+}  // namespace c64fft::fft

@@ -1,0 +1,15 @@
+#pragma once
+// Common numeric types of the FFT library. Data elements are
+// double-precision complex numbers (16 bytes), matching the paper's
+// experimental setup.
+
+#include <complex>
+
+namespace c64fft::fft {
+
+using cplx = std::complex<double>;
+
+/// Bytes of one data/twiddle element on C64 (double-precision complex).
+inline constexpr unsigned kElementBytes = 16;
+
+}  // namespace c64fft::fft

@@ -1,0 +1,46 @@
+#pragma once
+// Host (real-thread) implementations of the paper's FFT algorithms:
+//
+//   kCoarse — Algorithm 1: barrier after every stage (one runtime phase
+//             per stage).
+//   kFine   — Algorithm 2: single phase; codelets become ready through
+//             shared dependency counters; pool order is free and chosen
+//             by FineOrdering.
+//   kGuided — Algorithm 3: fine-grain over the early stages, one barrier,
+//             then the last two stages seeded sibling-group-by-group into
+//             a LIFO pool so last-stage codelets start as early as
+//             possible.
+//
+// The hashed-twiddle versions of each are obtained by passing
+// TwiddleLayout::kBitReversed (the "coarse hash"/"fine hash" rows of
+// Table I). All variants compute bit-identical results to the serial
+// in-place FFT: only scheduling differs.
+
+#include <span>
+#include <string>
+
+#include "fft/ordering.hpp"
+#include "fft/plan.hpp"
+#include "fft/twiddle.hpp"
+#include "fft/types.hpp"
+
+namespace c64fft::fft {
+
+enum class Variant { kCoarse, kFine, kGuided };
+
+struct HostFftOptions {
+  unsigned workers = 4;
+  unsigned radix_log2 = 6;
+  TwiddleLayout layout = TwiddleLayout::kLinear;
+  /// Pool ordering for kFine (ignored by kCoarse; kGuided always follows
+  /// Alg. 3's LIFO grouped seeding).
+  FineOrdering ordering = {};
+};
+
+/// In-place forward FFT of `data` (power-of-two length >= radix) with the
+/// chosen algorithm. Throws std::invalid_argument on bad sizes.
+void fft_host(std::span<cplx> data, Variant variant, const HostFftOptions& opts);
+
+std::string to_string(Variant v);
+
+}  // namespace c64fft::fft

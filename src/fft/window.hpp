@@ -1,0 +1,33 @@
+#pragma once
+// Window functions for spectral analysis. Applied before the forward
+// transform they trade main-lobe width for side-lobe suppression —
+// standard companions to any FFT library's spectrum API.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace c64fft::fft {
+
+enum class WindowKind {
+  kRectangular,  ///< no windowing (all ones)
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// The window coefficients w[0..n-1] (periodic form, suitable for
+/// spectral analysis of continuous signals).
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiply `signal` by the window in place.
+void apply_window(WindowKind kind, std::span<double> signal);
+
+/// Coherent gain of the window (mean of the coefficients): divide a
+/// windowed spectrum's magnitudes by this to recover amplitudes.
+double coherent_gain(WindowKind kind, std::size_t n);
+
+std::string to_string(WindowKind kind);
+
+}  // namespace c64fft::fft

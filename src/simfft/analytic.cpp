@@ -1,0 +1,81 @@
+#include "simfft/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace c64fft::simfft {
+
+AnalyticModel::AnalyticModel(const FootprintBuilder& fp, const c64::ChipConfig& cfg)
+    : cfg_(cfg) {
+  const fft::FftPlan& plan = fp.plan();
+  tasks_ = plan.tasks_per_stage();
+  bank_occupancy_.assign(cfg.dram_banks, 0.0);
+
+  c64::TaskSpec spec;
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s) {
+    // One representative codelet per stage gives the per-request shape;
+    // the bank census below still sums every codelet exactly.
+    fp.build(s, 0, spec);
+    StageEstimate est;
+    est.stage = s;
+    est.requests = spec.requests.size();
+
+    // Serial issue with max_outstanding in flight: with blocking loads
+    // (outstanding = 1) every request pays the full round trip; with a
+    // window W the latency amortises ~W-fold.
+    double per_request = cfg.issue_cycles + cfg.dram_latency;
+    per_request /= static_cast<double>(cfg.max_outstanding);
+    double pre_issue = 0;
+    double service = 0;
+    for (const auto& r : spec.requests) {
+      pre_issue += r.pre_issue_cycles;
+      service += std::ceil(static_cast<double>(r.bytes) / cfg.bank_bytes_per_cycle);
+    }
+    est.codelet_cycles = static_cast<double>(est.requests) * per_request + pre_issue +
+                         service + static_cast<double>(spec.compute_cycles) +
+                         cfg.pop_cycles + cfg.counter_update_cycles;
+    est.coarse_stage_cycles =
+        static_cast<double>((tasks_ + cfg.thread_units - 1) / cfg.thread_units) *
+        est.codelet_cycles;
+    stages_.push_back(est);
+
+    // Exact bank occupancy census over every codelet of the stage.
+    for (std::uint64_t i = 0; i < tasks_; ++i) {
+      fp.build(s, i, spec);
+      for (const auto& r : spec.requests)
+        bank_occupancy_[r.bank] +=
+            std::ceil(static_cast<double>(r.bytes) / cfg.bank_bytes_per_cycle);
+    }
+  }
+}
+
+double AnalyticModel::coarse_cycles() const {
+  double total = 0;
+  for (const auto& st : stages_) total += st.coarse_stage_cycles;
+  total += static_cast<double>(cfg_.barrier_cycles) *
+           static_cast<double>(stages_.size() - 1);
+  return total;
+}
+
+double AnalyticModel::fine_ideal_cycles() const {
+  double work = 0;
+  double max_latency = 0;
+  for (const auto& st : stages_) {
+    work += static_cast<double>(tasks_) * st.codelet_cycles;
+    max_latency = std::max(max_latency, st.codelet_cycles);
+  }
+  return work / static_cast<double>(cfg_.thread_units) + max_latency;
+}
+
+double AnalyticModel::bank_bound_cycles() const {
+  double mx = 0;
+  for (double b : bank_occupancy_) mx = std::max(mx, b);
+  return mx;
+}
+
+double AnalyticModel::reorder_gain_ceiling() const {
+  const double floor = std::max(fine_ideal_cycles(), bank_bound_cycles());
+  return floor > 0 ? coarse_cycles() / floor : 1.0;
+}
+
+}  // namespace c64fft::simfft

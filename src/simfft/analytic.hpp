@@ -1,0 +1,63 @@
+#pragma once
+// First-order analytical performance model of the simulated machine, used
+// three ways: (a) sanity-check the discrete-event engine in tests, (b)
+// explain *where* each version's cycles go (waves, latency, barriers,
+// bank-occupancy bound), and (c) document the order-invariance bound of
+// DESIGN.md §2.1 as executable math.
+//
+// The model deliberately ignores queueing: it charges every request the
+// unloaded round trip. It therefore *underestimates* congested runs; the
+// tests assert the simulator lands between this estimate and a generous
+// multiple of it, and that the schedule-invariant bank bound is never
+// violated by any simulated schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "c64/config.hpp"
+#include "simfft/footprint.hpp"
+
+namespace c64fft::simfft {
+
+struct StageEstimate {
+  std::uint32_t stage = 0;
+  /// Off-chip requests one codelet of this stage issues.
+  std::uint64_t requests = 0;
+  /// Unloaded latency of one codelet in cycles (serial issue, no queues).
+  double codelet_cycles = 0;
+  /// Static-scheduled stage time: ceil(tasks/TUs) waves of codelets.
+  double coarse_stage_cycles = 0;
+};
+
+class AnalyticModel {
+ public:
+  AnalyticModel(const FootprintBuilder& fp, const c64::ChipConfig& cfg);
+
+  const std::vector<StageEstimate>& stages() const noexcept { return stages_; }
+
+  /// Unloaded per-codelet latency of stage s.
+  double codelet_latency(std::uint32_t s) const { return stages_.at(s).codelet_cycles; }
+
+  /// Coarse (Alg. 1) makespan estimate: per-stage waves + barriers.
+  double coarse_cycles() const;
+
+  /// Fine-grain ideal: total codelet work perfectly packed onto the TUs,
+  /// plus one pipeline drain (no wave quantisation, no barriers).
+  double fine_ideal_cycles() const;
+
+  /// Schedule-invariant lower bound: the busiest bank's total service
+  /// occupancy. No reordering can beat this (DESIGN.md §2.1).
+  double bank_bound_cycles() const;
+
+  /// Predicted ceiling on the fine-vs-coarse speedup in this model
+  /// (coarse estimate over the max of the fine ideal and the bank bound).
+  double reorder_gain_ceiling() const;
+
+ private:
+  const c64::ChipConfig cfg_;
+  std::vector<StageEstimate> stages_;
+  std::vector<double> bank_occupancy_;  // cycles per bank, whole run
+  std::uint64_t tasks_ = 0;
+};
+
+}  // namespace c64fft::simfft

@@ -1,0 +1,180 @@
+#include "simfft/fft2d_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "c64/address_map.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::simfft {
+
+namespace {
+
+using c64::MemRequest;
+using c64::TaskSpec;
+
+// Independent-task program: every task prebuilt, handed out in order.
+class PassProgram final : public c64::SimProgram {
+ public:
+  explicit PassProgram(std::vector<TaskSpec> tasks) : tasks_(std::move(tasks)) {}
+  c64::PopResult next_task(unsigned, std::uint64_t, TaskSpec& out,
+                           std::uint64_t&) override {
+    if (next_ >= tasks_.size())
+      return done_ == tasks_.size() ? c64::PopResult::kFinished : c64::PopResult::kIdle;
+    out = tasks_[next_++];
+    return c64::PopResult::kTask;
+  }
+  void task_done(unsigned, std::uint64_t, std::uint64_t) override { ++done_; }
+  bool finished() const override { return done_ == tasks_.size(); }
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::size_t next_ = 0;
+  std::size_t done_ = 0;
+};
+
+// Append element accesses [first, first+count) of a contiguous run,
+// coalesced within interleave lines (same rule as FootprintBuilder).
+void add_contiguous(const c64::ChipConfig& cfg, const c64::AddressMap& map,
+                    std::vector<MemRequest>& out, std::uint64_t base_addr,
+                    std::uint64_t count) {
+  std::uint64_t addr = base_addr;
+  std::uint64_t left = count * 16;
+  while (left > 0) {
+    const std::uint64_t in_line = std::min<std::uint64_t>(
+        {left, map.bytes_left_in_line(addr), cfg.coalesce_limit});
+    MemRequest req;
+    req.bank = static_cast<std::uint16_t>(map.bank_of(addr));
+    req.bytes = static_cast<std::uint32_t>(in_line);
+    out.push_back(req);
+    addr += in_line;
+    left -= in_line;
+  }
+}
+
+// One element access (16 B), not coalescable.
+void add_element(const c64::AddressMap& map, std::vector<MemRequest>& out,
+                 std::uint64_t addr) {
+  MemRequest req;
+  req.bank = static_cast<std::uint16_t>(map.bank_of(addr));
+  req.bytes = 16;
+  out.push_back(req);
+}
+
+double row_fft_flops(std::uint64_t cols) {
+  return 5.0 * static_cast<double>(cols) * static_cast<double>(util::ilog2(cols));
+}
+
+c64::SimResult run_pass(const c64::ChipConfig& cfg, std::vector<TaskSpec> tasks) {
+  PassProgram prog(std::move(tasks));
+  return c64::SimEngine(cfg, prog).run();
+}
+
+}  // namespace
+
+Fft2dSimResult run_fft2d_sim(const c64::ChipConfig& cfg, const Fft2dSimOptions& opts) {
+  const std::uint64_t rows = opts.rows, cols = opts.cols;
+  if (!util::is_pow2(rows) || !util::is_pow2(cols) || rows < 4 || cols < 4)
+    throw std::invalid_argument("run_fft2d_sim: dims must be powers of two >= 4");
+  if (opts.tile == 0 || rows % opts.tile || cols % opts.tile)
+    throw std::invalid_argument("run_fft2d_sim: tile must divide both dims");
+  const c64::AddressMap map(cfg);
+  const std::uint64_t src = 0;                  // row-major matrix
+  const std::uint64_t dst = rows * cols * 16;   // transposed copy
+
+  Fft2dSimResult result;
+
+  // ---- Pass 1: one FFT task per row (contiguous load/compute/store). ----
+  {
+    std::vector<TaskSpec> tasks(rows);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      TaskSpec& t = tasks[r];
+      t.task_id = r;
+      add_contiguous(cfg, map, t.requests, src + r * cols * 16, cols);
+      t.first_store = static_cast<std::uint32_t>(t.requests.size());
+      add_contiguous(cfg, map, t.requests, src + r * cols * 16, cols);
+      t.compute_cycles = static_cast<std::uint64_t>(
+                             row_fft_flops(cols) / cfg.flops_per_cycle_per_tu) +
+                         cfg.task_overhead_cycles;
+      t.start_overhead_cycles = cfg.pop_cycles;
+    }
+    result.row_pass = run_pass(cfg, std::move(tasks));
+  }
+
+  // ---- Pass 2: transpose src -> dst. ----
+  {
+    std::vector<TaskSpec> tasks;
+    if (!opts.tiled_transpose) {
+      // Naive: task j gathers column j (stride cols*16 -> one bank) and
+      // stores it as row j of dst.
+      tasks.resize(cols);
+      for (std::uint64_t j = 0; j < cols; ++j) {
+        TaskSpec& t = tasks[j];
+        t.task_id = j;
+        for (std::uint64_t r = 0; r < rows; ++r)
+          add_element(map, t.requests, src + (r * cols + j) * 16);
+        t.first_store = static_cast<std::uint32_t>(t.requests.size());
+        add_contiguous(cfg, map, t.requests, dst + j * rows * 16, rows);
+        t.compute_cycles = rows + cfg.task_overhead_cycles;  // move loop
+        t.start_overhead_cycles = cfg.pop_cycles;
+      }
+    } else {
+      // Tiled: task (i,j) moves a tile x tile block; reads and writes are
+      // short contiguous runs on rotating banks.
+      const unsigned T = opts.tile;
+      tasks.reserve(rows / T * (cols / T));
+      for (std::uint64_t i = 0; i < rows; i += T) {
+        for (std::uint64_t j = 0; j < cols; j += T) {
+          TaskSpec t;
+          t.task_id = i * cols + j;
+          for (std::uint64_t r = 0; r < T; ++r)
+            add_contiguous(cfg, map, t.requests, src + ((i + r) * cols + j) * 16, T);
+          t.first_store = static_cast<std::uint32_t>(t.requests.size());
+          for (std::uint64_t c = 0; c < T; ++c)
+            add_contiguous(cfg, map, t.requests, dst + ((j + c) * rows + i) * 16, T);
+          t.compute_cycles = static_cast<std::uint64_t>(T) * T + cfg.task_overhead_cycles;
+          t.start_overhead_cycles = cfg.pop_cycles;
+          tasks.push_back(std::move(t));
+        }
+      }
+    }
+    result.transpose = run_pass(cfg, std::move(tasks));
+  }
+
+  // ---- Pass 3: one FFT task per transposed row (original column). ----
+  {
+    std::vector<TaskSpec> tasks(cols);
+    for (std::uint64_t j = 0; j < cols; ++j) {
+      TaskSpec& t = tasks[j];
+      t.task_id = j;
+      add_contiguous(cfg, map, t.requests, dst + j * rows * 16, rows);
+      t.first_store = static_cast<std::uint32_t>(t.requests.size());
+      add_contiguous(cfg, map, t.requests, dst + j * rows * 16, rows);
+      t.compute_cycles = static_cast<std::uint64_t>(
+                             row_fft_flops(rows) / cfg.flops_per_cycle_per_tu) +
+                         cfg.task_overhead_cycles;
+      t.start_overhead_cycles = cfg.pop_cycles;
+    }
+    result.col_pass = run_pass(cfg, std::move(tasks));
+  }
+
+  result.total_cycles = result.row_pass.cycles + result.transpose.cycles +
+                        result.col_pass.cycles + 2ULL * cfg.barrier_cycles;
+  const double n = static_cast<double>(rows * cols);
+  const double flops = 5.0 * n * static_cast<double>(util::ilog2(rows * cols));
+  result.gflops =
+      flops / (static_cast<double>(result.total_cycles) * cfg.seconds_per_cycle()) / 1e9;
+
+  double sum = 0, mx = 0;
+  for (auto b : result.transpose.bank_busy_cycles) {
+    sum += static_cast<double>(b);
+    mx = std::max(mx, static_cast<double>(b));
+  }
+  result.transpose_bank_imbalance =
+      sum > 0 ? mx * static_cast<double>(cfg.dram_banks) / sum : 1.0;
+  return result;
+}
+
+}  // namespace c64fft::simfft

@@ -1,0 +1,45 @@
+#pragma once
+// 2-D FFT on the simulated C64 (extension; the paper's predecessor work
+// covered 1-D and 2-D on this chip). Row-column decomposition in three
+// passes — row FFTs, transpose, column FFTs — with a barrier between
+// passes (Saybasili-style two-level parallelism from the related work).
+//
+// The transpose pass is where the paper's theme reappears: reading a
+// column of a row-major matrix strides by cols*16 bytes, a multiple of
+// the 64 B interleave for any cols >= 4 — so a naive transpose pins every
+// column read to a single DRAM bank, exactly like the twiddle array of
+// the 1-D study. The tiled transpose breaks the pathology by touching
+// `tile` consecutive columns (= different banks) per task.
+
+#include <cstdint>
+
+#include "c64/config.hpp"
+#include "c64/engine.hpp"
+
+namespace c64fft::simfft {
+
+struct Fft2dSimOptions {
+  std::uint64_t rows = 256;
+  std::uint64_t cols = 256;
+  /// false = naive transpose (one task per output row, column-strided
+  /// reads); true = tiled transpose (tile x tile blocks).
+  bool tiled_transpose = true;
+  /// Tile edge in elements (tile*16 B <= one interleave line by default).
+  unsigned tile = 4;
+};
+
+struct Fft2dSimResult {
+  c64::SimResult row_pass;
+  c64::SimResult transpose;
+  c64::SimResult col_pass;
+  std::uint64_t total_cycles = 0;  ///< incl. two inter-pass barriers
+  double gflops = 0.0;
+  /// max/mean per-bank service occupancy of the transpose pass (the
+  /// pathology indicator: ~4 for naive, ~1 for tiled).
+  double transpose_bank_imbalance = 0.0;
+};
+
+/// Simulate a rows x cols complex 2-D FFT (both powers of two >= 4).
+Fft2dSimResult run_fft2d_sim(const c64::ChipConfig& cfg, const Fft2dSimOptions& opts);
+
+}  // namespace c64fft::simfft

@@ -1,0 +1,121 @@
+#include "simfft/footprint.hpp"
+
+#include <cassert>
+
+#include "fft/types.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::simfft {
+
+using fft::kElementBytes;
+
+FootprintBuilder::FootprintBuilder(const fft::FftPlan& plan, const c64::ChipConfig& cfg,
+                                   fft::TwiddleLayout layout, std::uint64_t data_base,
+                                   std::uint64_t twiddle_base)
+    : plan_(plan),
+      cfg_(cfg),
+      map_(cfg),
+      layout_(layout),
+      data_base_(data_base),
+      twiddle_base_(twiddle_base) {
+  const std::uint64_t half = plan.size() / 2;
+  twiddle_bits_ = half > 1 ? util::ilog2(half) : 0;
+  // Working set of one task: R in-place points + the worst-case twiddle
+  // count over the stages.
+  std::uint64_t worst_tw = 0;
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
+    worst_tw = std::max(worst_tw, plan.twiddles_per_task(s));
+  spill_ = (plan.radix() + worst_tw) * kElementBytes > cfg.scratchpad_bytes;
+}
+
+void FootprintBuilder::flush(c64::TaskSpec& out, Run& run) {
+  if (run.bank < 0) return;
+  c64::MemRequest req;
+  req.bank = static_cast<std::uint16_t>(run.bank);
+  req.bytes = run.bytes;
+  req.pre_issue_cycles = static_cast<std::uint16_t>(std::min<std::uint32_t>(run.pre_issue, 0xFFFF));
+  out.requests.push_back(req);
+  run = Run{};
+}
+
+void FootprintBuilder::add_element(c64::TaskSpec& out, Run& run, std::uint64_t addr,
+                                   std::uint32_t pre_issue) const {
+  // Merge only address-contiguous accesses within one interleave line:
+  // C64's multi-word loads cover contiguous words, so a strided gather or
+  // a scattered twiddle sequence stays one request per element.
+  const int bank = static_cast<int>(map_.bank_of(addr));
+  const bool contiguous = run.bank == bank && addr == run.next_addr &&
+                          map_.bank_of(addr + kElementBytes - 1) == static_cast<unsigned>(bank);
+  if (contiguous && run.bytes + kElementBytes <= cfg_.coalesce_limit) {
+    run.bytes += kElementBytes;
+    run.pre_issue += pre_issue;
+    run.next_addr = addr + kElementBytes;
+    return;
+  }
+  flush(out, run);
+  run.bank = bank;
+  run.bytes = kElementBytes;
+  run.pre_issue = pre_issue;
+  run.next_addr = addr + kElementBytes;
+}
+
+void FootprintBuilder::append_data_pass(std::uint32_t stage, std::uint64_t task,
+                                        c64::TaskSpec& out, Run& run) const {
+  const fft::StageInfo& st = plan_.stage(stage);
+  for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
+    const std::uint64_t base = plan_.chain_base(stage, task, c);
+    for (std::uint64_t q = 0; q < st.chain_len; ++q)
+      add_element(out, run, data_base_ + (base + q * st.chain_stride) * kElementBytes, 0);
+  }
+}
+
+void FootprintBuilder::append_twiddles(std::uint32_t stage, std::uint64_t task,
+                                       c64::TaskSpec& out, Run& run) const {
+  const fft::StageInfo& st = plan_.stage(stage);
+  const std::uint32_t hash_cost =
+      layout_ == fft::TwiddleLayout::kBitReversed ? cfg_.hash_cost(twiddle_bits_) : 0;
+  for (std::uint32_t v = 0; v < st.levels; ++v) {
+    const std::uint64_t half = std::uint64_t{1} << v;
+    for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
+      for (std::uint64_t p = 0; p < half; ++p) {
+        const std::uint64_t t = plan_.twiddle_index(stage, task, v, c * st.chain_len + p);
+        const std::uint64_t slot =
+            layout_ == fft::TwiddleLayout::kBitReversed ? util::bit_reverse(t, twiddle_bits_) : t;
+        add_element(out, run, twiddle_base_ + slot * kElementBytes, hash_cost);
+      }
+    }
+  }
+}
+
+void FootprintBuilder::build(std::uint32_t stage, std::uint64_t task,
+                             c64::TaskSpec& out) const {
+  out.requests.clear();
+  Run run;
+
+  // Loads: the data gather then the twiddles (all into scratchpad);
+  // a spilling task re-gathers its data once more mid-computation.
+  append_data_pass(stage, task, out, run);
+  append_twiddles(stage, task, out, run);
+  if (spill_) append_data_pass(stage, task, out, run);
+  flush(out, run);
+  out.first_store = static_cast<std::uint32_t>(out.requests.size());
+
+  // Stores: the data scatter (twice when spilling: intermediate writeback).
+  append_data_pass(stage, task, out, run);
+  if (spill_) append_data_pass(stage, task, out, run);
+  flush(out, run);
+
+  const double flops = static_cast<double>(plan_.flops_per_task(stage));
+  out.compute_cycles =
+      static_cast<std::uint64_t>(flops / cfg_.flops_per_cycle_per_tu) +
+      cfg_.task_overhead_cycles;
+}
+
+std::uint64_t FootprintBuilder::bytes_per_task(std::uint32_t stage) const {
+  const std::uint64_t data = plan_.radix() * kElementBytes;
+  const std::uint64_t tw = plan_.twiddles_per_task(stage) * kElementBytes;
+  const std::uint64_t passes = spill_ ? 2 : 1;
+  return passes * data * 2 + tw;  // loads+stores of data, one twiddle pass
+}
+
+}  // namespace c64fft::simfft

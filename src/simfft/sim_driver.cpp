@@ -1,0 +1,195 @@
+#include "simfft/sim_driver.hpp"
+
+#include <stdexcept>
+
+namespace c64fft::simfft {
+
+using c64::PopResult;
+using codelet::PoolPolicy;
+
+// ---------------------------------------------------------------------------
+// FftSimProgramBase
+
+FftSimProgramBase::FftSimProgramBase(const FootprintBuilder& fp,
+                                     const c64::ChipConfig& cfg)
+    : fp_(fp), cfg_(cfg) {
+  const fft::FftPlan& plan = fp.plan();
+  total_ = plan.total_tasks();
+  counters_.resize(plan.stage_count());
+  for (std::uint32_t s = 1; s < plan.stage_count(); ++s)
+    counters_[s].assign(plan.groups_in_stage(s), 0);
+}
+
+void FftSimProgramBase::fill_spec(std::uint32_t stage, std::uint64_t task,
+                                  c64::TaskSpec& out, std::uint32_t start_overhead,
+                                  std::uint32_t finish_overhead) const {
+  fp_.build(stage, task, out);
+  out.task_id = encode(stage, task);
+  out.start_overhead_cycles = start_overhead;
+  out.finish_overhead_cycles = finish_overhead;
+}
+
+bool FftSimProgramBase::pop_ready(PoolPolicy policy, Ready& out) {
+  if (ready_.empty()) return false;
+  if (policy == PoolPolicy::kLifo) {
+    out = ready_.back();
+    ready_.pop_back();
+  } else {
+    out = ready_.front();
+    ready_.pop_front();
+  }
+  return true;
+}
+
+void FftSimProgramBase::propagate(std::uint32_t stage, std::uint64_t task,
+                                  std::uint32_t last_propagated) {
+  const fft::FftPlan& plan = fp_.plan();
+  if (stage >= last_propagated || stage + 1 >= plan.stage_count()) return;
+  const std::uint64_t g = plan.child_group(stage, task);
+  std::uint32_t& cnt = counters_[stage + 1][g];
+  if (++cnt == plan.group_threshold(stage + 1)) {
+    plan.group_members(stage + 1, g, members_buf_);
+    for (std::uint64_t m : members_buf_) push_ready({stage + 1, m});
+  } else if (cnt > plan.group_threshold(stage + 1)) {
+    throw std::logic_error("simfft: dependency counter over-satisfied");
+  }
+}
+
+void FftSimProgramBase::reset_counters() {
+  for (auto& stage : counters_)
+    for (auto& c : stage) c = 0;
+}
+
+// ---------------------------------------------------------------------------
+// CoarseSimProgram
+
+CoarseSimProgram::CoarseSimProgram(const FootprintBuilder& fp, const c64::ChipConfig& cfg)
+    : FftSimProgramBase(fp, cfg), next_of_tu_(cfg.thread_units, 0) {
+  for (std::uint32_t tu = 0; tu < cfg.thread_units; ++tu) next_of_tu_[tu] = tu;
+}
+
+PopResult CoarseSimProgram::next_task(unsigned tu, std::uint64_t now,
+                                      c64::TaskSpec& out, std::uint64_t& wake_at) {
+  const fft::FftPlan& plan = fp_.plan();
+  if (finished()) return PopResult::kFinished;
+  if (in_barrier_) {
+    if (now < release_at_) {
+      wake_at = release_at_;
+      return PopResult::kWait;
+    }
+    in_barrier_ = false;
+    ++stage_;
+    for (std::uint32_t t = 0; t < cfg_.thread_units; ++t) next_of_tu_[t] = t;
+    done_in_stage_ = 0;
+  }
+  if (next_of_tu_[tu] >= plan.tasks_per_stage()) return PopResult::kIdle;
+  // Static cyclic distribution of the parallel-for: cheap dispatch.
+  fill_spec(stage_, next_of_tu_[tu], out, cfg_.task_overhead_cycles / 8, 0);
+  next_of_tu_[tu] += cfg_.thread_units;
+  return PopResult::kTask;
+}
+
+void CoarseSimProgram::task_done(unsigned /*tu*/, std::uint64_t /*task_id*/,
+                                 std::uint64_t now) {
+  ++completed_;
+  ++done_in_stage_;
+  if (done_in_stage_ == fp_.plan().tasks_per_stage() && !finished()) {
+    in_barrier_ = true;
+    release_at_ = now + cfg_.barrier_cycles;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FineSimProgram
+
+FineSimProgram::FineSimProgram(const FootprintBuilder& fp, const c64::ChipConfig& cfg,
+                               const fft::FineOrdering& ordering)
+    : FftSimProgramBase(fp, cfg), policy_(ordering.policy) {
+  const auto order =
+      fft::make_seed_order(ordering.order, fp.plan().tasks_per_stage(), ordering.seed);
+  for (std::uint64_t id : order) push_ready({0, id});
+}
+
+PopResult FineSimProgram::next_task(unsigned /*tu*/, std::uint64_t /*now*/,
+                                    c64::TaskSpec& out, std::uint64_t& /*wake_at*/) {
+  if (finished()) return PopResult::kFinished;
+  Ready r{};
+  if (!pop_ready(policy_, r)) return PopResult::kIdle;
+  fill_spec(r.stage, r.task, out, cfg_.pop_cycles, cfg_.counter_update_cycles);
+  return PopResult::kTask;
+}
+
+void FineSimProgram::task_done(unsigned /*tu*/, std::uint64_t task_id,
+                               std::uint64_t /*now*/) {
+  ++completed_;
+  const Ready r = decode(task_id);
+  propagate(r.stage, r.task, fp_.plan().stage_count() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// GuidedSimProgram
+
+GuidedSimProgram::GuidedSimProgram(const FootprintBuilder& fp, const c64::ChipConfig& cfg)
+    : FftSimProgramBase(fp, cfg) {
+  const fft::FftPlan& plan = fp.plan();
+  degenerate_ = plan.stage_count() < 3;
+  last_early_ = degenerate_ ? 0 : plan.stage_count() - 3;
+  phase1_total_ =
+      degenerate_ ? 0 : plan.tasks_per_stage() * (static_cast<std::uint64_t>(last_early_) + 1);
+  if (degenerate_) {
+    for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i) push_ready({0, i});
+    phase2_seeded_ = true;
+  } else {
+    for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i) push_ready({0, i});
+  }
+}
+
+void GuidedSimProgram::seed_phase2() {
+  const fft::FftPlan& plan = fp_.plan();
+  const std::uint32_t penultimate = plan.stage_count() - 2;
+  // Column batches with distinct data banks, member-interleaved — see
+  // fft::guided_phase2_order.
+  for (std::uint64_t p :
+       fft::guided_phase2_order(plan, cfg_.dram_banks, cfg_.interleave_bytes))
+    push_ready({penultimate, p});
+  phase2_seeded_ = true;
+}
+
+PopResult GuidedSimProgram::next_task(unsigned /*tu*/, std::uint64_t now,
+                                      c64::TaskSpec& out, std::uint64_t& wake_at) {
+  if (finished()) return PopResult::kFinished;
+  if (in_barrier_) {
+    if (now < release_at_) {
+      wake_at = release_at_;
+      return PopResult::kWait;
+    }
+    in_barrier_ = false;
+    if (!phase2_seeded_) seed_phase2();
+  }
+  Ready r{};
+  if (!pop_ready(PoolPolicy::kLifo, r)) return PopResult::kIdle;
+  fill_spec(r.stage, r.task, out, cfg_.pop_cycles, cfg_.counter_update_cycles);
+  return PopResult::kTask;
+}
+
+void GuidedSimProgram::task_done(unsigned /*tu*/, std::uint64_t task_id,
+                                 std::uint64_t now) {
+  ++completed_;
+  const Ready r = decode(task_id);
+  if (degenerate_) {
+    propagate(r.stage, r.task, fp_.plan().stage_count() - 1);
+    return;
+  }
+  if (r.stage <= last_early_) {
+    // Phase 1: codelets of the last early stage do not propagate (Alg. 3).
+    propagate(r.stage, r.task, last_early_);
+    if (++phase1_done_ == phase1_total_) {
+      in_barrier_ = true;
+      release_at_ = now + cfg_.barrier_cycles;
+    }
+  } else {
+    propagate(r.stage, r.task, fp_.plan().stage_count() - 1);
+  }
+}
+
+}  // namespace c64fft::simfft

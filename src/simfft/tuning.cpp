@@ -1,0 +1,23 @@
+#include "simfft/tuning.hpp"
+
+#include <stdexcept>
+
+namespace c64fft::simfft {
+
+std::uint64_t codelet_working_set_bytes(unsigned radix_log2) {
+  const std::uint64_t r = std::uint64_t{1} << radix_log2;
+  return (r + (r - 1)) * 16;
+}
+
+unsigned best_radix_log2(const c64::ChipConfig& cfg, unsigned max_radix_log2) {
+  if (max_radix_log2 == 0) throw std::invalid_argument("best_radix_log2: zero max");
+  unsigned best = 1;
+  for (unsigned r = 1; r <= max_radix_log2; ++r) {
+    if (codelet_working_set_bytes(r) <= cfg.scratchpad_bytes) best = r;
+  }
+  // The memory-bound peak 5*r*R*BW/((3R-1)*16) is strictly increasing in
+  // r, so the largest fitting radix maximises it.
+  return best;
+}
+
+}  // namespace c64fft::simfft

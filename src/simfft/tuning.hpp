@@ -1,0 +1,20 @@
+#pragma once
+// Codelet-size auto-tuning — the procedure behind the paper's Section V-A
+// choice of 64-point codelets: the memory-bound peak grows with the
+// codelet size (fewer twiddle loads per point), so pick the largest size
+// whose working set still fits the per-TU scratchpad.
+
+#include "c64/config.hpp"
+
+namespace c64fft::simfft {
+
+/// Working-set bytes of one 2^r-point codelet: 2^r in-place data points
+/// plus up to 2^r - 1 twiddles, 16 B each (matches FootprintBuilder's
+/// spill rule).
+std::uint64_t codelet_working_set_bytes(unsigned radix_log2);
+
+/// Largest radix_log2 in [1, max_radix_log2] whose codelet fits the
+/// scratchpad; with the default ChipConfig this returns 6 (64 points).
+unsigned best_radix_log2(const c64::ChipConfig& cfg, unsigned max_radix_log2 = 8);
+
+}  // namespace c64fft::simfft

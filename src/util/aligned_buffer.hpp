@@ -1,0 +1,76 @@
+#pragma once
+// Cache-line / SIMD aligned owning buffer. FFT working arrays use this so
+// the host kernels never straddle allocator-dependent alignments and so the
+// simulated address map can assume a deterministic base alignment.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace c64fft::util {
+
+template <typename T, std::size_t Alignment = 64>
+class AlignedBuffer {
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    void* p = ::operator new[](count * sizeof(T), std::align_val_t{Alignment});
+    data_ = static_cast<T*>(p);
+    for (std::size_t i = 0; i < count; ++i) new (data_ + i) T();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { destroy(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void destroy() noexcept {
+    if (!data_) return;
+    for (std::size_t i = size_; i-- > 0;) data_[i].~T();
+    ::operator delete[](data_, std::align_val_t{Alignment});
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace c64fft::util

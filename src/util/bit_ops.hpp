@@ -1,0 +1,65 @@
+#pragma once
+// Bit-manipulation helpers used throughout the FFT plan algebra and the
+// hashed twiddle layout (the paper's bit-reversal "hash", Section IV-B).
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace c64fft::util {
+
+/// True iff `x` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned ilog2(std::uint64_t x) noexcept {
+  assert(x != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x > 0.
+constexpr unsigned ilog2_ceil(std::uint64_t x) noexcept {
+  assert(x != 0);
+  return x == 1 ? 0u : ilog2(x - 1) + 1u;
+}
+
+/// Smallest power of two >= x (x > 0).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ilog2_ceil(x);
+}
+
+/// Reverse all 64 bits of `x` (bitwise mirror).
+constexpr std::uint64_t bit_reverse64(std::uint64_t x) noexcept {
+  x = ((x & 0x5555555555555555ULL) << 1) | ((x >> 1) & 0x5555555555555555ULL);
+  x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+  x = ((x & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  x = ((x & 0x00FF00FF00FF00FFULL) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFULL);
+  x = ((x & 0x0000FFFF0000FFFFULL) << 16) | ((x >> 16) & 0x0000FFFF0000FFFFULL);
+  return (x << 32) | (x >> 32);
+}
+
+/// Reverse the low `bits` bits of `x` (the paper's BR hash function).
+/// Bits at and above position `bits` must be zero.
+constexpr std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) noexcept {
+  assert(bits <= 64);
+  assert(bits == 64 || (x >> bits) == 0);
+  if (bits == 0) return 0;
+  return bit_reverse64(x) >> (64u - bits);
+}
+
+/// Integer power `base^exp` (no overflow checking; exponents are tiny here).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp--) r *= base;
+  return r;
+}
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace c64fft::util

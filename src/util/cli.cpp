@@ -1,0 +1,135 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace c64fft::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& doc) {
+  Option o;
+  o.kind = Kind::kFlag;
+  o.doc = doc;
+  options_[name] = std::move(o);
+}
+void CliParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& doc) {
+  Option o;
+  o.kind = Kind::kInt;
+  o.doc = doc;
+  o.int_value = default_value;
+  options_[name] = std::move(o);
+}
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& doc) {
+  Option o;
+  o.kind = Kind::kDouble;
+  o.doc = doc;
+  o.double_value = default_value;
+  options_[name] = std::move(o);
+}
+void CliParser::add_string(const std::string& name, std::string default_value,
+                           const std::string& doc) {
+  Option o;
+  o.kind = Kind::kString;
+  o.doc = doc;
+  o.string_value = std::move(default_value);
+  options_[name] = std::move(o);
+}
+
+void CliParser::set_value(Option& opt, const std::string& name, const std::string& value) {
+  try {
+    switch (opt.kind) {
+      case Kind::kFlag:
+        if (value == "true" || value == "1") opt.flag_value = true;
+        else if (value == "false" || value == "0") opt.flag_value = false;
+        else throw std::invalid_argument("bad bool");
+        break;
+      case Kind::kInt:
+        opt.int_value = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        opt.double_value = std::stod(value);
+        break;
+      case Kind::kString:
+        opt.string_value = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("invalid value '" + value + "' for option --" + name);
+  }
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) throw std::invalid_argument("unknown option --" + name);
+    Option& opt = it->second;
+    if (!value) {
+      if (opt.kind == Kind::kFlag) {
+        opt.flag_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) throw std::invalid_argument("option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    set_value(opt, name, *value);
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::require(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind)
+    throw std::logic_error("option --" + name + " not registered with this type");
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+double CliParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+const std::string& CliParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kFlag: os << " (flag)"; break;
+      case Kind::kInt: os << "=<int, default " << opt.int_value << ">"; break;
+      case Kind::kDouble: os << "=<float, default " << opt.double_value << ">"; break;
+      case Kind::kString: os << "=<string, default '" << opt.string_value << "'>"; break;
+    }
+    os << "\n      " << opt.doc << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace c64fft::util

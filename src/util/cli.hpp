@@ -1,0 +1,57 @@
+#pragma once
+// Minimal command-line option parser for the bench and example binaries.
+// Supports `--key=value`, `--key value`, and boolean `--flag`. Unknown
+// options raise; `--help` prints the registered option set.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c64fft::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register options before parse(). `doc` shows up in --help output.
+  void add_flag(const std::string& name, const std::string& doc);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& doc);
+  void add_double(const std::string& name, double default_value, const std::string& doc);
+  void add_string(const std::string& name, std::string default_value, const std::string& doc);
+
+  /// Parse argv. Returns false if --help was requested (help already
+  /// printed to stdout); throws std::invalid_argument on bad input.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  std::string help() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind = Kind::kFlag;
+    std::string doc;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& require(const std::string& name, Kind kind) const;
+  void set_value(Option& opt, const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace c64fft::util

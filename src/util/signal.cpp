@@ -1,0 +1,65 @@
+#include "util/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace c64fft::util {
+
+SignalBuilder::SignalBuilder(std::size_t n, double sample_rate_hz)
+    : samples_(n, 0.0), rate_(sample_rate_hz) {
+  if (sample_rate_hz <= 0) throw std::invalid_argument("SignalBuilder: bad sample rate");
+}
+
+SignalBuilder& SignalBuilder::tone(const ToneSpec& spec) {
+  const double w = 2.0 * std::numbers::pi * spec.frequency_hz / rate_;
+  for (std::size_t i = 0; i < samples_.size(); ++i)
+    samples_[i] += spec.amplitude * std::sin(w * static_cast<double>(i) + spec.phase_rad);
+  return *this;
+}
+
+SignalBuilder& SignalBuilder::chirp(double f0_hz, double f1_hz, double amplitude) {
+  const std::size_t n = samples_.size();
+  if (n == 0) return *this;
+  const double k = (f1_hz - f0_hz) / (static_cast<double>(n) / rate_);  // Hz per second
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate_;
+    const double phase = 2.0 * std::numbers::pi * (f0_hz * t + 0.5 * k * t * t);
+    samples_[i] += amplitude * std::sin(phase);
+  }
+  return *this;
+}
+
+SignalBuilder& SignalBuilder::noise(double amplitude, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& s : samples_) s += amplitude * (rng.next_double() * 2.0 - 1.0);
+  return *this;
+}
+
+SignalBuilder& SignalBuilder::impulse(std::size_t index, double amplitude) {
+  samples_.at(index) += amplitude;
+  return *this;
+}
+
+SignalBuilder& SignalBuilder::dc(double level) {
+  for (auto& s : samples_) s += level;
+  return *this;
+}
+
+std::vector<cplx_t> SignalBuilder::complex() const {
+  std::vector<cplx_t> out(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) out[i] = cplx_t(samples_[i], 0.0);
+  return out;
+}
+
+std::vector<cplx_t> random_complex(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<cplx_t> out(n);
+  for (auto& v : out)
+    v = cplx_t(rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0);
+  return out;
+}
+
+}  // namespace c64fft::util

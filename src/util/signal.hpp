@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic signal and workload generators shared by the tests, examples
+// and benches: tones, chirps, noise, impulses — deterministic given the
+// seed, so every experiment is exactly reproducible.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace c64fft::util {
+
+using cplx_t = std::complex<double>;
+
+struct ToneSpec {
+  double frequency_hz = 0.0;
+  double amplitude = 1.0;
+  double phase_rad = 0.0;
+};
+
+class SignalBuilder {
+ public:
+  /// `n` samples at `sample_rate_hz`.
+  SignalBuilder(std::size_t n, double sample_rate_hz);
+
+  /// Add a real sinusoid.
+  SignalBuilder& tone(const ToneSpec& spec);
+  /// Add a linear chirp sweeping f0..f1 across the window.
+  SignalBuilder& chirp(double f0_hz, double f1_hz, double amplitude = 1.0);
+  /// Add uniform white noise in [-amplitude, amplitude] (deterministic).
+  SignalBuilder& noise(double amplitude, std::uint64_t seed);
+  /// Add a unit impulse at `index` scaled by `amplitude`.
+  SignalBuilder& impulse(std::size_t index, double amplitude = 1.0);
+  /// Add a DC offset.
+  SignalBuilder& dc(double level);
+
+  const std::vector<double>& real() const noexcept { return samples_; }
+  /// As a complex vector (imaginary parts zero).
+  std::vector<cplx_t> complex() const;
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  double sample_rate() const noexcept { return rate_; }
+
+ private:
+  std::vector<double> samples_;
+  double rate_;
+};
+
+/// Deterministic complex white-noise vector (used as generic FFT input).
+std::vector<cplx_t> random_complex(std::size_t n, std::uint64_t seed);
+
+}  // namespace c64fft::util

@@ -1,0 +1,49 @@
+#pragma once
+// Streaming and batch statistics used by benches and the simulator's
+// per-bank utilisation reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace c64fft::util {
+
+/// Welford streaming accumulator: mean / variance / min / max in one pass.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample (p in [0,100]).
+/// Copies and sorts internally; empty input returns 0.
+double percentile(std::span<const double> sample, double p);
+
+/// Arithmetic mean; empty input returns 0.
+double mean(std::span<const double> sample);
+
+/// Population coefficient of imbalance used for bank-load reports:
+/// max(sample) / mean(sample). Returns 1 for empty/zero input.
+double imbalance_ratio(std::span<const double> sample);
+
+/// Geometric mean of strictly positive values; empty input returns 0.
+double geomean(std::span<const double> sample);
+
+}  // namespace c64fft::util

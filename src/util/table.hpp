@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text column-aligned tables and CSV emission. Every bench binary
+// prints its figure/table through this so the output format is uniform and
+// machine-recoverable (pass a stream to csv()).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace c64fft::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Column-aligned ASCII rendering with a rule under the header.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace c64fft::util

@@ -1,0 +1,48 @@
+#include "util/timeseries.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace c64fft::util {
+
+WindowedSeries::WindowedSeries(std::size_t channels, std::uint64_t window_width)
+    : channels_(channels), width_(window_width) {
+  if (channels == 0) throw std::invalid_argument("WindowedSeries: channels == 0");
+  if (window_width == 0) throw std::invalid_argument("WindowedSeries: window_width == 0");
+}
+
+void WindowedSeries::record(std::uint64_t t, std::size_t channel, std::uint64_t count) {
+  assert(channel < channels_);
+  const std::size_t w = static_cast<std::size_t>(t / width_);
+  const std::size_t needed = (w + 1) * channels_;
+  if (buckets_.size() < needed) buckets_.resize(needed, 0);
+  buckets_[w * channels_ + channel] += count;
+}
+
+std::size_t WindowedSeries::windows() const noexcept {
+  return buckets_.size() / channels_;
+}
+
+std::uint64_t WindowedSeries::at(std::size_t window, std::size_t channel) const {
+  assert(channel < channels_);
+  if (window >= windows()) return 0;
+  return buckets_[window * channels_ + channel];
+}
+
+std::vector<std::uint64_t> WindowedSeries::channel_series(std::size_t channel) const {
+  assert(channel < channels_);
+  std::vector<std::uint64_t> out(windows());
+  for (std::size_t w = 0; w < out.size(); ++w) out[w] = buckets_[w * channels_ + channel];
+  return out;
+}
+
+std::uint64_t WindowedSeries::channel_total(std::size_t channel) const {
+  assert(channel < channels_);
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < windows(); ++w) total += buckets_[w * channels_ + channel];
+  return total;
+}
+
+void WindowedSeries::clear() { buckets_.clear(); }
+
+}  // namespace c64fft::util

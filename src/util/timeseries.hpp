@@ -1,0 +1,44 @@
+#pragma once
+// Windowed event-count time series. The simulator feeds (time, channel)
+// events in; the series buckets them into fixed-width windows per channel.
+// This is exactly the instrument behind the paper's Figs. 1, 2 and 6
+// ("number of memory accesses per 3e6 cycles" for each of the 4 DRAM banks).
+
+#include <cstdint>
+#include <vector>
+
+namespace c64fft::util {
+
+class WindowedSeries {
+ public:
+  /// `channels` parallel series, bucketed into windows of `window_width`
+  /// time units each (e.g. cycles).
+  WindowedSeries(std::size_t channels, std::uint64_t window_width);
+
+  /// Record `count` events on `channel` at absolute time `t`.
+  void record(std::uint64_t t, std::size_t channel, std::uint64_t count = 1);
+
+  std::size_t channels() const noexcept { return channels_; }
+  std::uint64_t window_width() const noexcept { return width_; }
+  /// Number of windows that have at least one recorded bucket.
+  std::size_t windows() const noexcept;
+
+  /// Event count for (window, channel); zero when beyond recorded range.
+  std::uint64_t at(std::size_t window, std::size_t channel) const;
+
+  /// One channel as a dense vector of per-window counts.
+  std::vector<std::uint64_t> channel_series(std::size_t channel) const;
+
+  /// Sum of all events recorded on a channel.
+  std::uint64_t channel_total(std::size_t channel) const;
+
+  void clear();
+
+ private:
+  std::size_t channels_;
+  std::uint64_t width_;
+  // buckets_[w * channels_ + c]; grown on demand.
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace c64fft::util

@@ -1,0 +1,69 @@
+#include "c64/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fft/types.hpp"
+
+namespace c64fft::c64 {
+namespace {
+
+TEST(AddressMap, RoundRobinInterleave) {
+  AddressMap m(4, 64);
+  EXPECT_EQ(m.bank_of(0), 0u);
+  EXPECT_EQ(m.bank_of(63), 0u);
+  EXPECT_EQ(m.bank_of(64), 1u);
+  EXPECT_EQ(m.bank_of(128), 2u);
+  EXPECT_EQ(m.bank_of(192), 3u);
+  EXPECT_EQ(m.bank_of(256), 0u);  // wraps around
+}
+
+TEST(AddressMap, FourComplexElementsPerLine) {
+  // "switching banks every 64 bytes (or 4 double precision complex
+  // elements)" — Section II.
+  AddressMap m(4, 64);
+  for (unsigned e = 0; e < 4; ++e) EXPECT_EQ(m.bank_of_element(0, e, 16), 0u);
+  EXPECT_EQ(m.bank_of_element(0, 4, 16), 1u);
+  EXPECT_EQ(m.bank_of_element(0, 8, 16), 2u);
+  EXPECT_EQ(m.bank_of_element(0, 16, 16), 0u);
+}
+
+TEST(AddressMap, Stride4MultiplesPinToOneBank) {
+  // The paper's root cause: twiddle indices that are multiples of 4
+  // elements (64 B) always hit the base bank.
+  AddressMap m(4, 64);
+  for (std::uint64_t idx = 0; idx < 4096; idx += 16)
+    EXPECT_EQ(m.bank_of_element(0, idx, 16), 0u) << idx;
+}
+
+TEST(AddressMap, BaseOffsetShiftsBank) {
+  AddressMap m(4, 64);
+  EXPECT_EQ(m.bank_of_element(64, 0, 16), 1u);
+  EXPECT_EQ(m.bank_of_element(128, 4, 16), 3u);
+}
+
+TEST(AddressMap, BytesLeftInLine) {
+  AddressMap m(4, 64);
+  EXPECT_EQ(m.bytes_left_in_line(0), 64u);
+  EXPECT_EQ(m.bytes_left_in_line(1), 63u);
+  EXPECT_EQ(m.bytes_left_in_line(63), 1u);
+  EXPECT_EQ(m.bytes_left_in_line(64), 64u);
+}
+
+TEST(AddressMap, FromChipConfig) {
+  ChipConfig cfg;
+  AddressMap m(cfg);
+  EXPECT_EQ(m.banks(), 4u);
+  EXPECT_EQ(m.interleave_bytes(), 64u);
+}
+
+TEST(AddressMap, UniformCoverageOverContiguousRange) {
+  AddressMap m(4, 64);
+  std::array<int, 4> hist{};
+  for (std::uint64_t addr = 0; addr < 4096; addr += 16) ++hist[m.bank_of(addr)];
+  for (int h : hist) EXPECT_EQ(h, 64);
+}
+
+}  // namespace
+}  // namespace c64fft::c64

@@ -1,0 +1,70 @@
+#include "util/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+
+namespace c64fft::util {
+namespace {
+
+TEST(AlignedBuffer, DefaultEmpty) {
+  AlignedBuffer<double> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AlignmentHolds) {
+  AlignedBuffer<double, 64> b(17);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+  AlignedBuffer<std::complex<double>, 128> c(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % 128, 0u);
+}
+
+TEST(AlignedBuffer, ValueInitialised) {
+  AlignedBuffer<int> b(100);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0);
+}
+
+TEST(AlignedBuffer, ReadWriteAndIteration) {
+  AlignedBuffer<int> b(10);
+  for (std::size_t i = 0; i < 10; ++i) b[i] = static_cast<int>(i * i);
+  int sum = 0;
+  for (int v : b) sum += v;
+  EXPECT_EQ(sum, 285);
+  EXPECT_EQ(b.span().size(), 10u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(4);
+  a[0] = 7;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<int> c(2);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c[0], 7);
+}
+
+int g_live_probes = 0;
+struct Probe {
+  Probe() { ++g_live_probes; }
+  ~Probe() { --g_live_probes; }
+};
+
+TEST(AlignedBuffer, NonTrivialTypeDestruction) {
+  {
+    AlignedBuffer<Probe> b(8);
+    EXPECT_EQ(g_live_probes, 8);
+  }
+  EXPECT_EQ(g_live_probes, 0);
+}
+
+}  // namespace
+}  // namespace c64fft::util

@@ -1,0 +1,95 @@
+#include "util/bit_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c64fft::util {
+namespace {
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+  EXPECT_FALSE(is_pow2(6));
+}
+
+TEST(BitOps, Ilog2Exact) {
+  for (unsigned b = 0; b < 64; ++b) EXPECT_EQ(ilog2(1ULL << b), b) << b;
+}
+
+TEST(BitOps, Ilog2Floor) {
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(5), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1025), 10u);
+}
+
+TEST(BitOps, Ilog2Ceil) {
+  EXPECT_EQ(ilog2_ceil(1), 0u);
+  EXPECT_EQ(ilog2_ceil(2), 1u);
+  EXPECT_EQ(ilog2_ceil(3), 2u);
+  EXPECT_EQ(ilog2_ceil(4), 2u);
+  EXPECT_EQ(ilog2_ceil(5), 3u);
+  EXPECT_EQ(ilog2_ceil(1ULL << 40), 40u);
+}
+
+TEST(BitOps, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(BitOps, BitReverse64KnownValues) {
+  EXPECT_EQ(bit_reverse64(0), 0u);
+  EXPECT_EQ(bit_reverse64(1), 1ULL << 63);
+  EXPECT_EQ(bit_reverse64(0xFFFFFFFFFFFFFFFFULL), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(bit_reverse64(0x8000000000000000ULL), 1u);
+}
+
+TEST(BitOps, BitReverseWidth) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(0, 0), 0u);
+  EXPECT_EQ(bit_reverse(0b1011, 4), 0b1101u);
+}
+
+TEST(BitOps, BitReverseIsInvolution) {
+  for (unsigned bits : {1u, 4u, 9u, 15u, 22u}) {
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    for (std::uint64_t x = 0; x <= mask; x += std::max<std::uint64_t>(1, mask / 257))
+      EXPECT_EQ(bit_reverse(bit_reverse(x, bits), bits), x) << bits << " " << x;
+  }
+}
+
+TEST(BitOps, BitReverseIsBijectionSmall) {
+  const unsigned bits = 10;
+  std::vector<bool> seen(1 << bits, false);
+  for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+    const auto y = bit_reverse(x, bits);
+    ASSERT_LT(y, seen.size());
+    EXPECT_FALSE(seen[y]);
+    seen[y] = true;
+  }
+}
+
+TEST(BitOps, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(64, 3), 262144u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(22, 6), 4u);  // the paper's stage count at N=2^22
+}
+
+}  // namespace
+}  // namespace c64fft::util

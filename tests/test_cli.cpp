@@ -1,0 +1,105 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace c64fft::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("test program");
+  p.add_flag("verbose", "enable chatter");
+  p.add_int("n", 1024, "input size");
+  p.add_double("scale", 1.5, "scale factor");
+  p.add_string("variant", "fine", "algorithm");
+  return p;
+}
+
+TEST(CliParser, Defaults) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_FALSE(p.flag("verbose"));
+  EXPECT_EQ(p.get_int("n"), 1024);
+  EXPECT_DOUBLE_EQ(p.get_double("scale"), 1.5);
+  EXPECT_EQ(p.get_string("variant"), "fine");
+}
+
+TEST(CliParser, EqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n=4096", "--scale=2.25", "--variant=coarse",
+                        "--verbose"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_EQ(p.get_int("n"), 4096);
+  EXPECT_DOUBLE_EQ(p.get_double("scale"), 2.25);
+  EXPECT_EQ(p.get_string("variant"), "coarse");
+}
+
+TEST(CliParser, SpaceSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n", "99"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("n"), 99);
+}
+
+TEST(CliParser, Positional) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "input.dat", "--n=2", "more"};
+  ASSERT_TRUE(p.parse(4, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.dat");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, BadIntThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(p.parse(2, argv));
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_NE(help.find("--variant"), std::string::npos);
+}
+
+TEST(CliParser, WrongTypeAccessThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.get_int("variant"), std::logic_error);
+  EXPECT_THROW(p.flag("n"), std::logic_error);
+}
+
+TEST(CliParser, BoolValueForms) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose=true"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.flag("verbose"));
+
+  auto q = make_parser();
+  const char* argv2[] = {"prog", "--verbose=0"};
+  ASSERT_TRUE(q.parse(2, argv2));
+  EXPECT_FALSE(q.flag("verbose"));
+}
+
+}  // namespace
+}  // namespace c64fft::util

@@ -1,0 +1,138 @@
+// Randomized stress tests of the discrete-event engine against analytic
+// bounds: for arbitrary task soups, the makespan must respect compute and
+// bank-occupancy lower bounds, stay deterministic, and account every
+// request exactly once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "c64/engine.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::c64 {
+namespace {
+
+class SoupProgram : public SimProgram {
+ public:
+  explicit SoupProgram(std::vector<TaskSpec> tasks) : tasks_(std::move(tasks)) {}
+  PopResult next_task(unsigned, std::uint64_t, TaskSpec& out, std::uint64_t&) override {
+    if (next_ >= tasks_.size())
+      return done_ == tasks_.size() ? PopResult::kFinished : PopResult::kIdle;
+    out = tasks_[next_++];
+    return PopResult::kTask;
+  }
+  void task_done(unsigned, std::uint64_t, std::uint64_t) override { ++done_; }
+  bool finished() const override { return done_ == tasks_.size(); }
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::size_t next_ = 0;
+  std::size_t done_ = 0;
+};
+
+std::vector<TaskSpec> random_soup(std::uint64_t seed, std::size_t count) {
+  util::Xoshiro256 rng(seed);
+  std::vector<TaskSpec> tasks(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskSpec& t = tasks[i];
+    t.task_id = i;
+    t.compute_cycles = rng.next_below(500);
+    t.start_overhead_cycles = static_cast<std::uint32_t>(rng.next_below(40));
+    t.finish_overhead_cycles = static_cast<std::uint32_t>(rng.next_below(40));
+    const auto loads = 1 + rng.next_below(12);
+    const auto stores = rng.next_below(6);
+    for (std::uint64_t r = 0; r < loads + stores; ++r) {
+      MemRequest req;
+      req.bank = static_cast<std::uint16_t>(rng.next_below(4));
+      req.bytes = static_cast<std::uint32_t>(16 * (1 + rng.next_below(4)));
+      req.pre_issue_cycles = static_cast<std::uint16_t>(rng.next_below(8));
+      t.requests.push_back(req);
+    }
+    t.first_store = static_cast<std::uint32_t>(loads);
+  }
+  return tasks;
+}
+
+class EngineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStress, RespectsAnalyticBounds) {
+  const auto tasks = random_soup(GetParam(), 300);
+  ChipConfig cfg;
+  cfg.thread_units = 16;
+
+  // Analytic lower bounds.
+  std::vector<double> bank_occ(4, 0.0);
+  std::uint64_t total_bytes = 0, total_requests = 0;
+  double max_task_chain = 0.0;
+  for (const auto& t : tasks) {
+    double chain = static_cast<double>(t.compute_cycles) + t.start_overhead_cycles +
+                   t.finish_overhead_cycles;
+    for (const auto& r : t.requests) {
+      bank_occ[r.bank] += std::ceil(r.bytes / cfg.bank_bytes_per_cycle);
+      total_bytes += r.bytes;
+      ++total_requests;
+      chain += cfg.issue_cycles + r.pre_issue_cycles;  // serial with outstanding=1
+    }
+    max_task_chain = std::max(max_task_chain, chain);
+  }
+
+  SoupProgram prog(tasks);
+  const SimResult r = SimEngine(cfg, prog).run();
+
+  EXPECT_EQ(r.tasks_completed, tasks.size());
+  EXPECT_EQ(r.bytes, total_bytes);
+  EXPECT_EQ(r.requests, total_requests);
+  for (unsigned b = 0; b < 4; ++b)
+    EXPECT_EQ(static_cast<double>(r.bank_busy_cycles[b]), bank_occ[b]) << b;
+  // Makespan lower bounds: busiest bank; longest single task chain.
+  for (unsigned b = 0; b < 4; ++b)
+    EXPECT_GE(static_cast<double>(r.cycles), bank_occ[b]);
+  EXPECT_GE(static_cast<double>(r.cycles), max_task_chain);
+  // Sanity upper bound: fully serialised execution.
+  double serial = 0;
+  for (const auto& t : tasks) {
+    serial += static_cast<double>(t.compute_cycles) + t.start_overhead_cycles +
+              t.finish_overhead_cycles;
+    for (const auto& req : t.requests)
+      serial += cfg.issue_cycles + req.pre_issue_cycles + cfg.dram_latency +
+                std::ceil(req.bytes / cfg.bank_bytes_per_cycle);
+  }
+  EXPECT_LE(static_cast<double>(r.cycles), serial);
+}
+
+TEST_P(EngineStress, DeterministicAndTuCountMonotoneish) {
+  const auto tasks = random_soup(GetParam() ^ 0xBEEF, 200);
+  ChipConfig cfg;
+  cfg.thread_units = 8;
+  SoupProgram p1(tasks), p2(tasks);
+  const auto a = SimEngine(cfg, p1).run();
+  const auto b = SimEngine(cfg, p2).run();
+  EXPECT_EQ(a.cycles, b.cycles);
+
+  // 4x the TUs: independent tasks, so the makespan must improve a lot.
+  cfg.thread_units = 32;
+  SoupProgram p3(tasks);
+  const auto wide = SimEngine(cfg, p3).run();
+  EXPECT_LT(static_cast<double>(wide.cycles), 0.6 * static_cast<double>(a.cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStress, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(EngineStress, ZeroByteRequestRejectedGracefully) {
+  // A zero-byte request would alias the internal tombstone encoding; the
+  // footprint layer never produces one, and the engine treats it as an
+  // immediately-complete no-op if it ever appears.
+  TaskSpec t;
+  t.compute_cycles = 10;
+  ChipConfig cfg;
+  cfg.thread_units = 1;
+  SoupProgram prog({t});
+  const auto r = SimEngine(cfg, prog).run();
+  EXPECT_EQ(r.tasks_completed, 1u);
+}
+
+}  // namespace
+}  // namespace c64fft::c64

@@ -1,0 +1,83 @@
+#include "simfft/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c64fft::simfft {
+namespace {
+
+c64::ChipConfig cfg_with(unsigned tus) {
+  c64::ChipConfig cfg;
+  cfg.thread_units = tus;
+  return cfg;
+}
+
+TEST(Experiment, GflopsFormula) {
+  // 5 N log2 N flops; 2^15 in 1 ms -> 2.4576 GFLOPS.
+  EXPECT_NEAR(fft_gflops(1ULL << 15, 1e-3), 5.0 * 32768 * 15 / 1e-3 / 1e9, 1e-9);
+  EXPECT_EQ(fft_gflops(1ULL << 15, 0.0), 0.0);
+}
+
+TEST(Experiment, NamesMatchTableOne) {
+  EXPECT_EQ(to_string(SimVariant::kCoarse), "coarse");
+  EXPECT_EQ(to_string(SimVariant::kCoarseHash), "coarse hash");
+  EXPECT_EQ(to_string(SimVariant::kFineWorst), "fine worst");
+  EXPECT_EQ(to_string(SimVariant::kFineBest), "fine best");
+  EXPECT_EQ(to_string(SimVariant::kFineHash), "fine hash");
+  EXPECT_EQ(to_string(SimVariant::kFineGuided), "fine guided");
+}
+
+TEST(Experiment, RunsEveryVariant) {
+  const auto cfg = cfg_with(16);
+  const auto rows = run_all_variants(1ULL << 12, cfg);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.sim.cycles, 0u) << r.name;
+    EXPECT_GT(r.gflops, 0.0) << r.name;
+    EXPECT_EQ(r.sim.tasks_completed, (1ULL << 12) / 64 * 2) << r.name;
+  }
+}
+
+TEST(Experiment, FineBestNoSlowerThanFineWorst) {
+  const auto cfg = cfg_with(32);
+  const auto best = run_fft_sim(SimVariant::kFineBest, 1ULL << 15, cfg);
+  const auto worst = run_fft_sim(SimVariant::kFineWorst, 1ULL << 15, cfg);
+  EXPECT_LE(best.sim.cycles, worst.sim.cycles);
+  ASSERT_TRUE(best.ordering.has_value());
+  ASSERT_TRUE(worst.ordering.has_value());
+}
+
+TEST(Experiment, TraceIsPopulatedWhenRequested) {
+  const auto cfg = cfg_with(16);
+  c64::BankTrace trace(cfg.dram_banks, 10'000);
+  const auto r = run_fft_sim(SimVariant::kCoarse, 1ULL << 12, cfg, {}, &trace);
+  EXPECT_GT(trace.windows(), 0u);
+  // Total accesses = loads+stores elements = tasks * 191 elements (full
+  // stages of a 2^12 plan).
+  std::uint64_t total = 0;
+  for (auto t : trace.totals()) total += t;
+  EXPECT_EQ(total, r.sim.bytes / 16);
+}
+
+TEST(Experiment, BankTotalsExposeTheHotspot) {
+  const auto cfg = cfg_with(16);
+  const auto coarse = run_fft_sim(SimVariant::kCoarse, 1ULL << 12, cfg);
+  ASSERT_EQ(coarse.bank_totals.size(), 4u);
+  EXPECT_GT(coarse.bank_totals[0], coarse.bank_totals[1]);
+  const auto hash = run_fft_sim(SimVariant::kCoarseHash, 1ULL << 12, cfg);
+  const double hot = static_cast<double>(hash.bank_totals[0]);
+  const double other = static_cast<double>(hash.bank_totals[1]);
+  EXPECT_LT(hot / other, 1.3);
+}
+
+TEST(Experiment, CustomOrderingIsHonoured) {
+  const auto cfg = cfg_with(8);
+  SimFftOptions opts;
+  opts.ordering = {codelet::PoolPolicy::kFifo, fft::SeedOrder::kReverse, 3};
+  const auto r = run_fft_sim(SimVariant::kFineCustom, 1ULL << 12, cfg, opts);
+  ASSERT_TRUE(r.ordering.has_value());
+  EXPECT_EQ(r.ordering->order, fft::SeedOrder::kReverse);
+  EXPECT_GT(r.sim.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace c64fft::simfft

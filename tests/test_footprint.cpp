@@ -1,0 +1,191 @@
+#include "simfft/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fft/types.hpp"
+
+namespace c64fft::simfft {
+namespace {
+
+c64::ChipConfig default_cfg() { return c64::ChipConfig{}; }
+
+std::uint64_t request_bytes(const c64::TaskSpec& t, bool loads) {
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < t.requests.size(); ++i) {
+    const bool is_load = i < t.first_store;
+    if (is_load == loads) sum += t.requests[i].bytes;
+  }
+  return sum;
+}
+
+std::array<std::uint64_t, 4> bank_bytes(const c64::TaskSpec& t) {
+  std::array<std::uint64_t, 4> out{};
+  for (const auto& r : t.requests) out[r.bank] += r.bytes;
+  return out;
+}
+
+TEST(Footprint, FullStageByteCountsMatchPaperEq3) {
+  // 64 loads + 63 twiddles + 64 stores, 16 B each.
+  const fft::FftPlan plan(1ULL << 18, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec t;
+  fp.build(1, 37, t);
+  EXPECT_EQ(request_bytes(t, true), (64u + 63u) * 16u);
+  EXPECT_EQ(request_bytes(t, false), 64u * 16u);
+  EXPECT_EQ(fp.bytes_per_task(1), 191u * 16u);
+  EXPECT_FALSE(fp.spills());
+}
+
+TEST(Footprint, PartialStageByteCounts) {
+  const fft::FftPlan plan(1ULL << 15, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec t;
+  fp.build(2, 5, t);
+  EXPECT_EQ(request_bytes(t, true), (64u + 56u) * 16u);  // cpt*(2^w-1)=56 twiddles
+  EXPECT_EQ(request_bytes(t, false), 64u * 16u);
+}
+
+TEST(Footprint, EarlyStageTwiddlesAllOnBankZero) {
+  // The paper's Fig. 1 root cause, reproduced structurally: in early
+  // stages bank 0 receives the 63 twiddles plus its 1/4 share of data.
+  const fft::FftPlan plan(1ULL << 18, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  std::array<std::uint64_t, 4> total{};
+  c64::TaskSpec t;
+  for (std::uint64_t i = 0; i < plan.tasks_per_stage(); i += 7) {
+    fp.build(0, i, t);
+    const auto bb = bank_bytes(t);
+    for (int b = 0; b < 4; ++b) total[b] += bb[b];
+  }
+  // bank0 ~= 3x the other banks in *access counts*; in bytes:
+  // (63 + 32) / 32 with data spread evenly in stage 0.
+  EXPECT_GT(total[0], 2 * total[1]);
+  EXPECT_NEAR(static_cast<double>(total[1]), static_cast<double>(total[2]),
+              static_cast<double>(total[1]) * 0.01);
+}
+
+TEST(Footprint, StridedDataOfOneTaskStaysInOneBank) {
+  // Stage j >= 1 loads with stride 64^j (a multiple of 4 elements): all
+  // 64 data elements of one codelet live in a single bank.
+  const fft::FftPlan plan(1ULL << 18, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec t;
+  fp.build(1, 129, t);
+  // Split data vs twiddle requests: twiddles are all bank 0; data (loads
+  // minus twiddles) must be a single bank.
+  std::array<std::uint64_t, 4> stores{};
+  for (std::uint32_t i = t.first_store; i < t.requests.size(); ++i)
+    stores[t.requests[i].bank] += t.requests[i].bytes;
+  int banks_used = 0;
+  for (auto b : stores) banks_used += b > 0;
+  EXPECT_EQ(banks_used, 1);
+}
+
+TEST(Footprint, HashedLayoutBalancesTwiddleBanks) {
+  const fft::FftPlan plan(1ULL << 18, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder lin(plan, cfg, fft::TwiddleLayout::kLinear);
+  FootprintBuilder rev(plan, cfg, fft::TwiddleLayout::kBitReversed);
+  std::array<std::uint64_t, 4> lin_total{}, rev_total{};
+  c64::TaskSpec t;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    lin.build(0, i, t);
+    for (const auto& r : t.requests) lin_total[r.bank] += r.bytes;
+    rev.build(0, i, t);
+    for (const auto& r : t.requests) rev_total[r.bank] += r.bytes;
+  }
+  const double lin_imb = static_cast<double>(lin_total[0]) /
+                         static_cast<double>(lin_total[1]);
+  const double rev_imb = static_cast<double>(rev_total[0]) /
+                         static_cast<double>(rev_total[1]);
+  EXPECT_GT(lin_imb, 2.0);
+  EXPECT_LT(rev_imb, 1.3);
+}
+
+TEST(Footprint, HashedLayoutChargesPreIssueCost) {
+  const fft::FftPlan plan(1ULL << 15, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder lin(plan, cfg, fft::TwiddleLayout::kLinear);
+  FootprintBuilder rev(plan, cfg, fft::TwiddleLayout::kBitReversed);
+  c64::TaskSpec a, b;
+  lin.build(0, 3, a);
+  rev.build(0, 3, b);
+  auto pre = [](const c64::TaskSpec& t) {
+    std::uint64_t sum = 0;
+    for (const auto& r : t.requests) sum += r.pre_issue_cycles;
+    return sum;
+  };
+  EXPECT_EQ(pre(a), 0u);
+  // 63 twiddles, each charged hash_cost(index_bits) with 14 index bits.
+  EXPECT_EQ(pre(b), 63u * cfg.hash_cost(14));
+}
+
+TEST(Footprint, CoalescingMergesOnlyContiguousRuns) {
+  const fft::FftPlan plan(1ULL << 12, 6);
+  auto cfg = default_cfg();
+  cfg.coalesce_limit = 16;  // no merging at all
+  FootprintBuilder fp16(plan, cfg, fft::TwiddleLayout::kLinear);
+  cfg.coalesce_limit = 64;  // merge within one interleave line
+  FootprintBuilder fp64(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec a, b;
+  // Stage 0 gathers 64 *contiguous* elements: 64 requests unmerged vs 16
+  // line-sized requests merged.
+  fp16.build(0, 7, a);
+  fp64.build(0, 7, b);
+  EXPECT_GT(a.requests.size(), b.requests.size());
+  for (const auto& r : b.requests) EXPECT_LE(r.bytes, 64u);
+  EXPECT_EQ(request_bytes(a, true), request_bytes(b, true));
+  EXPECT_EQ(request_bytes(a, false), request_bytes(b, false));
+  // Stage 1 gathers with a 64-element stride: nothing is contiguous, so
+  // the limit must not merge anything (C64 multi-word loads cannot span
+  // strided addresses).
+  c64::TaskSpec s16, s64;
+  fp16.build(1, 7, s16);
+  fp64.build(1, 7, s64);
+  EXPECT_EQ(s16.requests.size(), s64.requests.size());
+  for (const auto& r : s64.requests) EXPECT_EQ(r.bytes, 16u);
+}
+
+TEST(Footprint, ComputeCyclesFromFlops) {
+  const fft::FftPlan plan(1ULL << 18, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec t;
+  fp.build(0, 0, t);
+  // 1920 flops at 1 flop/cycle + fixed overhead.
+  EXPECT_EQ(t.compute_cycles, 1920u + cfg.task_overhead_cycles);
+}
+
+TEST(Footprint, Radix128Spills) {
+  const fft::FftPlan plan(1ULL << 14, 7);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  EXPECT_TRUE(fp.spills());
+  c64::TaskSpec t;
+  fp.build(0, 0, t);
+  // Data loads doubled: 2*128 + 127 twiddles.
+  EXPECT_EQ(request_bytes(t, true), (2u * 128u + 127u) * 16u);
+  EXPECT_EQ(request_bytes(t, false), 2u * 128u * 16u);
+}
+
+TEST(Footprint, StoresMirrorDataLoadBanks) {
+  const fft::FftPlan plan(1ULL << 12, 6);
+  const auto cfg = default_cfg();
+  FootprintBuilder fp(plan, cfg, fft::TwiddleLayout::kLinear);
+  c64::TaskSpec t;
+  fp.build(0, 11, t);
+  // Stage 0 data is contiguous: stores spread round-robin over all banks.
+  std::array<std::uint64_t, 4> stores{};
+  for (std::uint32_t i = t.first_store; i < t.requests.size(); ++i)
+    stores[t.requests[i].bank] += t.requests[i].bytes;
+  for (auto b : stores) EXPECT_EQ(b, 256u);  // 1024 B over 4 banks
+}
+
+}  // namespace
+}  // namespace c64fft::simfft

@@ -1,0 +1,121 @@
+#include "codelet/host_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "codelet/dep_counter.hpp"
+
+namespace c64fft::codelet {
+namespace {
+
+TEST(HostRuntime, RejectsZeroWorkers) {
+  EXPECT_THROW(HostRuntime(0), std::invalid_argument);
+}
+
+TEST(HostRuntime, EmptyPhaseReturnsImmediately) {
+  HostRuntime rt(2);
+  rt.run_phase({}, PoolPolicy::kFifo, [](CodeletKey, unsigned, Pusher&) {
+    FAIL() << "no codelet should run";
+  });
+  EXPECT_EQ(rt.executed(), 0u);
+}
+
+TEST(HostRuntime, RunsEverySeedExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 4u}) {
+    HostRuntime rt(workers);
+    std::vector<CodeletKey> seeds;
+    for (std::uint64_t i = 0; i < 100; ++i) seeds.push_back({0, i});
+    std::mutex m;
+    std::set<std::uint64_t> seen;
+    rt.run_phase(seeds, PoolPolicy::kLifo, [&](CodeletKey c, unsigned, Pusher&) {
+      std::lock_guard lock(m);
+      EXPECT_TRUE(seen.insert(c.index).second) << "duplicate execution";
+    });
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(rt.executed(), 100u);
+  }
+}
+
+TEST(HostRuntime, DynamicallyPushedWorkRuns) {
+  HostRuntime rt(3);
+  std::atomic<int> count{0};
+  const std::vector<CodeletKey> seeds{{0, 0}};
+  rt.run_phase(seeds, PoolPolicy::kLifo, [&](CodeletKey c, unsigned, Pusher& push) {
+    count.fetch_add(1);
+    // Binary fan-out to depth 6: 127 codelets total.
+    if (c.stage < 6) {
+      push.push({c.stage + 1, c.index * 2});
+      push.push({c.stage + 1, c.index * 2 + 1});
+    }
+  });
+  EXPECT_EQ(count.load(), 127);
+  EXPECT_EQ(rt.executed(), 127u);
+}
+
+TEST(HostRuntime, PhaseBoundaryIsABarrier) {
+  HostRuntime rt(4);
+  std::atomic<int> phase1{0};
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 64; ++i) seeds.push_back({0, i});
+  rt.run_phase(seeds, PoolPolicy::kFifo,
+               [&](CodeletKey, unsigned, Pusher&) { phase1.fetch_add(1); });
+  // After run_phase returns, every phase-1 codelet has completed.
+  EXPECT_EQ(phase1.load(), 64);
+  rt.run_phase(seeds, PoolPolicy::kFifo, [&](CodeletKey, unsigned, Pusher&) {
+    EXPECT_EQ(phase1.load(), 64);
+  });
+}
+
+TEST(HostRuntime, WorkerIndexInRange) {
+  const unsigned workers = 3;
+  HostRuntime rt(workers);
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 200; ++i) seeds.push_back({0, i});
+  std::atomic<bool> ok{true};
+  rt.run_phase(seeds, PoolPolicy::kFifo, [&](CodeletKey, unsigned w, Pusher&) {
+    if (w >= workers) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(HostRuntime, ExceptionPropagates) {
+  HostRuntime rt(2);
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 10; ++i) seeds.push_back({0, i});
+  EXPECT_THROW(rt.run_phase(seeds, PoolPolicy::kFifo,
+                            [&](CodeletKey c, unsigned, Pusher&) {
+                              if (c.index == 5) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(HostRuntime, CounterGatedDataflowRunsAllStages) {
+  // 8 producers -> shared counter -> 8 consumers, with real threads.
+  HostRuntime rt(4);
+  const std::array<std::uint64_t, 2> groups{0, 1};
+  const std::array<std::uint32_t, 2> thresholds{1, 8};
+  DependencyCounters counters(groups, thresholds);
+  std::atomic<int> produced{0}, consumed{0};
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 8; ++i) seeds.push_back({0, i});
+  rt.run_phase(seeds, PoolPolicy::kLifo, [&](CodeletKey c, unsigned, Pusher& push) {
+    if (c.stage == 0) {
+      produced.fetch_add(1);
+      if (counters.arrive(1, 0))
+        for (std::uint64_t i = 0; i < 8; ++i) push.push({1, i});
+    } else {
+      // Dataflow firing rule: consumers must observe all producers done.
+      EXPECT_EQ(produced.load(), 8);
+      consumed.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(consumed.load(), 8);
+}
+
+}  // namespace
+}  // namespace c64fft::codelet

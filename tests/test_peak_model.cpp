@@ -1,0 +1,69 @@
+#include "c64/peak_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c64fft::c64 {
+namespace {
+
+TEST(PeakModel, FftFlops) {
+  EXPECT_DOUBLE_EQ(PeakModel::fft_flops(64), 5.0 * 64 * 6);
+  EXPECT_DOUBLE_EQ(PeakModel::fft_flops(1ULL << 20), 5.0 * (1ULL << 20) * 20);
+  EXPECT_THROW(PeakModel::fft_flops(100), std::invalid_argument);
+}
+
+TEST(PeakModel, TaskCountMatchesPaperEq2) {
+  // #tasks = N/64 * ceil(log2 N / 6)
+  EXPECT_EQ(PeakModel::task_count(1ULL << 15, 64), (1ULL << 9) * 3);
+  EXPECT_EQ(PeakModel::task_count(1ULL << 18, 64), (1ULL << 12) * 3);
+  EXPECT_EQ(PeakModel::task_count(1ULL << 22, 64), (1ULL << 16) * 4);
+  EXPECT_EQ(PeakModel::task_count(1ULL << 24, 64), (1ULL << 18) * 4);
+  EXPECT_THROW(PeakModel::task_count(1ULL << 15, 3), std::invalid_argument);
+  EXPECT_THROW(PeakModel::task_count(100, 64), std::invalid_argument);
+}
+
+TEST(PeakModel, TaskBytesMatchesPaperEq3) {
+  // (64 + 64 + 63) * 16 bytes
+  EXPECT_EQ(PeakModel::task_bytes(64), 191u * 16u);
+  EXPECT_EQ(PeakModel::task_bytes(8), 23u * 16u);
+}
+
+TEST(PeakModel, TaskSecondsAt16GBps) {
+  PeakModel m;  // default chip: 16 GB/s aggregate
+  EXPECT_NEAR(m.chip.total_dram_gbps(), 16.0, 1e-12);
+  EXPECT_NEAR(m.task_seconds(64), 191.0 * 16.0 / 16e9, 1e-18);
+}
+
+TEST(PeakModel, PaperHeadlineTenGflops) {
+  // Eq. 4: peak = 10 GFLOPS for 64-point tasks on the 16 GB/s DRAM.
+  PeakModel m;
+  EXPECT_NEAR(m.peak_gflops_asymptotic(64), 10.05, 0.05);
+  // With the stage ceiling the N-dependent value is never above the
+  // asymptotic one.
+  for (unsigned lg = 12; lg <= 24; ++lg)
+    EXPECT_LE(m.peak_gflops(1ULL << lg, 64), m.peak_gflops_asymptotic(64) + 1e-9);
+  // ...and equals it when 6 | log2 N.
+  EXPECT_NEAR(m.peak_gflops(1ULL << 18, 64), m.peak_gflops_asymptotic(64), 1e-9);
+  EXPECT_NEAR(m.peak_gflops(1ULL << 24, 64), m.peak_gflops_asymptotic(64), 1e-9);
+}
+
+TEST(PeakModel, LargerTasksRaiseTheMemoryBoundPeak) {
+  // Fig. 7 rationale: flops/byte grows with the codelet size, so the
+  // memory-bound ceiling is monotonically increasing in R...
+  PeakModel m;
+  double prev = 0.0;
+  for (std::uint64_t r = 4; r <= 128; r *= 2) {
+    const double p = m.peak_gflops_asymptotic(r);
+    EXPECT_GT(p, prev) << r;
+    prev = p;
+  }
+}
+
+TEST(PeakModel, ComputePeak) {
+  PeakModel m;  // 156 TUs * 1 flop/cycle * 0.5 GHz = 78 GFLOPS
+  EXPECT_NEAR(m.compute_peak_gflops(), 78.0, 1e-9);
+  // The FFT on off-chip data is memory-bound: DRAM peak << compute peak.
+  EXPECT_LT(m.peak_gflops_asymptotic(64), m.compute_peak_gflops() / 4);
+}
+
+}  // namespace
+}  // namespace c64fft::c64

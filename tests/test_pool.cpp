@@ -1,0 +1,89 @@
+#include "codelet/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace c64fft::codelet {
+namespace {
+
+TEST(ConcurrentPool, LifoOrder) {
+  ConcurrentPool pool(PoolPolicy::kLifo);
+  pool.push({0, 1});
+  pool.push({0, 2});
+  pool.push({0, 3});
+  EXPECT_EQ(pool.try_pop()->index, 3u);
+  EXPECT_EQ(pool.try_pop()->index, 2u);
+  EXPECT_EQ(pool.try_pop()->index, 1u);
+  EXPECT_FALSE(pool.try_pop().has_value());
+}
+
+TEST(ConcurrentPool, FifoOrder) {
+  ConcurrentPool pool(PoolPolicy::kFifo);
+  pool.push({0, 1});
+  pool.push({0, 2});
+  pool.push({0, 3});
+  EXPECT_EQ(pool.try_pop()->index, 1u);
+  EXPECT_EQ(pool.try_pop()->index, 2u);
+  EXPECT_EQ(pool.try_pop()->index, 3u);
+}
+
+TEST(ConcurrentPool, BatchPushPreservesOrder) {
+  ConcurrentPool pool(PoolPolicy::kFifo);
+  const std::array<CodeletKey, 3> batch{{{1, 10}, {1, 11}, {1, 12}}};
+  pool.push_batch(batch);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.try_pop()->index, 10u);
+  EXPECT_EQ(pool.try_pop()->index, 11u);
+}
+
+TEST(ConcurrentPool, SizeAndEmpty) {
+  ConcurrentPool pool(PoolPolicy::kLifo);
+  EXPECT_TRUE(pool.empty());
+  pool.push({0, 0});
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.empty());
+}
+
+TEST(ConcurrentPool, ConcurrentPushPopLosesNothing) {
+  ConcurrentPool pool(PoolPolicy::kLifo);
+  constexpr int kPerThread = 2000;
+  constexpr int kThreads = 4;
+  std::atomic<int> popped{0};
+  std::atomic<bool> done_pushing{false};
+  std::array<std::atomic<int>, kThreads> seen{};
+
+  std::vector<std::thread> producers, consumers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&pool, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        pool.push({static_cast<std::uint32_t>(t), static_cast<std::uint64_t>(i)});
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto item = pool.try_pop();
+        if (item) {
+          seen[item->stage].fetch_add(1);
+          popped.fetch_add(1);
+        } else if (done_pushing.load()) {
+          if (!pool.try_pop().has_value()) break;
+          popped.fetch_add(1);  // raced one more
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  done_pushing.store(true);
+  for (auto& c : consumers) c.join();
+  // Drain any remainder on this thread.
+  while (pool.try_pop()) popped.fetch_add(1);
+  EXPECT_EQ(popped.load(), kPerThread * kThreads);
+}
+
+}  // namespace
+}  // namespace c64fft::codelet

@@ -1,0 +1,76 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace c64fft::util {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  std::vector<std::uint64_t> sa, sb, sc;
+  for (int i = 0; i < 16; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+    sc.push_back(c.next());
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+  EXPECT_EQ(std::set<std::uint64_t>(sa.begin(), sa.end()).size(), sa.size());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowInRangeAndCoversAll) {
+  Xoshiro256 rng(1);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hist[static_cast<int>(v)];
+  }
+  for (int h : hist) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Xoshiro256, NextBelowOne) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextDoubleUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ShuffleIsPermutationAndDeterministic) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> w = v;
+  Xoshiro256 a(11), b(11);
+  a.shuffle(std::span<int>(v));
+  b.shuffle(std::span<int>(w));
+  EXPECT_EQ(v, w);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // A 100-element shuffle is essentially never the identity.
+  bool identity = true;
+  for (int i = 0; i < 100; ++i) identity &= v[i] == i;
+  EXPECT_FALSE(identity);
+}
+
+}  // namespace
+}  // namespace c64fft::util

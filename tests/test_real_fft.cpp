@@ -1,0 +1,97 @@
+#include "fft/real_fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/reference.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+std::vector<double> random_real(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double() * 2 - 1;
+  return v;
+}
+
+// Full complex reference spectrum of a real signal.
+std::vector<cplx> full_spectrum(const std::vector<double>& signal) {
+  std::vector<cplx> buf(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = cplx(signal[i], 0.0);
+  fft_serial_inplace(buf);
+  return buf;
+}
+
+TEST(RealFft, RejectsBadLengths) {
+  EXPECT_THROW(real_forward(std::vector<double>(12)), std::invalid_argument);
+  EXPECT_THROW(real_forward(std::vector<double>(1)), std::invalid_argument);
+  EXPECT_THROW(real_inverse(std::vector<cplx>(1)), std::invalid_argument);
+  EXPECT_THROW(real_inverse(std::vector<cplx>(12)), std::invalid_argument);
+}
+
+class RealFftSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RealFftSizes, HalfSpectrumMatchesFullFft) {
+  const std::uint64_t n = GetParam();
+  const auto signal = random_real(n, n);
+  const auto want = full_spectrum(signal);
+  const auto got = real_forward(signal);
+  ASSERT_EQ(got.size(), n / 2 + 1);
+  for (std::uint64_t k = 0; k <= n / 2; ++k)
+    EXPECT_LT(std::abs(got[k] - want[k]), 1e-9) << "bin " << k << " n " << n;
+}
+
+TEST_P(RealFftSizes, RoundTrip) {
+  const std::uint64_t n = GetParam();
+  const auto signal = random_real(n, n + 17);
+  const auto spec = real_forward(signal);
+  const auto back = real_inverse(spec);
+  ASSERT_EQ(back.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i], signal[i], 1e-10) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, RealFftSizes,
+                         ::testing::Values(2, 4, 8, 32, 256, 4096));
+
+TEST(RealFft, DcAndNyquistAreReal) {
+  const auto signal = random_real(1024, 3);
+  const auto spec = real_forward(signal);
+  EXPECT_NEAR(spec.front().imag(), 0.0, 1e-9);
+  EXPECT_NEAR(spec.back().imag(), 0.0, 1e-9);
+}
+
+TEST(RealFft, PureToneLandsInOneBin) {
+  const std::uint64_t n = 1024, tone = 37;
+  std::vector<double> signal(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    signal[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(tone * i) /
+                         static_cast<double>(n));
+  const auto spec = real_forward(signal);
+  for (std::uint64_t k = 0; k <= n / 2; ++k) {
+    if (k == tone)
+      EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n) / 2, 1e-8);
+    else
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-8) << k;
+  }
+}
+
+TEST(RealFft, WorksOnEverySchedulerVariant) {
+  const auto signal = random_real(4096, 9);
+  const auto want = real_forward(signal);
+  for (Variant v : {Variant::kCoarse, Variant::kGuided}) {
+    HostFftOptions opts;
+    opts.workers = 3;
+    const auto got = real_forward(signal, opts, v);
+    for (std::size_t k = 0; k < want.size(); ++k)
+      ASSERT_LT(std::abs(got[k] - want[k]), 1e-10) << to_string(v);
+  }
+}
+
+}  // namespace
+}  // namespace c64fft::fft

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace c64fft::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Interpolation) {
+  const std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 1.75);
+}
+
+TEST(Percentile, UnsortedInputAndClamp) {
+  const std::array<double, 5> v{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 110), 9.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::array<double, 3> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(ImbalanceRatio, Balanced) {
+  const std::array<double, 4> v{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(v), 1.0);
+}
+
+TEST(ImbalanceRatio, PaperLikeSkew) {
+  // bank0 gets 3x the traffic of the others: max/mean = 3/1.5 = 2.
+  const std::array<double, 4> v{3.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(v), 2.0);
+}
+
+TEST(Geomean, Basic) {
+  const std::array<double, 3> v{1.0, 8.0, 8.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace c64fft::util

@@ -1,0 +1,79 @@
+#include "fft/stockham.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/reference.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+std::vector<cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+TEST(Stockham, RejectsNonPow2) {
+  EXPECT_THROW(fft_stockham(std::vector<cplx>(12)), std::invalid_argument);
+  EXPECT_THROW(fft_stockham(std::vector<cplx>(0)), std::invalid_argument);
+}
+
+TEST(Stockham, TrivialSizes) {
+  const std::vector<cplx> one{cplx(3, -2)};
+  const auto o = fft_stockham(one);
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_DOUBLE_EQ(o[0].real(), 3.0);
+
+  const std::vector<cplx> two{cplx(1, 0), cplx(2, 0)};
+  const auto t = fft_stockham(two);
+  EXPECT_NEAR(t[0].real(), 3.0, 1e-15);
+  EXPECT_NEAR(t[1].real(), -1.0, 1e-15);
+}
+
+class StockhamSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StockhamSizes, MatchesDft) {
+  const std::uint64_t n = GetParam();
+  const auto x = random_signal(n, n ^ 0xF00);
+  const auto want = n <= 512 ? dft_reference(x) : fft_recursive(x);
+  const auto got = fft_stockham(x);
+  EXPECT_LT(max_abs_error(got, want), 1e-8) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, StockhamSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024, 1 << 14));
+
+TEST(Stockham, NoBitReversalNeeded) {
+  // The autosort property: feeding natural-order input yields natural-
+  // order output identical (within rounding) to the bit-reversal-based
+  // serial FFT.
+  auto x = random_signal(1 << 10, 5);
+  auto serial = x;
+  fft_serial_inplace(serial);
+  const auto stockham = fft_stockham(x);
+  EXPECT_LT(max_abs_error(stockham, serial), 1e-9);
+}
+
+TEST(Stockham, InplaceWrapperAgrees) {
+  auto x = random_signal(256, 6);
+  const auto out = fft_stockham(x);
+  fft_stockham_inplace(x);
+  EXPECT_EQ(max_abs_error(x, out), 0.0);
+}
+
+TEST(Stockham, LinearityAndParseval) {
+  const std::uint64_t n = 512;
+  const auto a = random_signal(n, 7);
+  auto A = fft_stockham(a);
+  double te = 0, fe = 0;
+  for (const auto& v : a) te += std::norm(v);
+  for (const auto& v : A) fe += std::norm(v);
+  EXPECT_NEAR(fe / static_cast<double>(n), te, 1e-8);
+}
+
+}  // namespace
+}  // namespace c64fft::fft

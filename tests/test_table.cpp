@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace c64fft::util {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndBadRow) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, StoresCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(1, 1), "2");
+}
+
+TEST(TextTable, PrintAligns) {
+  TextTable t({"n", "gflops"});
+  t.add_row({"32768", "4.2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n      gflops"), std::string::npos);
+  EXPECT_NE(out.find("32768  4.2"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{123456}), "123456");
+  EXPECT_EQ(TextTable::num(0.5, 0), "0");  // rounds down at .5 per IEEE even
+}
+
+}  // namespace
+}  // namespace c64fft::util

@@ -1,0 +1,66 @@
+#include "util/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace c64fft::util {
+namespace {
+
+TEST(WindowedSeries, RejectsBadArgs) {
+  EXPECT_THROW(WindowedSeries(0, 10), std::invalid_argument);
+  EXPECT_THROW(WindowedSeries(4, 0), std::invalid_argument);
+}
+
+TEST(WindowedSeries, EmptyHasNoWindows) {
+  WindowedSeries s(4, 100);
+  EXPECT_EQ(s.windows(), 0u);
+  EXPECT_EQ(s.at(0, 0), 0u);
+  EXPECT_EQ(s.at(57, 3), 0u);
+}
+
+TEST(WindowedSeries, BucketsByWindow) {
+  WindowedSeries s(2, 100);
+  s.record(0, 0);        // window 0
+  s.record(99, 0);       // window 0
+  s.record(100, 0);      // window 1
+  s.record(250, 1, 5);   // window 2
+  EXPECT_EQ(s.windows(), 3u);
+  EXPECT_EQ(s.at(0, 0), 2u);
+  EXPECT_EQ(s.at(1, 0), 1u);
+  EXPECT_EQ(s.at(2, 1), 5u);
+  EXPECT_EQ(s.at(2, 0), 0u);
+}
+
+TEST(WindowedSeries, ChannelSeriesAndTotals) {
+  WindowedSeries s(3, 10);
+  s.record(5, 2, 7);
+  s.record(25, 2, 1);
+  const auto series = s.channel_series(2);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0], 7u);
+  EXPECT_EQ(series[1], 0u);
+  EXPECT_EQ(series[2], 1u);
+  EXPECT_EQ(s.channel_total(2), 8u);
+  EXPECT_EQ(s.channel_total(0), 0u);
+}
+
+TEST(WindowedSeries, OutOfOrderRecording) {
+  WindowedSeries s(1, 10);
+  s.record(95, 0);
+  s.record(5, 0);
+  EXPECT_EQ(s.at(0, 0), 1u);
+  EXPECT_EQ(s.at(9, 0), 1u);
+}
+
+TEST(WindowedSeries, Clear) {
+  WindowedSeries s(1, 10);
+  s.record(5, 0);
+  s.clear();
+  EXPECT_EQ(s.windows(), 0u);
+  s.record(15, 0);
+  EXPECT_EQ(s.at(1, 0), 1u);
+}
+
+}  // namespace
+}  // namespace c64fft::util

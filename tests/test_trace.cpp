@@ -1,0 +1,60 @@
+#include "c64/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c64fft::c64 {
+namespace {
+
+TEST(BankTrace, TotalsAndSeries) {
+  BankTrace t(4, 100);
+  t.record(10, 0, 3);
+  t.record(50, 1, 1);
+  t.record(150, 0, 2);
+  EXPECT_EQ(t.windows(), 2u);
+  EXPECT_EQ(t.at(0, 0), 3u);
+  EXPECT_EQ(t.at(0, 1), 1u);
+  EXPECT_EQ(t.at(1, 0), 2u);
+  const auto totals = t.totals();
+  EXPECT_EQ(totals[0], 5u);
+  EXPECT_EQ(totals[1], 1u);
+  EXPECT_EQ(totals[2], 0u);
+}
+
+TEST(BankTrace, ImbalanceBalanced) {
+  BankTrace t(4, 10);
+  for (unsigned b = 0; b < 4; ++b) t.record(5, b, 10);
+  const auto imb = t.imbalance_series();
+  ASSERT_EQ(imb.size(), 1u);
+  EXPECT_DOUBLE_EQ(imb[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.total_imbalance(), 1.0);
+}
+
+TEST(BankTrace, ImbalancePaperShape) {
+  // Fig. 1 shape: bank 0 gets ~3x each other bank => max/mean = 2.
+  BankTrace t(4, 10);
+  t.record(0, 0, 30);
+  t.record(0, 1, 10);
+  t.record(0, 2, 10);
+  t.record(0, 3, 10);
+  EXPECT_DOUBLE_EQ(t.total_imbalance(), 2.0);
+}
+
+TEST(BankTrace, EmptyWindowImbalanceIsOne) {
+  BankTrace t(4, 10);
+  t.record(25, 0, 1);  // windows 0 and 1 empty of other banks; window 2 hit
+  const auto imb = t.imbalance_series();
+  ASSERT_EQ(imb.size(), 3u);
+  EXPECT_DOUBLE_EQ(imb[0], 1.0);
+  EXPECT_DOUBLE_EQ(imb[2], 4.0);  // one bank has all traffic
+}
+
+TEST(BankTrace, Clear) {
+  BankTrace t(2, 10);
+  t.record(0, 0, 1);
+  t.clear();
+  EXPECT_EQ(t.windows(), 0u);
+  EXPECT_DOUBLE_EQ(t.total_imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace c64fft::c64

@@ -1,0 +1,51 @@
+#include "simfft/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "c64/peak_model.hpp"
+
+namespace c64fft::simfft {
+namespace {
+
+TEST(Tuning, WorkingSetFormula) {
+  EXPECT_EQ(codelet_working_set_bytes(6), (64u + 63u) * 16u);  // 2032 B
+  EXPECT_EQ(codelet_working_set_bytes(7), (128u + 127u) * 16u);
+  EXPECT_EQ(codelet_working_set_bytes(1), 48u);
+}
+
+TEST(Tuning, DefaultChipPicks64PointCodelets) {
+  // The paper's Section V-A conclusion, derived instead of assumed.
+  c64::ChipConfig cfg;
+  EXPECT_EQ(best_radix_log2(cfg), 6u);
+}
+
+TEST(Tuning, BiggerScratchpadPicksBiggerCodelets) {
+  c64::ChipConfig cfg;
+  cfg.scratchpad_bytes = 8192;
+  EXPECT_EQ(best_radix_log2(cfg), 8u);
+  cfg.scratchpad_bytes = 1024;  // 32-point working set = 1008 B fits
+  EXPECT_EQ(best_radix_log2(cfg), 5u);
+  cfg.scratchpad_bytes = 1;  // nothing fits; clamp to the minimum radix
+  EXPECT_EQ(best_radix_log2(cfg), 1u);
+}
+
+TEST(Tuning, RespectsMaxRadix) {
+  c64::ChipConfig cfg;
+  cfg.scratchpad_bytes = 1 << 20;
+  EXPECT_EQ(best_radix_log2(cfg, 4), 4u);
+  EXPECT_THROW(best_radix_log2(cfg, 0), std::invalid_argument);
+}
+
+TEST(Tuning, PeakIsMonotoneSoLargestFittingWins) {
+  // Cross-check the monotonicity claim the tuner relies on.
+  c64::PeakModel peak;
+  double prev = 0.0;
+  for (unsigned r = 1; r <= 8; ++r) {
+    const double p = peak.peak_gflops_asymptotic(std::uint64_t{1} << r);
+    EXPECT_GT(p, prev) << r;
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace c64fft::simfft

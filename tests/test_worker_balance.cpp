@@ -1,0 +1,72 @@
+// The dynamic-balance claim of the fine-grain model (the prior-work
+// property the paper builds on): the host runtime's pool spreads codelets
+// evenly over the workers, even when codelet costs are skewed.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "codelet/host_runtime.hpp"
+#include "fft/api.hpp"
+#include "util/signal.hpp"
+
+namespace c64fft::codelet {
+namespace {
+
+TEST(WorkerBalance, UniformCodeletsSpreadEvenly) {
+  HostRuntime rt(4);
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 400; ++i) seeds.push_back({0, i});
+  rt.run_phase(seeds, PoolPolicy::kLifo, [](CodeletKey, unsigned, Pusher&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  EXPECT_EQ(rt.executed(), 400u);
+  ASSERT_EQ(rt.executed_per_worker().size(), 4u);
+  std::uint64_t sum = 0;
+  for (auto v : rt.executed_per_worker()) sum += v;
+  EXPECT_EQ(sum, 400u);
+  // Dynamic scheduling keeps the spread tight even on a loaded machine.
+  EXPECT_LT(rt.balance_ratio(), 2.0);
+}
+
+TEST(WorkerBalance, SkewedCodeletCostsStillBalance) {
+  // One in eight codelets is 20x more expensive; the pool must absorb it.
+  HostRuntime rt(4);
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 160; ++i) seeds.push_back({0, i});
+  rt.run_phase(seeds, PoolPolicy::kFifo, [](CodeletKey c, unsigned, Pusher&) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(c.index % 8 == 0 ? 400 : 20));
+  });
+  EXPECT_EQ(rt.executed(), 160u);
+  EXPECT_LT(rt.balance_ratio(), 2.5);
+}
+
+TEST(WorkerBalance, SingleWorkerRatioIsOne) {
+  HostRuntime rt(1);
+  std::vector<CodeletKey> seeds{{0, 0}, {0, 1}};
+  rt.run_phase(seeds, PoolPolicy::kLifo, [](CodeletKey, unsigned, Pusher&) {});
+  EXPECT_DOUBLE_EQ(rt.balance_ratio(), 1.0);
+}
+
+TEST(WorkerBalance, EmptyRuntimeRatioIsOne) {
+  HostRuntime rt(3);
+  EXPECT_DOUBLE_EQ(rt.balance_ratio(), 1.0);
+}
+
+TEST(WorkerBalance, AccumulatesAcrossPhases) {
+  HostRuntime rt(2);
+  std::vector<CodeletKey> seeds;
+  for (std::uint64_t i = 0; i < 10; ++i) seeds.push_back({0, i});
+  rt.run_phase(seeds, PoolPolicy::kLifo, [](CodeletKey, unsigned, Pusher&) {});
+  rt.run_phase(seeds, PoolPolicy::kLifo, [](CodeletKey, unsigned, Pusher&) {});
+  EXPECT_EQ(rt.executed(), 20u);
+  std::uint64_t sum = 0;
+  for (auto v : rt.executed_per_worker()) sum += v;
+  EXPECT_EQ(sum, 20u);
+}
+
+}  // namespace
+}  // namespace c64fft::codelet
