@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_transpose.dir/fft2d_transpose.cpp.o"
+  "CMakeFiles/fft2d_transpose.dir/fft2d_transpose.cpp.o.d"
+  "fft2d_transpose"
+  "fft2d_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bank_rates_coarse.dir/fig1_bank_rates_coarse.cpp.o"
+  "CMakeFiles/fig1_bank_rates_coarse.dir/fig1_bank_rates_coarse.cpp.o.d"
+  "fig1_bank_rates_coarse"
+  "fig1_bank_rates_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bank_rates_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bank_rates_fine.dir/fig2_bank_rates_fine.cpp.o"
+  "CMakeFiles/fig2_bank_rates_fine.dir/fig2_bank_rates_fine.cpp.o.d"
+  "fig2_bank_rates_fine"
+  "fig2_bank_rates_fine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bank_rates_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

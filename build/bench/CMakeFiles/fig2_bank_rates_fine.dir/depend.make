@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_bank_rates_fine.
+# This may be replaced when dependencies are built.

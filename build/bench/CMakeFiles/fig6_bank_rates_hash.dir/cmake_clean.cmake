@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bank_rates_hash.dir/fig6_bank_rates_hash.cpp.o"
+  "CMakeFiles/fig6_bank_rates_hash.dir/fig6_bank_rates_hash.cpp.o.d"
+  "fig6_bank_rates_hash"
+  "fig6_bank_rates_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bank_rates_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

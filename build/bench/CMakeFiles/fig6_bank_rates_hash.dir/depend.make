@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_bank_rates_hash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_input_size.dir/fig8_input_size.cpp.o"
+  "CMakeFiles/fig8_input_size.dir/fig8_input_size.cpp.o.d"
+  "fig8_input_size"
+  "fig8_input_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

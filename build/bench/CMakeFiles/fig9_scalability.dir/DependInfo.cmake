@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_scalability.cpp" "bench/CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o" "gcc" "bench/CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simfft/CMakeFiles/c64fft_simfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/c64fft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/c64/CMakeFiles/c64fft_c64.dir/DependInfo.cmake"
+  "/root/repo/build/src/codelet/CMakeFiles/c64fft_codelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/c64fft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

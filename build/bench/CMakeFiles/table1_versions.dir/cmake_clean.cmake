@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_versions.dir/table1_versions.cpp.o"
+  "CMakeFiles/table1_versions.dir/table1_versions.cpp.o.d"
+  "table1_versions"
+  "table1_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_peak.dir/theory_peak.cpp.o"
+  "CMakeFiles/theory_peak.dir/theory_peak.cpp.o.d"
+  "theory_peak"
+  "theory_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

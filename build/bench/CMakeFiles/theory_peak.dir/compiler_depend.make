@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for theory_peak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_explorer.dir/contention_explorer.cpp.o"
+  "CMakeFiles/contention_explorer.dir/contention_explorer.cpp.o.d"
+  "contention_explorer"
+  "contention_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

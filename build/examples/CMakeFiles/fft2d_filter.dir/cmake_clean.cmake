@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_filter.dir/fft2d_filter.cpp.o"
+  "CMakeFiles/fft2d_filter.dir/fft2d_filter.cpp.o.d"
+  "fft2d_filter"
+  "fft2d_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

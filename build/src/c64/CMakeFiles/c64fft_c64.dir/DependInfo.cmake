@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/c64/engine.cpp" "src/c64/CMakeFiles/c64fft_c64.dir/engine.cpp.o" "gcc" "src/c64/CMakeFiles/c64fft_c64.dir/engine.cpp.o.d"
+  "/root/repo/src/c64/peak_model.cpp" "src/c64/CMakeFiles/c64fft_c64.dir/peak_model.cpp.o" "gcc" "src/c64/CMakeFiles/c64fft_c64.dir/peak_model.cpp.o.d"
+  "/root/repo/src/c64/trace.cpp" "src/c64/CMakeFiles/c64fft_c64.dir/trace.cpp.o" "gcc" "src/c64/CMakeFiles/c64fft_c64.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c64fft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c64fft_c64.dir/engine.cpp.o"
+  "CMakeFiles/c64fft_c64.dir/engine.cpp.o.d"
+  "CMakeFiles/c64fft_c64.dir/peak_model.cpp.o"
+  "CMakeFiles/c64fft_c64.dir/peak_model.cpp.o.d"
+  "CMakeFiles/c64fft_c64.dir/trace.cpp.o"
+  "CMakeFiles/c64fft_c64.dir/trace.cpp.o.d"
+  "libc64fft_c64.a"
+  "libc64fft_c64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c64fft_c64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

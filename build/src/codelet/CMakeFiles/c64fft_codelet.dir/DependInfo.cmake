@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codelet/graph.cpp" "src/codelet/CMakeFiles/c64fft_codelet.dir/graph.cpp.o" "gcc" "src/codelet/CMakeFiles/c64fft_codelet.dir/graph.cpp.o.d"
+  "/root/repo/src/codelet/host_runtime.cpp" "src/codelet/CMakeFiles/c64fft_codelet.dir/host_runtime.cpp.o" "gcc" "src/codelet/CMakeFiles/c64fft_codelet.dir/host_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c64fft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

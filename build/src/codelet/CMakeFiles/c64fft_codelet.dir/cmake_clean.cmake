@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c64fft_codelet.dir/graph.cpp.o"
+  "CMakeFiles/c64fft_codelet.dir/graph.cpp.o.d"
+  "CMakeFiles/c64fft_codelet.dir/host_runtime.cpp.o"
+  "CMakeFiles/c64fft_codelet.dir/host_runtime.cpp.o.d"
+  "libc64fft_codelet.a"
+  "libc64fft_codelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c64fft_codelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libc64fft_codelet.a"
+)

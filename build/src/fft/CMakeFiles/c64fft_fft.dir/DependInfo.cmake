@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/api.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/api.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/api.cpp.o.d"
+  "/root/repo/src/fft/bit_reversal.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/bit_reversal.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/bit_reversal.cpp.o.d"
+  "/root/repo/src/fft/fft2d.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/fft2d.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/fft2d.cpp.o.d"
+  "/root/repo/src/fft/kernel.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/kernel.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/kernel.cpp.o.d"
+  "/root/repo/src/fft/ordering.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/ordering.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/ordering.cpp.o.d"
+  "/root/repo/src/fft/plan.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/plan.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/plan.cpp.o.d"
+  "/root/repo/src/fft/plan_stats.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/plan_stats.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/plan_stats.cpp.o.d"
+  "/root/repo/src/fft/real_fft.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/real_fft.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/real_fft.cpp.o.d"
+  "/root/repo/src/fft/reference.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/reference.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/reference.cpp.o.d"
+  "/root/repo/src/fft/stockham.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/stockham.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/stockham.cpp.o.d"
+  "/root/repo/src/fft/twiddle.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/twiddle.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/twiddle.cpp.o.d"
+  "/root/repo/src/fft/variants.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/variants.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/variants.cpp.o.d"
+  "/root/repo/src/fft/window.cpp" "src/fft/CMakeFiles/c64fft_fft.dir/window.cpp.o" "gcc" "src/fft/CMakeFiles/c64fft_fft.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c64fft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codelet/CMakeFiles/c64fft_codelet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

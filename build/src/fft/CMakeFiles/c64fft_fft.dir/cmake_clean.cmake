@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c64fft_fft.dir/api.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/api.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/bit_reversal.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/bit_reversal.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/fft2d.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/fft2d.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/kernel.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/kernel.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/ordering.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/ordering.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/plan.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/plan.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/plan_stats.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/plan_stats.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/real_fft.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/real_fft.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/reference.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/reference.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/stockham.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/stockham.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/twiddle.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/twiddle.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/variants.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/variants.cpp.o.d"
+  "CMakeFiles/c64fft_fft.dir/window.cpp.o"
+  "CMakeFiles/c64fft_fft.dir/window.cpp.o.d"
+  "libc64fft_fft.a"
+  "libc64fft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c64fft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simfft/analytic.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/analytic.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/analytic.cpp.o.d"
+  "/root/repo/src/simfft/experiment.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/experiment.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/experiment.cpp.o.d"
+  "/root/repo/src/simfft/fft2d_sim.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/fft2d_sim.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/fft2d_sim.cpp.o.d"
+  "/root/repo/src/simfft/footprint.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/footprint.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/footprint.cpp.o.d"
+  "/root/repo/src/simfft/sim_driver.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/sim_driver.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/sim_driver.cpp.o.d"
+  "/root/repo/src/simfft/tuning.cpp" "src/simfft/CMakeFiles/c64fft_simfft.dir/tuning.cpp.o" "gcc" "src/simfft/CMakeFiles/c64fft_simfft.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/c64fft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/c64/CMakeFiles/c64fft_c64.dir/DependInfo.cmake"
+  "/root/repo/build/src/codelet/CMakeFiles/c64fft_codelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/c64fft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c64fft_simfft.dir/analytic.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/analytic.cpp.o.d"
+  "CMakeFiles/c64fft_simfft.dir/experiment.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/experiment.cpp.o.d"
+  "CMakeFiles/c64fft_simfft.dir/fft2d_sim.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/fft2d_sim.cpp.o.d"
+  "CMakeFiles/c64fft_simfft.dir/footprint.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/footprint.cpp.o.d"
+  "CMakeFiles/c64fft_simfft.dir/sim_driver.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/sim_driver.cpp.o.d"
+  "CMakeFiles/c64fft_simfft.dir/tuning.cpp.o"
+  "CMakeFiles/c64fft_simfft.dir/tuning.cpp.o.d"
+  "libc64fft_simfft.a"
+  "libc64fft_simfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c64fft_simfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

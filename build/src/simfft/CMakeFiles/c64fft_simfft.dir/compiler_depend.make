@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c64fft_simfft.
+# This may be replaced when dependencies are built.

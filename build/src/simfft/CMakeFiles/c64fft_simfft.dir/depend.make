@@ -1,0 +1,2 @@
+# Empty dependencies file for c64fft_simfft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c64fft_util.dir/cli.cpp.o"
+  "CMakeFiles/c64fft_util.dir/cli.cpp.o.d"
+  "CMakeFiles/c64fft_util.dir/signal.cpp.o"
+  "CMakeFiles/c64fft_util.dir/signal.cpp.o.d"
+  "CMakeFiles/c64fft_util.dir/stats.cpp.o"
+  "CMakeFiles/c64fft_util.dir/stats.cpp.o.d"
+  "CMakeFiles/c64fft_util.dir/table.cpp.o"
+  "CMakeFiles/c64fft_util.dir/table.cpp.o.d"
+  "CMakeFiles/c64fft_util.dir/timeseries.cpp.o"
+  "CMakeFiles/c64fft_util.dir/timeseries.cpp.o.d"
+  "libc64fft_util.a"
+  "libc64fft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c64fft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned_buffer.dir/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_aligned_buffer.dir/test_aligned_buffer.cpp.o.d"
+  "test_aligned_buffer"
+  "test_aligned_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

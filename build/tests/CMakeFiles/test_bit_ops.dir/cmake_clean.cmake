@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_ops.dir/test_bit_ops.cpp.o"
+  "CMakeFiles/test_bit_ops.dir/test_bit_ops.cpp.o.d"
+  "test_bit_ops"
+  "test_bit_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_reversal.dir/test_bit_reversal.cpp.o"
+  "CMakeFiles/test_bit_reversal.dir/test_bit_reversal.cpp.o.d"
+  "test_bit_reversal"
+  "test_bit_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dep_counter.dir/test_dep_counter.cpp.o"
+  "CMakeFiles/test_dep_counter.dir/test_dep_counter.cpp.o.d"
+  "test_dep_counter"
+  "test_dep_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dep_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

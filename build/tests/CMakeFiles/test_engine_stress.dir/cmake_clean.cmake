@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_stress.dir/test_engine_stress.cpp.o"
+  "CMakeFiles/test_engine_stress.dir/test_engine_stress.cpp.o.d"
+  "test_engine_stress"
+  "test_engine_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft2d.dir/test_fft2d.cpp.o"
+  "CMakeFiles/test_fft2d.dir/test_fft2d.cpp.o.d"
+  "test_fft2d"
+  "test_fft2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

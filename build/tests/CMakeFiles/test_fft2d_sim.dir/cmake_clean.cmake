@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft2d_sim.dir/test_fft2d_sim.cpp.o"
+  "CMakeFiles/test_fft2d_sim.dir/test_fft2d_sim.cpp.o.d"
+  "test_fft2d_sim"
+  "test_fft2d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft2d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_footprint.dir/test_footprint.cpp.o"
+  "CMakeFiles/test_footprint.dir/test_footprint.cpp.o.d"
+  "test_footprint"
+  "test_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_runtime.dir/test_host_runtime.cpp.o"
+  "CMakeFiles/test_host_runtime.dir/test_host_runtime.cpp.o.d"
+  "test_host_runtime"
+  "test_host_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

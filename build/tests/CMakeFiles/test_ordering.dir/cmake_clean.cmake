@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordering.dir/test_ordering.cpp.o"
+  "CMakeFiles/test_ordering.dir/test_ordering.cpp.o.d"
+  "test_ordering"
+  "test_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

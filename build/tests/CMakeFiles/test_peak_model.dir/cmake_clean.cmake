@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peak_model.dir/test_peak_model.cpp.o"
+  "CMakeFiles/test_peak_model.dir/test_peak_model.cpp.o.d"
+  "test_peak_model"
+  "test_peak_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peak_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_deps.dir/test_plan_deps.cpp.o"
+  "CMakeFiles/test_plan_deps.dir/test_plan_deps.cpp.o.d"
+  "test_plan_deps"
+  "test_plan_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_stats.dir/test_plan_stats.cpp.o"
+  "CMakeFiles/test_plan_stats.dir/test_plan_stats.cpp.o.d"
+  "test_plan_stats"
+  "test_plan_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_fft.dir/test_real_fft.cpp.o"
+  "CMakeFiles/test_real_fft.dir/test_real_fft.cpp.o.d"
+  "test_real_fft"
+  "test_real_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

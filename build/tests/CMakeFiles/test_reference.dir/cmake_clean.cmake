@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference.dir/test_reference.cpp.o"
+  "CMakeFiles/test_reference.dir/test_reference.cpp.o.d"
+  "test_reference"
+  "test_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_driver.dir/test_sim_driver.cpp.o"
+  "CMakeFiles/test_sim_driver.dir/test_sim_driver.cpp.o.d"
+  "test_sim_driver"
+  "test_sim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

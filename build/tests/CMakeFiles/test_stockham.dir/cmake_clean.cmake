@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stockham.dir/test_stockham.cpp.o"
+  "CMakeFiles/test_stockham.dir/test_stockham.cpp.o.d"
+  "test_stockham"
+  "test_stockham.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stockham.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries.dir/test_timeseries.cpp.o"
+  "CMakeFiles/test_timeseries.dir/test_timeseries.cpp.o.d"
+  "test_timeseries"
+  "test_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

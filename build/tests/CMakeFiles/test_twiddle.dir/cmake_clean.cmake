@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twiddle.dir/test_twiddle.cpp.o"
+  "CMakeFiles/test_twiddle.dir/test_twiddle.cpp.o.d"
+  "test_twiddle"
+  "test_twiddle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twiddle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window.dir/test_window.cpp.o"
+  "CMakeFiles/test_window.dir/test_window.cpp.o.d"
+  "test_window"
+  "test_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker_balance.dir/test_worker_balance.cpp.o"
+  "CMakeFiles/test_worker_balance.dir/test_worker_balance.cpp.o.d"
+  "test_worker_balance"
+  "test_worker_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
