@@ -1,0 +1,42 @@
+#include "analysis/analyzer.hpp"
+
+namespace c64fft::analysis {
+
+AnalysisReport analyze(const PlanModel& model, const AnalysisOptions& opts) {
+  AnalysisReport report;
+  report.plan_name = model.name;
+  report.n = model.n;
+  report.radix_log2 = model.radix_log2;
+  report.stages = model.stages;
+  report.codelets = model.codelets.size();
+  report.schedule = to_string(model.schedule);
+  report.layout = model.layout == fft::TwiddleLayout::kLinear ? "linear" : "hashed";
+
+  bool cyclic = false;
+  if (opts.check_graph) {
+    CheckResult graph = verify_graph(model, opts.verifier);
+    for (const Diagnostic& d : graph.diagnostics) cyclic |= d.code == "cycle";
+    report.checks.push_back(std::move(graph));
+  }
+  if (opts.check_races) {
+    if (cyclic && model.schedule == Schedule::kCounters) {
+      CheckResult skipped;
+      skipped.name = "races";
+      skipped.status = "skipped";
+      skipped.note = "dependency graph is cyclic; fix the graph check first";
+      report.checks.push_back(std::move(skipped));
+    } else {
+      report.checks.push_back(detect_races(model, opts.races));
+    }
+  }
+  if (opts.check_banks) report.checks.push_back(lint_banks(model, opts.banks));
+  return report;
+}
+
+AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
+                            Schedule schedule, const AnalysisOptions& opts,
+                            std::string name) {
+  return analyze(build_model(plan, layout, schedule, std::move(name)), opts);
+}
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,33 @@
+#pragma once
+// fft_lint's engine: runs the graph verifier, the static race detector
+// and the bank-balance lint over a PlanModel and folds the results into
+// one AnalysisReport. Also the one-call entry point for linting a shipped
+// plan variant straight from (N, radix, layout, schedule).
+
+#include "analysis/bank_lint.hpp"
+#include "analysis/model.hpp"
+#include "analysis/race.hpp"
+#include "analysis/report.hpp"
+#include "analysis/verifier.hpp"
+
+namespace c64fft::analysis {
+
+struct AnalysisOptions {
+  bool check_graph = true;
+  bool check_races = true;
+  bool check_banks = true;
+  VerifierOptions verifier;
+  RaceOptions races;
+  BankLintOptions banks;
+};
+
+/// Run every enabled check. The race check is skipped (not failed) when
+/// the verifier found a cycle, since reachability is undefined then.
+AnalysisReport analyze(const PlanModel& model, const AnalysisOptions& opts = {});
+
+/// Build the model of a shipped plan variant and analyze it.
+AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
+                            Schedule schedule, const AnalysisOptions& opts = {},
+                            std::string name = {});
+
+}  // namespace c64fft::analysis

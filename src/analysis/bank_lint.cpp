@@ -1,0 +1,123 @@
+#include "analysis/bank_lint.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "c64/address_map.hpp"
+
+namespace c64fft::analysis {
+
+CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
+  CheckResult res;
+  res.name = "banks";
+  const Severity sev = opts.strict ? Severity::kError : Severity::kWarning;
+  const c64::AddressMap map(opts.banks, opts.interleave_bytes);
+
+  std::uint32_t stages = model.stages;
+  for (const CodeletModel& c : model.codelets)
+    stages = std::max(stages, c.key.stage + 1);
+
+  // Per-stage per-bank access tallies, data vs twiddle stream, plus the
+  // gcd of each stage's twiddle-slot offsets (the effective stride the
+  // diagnostics explain the hotspot with).
+  std::vector<std::vector<std::uint64_t>> data(stages), twiddle(stages);
+  std::vector<std::uint64_t> tw_first(stages, 0), tw_gcd(stages, 0);
+  std::vector<bool> tw_seen(stages, false);
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    data[s].assign(opts.banks, 0);
+    twiddle[s].assign(opts.banks, 0);
+  }
+  for (const CodeletModel& c : model.codelets) {
+    const std::uint32_t s = c.key.stage;
+    for (std::uint64_t e : c.reads)
+      ++data[s][map.bank_of_element(opts.data_base, e, opts.element_bytes)];
+    for (std::uint64_t e : c.writes)
+      ++data[s][map.bank_of_element(opts.data_base, e, opts.element_bytes)];
+    for (std::uint64_t t : c.twiddle_slots) {
+      ++twiddle[s][map.bank_of_element(opts.twiddle_base, t, opts.element_bytes)];
+      if (!tw_seen[s]) {
+        tw_seen[s] = true;
+        tw_first[s] = t;
+      } else {
+        const std::uint64_t d = t >= tw_first[s] ? t - tw_first[s] : tw_first[s] - t;
+        tw_gcd[s] = std::gcd(tw_gcd[s], d);
+      }
+    }
+  }
+
+  // Whole-run totals. Imbalance (max-bank / mean-bank, the
+  // fft::TrafficCensus definition) is judged on the combined traffic AND
+  // on the twiddle stream alone: the data stream of a contiguous FFT is
+  // balanced by construction and would otherwise dilute the Fig. 1
+  // twiddle hotspot below any useful threshold.
+  std::vector<std::uint64_t> totals(opts.banks, 0), tw_totals(opts.banks, 0);
+  for (std::uint32_t s = 0; s < stages; ++s)
+    for (unsigned b = 0; b < opts.banks; ++b) {
+      totals[b] += data[s][b] + twiddle[s][b];
+      tw_totals[b] += twiddle[s][b];
+    }
+  const auto imbalance_of = [&](const std::vector<std::uint64_t>& v, unsigned& hot_out) {
+    const std::uint64_t sum = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+    hot_out = static_cast<unsigned>(std::max_element(v.begin(), v.end()) - v.begin());
+    if (sum == 0) return 1.0;
+    return static_cast<double>(v[hot_out]) * opts.banks / static_cast<double>(sum);
+  };
+  unsigned hot = 0, tw_hot = 0;
+  const double imbalance = imbalance_of(totals, hot);
+  const double tw_imbalance = imbalance_of(tw_totals, tw_hot);
+
+  res.metrics["imbalance"] = imbalance;
+  res.metrics["twiddle_imbalance"] = tw_imbalance;
+  res.metrics["threshold"] = opts.imbalance_threshold;
+  res.metrics["hottest_bank"] = hot;
+  for (unsigned b = 0; b < opts.banks; ++b) {
+    std::uint64_t d = 0;
+    for (std::uint32_t s = 0; s < stages; ++s) d += data[s][b];
+    res.metrics["bank" + std::to_string(b) + "_data"] = static_cast<double>(d);
+    res.metrics["bank" + std::to_string(b) + "_twiddle"] =
+        static_cast<double>(tw_totals[b]);
+  }
+
+  if (imbalance > opts.imbalance_threshold || tw_imbalance > opts.imbalance_threshold) {
+    const bool by_twiddle = tw_imbalance > imbalance;
+    std::ostringstream os;
+    os << "bank " << (by_twiddle ? tw_hot : hot) << " receives "
+       << (by_twiddle ? tw_imbalance : imbalance) << "x the mean per-bank "
+       << (by_twiddle ? "twiddle" : "total") << " traffic (threshold "
+       << opts.imbalance_threshold
+       << "): the layout concentrates accesses instead of spreading them "
+          "round-robin";
+    res.add(sev, "bank-imbalance", os.str());
+  }
+
+  // Per-stage twiddle-stream concentration: a stage whose twiddle loads
+  // all land on one bank is the Fig. 1 hotspot signature; explain it via
+  // the stream's stride pushed through the address map.
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    const std::uint64_t stage_tw =
+        std::accumulate(twiddle[s].begin(), twiddle[s].end(), std::uint64_t{0});
+    if (stage_tw < opts.banks) continue;  // too few samples to judge
+    const unsigned touched = static_cast<unsigned>(
+        std::count_if(twiddle[s].begin(), twiddle[s].end(),
+                      [](std::uint64_t v) { return v != 0; }));
+    if (touched > 1) continue;
+    const auto bank = static_cast<unsigned>(
+        std::max_element(twiddle[s].begin(), twiddle[s].end()) - twiddle[s].begin());
+    std::ostringstream os;
+    os << "stage " << s << ": all " << stage_tw << " twiddle loads hit bank " << bank;
+    if (tw_gcd[s] != 0) {
+      const std::uint64_t stride_bytes = tw_gcd[s] * opts.element_bytes;
+      os << " (slot stride gcd " << tw_gcd[s] << " elements = " << stride_bytes
+         << " B touches " << map.banks_touched_by_stride(stride_bytes) << " of "
+         << opts.banks << " banks)";
+    }
+    res.add(sev, "twiddle-single-bank", os.str(), {s, 0});
+  }
+
+  res.finalize();
+  return res;
+}
+
+}  // namespace c64fft::analysis

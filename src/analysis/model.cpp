@@ -1,0 +1,69 @@
+#include "analysis/model.hpp"
+
+#include "util/bit_ops.hpp"
+
+namespace c64fft::analysis {
+
+std::size_t PlanModel::find(codelet::CodeletKey key) const {
+  for (std::size_t i = 0; i < codelets.size(); ++i)
+    if (codelets[i].key == key) return i;
+  return npos;
+}
+
+PlanModel build_model(const fft::FftPlan& plan, fft::TwiddleLayout layout,
+                      Schedule schedule, std::string name) {
+  PlanModel m;
+  m.name = name.empty() ? (to_string(schedule) + "/" +
+                           (layout == fft::TwiddleLayout::kLinear ? "linear" : "hashed"))
+                        : std::move(name);
+  m.n = plan.size();
+  m.radix_log2 = plan.radix_log2();
+  m.stages = plan.stage_count();
+  m.schedule = schedule;
+  m.layout = layout;
+  m.twiddle_table_size = plan.size() / 2;
+  const unsigned tw_bits = m.twiddle_table_size > 1 ? util::ilog2(m.twiddle_table_size) : 0;
+
+  m.codelets.reserve(plan.total_tasks());
+  std::vector<std::uint64_t> scratch;
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s) {
+    for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i) {
+      CodeletModel c;
+      c.key = {s, i};
+      plan.task_elements(s, i, c.reads);
+      c.writes = c.reads;  // in-place butterflies store where they load
+      plan.task_twiddles(s, i, scratch);
+      c.twiddle_slots.reserve(scratch.size());
+      for (std::uint64_t t : scratch)
+        c.twiddle_slots.push_back(layout == fft::TwiddleLayout::kBitReversed
+                                      ? util::bit_reverse(t, tw_bits)
+                                      : t);
+      m.graph.add_node(c.key);
+      m.codelets.push_back(std::move(c));
+    }
+  }
+
+  // Dependency edges + counter declarations, stage by consumer stage.
+  for (std::uint32_t s = 1; s < plan.stage_count(); ++s) {
+    const std::uint64_t groups = plan.groups_in_stage(s);
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      GroupModel gm;
+      gm.stage = s;
+      gm.group = g;
+      gm.threshold = plan.group_threshold(s);
+      plan.group_members(s, g, gm.members);
+      plan.group_parents(s, g, gm.producers);
+      for (std::uint64_t p : gm.producers)
+        for (std::uint64_t c : gm.members)
+          m.graph.add_edge({s - 1, p}, {s, c});
+      m.groups.push_back(std::move(gm));
+    }
+  }
+  return m;
+}
+
+std::string to_string(Schedule s) {
+  return s == Schedule::kBarrier ? "barrier" : "counters";
+}
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,178 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace c64fft::analysis {
+
+namespace {
+
+using codelet::CodeletKey;
+
+std::string key_str(CodeletKey k) {
+  std::ostringstream os;
+  os << "(stage " << k.stage << ", task " << k.index << ")";
+  return os.str();
+}
+
+/// Per-node transitive-successor bitsets over the dense graph, built in
+/// reverse topological order. Empty when the graph is cyclic.
+class Reachability {
+ public:
+  explicit Reachability(const codelet::CodeletGraph& g)
+      : nodes_(static_cast<std::uint32_t>(g.node_count())),
+        words_((nodes_ + 63) / 64) {
+    std::vector<std::uint32_t> indeg(nodes_);
+    for (std::uint32_t v = 0; v < nodes_; ++v)
+      indeg[v] = static_cast<std::uint32_t>(g.predecessors(v).size());
+    std::deque<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < nodes_; ++v)
+      if (indeg[v] == 0) ready.push_back(v);
+    std::vector<std::uint32_t> topo;
+    topo.reserve(nodes_);
+    while (!ready.empty()) {
+      const std::uint32_t v = ready.front();
+      ready.pop_front();
+      topo.push_back(v);
+      for (std::uint32_t c : g.successors(v))
+        if (--indeg[c] == 0) ready.push_back(c);
+    }
+    if (topo.size() != nodes_) return;  // cycle: leave bits_ empty
+    bits_.assign(static_cast<std::size_t>(nodes_) * words_, 0);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const std::uint32_t v = *it;
+      std::uint64_t* row = &bits_[static_cast<std::size_t>(v) * words_];
+      for (std::uint32_t c : g.successors(v)) {
+        row[c / 64] |= std::uint64_t{1} << (c % 64);
+        const std::uint64_t* crow = &bits_[static_cast<std::size_t>(c) * words_];
+        for (std::size_t w = 0; w < words_; ++w) row[w] |= crow[w];
+      }
+    }
+  }
+
+  bool valid() const noexcept { return !bits_.empty() || nodes_ == 0; }
+
+  bool reaches(std::uint32_t a, std::uint32_t b) const noexcept {
+    return (bits_[static_cast<std::size_t>(a) * words_ + b / 64] >>
+            (b % 64)) & 1u;
+  }
+
+ private:
+  std::uint32_t nodes_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+struct PairStat {
+  std::uint64_t example_element = 0;
+  std::uint64_t shared = 0;  // conflicting elements of this pair
+  bool write_write = false;
+};
+
+}  // namespace
+
+CheckResult detect_races(const PlanModel& model, const RaceOptions& opts) {
+  CheckResult res;
+  res.name = "races";
+
+  // Ordering oracle.
+  const bool barrier = model.schedule == Schedule::kBarrier;
+  Reachability reach(model.graph);
+  if (!barrier && !reach.valid()) {
+    res.status = "skipped";
+    res.note = "dependency graph is cyclic; fix the graph check first";
+    return res;
+  }
+  // Dense graph id per codelet (kNoId when the codelet is not a graph
+  // node at all — then nothing orders it, so it conflicts with any
+  // overlapping access).
+  constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> gid(model.codelets.size(), kNoId);
+  for (std::size_t i = 0; i < model.codelets.size(); ++i)
+    if (model.graph.contains(model.codelets[i].key))
+      gid[i] = model.graph.id_of(model.codelets[i].key);
+
+  auto ordered = [&](std::size_t a, std::size_t b) {
+    if (barrier) return model.codelets[a].key.stage != model.codelets[b].key.stage;
+    if (gid[a] == kNoId || gid[b] == kNoId) return false;
+    return reach.reaches(gid[a], gid[b]) || reach.reaches(gid[b], gid[a]);
+  };
+
+  // Invert the footprints: element -> accessors. Only codelets sharing an
+  // element are ever compared, so the pair work scales with footprint
+  // overlap, not with codelets^2.
+  struct Accessor {
+    std::uint32_t codelet;
+    bool write;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Accessor>> accessors;
+  accessors.reserve(model.n);
+  for (std::size_t i = 0; i < model.codelets.size(); ++i) {
+    const auto ci = static_cast<std::uint32_t>(i);
+    for (std::uint64_t e : model.codelets[i].reads) accessors[e].push_back({ci, false});
+    for (std::uint64_t e : model.codelets[i].writes) accessors[e].push_back({ci, true});
+  }
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, PairStat> racing;
+  std::unordered_set<std::uint64_t> known_ordered;
+  std::uint64_t queries = 0;
+  for (const auto& [element, accs] : accessors) {
+    for (std::size_t x = 0; x < accs.size(); ++x) {
+      for (std::size_t y = x + 1; y < accs.size(); ++y) {
+        if (accs[x].codelet == accs[y].codelet) continue;
+        if (!accs[x].write && !accs[y].write) continue;
+        const auto pair = std::minmax(accs[x].codelet, accs[y].codelet);
+        const std::uint64_t pair_key =
+            (static_cast<std::uint64_t>(pair.first) << 32) | pair.second;
+        if (known_ordered.count(pair_key)) continue;
+        auto it = racing.find({pair.first, pair.second});
+        // One ordering query per pair is enough: ordered pairs are cached,
+        // racing pairs just accumulate their conflict statistics.
+        if (it == racing.end()) {
+          ++queries;
+          if (ordered(pair.first, pair.second)) {
+            known_ordered.insert(pair_key);
+            continue;
+          }
+          it = racing.emplace(std::make_pair(pair.first, pair.second), PairStat{})
+                   .first;
+          it->second.example_element = element;
+        }
+        ++it->second.shared;
+        it->second.write_write |= accs[x].write && accs[y].write;
+      }
+    }
+  }
+
+  res.metrics["order_queries"] = static_cast<double>(queries);
+  res.metrics["racing_pairs"] = static_cast<double>(racing.size());
+
+  std::size_t shown = 0;
+  for (const auto& [pair, stat] : racing) {
+    if (++shown > opts.max_diagnostics) break;
+    const CodeletKey a = model.codelets[pair.first].key;
+    const CodeletKey b = model.codelets[pair.second].key;
+    std::ostringstream os;
+    os << key_str(a) << " and " << key_str(b) << " are unordered by the "
+       << (barrier ? "barrier schedule" : "dependency DAG") << " yet share "
+       << stat.shared << " data element(s) with a "
+       << (stat.write_write ? "write-write" : "read-write")
+       << " conflict, e.g. element " << stat.example_element;
+    res.add(Severity::kError, stat.write_write ? "race-ww" : "race-rw", os.str(), a);
+  }
+  if (racing.size() > opts.max_diagnostics)
+    res.add(Severity::kError, "race-rw",
+            std::to_string(racing.size() - opts.max_diagnostics) +
+                " further racing pairs suppressed");
+
+  res.finalize();
+  return res;
+}
+
+}  // namespace c64fft::analysis

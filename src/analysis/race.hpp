@@ -1,0 +1,30 @@
+#pragma once
+// Static schedule-race detection (fft_lint check "races").
+//
+// Two codelets race when they touch a common data element, at least one
+// writes it, and the schedule does not order them: under
+// Schedule::kCounters "ordered" means connected by a directed path in the
+// dependency DAG; under Schedule::kBarrier it means belonging to
+// different stages. The detector inverts the footprints (element ->
+// accessors), so only codelets that actually share an element are ever
+// compared, and answers ordering queries from per-node reachability
+// bitsets — it proves race-freedom of a whole schedule without running a
+// single thread.
+//
+// Requires an acyclic graph under kCounters; the analyzer skips this
+// check (status "skipped") when the verifier found a cycle.
+
+#include "analysis/model.hpp"
+#include "analysis/report.hpp"
+
+namespace c64fft::analysis {
+
+struct RaceOptions {
+  /// Cap on emitted race diagnostics; the true conflicting-pair count is
+  /// always in the check metrics.
+  std::size_t max_diagnostics = 8;
+};
+
+CheckResult detect_races(const PlanModel& model, const RaceOptions& opts = {});
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,114 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace c64fft::analysis {
+
+namespace {
+
+// Minimal JSON string escaping: the report only ever emits ASCII
+// identifiers and messages, so control characters and quotes suffice.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_diag(std::ostringstream& os, const Diagnostic& d) {
+  os << "{\"severity\":\"" << to_string(d.severity) << "\",\"code\":\""
+     << json_escape(d.code) << "\",\"message\":\"" << json_escape(d.message) << '"';
+  if (d.has_location())
+    os << ",\"stage\":" << d.where.stage << ",\"codelet\":" << d.where.index;
+  os << '}';
+}
+
+}  // namespace
+
+void CheckResult::add(Severity sev, std::string code, std::string message,
+                      codelet::CodeletKey where) {
+  diagnostics.push_back({sev, std::move(code), std::move(message), where});
+}
+
+std::size_t CheckResult::errors() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t CheckResult::warnings() const { return diagnostics.size() - errors(); }
+
+void CheckResult::finalize() {
+  if (status == "skipped") return;
+  status = errors() ? "fail" : (diagnostics.empty() ? "pass" : "warn");
+}
+
+std::size_t AnalysisReport::errors() const {
+  std::size_t n = 0;
+  for (const auto& c : checks) n += c.errors();
+  return n;
+}
+
+std::size_t AnalysisReport::warnings() const {
+  std::size_t n = 0;
+  for (const auto& c : checks) n += c.warnings();
+  return n;
+}
+
+std::string AnalysisReport::status() const {
+  if (errors()) return "fail";
+  return warnings() ? "warn" : "pass";
+}
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"fft_lint\":{\"version\":1},";
+  os << "\"plan\":{\"name\":\"" << json_escape(plan_name) << "\",\"n\":" << n
+     << ",\"radix_log2\":" << radix_log2 << ",\"stages\":" << stages
+     << ",\"codelets\":" << codelets << ",\"schedule\":\"" << json_escape(schedule)
+     << "\",\"layout\":\"" << json_escape(layout) << "\"},";
+  os << "\"checks\":[";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const CheckResult& c = checks[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << json_escape(c.name) << "\",\"status\":\"" << c.status << '"';
+    if (!c.note.empty()) os << ",\"note\":\"" << json_escape(c.note) << '"';
+    os << ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [k, v] : c.metrics) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(k) << "\":" << v;
+    }
+    os << "},\"diagnostics\":[";
+    for (std::size_t d = 0; d < c.diagnostics.size(); ++d) {
+      if (d) os << ',';
+      append_diag(os, c.diagnostics[d]);
+    }
+    os << "]}";
+  }
+  os << "],\"errors\":" << errors() << ",\"warnings\":" << warnings() << ",\"status\":\""
+     << status() << "\"}";
+  return os.str();
+}
+
+std::string to_string(Severity s) { return s == Severity::kError ? "error" : "warning"; }
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,220 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace c64fft::analysis {
+
+namespace {
+
+using codelet::CodeletKey;
+using codelet::CodeletKeyHash;
+
+std::string key_str(CodeletKey k) {
+  std::ostringstream os;
+  os << "(stage " << k.stage << ", task " << k.index << ")";
+  return os.str();
+}
+
+/// Kahn's algorithm over the dense graph; returns the nodes left with
+/// nonzero in-degree (empty iff acyclic), so a cycle diagnostic can name
+/// a participating codelet instead of just "there is a cycle somewhere".
+std::vector<std::uint32_t> cycle_residue(const codelet::CodeletGraph& g) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.node_count());
+  std::vector<std::uint32_t> indeg(n);
+  for (std::uint32_t v = 0; v < n; ++v)
+    indeg[v] = static_cast<std::uint32_t>(g.predecessors(v).size());
+  std::deque<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  std::uint32_t emitted = 0;
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.front();
+    ready.pop_front();
+    ++emitted;
+    for (std::uint32_t c : g.successors(v))
+      if (--indeg[c] == 0) ready.push_back(c);
+  }
+  std::vector<std::uint32_t> residue;
+  if (emitted == n) return residue;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (indeg[v] != 0) residue.push_back(v);
+  return residue;
+}
+
+}  // namespace
+
+CheckResult verify_graph(const PlanModel& model, const VerifierOptions& opts) {
+  CheckResult res;
+  res.name = "graph";
+  res.metrics["nodes"] = static_cast<double>(model.graph.node_count());
+  res.metrics["edges"] = static_cast<double>(model.graph.edge_count());
+  res.metrics["groups"] = static_cast<double>(model.groups.size());
+
+  // -- Acyclicity (both schedules: a cyclic CDG is broken regardless of
+  // how the runtime orders it).
+  const auto residue = cycle_residue(model.graph);
+  res.metrics["cycle_nodes"] = static_cast<double>(residue.size());
+  if (!residue.empty()) {
+    const CodeletKey at = model.graph.key_of(residue.front());
+    std::ostringstream os;
+    os << "dependency graph has a cycle through " << residue.size() << " codelet(s), e.g. "
+       << key_str(at) << " — the CDG is not well-behaved";
+    res.add(Severity::kError, "cycle", os.str(), at);
+  }
+
+  if (model.schedule == Schedule::kBarrier) {
+    res.note = "counter checks skipped: barrier schedule orders whole stages";
+    res.finalize();
+    return res;
+  }
+
+  // -- Counter declarations vs the DAG.
+  std::unordered_map<CodeletKey, std::size_t, CodeletKeyHash> index;
+  index.reserve(model.codelets.size());
+  for (std::size_t i = 0; i < model.codelets.size(); ++i)
+    index.emplace(model.codelets[i].key, i);
+  std::size_t threshold_errors = 0, parent_errors = 0;
+  // producer key -> groups it arrives at; member key -> release count.
+  std::unordered_map<CodeletKey, std::vector<std::size_t>, CodeletKeyHash> arrivals;
+  std::unordered_map<CodeletKey, std::size_t, CodeletKeyHash> releases;
+  for (std::size_t gi = 0; gi < model.groups.size(); ++gi) {
+    const GroupModel& gm = model.groups[gi];
+    if (gm.threshold != gm.producers.size()) {
+      if (++threshold_errors <= opts.max_diagnostics) {
+        std::ostringstream os;
+        os << "stage " << gm.stage << " group " << gm.group << ": declared threshold "
+           << gm.threshold << " but " << gm.producers.size()
+           << " producers arrive — the counter fires "
+           << (gm.threshold > gm.producers.size() ? "never (deadlock)"
+                                                  : "before all parents completed");
+        res.add(Severity::kError, "threshold-mismatch", os.str(),
+                {gm.stage, gm.group});
+      }
+    }
+    std::vector<std::uint64_t> want(gm.producers);
+    std::sort(want.begin(), want.end());
+    for (std::uint64_t mtask : gm.members) {
+      const CodeletKey member{gm.stage, mtask};
+      ++releases[member];
+      if (!index.count(member) || !model.graph.contains(member)) {
+        res.add(Severity::kError, "orphan",
+                "group member " + key_str(member) + " does not exist in the plan", member);
+        continue;
+      }
+      // The member's DAG parents must be exactly the group's producers in
+      // the previous stage (Section IV-A2 sibling-group invariant).
+      std::vector<std::uint64_t> have;
+      for (CodeletKey p : model.graph.parents(member))
+        if (p.stage + 1 == gm.stage) have.push_back(p.index);
+      std::sort(have.begin(), have.end());
+      have.erase(std::unique(have.begin(), have.end()), have.end());
+      if (have != want && ++parent_errors <= opts.max_diagnostics) {
+        std::ostringstream os;
+        os << "member " << key_str(member) << " has " << have.size()
+           << " distinct stage-" << (gm.stage - 1) << " parents in the DAG but its group"
+           << " declares " << want.size() << " producers";
+        res.add(Severity::kError, "parent-set-mismatch", os.str(), member);
+      }
+    }
+    for (std::uint64_t p : gm.producers) arrivals[{gm.stage - 1, p}].push_back(gi);
+  }
+  if (threshold_errors > opts.max_diagnostics)
+    res.add(Severity::kError, "threshold-mismatch",
+            std::to_string(threshold_errors - opts.max_diagnostics) +
+                " further threshold mismatches suppressed");
+  if (parent_errors > opts.max_diagnostics)
+    res.add(Severity::kError, "parent-set-mismatch",
+            std::to_string(parent_errors - opts.max_diagnostics) +
+                " further parent-set mismatches suppressed");
+
+  // -- Every non-seed codelet must be released by exactly one counter, and
+  // every non-final codelet must arrive at exactly one counter.
+  std::size_t orphan_count = 0;
+  for (const CodeletModel& c : model.codelets) {
+    if (c.key.stage == 0) continue;
+    const auto it = releases.find(c.key);
+    if (it == releases.end()) {
+      if (++orphan_count <= opts.max_diagnostics)
+        res.add(Severity::kError, "orphan",
+                key_str(c.key) + " is a member of no sibling group: no counter ever "
+                                 "releases it, so it can never fire",
+                c.key);
+    } else if (it->second > 1) {
+      res.add(Severity::kError, "multi-release",
+              key_str(c.key) + " is a member of " + std::to_string(it->second) +
+                  " sibling groups and would be fired more than once",
+              c.key);
+    }
+  }
+  if (orphan_count > opts.max_diagnostics)
+    res.add(Severity::kError, "orphan",
+            std::to_string(orphan_count - opts.max_diagnostics) +
+                " further orphaned codelets suppressed");
+  for (const CodeletModel& c : model.codelets) {
+    if (c.key.stage + 1 >= model.stages) continue;
+    const auto it = arrivals.find(c.key);
+    const std::size_t fanout = it == arrivals.end() ? 0 : it->second.size();
+    if (fanout != 1)
+      res.add(Severity::kError, "ambiguous-arrival",
+              key_str(c.key) + " increments " + std::to_string(fanout) +
+                  " counters; the runtime performs exactly one arrival per completion",
+              c.key);
+  }
+
+  // -- Abstract counter machine: seed stage 0, run to quiescence.
+  std::unordered_map<CodeletKey, bool, CodeletKeyHash> fired;
+  std::vector<std::uint32_t> counter(model.groups.size(), 0);
+  std::vector<bool> over_reported(model.groups.size(), false);
+  std::deque<CodeletKey> pool;
+  for (const CodeletModel& c : model.codelets)
+    if (c.key.stage == 0) pool.push_back(c.key);
+  std::size_t fired_count = 0;
+  while (!pool.empty()) {
+    const CodeletKey k = pool.front();
+    pool.pop_front();
+    if (fired[k]) continue;
+    fired[k] = true;
+    ++fired_count;
+    const auto it = arrivals.find(k);
+    if (it == arrivals.end()) continue;
+    for (std::size_t gi : it->second) {
+      const GroupModel& gm = model.groups[gi];
+      if (counter[gi] >= gm.threshold) {
+        if (!over_reported[gi]) {
+          over_reported[gi] = true;
+          std::ostringstream os;
+          os << "stage " << gm.stage << " group " << gm.group
+             << ": counter over-satisfied (more arrivals than threshold " << gm.threshold
+             << ") — DependencyCounters::arrive would throw at runtime";
+          res.add(Severity::kError, "over-arrival", os.str(), {gm.stage, gm.group});
+        }
+        continue;
+      }
+      if (++counter[gi] == gm.threshold)
+        for (std::uint64_t m : gm.members) pool.push_back({gm.stage, m});
+    }
+  }
+  res.metrics["fired"] = static_cast<double>(fired_count);
+  if (fired_count != model.codelets.size()) {
+    std::size_t shown = 0;
+    std::ostringstream os;
+    os << (model.codelets.size() - fired_count)
+       << " codelet(s) can never fire from the stage-0 seed set, e.g.";
+    for (const CodeletModel& c : model.codelets) {
+      if (fired[c.key]) continue;
+      os << ' ' << key_str(c.key);
+      if (++shown == 3) break;
+    }
+    res.add(Severity::kError, "deadlock", os.str());
+  }
+
+  res.finalize();
+  return res;
+}
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,35 @@
+#pragma once
+// Static well-formedness checks over a PlanModel's dependency structure
+// (fft_lint check "graph"):
+//
+//  * acyclicity — the producer->consumer DAG must be well-behaved
+//    (paper Section III-C3: well-behaved CDGs compute deterministic
+//    results);
+//  * counter declarations — every sibling group's declared threshold must
+//    equal its actual producer count, and every member's DAG parent set
+//    must be exactly the group's producer set (the paper's "64 parents
+//    share one counter" invariant, Section IV-A2);
+//  * orphans — every non-seed codelet must be released by some counter,
+//    and every counter member / producer must exist;
+//  * deadlock-freedom — an abstract counter-machine run from the stage-0
+//    seed set must fire every codelet exactly once, with no counter
+//    over-satisfied (the static analogue of DependencyCounters::arrive
+//    throwing at runtime).
+//
+// Under Schedule::kBarrier only acyclicity is meaningful (barriers order
+// stages unconditionally); the counter checks are skipped with a note.
+
+#include "analysis/model.hpp"
+#include "analysis/report.hpp"
+
+namespace c64fft::analysis {
+
+struct VerifierOptions {
+  /// Cap on diagnostics emitted per defect class (the totals are always
+  /// reported in the check metrics, so nothing is silently dropped).
+  std::size_t max_diagnostics = 8;
+};
+
+CheckResult verify_graph(const PlanModel& model, const VerifierOptions& opts = {});
+
+}  // namespace c64fft::analysis

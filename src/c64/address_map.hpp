@@ -6,6 +6,7 @@
 // multiples of 4 elements all land on the bank holding the array base.
 
 #include <cstdint>
+#include <numeric>
 
 #include "c64/config.hpp"
 
@@ -38,6 +39,35 @@ class AddressMap {
   /// (i.e. the longest run starting at `addr` that stays in one bank).
   std::uint64_t bytes_left_in_line(std::uint64_t addr) const noexcept {
     return interleave_ - (addr % interleave_);
+  }
+
+  /// Distinct banks an unbounded line-aligned stream with the given byte
+  /// stride touches. Strides that are a multiple of interleave * banks hit
+  /// exactly one bank — the static signature of the twiddle hotspot: with
+  /// 64 B lines and 16 B elements every element stride that is a multiple
+  /// of 4 returns 1 here. A zero stride trivially touches one bank.
+  unsigned banks_touched_by_stride(std::uint64_t stride_bytes) const noexcept {
+    if (stride_bytes == 0) return 1;
+    if (stride_bytes % interleave_ == 0) {
+      // Line-granular hops: bank advances by stride/interleave mod banks.
+      const std::uint64_t hop = (stride_bytes / interleave_) % banks_;
+      return hop == 0 ? 1 : banks_ / static_cast<unsigned>(std::gcd(hop, std::uint64_t{banks_}));
+    }
+    // Sub-line stride: walk until the address phase repeats (period divides
+    // interleave * banks / gcd, so the loop is tightly bounded). The visit
+    // mask holds up to 64 banks; wider configs (never built for C64, which
+    // has 4) conservatively report all banks touched.
+    if (banks_ > 64) return banks_;
+    const std::uint64_t period = std::uint64_t{interleave_} * banks_;
+    std::uint64_t seen_mask = 0, addr = 0;
+    do {
+      seen_mask |= std::uint64_t{1} << bank_of(addr);
+      addr = (addr + stride_bytes) % period;
+    } while (addr != 0);
+    unsigned count = 0;
+    for (unsigned b = 0; b < banks_; ++b)
+      if (seen_mask & (std::uint64_t{1} << b)) ++count;
+    return count;
   }
 
  private:

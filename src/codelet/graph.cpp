@@ -24,6 +24,12 @@ void CodeletGraph::add_edge(CodeletKey producer, CodeletKey consumer) {
   ++edges_;
 }
 
+std::uint32_t CodeletGraph::id_of(CodeletKey key) const {
+  const auto it = ids_.find(key);
+  if (it == ids_.end()) throw std::out_of_range("CodeletGraph: unknown node");
+  return it->second;
+}
+
 std::uint32_t CodeletGraph::in_degree(CodeletKey key) const {
   const auto it = ids_.find(key);
   if (it == ids_.end()) throw std::out_of_range("CodeletGraph: unknown node");

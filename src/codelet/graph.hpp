@@ -33,6 +33,18 @@ class CodeletGraph {
   const CodeletKey& key_of(std::uint32_t node) const { return keys_.at(node); }
   bool contains(CodeletKey key) const { return ids_.count(key) != 0; }
 
+  /// Dense node id of `key` (throws std::out_of_range if absent).
+  std::uint32_t id_of(CodeletKey key) const;
+  /// Successor / predecessor node ids of dense node `node`, with
+  /// multiplicity — the raw adjacency used by static analyses that build
+  /// reachability over dense ids instead of keys.
+  const std::vector<std::uint32_t>& successors(std::uint32_t node) const {
+    return succ_.at(node);
+  }
+  const std::vector<std::uint32_t>& predecessors(std::uint32_t node) const {
+    return pred_.at(node);
+  }
+
   /// Number of inbound dependency tokens of a node.
   std::uint32_t in_degree(CodeletKey key) const;
   /// Direct consumers of a node (with multiplicity).

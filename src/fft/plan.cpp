@@ -61,6 +61,26 @@ std::uint64_t FftPlan::twiddle_index(std::uint32_t s, std::uint64_t i, std::uint
   return (g_lo % block) << (log2n_ - level - 1);
 }
 
+void FftPlan::task_elements(std::uint32_t s, std::uint64_t i,
+                            std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.reserve(radix());
+  for (std::uint64_t k = 0; k < radix(); ++k) out.push_back(element_index(s, i, k));
+}
+
+void FftPlan::task_twiddles(std::uint32_t s, std::uint64_t i,
+                            std::vector<std::uint64_t>& out) const {
+  const StageInfo& st = stages_.at(s);
+  out.clear();
+  out.reserve(twiddles_per_task(s));
+  for (std::uint32_t v = 0; v < st.levels; ++v) {
+    const std::uint64_t hw = std::uint64_t{1} << v;
+    for (std::uint64_t c = 0; c < st.chains_per_task; ++c)
+      for (std::uint64_t p = 0; p < hw; ++p)
+        out.push_back(twiddle_index(s, i, v, c * st.chain_len + p));
+  }
+}
+
 std::uint64_t FftPlan::twiddles_per_task(std::uint32_t s) const {
   const StageInfo& st = stages_.at(s);
   return st.chains_per_task * (st.chain_len - 1);

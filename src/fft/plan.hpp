@@ -75,6 +75,14 @@ class FftPlan {
   /// (R-1 for a full stage; cpt*(2^w - 1) for the partial last stage).
   std::uint64_t twiddles_per_task(std::uint32_t s) const;
 
+  /// The R data element indices task i of stage s reads and writes (the
+  /// in-place kernel's footprint), in local-point order k = 0..R-1.
+  void task_elements(std::uint32_t s, std::uint64_t i, std::vector<std::uint64_t>& out) const;
+
+  /// Logical twiddle indices task i of stage s loads, one per butterfly
+  /// (twiddles_per_task(s) entries, level-major).
+  void task_twiddles(std::uint32_t s, std::uint64_t i, std::vector<std::uint64_t>& out) const;
+
   /// Real floating-point operations per task of stage s
   /// (10 flops per 2-point butterfly; 5*R*levels total).
   std::uint64_t flops_per_task(std::uint32_t s) const;

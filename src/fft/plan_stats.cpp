@@ -30,30 +30,23 @@ TrafficCensus::TrafficCensus(const FftPlan& plan, TwiddleLayout layout, unsigned
   };
 
   stages_.reserve(plan.stage_count());
+  std::vector<std::uint64_t> elems, twiddles;
   for (std::uint32_t s = 0; s < plan.stage_count(); ++s) {
     StageTraffic st;
     st.stage = s;
     st.data_accesses.assign(banks, 0);
     st.twiddle_accesses.assign(banks, 0);
-    const StageInfo& info = plan.stage(s);
     for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i) {
       // Data: one load + one store per element.
-      for (std::uint64_t k = 0; k < plan.radix(); ++k) {
-        const std::uint64_t addr =
-            data_base + plan.element_index(s, i, k) * kElementBytes;
-        st.data_accesses[bank_of(addr)] += 2;
-      }
+      plan.task_elements(s, i, elems);
+      for (std::uint64_t e : elems)
+        st.data_accesses[bank_of(data_base + e * kElementBytes)] += 2;
       // Twiddles: one load per distinct factor.
-      for (std::uint32_t v = 0; v < info.levels; ++v) {
-        const std::uint64_t hw = std::uint64_t{1} << v;
-        for (std::uint64_t c = 0; c < info.chains_per_task; ++c) {
-          for (std::uint64_t p = 0; p < hw; ++p) {
-            const std::uint64_t t = plan.twiddle_index(s, i, v, c * info.chain_len + p);
-            const std::uint64_t slot =
-                layout == TwiddleLayout::kBitReversed ? util::bit_reverse(t, tw_bits) : t;
-            st.twiddle_accesses[bank_of(twiddle_base + slot * kElementBytes)] += 1;
-          }
-        }
+      plan.task_twiddles(s, i, twiddles);
+      for (std::uint64_t t : twiddles) {
+        const std::uint64_t slot =
+            layout == TwiddleLayout::kBitReversed ? util::bit_reverse(t, tw_bits) : t;
+        st.twiddle_accesses[bank_of(twiddle_base + slot * kElementBytes)] += 1;
       }
     }
     stages_.push_back(std::move(st));

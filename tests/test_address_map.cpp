@@ -37,6 +37,22 @@ TEST(AddressMap, Stride4MultiplesPinToOneBank) {
     EXPECT_EQ(m.bank_of_element(0, idx, 16), 0u) << idx;
 }
 
+TEST(AddressMap, BanksTouchedByStride) {
+  AddressMap m(4, 64);
+  // Multiples of interleave * banks = 256 B pin the stream to one bank —
+  // the static form of the twiddle hotspot (element stride 16 at 16 B).
+  EXPECT_EQ(m.banks_touched_by_stride(0), 1u);
+  EXPECT_EQ(m.banks_touched_by_stride(256), 1u);
+  EXPECT_EQ(m.banks_touched_by_stride(1024), 1u);
+  // Line-granular strides visit banks / gcd(hop, banks) banks.
+  EXPECT_EQ(m.banks_touched_by_stride(64), 4u);
+  EXPECT_EQ(m.banks_touched_by_stride(128), 2u);
+  EXPECT_EQ(m.banks_touched_by_stride(192), 4u);  // hop 3, coprime with 4
+  // Sub-line strides sweep every bank eventually.
+  EXPECT_EQ(m.banks_touched_by_stride(16), 4u);
+  EXPECT_EQ(m.banks_touched_by_stride(96), 4u);
+}
+
 TEST(AddressMap, BaseOffsetShiftsBank) {
   AddressMap m(4, 64);
   EXPECT_EQ(m.bank_of_element(64, 0, 16), 1u);

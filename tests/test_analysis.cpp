@@ -1,0 +1,257 @@
+// The static analyzer must (a) pass every shipped plan variant clean of
+// errors, flagging only the linear twiddle layout's bank-0 hotspot, and
+// (b) catch each class of seeded defect: a dependency cycle, a wrong
+// counter threshold, overlapping unordered writes, an orphaned codelet,
+// and a bank-0-heavy twiddle stride.
+
+#include "analysis/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/model.hpp"
+#include "fft/plan.hpp"
+
+namespace c64fft::analysis {
+namespace {
+
+using fft::FftPlan;
+using fft::TwiddleLayout;
+
+bool has_code(const AnalysisReport& report, const std::string& check,
+              const std::string& code) {
+  for (const auto& c : report.checks) {
+    if (c.name != check) continue;
+    for (const auto& d : c.diagnostics)
+      if (d.code == code) return true;
+  }
+  return false;
+}
+
+const CheckResult& check_of(const AnalysisReport& report, const std::string& name) {
+  for (const auto& c : report.checks)
+    if (c.name == name) return c;
+  throw std::logic_error("missing check " + name);
+}
+
+PlanModel clean_model(std::uint64_t n = 4096, unsigned r = 6,
+                      TwiddleLayout layout = TwiddleLayout::kLinear,
+                      Schedule schedule = Schedule::kCounters) {
+  return build_model(FftPlan(n, r), layout, schedule);
+}
+
+// ---- Shipped variants ----
+
+TEST(Analyzer, AllShippedVariantsAreErrorFree) {
+  for (const std::uint64_t n : {std::uint64_t{256}, std::uint64_t{4096}}) {
+    for (const unsigned r : {3u, 6u}) {
+      if ((std::uint64_t{1} << r) > n) continue;
+      for (const auto layout : {TwiddleLayout::kLinear, TwiddleLayout::kBitReversed}) {
+        for (const auto schedule : {Schedule::kBarrier, Schedule::kCounters}) {
+          const auto report = analyze_plan(FftPlan(n, r), layout, schedule);
+          EXPECT_EQ(report.errors(), 0u)
+              << "n=" << n << " r=" << r << " " << report.to_json();
+          EXPECT_TRUE(report.passed());
+        }
+      }
+    }
+  }
+}
+
+TEST(Analyzer, PartialLastStagePlanIsErrorFree) {
+  // 2^10 with radix 2^6: the second stage applies only 4 levels — the
+  // partial-stage group algebra must still verify clean.
+  const auto report = analyze_plan(FftPlan(1024, 6), TwiddleLayout::kLinear,
+                                   Schedule::kCounters);
+  EXPECT_EQ(report.errors(), 0u) << report.to_json();
+}
+
+TEST(Analyzer, LinearLayoutFlaggedBank0HashedClean) {
+  const FftPlan plan(4096, 6);
+  const auto linear =
+      analyze_plan(plan, TwiddleLayout::kLinear, Schedule::kCounters);
+  ASSERT_TRUE(has_code(linear, "banks", "bank-imbalance")) << linear.to_json();
+  EXPECT_TRUE(has_code(linear, "banks", "twiddle-single-bank"));
+  EXPECT_EQ(check_of(linear, "banks").metrics.at("hottest_bank"), 0.0);
+  EXPECT_GT(check_of(linear, "banks").metrics.at("twiddle_imbalance"), 2.0);
+  // Findings are warnings, not errors: shipped linear variants still pass.
+  EXPECT_EQ(linear.errors(), 0u);
+  EXPECT_EQ(linear.status(), "warn");
+
+  const auto hashed =
+      analyze_plan(plan, TwiddleLayout::kBitReversed, Schedule::kCounters);
+  EXPECT_FALSE(has_code(hashed, "banks", "bank-imbalance")) << hashed.to_json();
+  EXPECT_FALSE(has_code(hashed, "banks", "twiddle-single-bank"));
+  EXPECT_EQ(hashed.status(), "pass");
+  EXPECT_LT(check_of(hashed, "banks").metrics.at("twiddle_imbalance"), 1.5);
+}
+
+TEST(Analyzer, StrictBanksPromotesToError) {
+  AnalysisOptions opts;
+  opts.banks.strict = true;
+  const auto report =
+      analyze_plan(FftPlan(4096, 6), TwiddleLayout::kLinear, Schedule::kCounters, opts);
+  EXPECT_GT(report.errors(), 0u);
+  EXPECT_FALSE(report.passed());
+}
+
+// ---- Seeded defects ----
+
+TEST(Analyzer, SeededCycleIsDetected) {
+  PlanModel m = clean_model();
+  // Close a loop: some stage-1 consumer also "produces for" its parent.
+  m.graph.add_edge({1, 0}, {0, 0});
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "graph", "cycle")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+  // Reachability is undefined on a cyclic graph: races must be skipped,
+  // not silently passed.
+  EXPECT_EQ(check_of(report, "races").status, "skipped");
+}
+
+TEST(Analyzer, SeededThresholdTooHighDeadlocks) {
+  PlanModel m = clean_model();
+  m.groups.front().threshold += 1;  // one counter can never fill
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "graph", "threshold-mismatch")) << report.to_json();
+  EXPECT_TRUE(has_code(report, "graph", "deadlock"));
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Analyzer, SeededThresholdTooLowOverArrives) {
+  PlanModel m = clean_model();
+  m.groups.front().threshold -= 1;  // fires before the last parent: the
+                                    // runtime counter would over-satisfy
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "graph", "threshold-mismatch")) << report.to_json();
+  EXPECT_TRUE(has_code(report, "graph", "over-arrival"));
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Analyzer, SeededOverlappingUnorderedWritesRace) {
+  PlanModel m = clean_model();
+  // Two stage-0 codelets are unordered by construction; make task 1
+  // write into task 0's footprint.
+  ASSERT_EQ(m.codelets[0].key.stage, 0u);
+  ASSERT_EQ(m.codelets[1].key.stage, 0u);
+  m.codelets[1].writes = m.codelets[0].writes;
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "races", "race-ww")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+  EXPECT_GE(check_of(report, "races").metrics.at("racing_pairs"), 1.0);
+}
+
+TEST(Analyzer, SeededMissingEdgeReadWriteRace) {
+  PlanModel m = clean_model();
+  // Rebuild the graph with one producer->consumer edge dropped: the
+  // consumer now reads elements its missing parent writes, unordered.
+  codelet::CodeletGraph pruned;
+  bool dropped = false;
+  for (const CodeletModel& c : m.codelets) pruned.add_node(c.key);
+  for (const GroupModel& g : m.groups)
+    for (std::uint64_t p : g.producers)
+      for (std::uint64_t mem : g.members) {
+        if (!dropped && g.stage == 1 && p == 0 && mem == 0) {
+          dropped = true;
+          continue;
+        }
+        pruned.add_edge({g.stage - 1, p}, {g.stage, mem});
+      }
+  ASSERT_TRUE(dropped);
+  m.graph = pruned;
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "races", "race-rw") ||
+              has_code(report, "races", "race-ww"))
+      << report.to_json();
+  // The verifier independently sees the member's parent set shrink.
+  EXPECT_TRUE(has_code(report, "graph", "parent-set-mismatch"));
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Analyzer, SeededOrphanCodeletIsDetected) {
+  PlanModel m = clean_model();
+  // A codelet of stage >= 1 that no sibling group releases can never fire.
+  CodeletModel extra;
+  extra.key = {1, m.codelets.back().key.index + 1};
+  extra.reads = {0};
+  extra.writes = {0};
+  m.graph.add_node(extra.key);
+  m.codelets.push_back(extra);
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "graph", "orphan")) << report.to_json();
+  EXPECT_TRUE(has_code(report, "graph", "deadlock"));
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Analyzer, SeededBank0HeavyTwiddleStrideIsFlagged) {
+  PlanModel m = clean_model(4096, 6, TwiddleLayout::kBitReversed);
+  {
+    // Sanity: the hashed layout starts clean.
+    const auto before = analyze(m);
+    EXPECT_FALSE(has_code(before, "banks", "bank-imbalance"));
+  }
+  // Force every codelet's twiddle stream onto slots 16 elements apart:
+  // 16 * 16 B = 256 B = interleave * banks, so every load lands on the
+  // bank of the table base — the Fig. 1 hotspot in its purest form.
+  for (CodeletModel& c : m.codelets)
+    for (std::size_t i = 0; i < c.twiddle_slots.size(); ++i)
+      c.twiddle_slots[i] = 16 * static_cast<std::uint64_t>(i);
+  const auto report = analyze(m);
+  EXPECT_TRUE(has_code(report, "banks", "bank-imbalance")) << report.to_json();
+  EXPECT_TRUE(has_code(report, "banks", "twiddle-single-bank"));
+  EXPECT_EQ(check_of(report, "banks").metrics.at("hottest_bank"), 0.0);
+}
+
+// ---- Model / report plumbing ----
+
+TEST(Analyzer, ModelMatchesPlanAlgebra) {
+  const FftPlan plan(4096, 6);
+  const PlanModel m = build_model(plan, TwiddleLayout::kLinear, Schedule::kCounters);
+  EXPECT_EQ(m.codelets.size(), plan.total_tasks());
+  EXPECT_EQ(m.graph.node_count(), plan.total_tasks());
+  ASSERT_FALSE(m.groups.empty());
+  for (const GroupModel& g : m.groups) {
+    EXPECT_EQ(g.threshold, plan.group_threshold(g.stage));
+    EXPECT_EQ(g.producers.size(), g.threshold);
+    EXPECT_EQ(g.members.size(), plan.group_size(g.stage));
+  }
+  // Spot-check one footprint against the plan's index algebra.
+  std::vector<std::uint64_t> elems;
+  plan.task_elements(1, 3, elems);
+  const std::size_t pos = m.find({1, 3});
+  ASSERT_NE(pos, PlanModel::npos);
+  EXPECT_EQ(m.codelets[pos].reads, elems);
+  EXPECT_EQ(m.codelets[pos].writes, elems);
+}
+
+TEST(Analyzer, BarrierScheduleSkipsCounterChecksButOrdersStages) {
+  const auto report = analyze(clean_model(256, 6, TwiddleLayout::kLinear,
+                                          Schedule::kBarrier));
+  EXPECT_EQ(report.errors(), 0u) << report.to_json();
+  EXPECT_FALSE(check_of(report, "graph").note.empty());
+
+  // Same-stage overlap still races under barriers.
+  PlanModel m = clean_model(256, 6, TwiddleLayout::kLinear, Schedule::kBarrier);
+  m.codelets[1].writes = m.codelets[0].writes;
+  EXPECT_TRUE(has_code(analyze(m), "races", "race-ww"));
+}
+
+TEST(Analyzer, JsonReportIsWellFormed) {
+  const auto report =
+      analyze_plan(FftPlan(4096, 6), TwiddleLayout::kLinear, Schedule::kCounters);
+  const std::string json = report.to_json();
+  for (const char* needle :
+       {"\"fft_lint\"", "\"version\":1", "\"plan\"", "\"checks\"", "\"graph\"",
+        "\"races\"", "\"banks\"", "\"status\"", "\"imbalance\""})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << " missing:\n" << json;
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace c64fft::analysis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "util/bit_ops.hpp"
@@ -193,6 +194,34 @@ TEST(FftPlan, SmallRadixPlans) {
   const FftPlan q(64, 3);
   EXPECT_EQ(q.stage_count(), 2u);
   EXPECT_EQ(q.tasks_per_stage(), 8u);
+}
+
+TEST(FftPlan, TaskElementsMatchesElementIndex) {
+  const std::vector<std::pair<std::uint64_t, unsigned>> cases = {
+      {4096, 6}, {1024, 6} /* partial last stage */, {512, 3}};
+  for (const auto& [n, r] : cases) {
+    const FftPlan p(n, r);
+    std::vector<std::uint64_t> elems;
+    for (std::uint32_t s = 0; s < p.stage_count(); ++s) {
+      p.task_elements(s, p.tasks_per_stage() - 1, elems);
+      ASSERT_EQ(elems.size(), p.radix());
+      for (std::uint64_t k = 0; k < p.radix(); ++k)
+        EXPECT_EQ(elems[k], p.element_index(s, p.tasks_per_stage() - 1, k));
+    }
+  }
+}
+
+TEST(FftPlan, TaskTwiddlesCountAndRange) {
+  const std::vector<std::pair<std::uint64_t, unsigned>> cases = {{4096, 6}, {1024, 6}};
+  for (const auto& [n, r] : cases) {
+    const FftPlan p(n, r);
+    std::vector<std::uint64_t> tw;
+    for (std::uint32_t s = 0; s < p.stage_count(); ++s) {
+      p.task_twiddles(s, 0, tw);
+      EXPECT_EQ(tw.size(), p.twiddles_per_task(s));
+      for (std::uint64_t t : tw) EXPECT_LT(t, n / 2);
+    }
+  }
 }
 
 TEST(FftPlan, SingleStagePlan) {

@@ -1,0 +1,146 @@
+// fft_lint — static plan verifier and schedule race lint.
+//
+// Checks an FFT plan's codelet graph (acyclicity, counter thresholds,
+// orphans, deadlock-freedom), proves the schedule race-free from the
+// footprint algebra, and lints the DRAM bank balance of the chosen
+// twiddle layout — all without executing a single codelet. Exit status is
+// 0 when no check reports an error (bank findings are warnings unless
+// --strict-banks), 1 otherwise, 2 on usage errors.
+//
+//   fft_lint --logn=12 --layout=linear --schedule=fine --json
+//   fft_lint --all-variants            # lint every shipped Table-I variant
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "util/cli.hpp"
+
+using namespace c64fft;
+
+namespace {
+
+struct VariantSpec {
+  const char* name;
+  analysis::Schedule schedule;
+  fft::TwiddleLayout layout;
+};
+
+// The shipped plan variants of the paper's Table I: the three schedulers,
+// each with the linear and the bit-reversed ("hashed") twiddle layout.
+constexpr VariantSpec kShippedVariants[] = {
+    {"coarse/linear", analysis::Schedule::kBarrier, fft::TwiddleLayout::kLinear},
+    {"coarse/hashed", analysis::Schedule::kBarrier, fft::TwiddleLayout::kBitReversed},
+    {"fine/linear", analysis::Schedule::kCounters, fft::TwiddleLayout::kLinear},
+    {"fine/hashed", analysis::Schedule::kCounters, fft::TwiddleLayout::kBitReversed},
+    {"guided/linear", analysis::Schedule::kCounters, fft::TwiddleLayout::kLinear},
+    {"guided/hashed", analysis::Schedule::kCounters, fft::TwiddleLayout::kBitReversed},
+};
+
+void print_human(const analysis::AnalysisReport& report) {
+  std::cout << report.plan_name << ": n=" << report.n << " radix=2^" << report.radix_log2
+            << " stages=" << report.stages << " codelets=" << report.codelets << '\n';
+  for (const auto& check : report.checks) {
+    std::cout << "  [" << check.status << "] " << check.name;
+    if (!check.note.empty()) std::cout << " (" << check.note << ')';
+    std::cout << '\n';
+    for (const auto& d : check.diagnostics)
+      std::cout << "    " << to_string(d.severity) << " [" << d.code << "] " << d.message
+                << '\n';
+  }
+  std::cout << "  => " << report.status() << " (" << report.errors() << " error(s), "
+            << report.warnings() << " warning(s))\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "fft_lint — static plan verifier, schedule race lint and DRAM "
+      "bank-balance lint");
+  cli.add_int("logn", 12, "log2 of the FFT size to lint");
+  cli.add_int("radix-log2", 6, "log2 of the codelet radix (paper: 6)");
+  cli.add_string("layout", "linear", "twiddle layout: linear | hashed");
+  cli.add_string("schedule", "fine", "scheduler: coarse | fine | guided");
+  cli.add_int("banks", 4, "DRAM banks of the modelled chip");
+  cli.add_int("interleave", 64, "bank interleave in bytes");
+  cli.add_double("imbalance-threshold", 1.5, "flag max/mean bank ratio above this");
+  cli.add_flag("strict-banks", "report bank findings as errors, not warnings");
+  cli.add_flag("all-variants", "lint every shipped Table-I plan variant");
+  cli.add_flag("json", "emit the JSON report on stdout");
+  cli.add_string("json-file", "", "also write the JSON report to this path");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fft_lint: " << e.what() << '\n';
+    return 2;
+  }
+
+  analysis::AnalysisOptions opts;
+  opts.banks.banks = static_cast<unsigned>(cli.get_int("banks"));
+  opts.banks.interleave_bytes = static_cast<unsigned>(cli.get_int("interleave"));
+  opts.banks.imbalance_threshold = cli.get_double("imbalance-threshold");
+  opts.banks.strict = cli.flag("strict-banks");
+
+  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+  const auto radix_log2 = static_cast<unsigned>(cli.get_int("radix-log2"));
+
+  std::vector<VariantSpec> variants;
+  if (cli.flag("all-variants")) {
+    variants.assign(std::begin(kShippedVariants), std::end(kShippedVariants));
+  } else {
+    const std::string& layout = cli.get_string("layout");
+    const std::string& schedule = cli.get_string("schedule");
+    if (layout != "linear" && layout != "hashed") {
+      std::cerr << "fft_lint: unknown --layout '" << layout << "'\n";
+      return 2;
+    }
+    if (schedule != "coarse" && schedule != "fine" && schedule != "guided") {
+      std::cerr << "fft_lint: unknown --schedule '" << schedule << "'\n";
+      return 2;
+    }
+    // name left empty: the loop below derives it from the CLI strings.
+    variants.push_back(
+        {"", schedule == "coarse" ? analysis::Schedule::kBarrier : analysis::Schedule::kCounters,
+         layout == "hashed" ? fft::TwiddleLayout::kBitReversed : fft::TwiddleLayout::kLinear});
+  }
+
+  bool any_error = false;
+  std::string json_all = "[";
+  bool first = true;
+  for (const VariantSpec& v : variants) {
+    std::string name = v.name && *v.name
+                           ? v.name
+                           : cli.get_string("schedule") + "/" + cli.get_string("layout");
+    analysis::AnalysisReport report;
+    try {
+      const fft::FftPlan plan(n, radix_log2);
+      report = analysis::analyze_plan(plan, v.layout, v.schedule, opts, name);
+    } catch (const std::exception& e) {
+      std::cerr << "fft_lint: " << name << ": " << e.what() << '\n';
+      return 2;
+    }
+    any_error |= !report.passed();
+    if (cli.flag("json") || !cli.get_string("json-file").empty()) {
+      if (!first) json_all += ',';
+      first = false;
+      json_all += report.to_json();
+    }
+    if (!cli.flag("json")) print_human(report);
+  }
+  json_all += ']';
+
+  if (cli.flag("json")) std::cout << json_all << '\n';
+  if (!cli.get_string("json-file").empty()) {
+    std::ofstream out(cli.get_string("json-file"));
+    if (!out) {
+      std::cerr << "fft_lint: cannot write " << cli.get_string("json-file") << '\n';
+      return 2;
+    }
+    out << json_all << '\n';
+  }
+  return any_error ? 1 : 0;
+}
