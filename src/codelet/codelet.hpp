@@ -40,4 +40,22 @@ enum class PoolPolicy {
   kFifo,  ///< queue: enabling order preserved (breadth-first-ish)
 };
 
+/// How the host runtime schedules ready codelets.
+///
+/// kWorkStealing: per-worker Chase-Lev deques (owner LIFO pop, thief FIFO
+/// steal) plus a global injection queue holding the phase seeds in
+/// PoolPolicy order. Dynamically enabled codelets go to the enabling
+/// worker's own deque, so the hot push/pop path is lock-free; the pop
+/// order across workers is free — exactly the freedom the paper's
+/// fine-grain model grants (and the static race check proves safe).
+///
+/// kSequential: the paper-order compatibility mode. Every codelet runs on
+/// the calling thread, popped from one pool in strict PoolPolicy order, so
+/// the "fine best"/"fine worst" seed-order experiments reproduce the exact
+/// execution sequence the single mutex-pool runtime gave.
+enum class SchedulerMode {
+  kWorkStealing,
+  kSequential,
+};
+
 }  // namespace c64fft::codelet

@@ -6,88 +6,222 @@
 #include <deque>
 #include <exception>
 #include <mutex>
-#include <thread>
-#include <vector>
+
+#include "codelet/ws_deque.hpp"
 
 namespace c64fft::codelet {
 
 namespace {
 
-// Phase state shared by the workers: pool + in-flight accounting with a
-// condition variable for sleep/wake and quiescence detection.
-class PhaseState final : public Pusher {
- public:
-  PhaseState(std::span<const CodeletKey> seeds, PoolPolicy policy) : policy_(policy) {
-    items_.assign(seeds.begin(), seeds.end());
-  }
-
-  void push(CodeletKey ready) override {
-    {
-      std::lock_guard lock(mutex_);
-      items_.push_back(ready);
-    }
-    cv_.notify_one();
-  }
-
-  // Blocks until work is available or the phase is quiescent.
-  // Returns false when the phase is over.
-  bool pop(CodeletKey& out) {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !items_.empty() || executing_ == 0 || failed_; });
-    if (items_.empty() || failed_) return false;
-    if (policy_ == PoolPolicy::kLifo) {
-      out = items_.back();
-      items_.pop_back();
-    } else {
-      out = items_.front();
-      items_.pop_front();
-    }
-    ++executing_;
-    return true;
-  }
-
-  void done() {
-    bool quiescent = false;
-    {
-      std::lock_guard lock(mutex_);
-      --executing_;
-      quiescent = executing_ == 0 && items_.empty();
-    }
-    if (quiescent)
-      cv_.notify_all();
-    else
-      cv_.notify_one();
-  }
-
-  void fail(std::exception_ptr e) {
-    {
-      std::lock_guard lock(mutex_);
-      if (!error_) error_ = e;
-      failed_ = true;
-      --executing_;
-    }
-    cv_.notify_all();
-  }
-
-  std::exception_ptr error() {
-    std::lock_guard lock(mutex_);
-    return error_;
-  }
-
- private:
-  PoolPolicy policy_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<CodeletKey> items_;
-  unsigned executing_ = 0;
-  bool failed_ = false;
-  std::exception_ptr error_;
+// One cache line per worker: the deque plus the phase-local tallies the
+// runtime harvests after quiescence.
+struct alignas(64) WorkerState {
+  WorkStealingDeque deque;
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
 };
 
 }  // namespace
 
-HostRuntime::HostRuntime(unsigned workers) : workers_(workers), per_worker_(workers, 0) {
+// State shared between the run_phase caller (worker 0) and the persistent
+// worker threads. The hot path (own-deque push/pop, steals, the pending
+// count) is lock-free; the two mutexes guard only the cold paths — seed
+// injection and condvar parking.
+namespace detail {
+
+struct HostRuntimeShared {
+  explicit HostRuntimeShared(unsigned workers) : states(workers) {
+    for (auto& s : states) s = std::make_unique<WorkerState>();
+  }
+
+  std::vector<std::unique_ptr<WorkerState>> states;
+
+  // Global injection queue: phase seeds, handed out in PoolPolicy order.
+  // Always locked, never checked racily: the mutex total order is what
+  // separates "worker saw the seeds" from "worker parked before they
+  // arrived, so the seeder's signal bump lands after the worker's s0" —
+  // a lock-free emptiness hint here could park a worker forever.
+  std::mutex inject_mutex;
+  std::deque<CodeletKey> inject;
+  std::atomic<PoolPolicy> policy{PoolPolicy::kFifo};
+
+  // Current phase. `pending` counts queued + executing codelets; the phase
+  // is over exactly when it reaches zero (every queued item was counted
+  // before it became visible, so zero cannot be observed early).
+  std::atomic<const CodeletBody*> body{nullptr};
+  std::atomic<std::int64_t> pending{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Parking. `signal` and `sleepers` are both seq_cst so that for any
+  // push/park race, either the pusher sees the sleeper (and notifies) or
+  // the sleeper sees the new signal (and skips the wait) — the classic
+  // Dekker-style handshake.
+  std::mutex park_mutex;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> signal{0};
+  std::atomic<int> sleepers{0};
+  std::atomic<bool> stop{false};
+
+  void notify_work() {
+    // A one-worker team has nobody to wake (the run_phase caller can never
+    // be parked while it is the thread pushing) — skip the seq_cst traffic.
+    if (states.size() == 1) return;
+    signal.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard lock(park_mutex);
+      cv.notify_all();
+    }
+  }
+
+  bool pop_inject(CodeletKey& out) {
+    std::lock_guard lock(inject_mutex);
+    if (inject.empty()) return false;
+    if (policy.load(std::memory_order_relaxed) == PoolPolicy::kLifo) {
+      out = inject.back();
+      inject.pop_back();
+    } else {
+      out = inject.front();
+      inject.pop_front();
+    }
+    return true;
+  }
+
+  // Own deque first (LIFO cascade), then the injection queue (seed
+  // order), then a steal sweep over the other workers. The sweep repeats
+  // while any victim reports a lost race — losing means someone else made
+  // progress, not that the system is empty.
+  bool acquire_work(unsigned w, CodeletKey& out) {
+    const unsigned n = static_cast<unsigned>(states.size());
+    if (n == 1) {
+      // No thief can exist: take the fence-free owner pop.
+      if (states[w]->deque.pop_unsynchronized(out)) return true;
+      return pop_inject(out);
+    }
+    if (states[w]->deque.pop(out)) return true;
+    if (pop_inject(out)) return true;
+    bool lost = true;
+    while (lost) {
+      lost = false;
+      for (unsigned i = 1; i < n; ++i) {
+        const unsigned victim = (w + i) % n;
+        switch (states[victim]->deque.steal(out)) {
+          case WorkStealingDeque::StealResult::kStolen:
+            states[w]->steals.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          case WorkStealingDeque::StealResult::kLost:
+            lost = true;
+            break;
+          case WorkStealingDeque::StealResult::kEmpty:
+            break;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Run one acquired codelet and retire it. After a failure the phase
+  // keeps draining, but remaining codelets are discarded unexecuted.
+  void execute(unsigned w, CodeletKey key, Pusher& pusher) {
+    if (!failed.load(std::memory_order_acquire)) {
+      const CodeletBody* b = body.load(std::memory_order_acquire);
+      try {
+        (*b)(key, w, pusher);
+        states[w]->executed.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Phase drained: wake everyone (parked workers re-park; a parked
+      // run_phase caller returns).
+      signal.fetch_add(1, std::memory_order_seq_cst);
+      std::lock_guard lock(park_mutex);
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::HostRuntimeShared;
+
+// Pusher for the work-stealing path: enabled children go to the enabling
+// worker's own deque (lock-free), counted into `pending` *before* they
+// become stealable so quiescence can never be observed early.
+class WorkerPusher final : public Pusher {
+ public:
+  WorkerPusher(HostRuntimeShared& sh, unsigned w) : sh_(sh), w_(w) {}
+
+  void push(CodeletKey ready) override {
+    sh_.pending.fetch_add(1, std::memory_order_relaxed);
+    sh_.states[w_]->deque.push(ready);
+    sh_.notify_work();
+  }
+
+  void push_batch(std::span<const CodeletKey> batch) override {
+    if (batch.empty()) return;
+    sh_.pending.fetch_add(static_cast<std::int64_t>(batch.size()),
+                          std::memory_order_relaxed);
+    for (CodeletKey k : batch) sh_.states[w_]->deque.push(k);
+    sh_.notify_work();  // one wake for the whole sibling group
+  }
+
+ private:
+  HostRuntimeShared& sh_;
+  unsigned w_;
+};
+
+// Persistent worker thread: hunt for work, park when there is none, exit
+// when the runtime is destroyed. Workers do not track phase boundaries —
+// work is work, whichever phase injected it.
+void worker_main(HostRuntimeShared& sh, unsigned w) {
+  WorkerPusher pusher(sh, w);
+  while (!sh.stop.load(std::memory_order_acquire)) {
+    CodeletKey key;
+    if (sh.acquire_work(w, key)) {
+      sh.execute(w, key, pusher);
+      continue;
+    }
+    const std::uint64_t s0 = sh.signal.load(std::memory_order_seq_cst);
+    if (sh.acquire_work(w, key)) {  // re-check against a pre-s0 push
+      sh.execute(w, key, pusher);
+      continue;
+    }
+    std::unique_lock lock(sh.park_mutex);
+    sh.sleepers.fetch_add(1, std::memory_order_seq_cst);
+    sh.cv.wait(lock, [&] {
+      return sh.signal.load(std::memory_order_seq_cst) != s0 ||
+             sh.stop.load(std::memory_order_relaxed);
+    });
+    sh.sleepers.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+HostRuntime::HostRuntime(unsigned workers, SchedulerMode mode)
+    : workers_(workers), mode_(mode), per_worker_(workers, 0) {
   if (workers == 0) throw std::invalid_argument("HostRuntime: zero workers");
+  shared_ = std::make_unique<detail::HostRuntimeShared>(workers);
+  if (mode_ == SchedulerMode::kWorkStealing) {
+    threads_.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+      threads_.emplace_back([this, w] { worker_main(*shared_, w); });
+  }
+}
+
+HostRuntime::~HostRuntime() {
+  shared_->stop.store(true, std::memory_order_release);
+  shared_->notify_work();
+  for (auto& t : threads_) t.join();
 }
 
 double HostRuntime::balance_ratio() const noexcept {
@@ -102,35 +236,106 @@ double HostRuntime::balance_ratio() const noexcept {
 
 void HostRuntime::run_phase(std::span<const CodeletKey> seeds, PoolPolicy policy,
                             const CodeletBody& body) {
-  PhaseState state(seeds, policy);
-  std::atomic<std::uint64_t> executed{0};
-  std::vector<std::atomic<std::uint64_t>> per_worker(workers_);
+  if (mode_ == SchedulerMode::kSequential)
+    run_phase_sequential(seeds, policy, body);
+  else
+    run_phase_work_stealing(seeds, policy, body);
+}
 
-  auto worker_main = [&](unsigned worker) {
-    CodeletKey c;
-    while (state.pop(c)) {
-      try {
-        body(c, worker, state);
-        executed.fetch_add(1, std::memory_order_relaxed);
-        per_worker[worker].fetch_add(1, std::memory_order_relaxed);
-        state.done();
-      } catch (...) {
-        state.fail(std::current_exception());
-        return;
-      }
+void HostRuntime::run_phase_work_stealing(std::span<const CodeletKey> seeds,
+                                          PoolPolicy policy,
+                                          const CodeletBody& body) {
+  detail::HostRuntimeShared& sh = *shared_;
+  if (seeds.empty()) return;
+
+  sh.policy.store(policy, std::memory_order_relaxed);
+  sh.failed.store(false, std::memory_order_relaxed);
+  sh.error = nullptr;
+  sh.body.store(&body, std::memory_order_release);
+  sh.pending.store(static_cast<std::int64_t>(seeds.size()),
+                   std::memory_order_release);
+  {
+    std::lock_guard lock(sh.inject_mutex);
+    sh.inject.assign(seeds.begin(), seeds.end());
+  }
+  sh.notify_work();
+
+  // The caller participates as worker 0 until quiescence.
+  WorkerPusher pusher(sh, 0);
+  while (sh.pending.load(std::memory_order_acquire) != 0) {
+    CodeletKey key;
+    if (sh.acquire_work(0, key)) {
+      sh.execute(0, key, pusher);
+      continue;
     }
-  };
+    const std::uint64_t s0 = sh.signal.load(std::memory_order_seq_cst);
+    if (sh.pending.load(std::memory_order_acquire) == 0) break;
+    if (sh.acquire_work(0, key)) {
+      sh.execute(0, key, pusher);
+      continue;
+    }
+    std::unique_lock lock(sh.park_mutex);
+    sh.sleepers.fetch_add(1, std::memory_order_seq_cst);
+    sh.cv.wait(lock, [&] {
+      return sh.signal.load(std::memory_order_seq_cst) != s0 ||
+             sh.pending.load(std::memory_order_acquire) == 0;
+    });
+    sh.sleepers.fetch_sub(1, std::memory_order_relaxed);
+  }
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers_ - 1);
-  for (unsigned w = 1; w < workers_; ++w) threads.emplace_back(worker_main, w);
-  worker_main(0);
-  for (auto& t : threads) t.join();
+  sh.body.store(nullptr, std::memory_order_relaxed);
+  for (unsigned w = 0; w < workers_; ++w) {
+    WorkerState& st = *sh.states[w];
+    const std::uint64_t e = st.executed.load(std::memory_order_relaxed);
+    const std::uint64_t s = st.steals.load(std::memory_order_relaxed);
+    st.executed.store(0, std::memory_order_relaxed);
+    st.steals.store(0, std::memory_order_relaxed);
+    per_worker_[w] += e;
+    executed_ += e;
+    steals_ += s;
+  }
+  if (sh.failed.load(std::memory_order_acquire)) {
+    std::exception_ptr e;
+    {
+      std::lock_guard lock(sh.error_mutex);
+      e = sh.error;
+      sh.error = nullptr;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+}
 
-  executed_ += executed.load(std::memory_order_relaxed);
-  for (unsigned w = 0; w < workers_; ++w)
-    per_worker_[w] += per_worker[w].load(std::memory_order_relaxed);
-  if (auto e = state.error()) std::rethrow_exception(e);
+void HostRuntime::run_phase_sequential(std::span<const CodeletKey> seeds,
+                                       PoolPolicy policy, const CodeletBody& body) {
+  // Exact single mutex-pool semantics on one thread: push appends, pop
+  // follows the policy. Deterministic by construction.
+  struct SeqPusher final : Pusher {
+    std::deque<CodeletKey> pool;
+    void push(CodeletKey ready) override { pool.push_back(ready); }
+  } pusher;
+  pusher.pool.assign(seeds.begin(), seeds.end());
+
+  std::uint64_t count = 0;
+  while (!pusher.pool.empty()) {
+    CodeletKey key;
+    if (policy == PoolPolicy::kLifo) {
+      key = pusher.pool.back();
+      pusher.pool.pop_back();
+    } else {
+      key = pusher.pool.front();
+      pusher.pool.pop_front();
+    }
+    try {
+      body(key, 0, pusher);
+    } catch (...) {
+      executed_ += count;
+      per_worker_[0] += count;
+      throw;
+    }
+    ++count;
+  }
+  executed_ += count;
+  per_worker_[0] += count;
 }
 
 }  // namespace c64fft::codelet

@@ -1,30 +1,56 @@
 #pragma once
-// Host codelet runtime: real std::thread workers draining a shared ready
-// pool. This is the functional counterpart of the simulated machine — the
-// same FFT variants run on it with actual arithmetic, which is how the
-// library serves as a usable FFT on commodity multicore and how the
-// simulator's kernels are known to be numerically correct.
+// Host codelet runtime: a persistent team of real std::thread workers
+// executing codelets with actual arithmetic. This is the functional
+// counterpart of the simulated machine — the same FFT variants run on it,
+// which is how the library serves as a usable FFT on commodity multicore
+// and how the simulator's kernels are known to be numerically correct.
 //
-// Phase semantics: run_phase() seeds the pool, lets the workers drain it
-// (codelets may push further codelets), and returns when no codelet is
-// queued or executing. A phase boundary therefore acts as the coarse-grain
-// barrier of Alg. 1/Alg. 3; fully fine-grain algorithms use a single phase.
+// Scheduling (SchedulerMode::kWorkStealing, the default): each worker owns
+// a Chase-Lev deque (owner LIFO pop, thief FIFO steal); phase seeds sit in
+// a global injection queue that hands them out in PoolPolicy order; and
+// dynamically enabled codelets go to the enabling worker's own deque, so
+// the hot push/pop path takes no lock. Workers that find no work park on a
+// condition variable — the team is created once and reused across phases
+// (and across run_phase calls), never respawned.
+//
+// SchedulerMode::kSequential is the paper-order compatibility mode: every
+// codelet runs on the calling thread in strict single-pool PoolPolicy
+// order, reproducing the exact "fine best"/"fine worst" execution
+// sequences deterministically. See DESIGN.md "Host runtime architecture".
+//
+// Phase semantics (both modes): run_phase() seeds the pool, lets the
+// workers drain it (codelets may push further codelets), and returns when
+// no codelet is queued or executing. A phase boundary therefore acts as
+// the coarse-grain barrier of Alg. 1/Alg. 3; fully fine-grain algorithms
+// use a single phase.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "codelet/codelet.hpp"
 
 namespace c64fft::codelet {
 
+namespace detail {
+struct HostRuntimeShared;  // worker-visible state; defined in host_runtime.cpp
+}
+
 /// Handed to the codelet body so it can enable children.
 class Pusher {
  public:
   virtual ~Pusher() = default;
   virtual void push(CodeletKey ready) = 0;
+  /// Enable a whole sibling group with one injection (one wake signal
+  /// instead of one per child on the work-stealing path). Order within the
+  /// batch is preserved.
+  virtual void push_batch(std::span<const CodeletKey> batch) {
+    for (CodeletKey k : batch) push(k);
+  }
 };
 
 /// Codelet body: execute the codelet, then enable any children that became
@@ -33,10 +59,17 @@ using CodeletBody = std::function<void(CodeletKey, unsigned worker, Pusher&)>;
 
 class HostRuntime {
  public:
-  /// `workers` real threads are spawned per phase (>= 1).
-  explicit HostRuntime(unsigned workers);
+  /// Spawns `workers - 1` persistent worker threads (the run_phase caller
+  /// is worker 0); they park between phases and die with the runtime.
+  explicit HostRuntime(unsigned workers,
+                       SchedulerMode mode = SchedulerMode::kWorkStealing);
+  ~HostRuntime();
+
+  HostRuntime(const HostRuntime&) = delete;
+  HostRuntime& operator=(const HostRuntime&) = delete;
 
   unsigned workers() const noexcept { return workers_; }
+  SchedulerMode mode() const noexcept { return mode_; }
 
   /// Run one phase to quiescence. Exceptions thrown by `body` are captured
   /// on the worker and rethrown here after the phase drains.
@@ -56,9 +89,22 @@ class HostRuntime {
   /// max/mean ratio of the per-worker counts (1.0 = perfectly balanced).
   double balance_ratio() const noexcept;
 
+  /// Successful steals across all phases (0 in sequential mode) — the
+  /// load-migration evidence of the work-stealing scheduler.
+  std::uint64_t steals() const noexcept { return steals_; }
+
  private:
+  void run_phase_work_stealing(std::span<const CodeletKey> seeds,
+                               PoolPolicy policy, const CodeletBody& body);
+  void run_phase_sequential(std::span<const CodeletKey> seeds,
+                            PoolPolicy policy, const CodeletBody& body);
+
   unsigned workers_;
+  SchedulerMode mode_;
+  std::unique_ptr<detail::HostRuntimeShared> shared_;
+  std::vector<std::thread> threads_;
   std::uint64_t executed_ = 0;
+  std::uint64_t steals_ = 0;
   std::vector<std::uint64_t> per_worker_;
 };
 

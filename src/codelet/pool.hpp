@@ -3,7 +3,6 @@
 // deque with LIFO/FIFO pop policies; correctness (not raw throughput) is
 // what the host runtime is for — timing studies run on the simulator.
 
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -49,7 +48,10 @@ class ConcurrentPool {
     return items_.size();
   }
 
-  bool empty() const { return size() == 0; }
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
 
   PoolPolicy policy() const noexcept { return policy_; }
 

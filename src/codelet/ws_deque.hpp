@@ -1,0 +1,159 @@
+#pragma once
+// Chase-Lev work-stealing deque of CodeletKeys.
+//
+// One worker owns the deque: it pushes and pops at the *bottom* (LIFO, so
+// freshly enabled codelets run first and a sibling-group cascade stays
+// depth-first). Thieves steal from the *top* (FIFO, so they take the
+// oldest — largest-subtree — work). The memory orderings follow the
+// C11 formulation of Lê, Pop, Cohen & Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP 2013); the only deviation
+// is the element type: a CodeletKey is wider than a machine word, so each
+// ring slot stores its two fields as relaxed atomics. A thief may read a
+// torn or stale pair while racing the owner, but it publishes the value
+// only after the seq_cst CAS on `top_` succeeds — and a successful CAS at
+// position t proves the owner has not recycled slot t (the owner reuses a
+// slot only after `top_` has advanced past it), so the pair read was the
+// one the owner published. Torn reads are discarded with the failed CAS.
+//
+// Growth: rings double when full; old rings are retired, not freed, until
+// the deque is destroyed, so a thief holding a stale ring pointer can
+// always complete its (doomed) read. Retirement is owner-only.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codelet/codelet.hpp"
+
+namespace c64fft::codelet {
+
+class WorkStealingDeque {
+ public:
+  /// Outcome of a steal attempt. kLost means another thread won the race
+  /// for the top element — the deque may still hold work, so a scheduler
+  /// should treat it as "retry", not "empty".
+  enum class StealResult { kStolen, kEmpty, kLost };
+
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    rings_.push_back(std::make_unique<Ring>(cap));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: push one item at the bottom.
+  void push(CodeletKey item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->mask)) a = grow(a, t, b);
+    a->put(b, item);
+    // The PPoPP'13 formulation uses a release fence + relaxed store here;
+    // a release store is strictly stronger (same x86 codegen) and, unlike
+    // a standalone fence, is modeled by ThreadSanitizer — this is the
+    // publish edge every thief's data access synchronizes through.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the most recently pushed item (LIFO).
+  bool pop(CodeletKey& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = a->get(b);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Owner only, and only while no thief can exist (a single-worker
+  /// runtime): LIFO pop without the Dekker fence or the last-element CAS.
+  /// Mixing this with concurrent steal() calls is undefined.
+  bool pop_unsynchronized(CodeletKey& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t >= b) return false;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    out = a->get(b - 1);
+    bottom_.store(b - 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Any thread: try to steal the oldest item (FIFO end).
+  StealResult steal(CodeletKey& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return StealResult::kEmpty;
+    Ring* a = ring_.load(std::memory_order_acquire);
+    out = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return StealResult::kLost;
+    return StealResult::kStolen;
+  }
+
+  /// Racy size estimate (diagnostics / victim selection only).
+  std::size_t size_relaxed() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_relaxed() const { return size_relaxed() == 0; }
+
+ private:
+  // Slot fields are relaxed atomics purely so racy thief reads are
+  // well-defined; the top_ CAS supplies the actual synchronization.
+  struct Slot {
+    std::atomic<std::uint32_t> stage{0};
+    std::atomic<std::uint64_t> index{0};
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t cap) : mask(cap - 1), slots(new Slot[cap]()) {}
+    void put(std::int64_t i, CodeletKey k) {
+      Slot& s = slots[static_cast<std::size_t>(i) & mask];
+      s.stage.store(k.stage, std::memory_order_relaxed);
+      s.index.store(k.index, std::memory_order_relaxed);
+    }
+    CodeletKey get(std::int64_t i) const {
+      const Slot& s = slots[static_cast<std::size_t>(i) & mask];
+      return {s.stage.load(std::memory_order_relaxed),
+              s.index.load(std::memory_order_relaxed)};
+    }
+    std::size_t mask;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    rings_.push_back(std::make_unique<Ring>((old->mask + 1) * 2));
+    Ring* bigger = rings_.back().get();
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-only; freed at destruction
+};
+
+}  // namespace c64fft::codelet

@@ -28,9 +28,102 @@ void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t st
   }
 }
 
+void butterfly_chain_split(double* re, double* im, std::uint64_t len,
+                           std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, std::uint32_t levels,
+                           unsigned log2n, const TwiddleTable& twiddles,
+                           double* tw_re, double* tw_im) {
+  assert(len == (std::uint64_t{1} << levels));
+  for (std::uint32_t v = 0; v < levels; ++v) {
+    const std::uint64_t half = std::uint64_t{1} << v;
+    const std::uint32_t level = first_level + v;  // global butterfly level L
+    const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+    const unsigned shift = log2n - level - 1;
+    // Within one block, butterfly u (0 <= u < half) twiddles with
+    // W[((base + lo*stride + u*stride) mod 2^L) << shift]. Block starts lo
+    // are multiples of 2^{v+1}, so whenever stride*2^{v+1} ≡ 0 (mod 2^L)
+    // every block of this level reuses the same `half` twiddles (plan
+    // chains always qualify: stride = 2^{first_level} there, giving
+    // stride*2^{v+1} = 2^{L+1}). If the progression additionally never
+    // wraps mod 2^L (also true for every plan chain: base mod 2^L <
+    // stride), it can be materialized once into a contiguous span;
+    // otherwise fall back to the per-element index computation.
+    const std::uint64_t c = base & block_mask;
+    const bool blocks_share = ((stride << (v + 1)) & block_mask) == 0;
+    const bool wrap_free = c + (half - 1) * stride <= block_mask;
+    if (blocks_share && wrap_free) {
+      for (std::uint64_t u = 0; u < half; ++u) {
+        const cplx w = twiddles.at((c + u * stride) << shift);
+        tw_re[u] = w.real();
+        tw_im[u] = w.imag();
+      }
+      for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+        double* __restrict ar = re + lo;
+        double* __restrict ai = im + lo;
+        double* __restrict br = re + lo + half;
+        double* __restrict bi = im + lo + half;
+        const double* __restrict wr = tw_re;
+        const double* __restrict wi = tw_im;
+        for (std::uint64_t u = 0; u < half; ++u) {
+          const double tr = wr[u] * br[u] - wi[u] * bi[u];
+          const double ti = wr[u] * bi[u] + wi[u] * br[u];
+          br[u] = ar[u] - tr;
+          bi[u] = ai[u] - ti;
+          ar[u] += tr;
+          ai[u] += ti;
+        }
+      }
+    } else {
+      for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+        for (std::uint64_t q = lo; q < lo + half; ++q) {
+          const std::uint64_t g = base + q * stride;
+          const cplx w = twiddles.at((g & block_mask) << shift);
+          const double tr = w.real() * re[q + half] - w.imag() * im[q + half];
+          const double ti = w.real() * im[q + half] + w.imag() * re[q + half];
+          re[q + half] = re[q] - tr;
+          im[q + half] = im[q] - ti;
+          re[q] += tr;
+          im[q] += ti;
+        }
+      }
+    }
+  }
+}
+
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx> data, const TwiddleTable& twiddles,
-                 std::span<cplx> scratch) {
+                 KernelScratch& scratch) {
+  const StageInfo& st = plan.stage(stage);
+  assert(scratch.re.size() >= plan.radix());
+  assert(twiddles.fft_size() == plan.size());
+
+  for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
+    const std::uint64_t base = plan.chain_base(stage, task, c);
+    double* __restrict re = scratch.re.data() + c * st.chain_len;
+    double* __restrict im = scratch.im.data() + c * st.chain_len;
+    // Gather, deinterleaved (the simulated machine's "load into
+    // scratchpad" plus the split-complex layout the SIMD loops want).
+    const cplx* d = data.data();
+    for (std::uint64_t q = 0; q < st.chain_len; ++q) {
+      const cplx x = d[base + q * st.chain_stride];
+      re[q] = x.real();
+      im[q] = x.imag();
+    }
+
+    butterfly_chain_split(re, im, st.chain_len, base, st.chain_stride,
+                          plan.radix_log2() * stage, st.levels, plan.log2_size(),
+                          twiddles, scratch.tw_re.data(), scratch.tw_im.data());
+
+    // Scatter back in place, re-interleaving.
+    cplx* out = data.data();
+    for (std::uint64_t q = 0; q < st.chain_len; ++q)
+      out[base + q * st.chain_stride] = cplx(re[q], im[q]);
+  }
+}
+
+void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                        std::span<cplx> data, const TwiddleTable& twiddles,
+                        std::span<cplx> scratch) {
   const StageInfo& st = plan.stage(stage);
   assert(scratch.size() >= plan.radix());
   assert(twiddles.fft_size() == plan.size());

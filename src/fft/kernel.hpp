@@ -3,6 +3,15 @@
 // buffer (the "scratchpad"), apply the stage's butterfly levels with the
 // proper twiddles, scatter back in place. This is the computational body
 // of every task in Algorithms 1-3 (FFT_64p_kernel / FFT_last_stage_kernel).
+//
+// The hot path works on a split-complex tile: the gather deinterleaves
+// each chain into separate real/imaginary arrays (64-byte aligned), the
+// butterfly levels run as contiguous real-arithmetic loops the compiler
+// auto-vectorizes, and the twiddles of a level are precomputed once into a
+// span shared by every block of that level (the chain algebra makes the
+// twiddle sequence identical across blocks — see butterfly_chain_split).
+// The std::complex scalar path is kept as the bit-identical reference the
+// tests and micro-benchmarks compare against.
 
 #include <cstdint>
 #include <span>
@@ -10,24 +19,53 @@
 #include "fft/plan.hpp"
 #include "fft/twiddle.hpp"
 #include "fft/types.hpp"
+#include "util/aligned_buffer.hpp"
 
 namespace c64fft::fft {
 
+/// Per-worker working set of the vectorized kernel: a split-complex data
+/// tile of `radix` points plus the per-level twiddle spans (at most
+/// radix/2 butterflies per level). Reused across codelets; never shared
+/// between workers.
+struct KernelScratch {
+  explicit KernelScratch(std::uint64_t radix)
+      : re(radix), im(radix), tw_re(radix / 2), tw_im(radix / 2) {}
+
+  util::AlignedBuffer<double> re, im;
+  util::AlignedBuffer<double> tw_re, tw_im;
+};
+
 /// Execute task `task` of stage `stage` on `data` (the full N-point
-/// array) using `scratch` as the local working buffer (at least
-/// plan.radix() elements). Thread-safe across distinct tasks of one stage:
-/// tasks touch disjoint elements.
+/// array) using `scratch` as the local working tile (sized for
+/// plan.radix()). Thread-safe across distinct tasks of one stage: tasks
+/// touch disjoint elements. Bit-identical to run_codelet_scalar.
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx> data, const TwiddleTable& twiddles,
-                 std::span<cplx> scratch);
+                 KernelScratch& scratch);
+
+/// Reference scalar implementation on std::complex scratch (the original
+/// kernel): kept for unit tests and the vectorized-vs-old benchmark.
+void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                        std::span<cplx> data, const TwiddleTable& twiddles,
+                        std::span<cplx> scratch);
 
 /// Apply `levels` in-place radix-2 DIT butterfly levels to a chain of
 /// `len = 2^levels` points already gathered in `chain`, where the chain's
 /// lower element at local q has global index `base + q*stride` and the
 /// transform size is 2^log2n. Exposed separately for unit tests and
-/// micro-benchmarks.
+/// micro-benchmarks (scalar reference path).
 void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t stride,
                      std::uint32_t first_level, std::uint32_t levels, unsigned log2n,
                      const TwiddleTable& twiddles);
+
+/// Split-complex butterfly levels over a gathered chain of `len = 2^levels`
+/// points held in `re`/`im`. `tw_re`/`tw_im` must hold at least len/2
+/// entries of scratch for the per-level twiddle spans. Same butterfly and
+/// twiddle order as butterfly_chain — results are bit-identical.
+void butterfly_chain_split(double* re, double* im, std::uint64_t len,
+                           std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, std::uint32_t levels,
+                           unsigned log2n, const TwiddleTable& twiddles,
+                           double* tw_re, double* tw_im);
 
 }  // namespace c64fft::fft

@@ -8,7 +8,6 @@
 #include "codelet/host_runtime.hpp"
 #include "fft/bit_reversal.hpp"
 #include "fft/kernel.hpp"
-#include "util/aligned_buffer.hpp"
 
 namespace c64fft::fft {
 
@@ -23,9 +22,11 @@ struct Driver {
       : data(data),
         plan(data.size(), opts.radix_log2),
         twiddles(data.size(), opts.layout),
-        runtime(opts.workers),
-        scratch(opts.workers) {
-    for (auto& s : scratch) s = util::AlignedBuffer<cplx>(plan.radix());
+        runtime(opts.workers, opts.mode) {
+    scratch.reserve(opts.workers);
+    for (unsigned w = 0; w < opts.workers; ++w) scratch.emplace_back(plan.radix());
+    members_buf.resize(opts.workers);
+    keys_buf.resize(opts.workers);
   }
 
   // Shared counters for the consumer stages in [first_consumer, last]
@@ -49,13 +50,19 @@ struct Driver {
                                  std::uint32_t last_propagated) {
     return [this, &counters, last_propagated](CodeletKey key, unsigned worker,
                                               codelet::Pusher& pusher) {
-      run_codelet(plan, key.stage, key.index, data, twiddles, scratch[worker].span());
+      run_codelet(plan, key.stage, key.index, data, twiddles, scratch[worker]);
       if (key.stage >= last_propagated || key.stage + 1 >= plan.stage_count()) return;
       const std::uint64_t g = plan.child_group(key.stage, key.index);
       if (counters.arrive(key.stage + 1, g)) {
+        // Release the whole sibling group in one batched injection: one
+        // pending update and one wake signal instead of one per child.
         std::vector<std::uint64_t>& members = members_buf[worker];
         plan.group_members(key.stage + 1, g, members);
-        for (std::uint64_t m : members) pusher.push({key.stage + 1, m});
+        std::vector<CodeletKey>& keys = keys_buf[worker];
+        keys.clear();
+        keys.reserve(members.size());
+        for (std::uint64_t m : members) keys.push_back({key.stage + 1, m});
+        pusher.push_batch(keys);
       }
     };
   }
@@ -64,8 +71,9 @@ struct Driver {
   FftPlan plan;
   TwiddleTable twiddles;
   codelet::HostRuntime runtime;
-  std::vector<util::AlignedBuffer<cplx>> scratch;
-  std::vector<std::vector<std::uint64_t>> members_buf{scratch.size()};
+  std::vector<KernelScratch> scratch;
+  std::vector<std::vector<std::uint64_t>> members_buf;
+  std::vector<std::vector<CodeletKey>> keys_buf;
 };
 
 void run_coarse(Driver& d) {
@@ -76,7 +84,7 @@ void run_coarse(Driver& d) {
     d.runtime.run_phase(seeds, PoolPolicy::kFifo,
                         [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
                           run_codelet(d.plan, key.stage, key.index, d.data, d.twiddles,
-                                      d.scratch[worker].span());
+                                      d.scratch[worker]);
                         });
   }
 }

@@ -35,6 +35,11 @@ struct HostFftOptions {
   /// Pool ordering for kFine (ignored by kCoarse; kGuided always follows
   /// Alg. 3's LIFO grouped seeding).
   FineOrdering ordering = {};
+  /// kWorkStealing (default) runs on the lock-free per-worker deques with
+  /// free steal order; kSequential reproduces the exact paper-order
+  /// execution sequence of the single-pool runtime on one thread (use it
+  /// for the "fine best"/"fine worst" ordering experiments).
+  codelet::SchedulerMode mode = codelet::SchedulerMode::kWorkStealing;
 };
 
 /// In-place forward FFT of `data` (power-of-two length >= radix) with the

@@ -1,0 +1,105 @@
+#include "util/bench_diff.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace c64fft::util {
+
+namespace {
+
+struct Row {
+  std::string name;
+  double value;
+};
+
+// Extract (name, metric) rows, skipping non-mean aggregates.
+std::vector<Row> extract_rows(const JsonValue& report, const std::string& metric) {
+  const JsonValue& benches = report.at("benchmarks");
+  std::vector<Row> rows;
+  for (const JsonValue& b : benches.items()) {
+    if (const JsonValue* rt = b.find("run_type");
+        rt && rt->is_string() && rt->as_string() == "aggregate") {
+      const JsonValue* agg = b.find("aggregate_name");
+      if (!agg || !agg->is_string() || agg->as_string() != "mean") continue;
+    }
+    rows.push_back({b.at("name").as_string(), b.at(metric).as_number()});
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool metric_is_rate(const std::string& metric) {
+  return metric == "items_per_second" || metric == "bytes_per_second";
+}
+
+std::vector<BenchDelta> diff_benchmarks(const JsonValue& baseline,
+                                        const JsonValue& current,
+                                        const BenchDiffOptions& opts) {
+  const bool rate = metric_is_rate(opts.metric);
+  const auto base_rows = extract_rows(baseline, opts.metric);
+  const auto cur_rows = extract_rows(current, opts.metric);
+
+  std::vector<BenchDelta> deltas;
+  deltas.reserve(base_rows.size());
+  for (const Row& b : base_rows) {
+    BenchDelta d;
+    d.name = b.name;
+    d.baseline = b.value;
+    const auto it = std::find_if(cur_rows.begin(), cur_rows.end(),
+                                 [&](const Row& r) { return r.name == b.name; });
+    if (it == cur_rows.end()) {
+      d.missing = true;
+      d.regressed = opts.require_all_baseline;
+      deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = it->value;
+    if (b.value > 0.0 && it->value > 0.0)
+      d.worse_ratio = rate ? b.value / it->value : it->value / b.value;
+    else
+      d.worse_ratio = 1.0;  // degenerate zero timings: never flag
+    d.regressed = d.worse_ratio > 1.0 + opts.tolerance;
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+bool has_regression(std::span<const BenchDelta> deltas) {
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const BenchDelta& d) { return d.regressed; });
+}
+
+std::string format_bench_report(std::span<const BenchDelta> deltas,
+                                const BenchDiffOptions& opts) {
+  std::size_t width = 4;
+  for (const BenchDelta& d : deltas) width = std::max(width, d.name.size());
+
+  std::ostringstream out;
+  out << "benchmark diff (metric=" << opts.metric << ", tolerance=+"
+      << static_cast<int>(opts.tolerance * 100 + 0.5) << "%)\n";
+  std::size_t failures = 0;
+  for (const BenchDelta& d : deltas) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << d.name
+        << std::right;
+    if (d.missing) {
+      out << "  MISSING from current report";
+    } else {
+      out << "  base=" << std::scientific << std::setprecision(3) << d.baseline
+          << "  cur=" << d.current << std::defaultfloat << "  worse-by="
+          << std::fixed << std::setprecision(2) << d.worse_ratio << "x"
+          << std::defaultfloat;
+    }
+    if (d.regressed) {
+      out << "  <-- REGRESSED";
+      ++failures;
+    }
+    out << "\n";
+  }
+  out << (failures ? "FAIL: " : "PASS: ") << failures << " of " << deltas.size()
+      << " benchmarks regressed\n";
+  return out.str();
+}
+
+}  // namespace c64fft::util

@@ -1,0 +1,66 @@
+#pragma once
+// Compare two google-benchmark JSON reports (--benchmark_out=json) and
+// flag per-benchmark regressions beyond a relative tolerance. This is the
+// engine behind tools/bench_check — the perf-regression gate that diffs a
+// fresh micro_kernels run against the committed BENCH_baseline.json.
+//
+// Matching is by benchmark "name" (which already encodes Args, e.g.
+// "BM_RunCodelet/6"). Aggregate rows emitted by --benchmark_repetitions
+// ("run_type": "aggregate") other than the mean are ignored so medians /
+// stddevs don't double-count.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace c64fft::util {
+
+struct BenchDiffOptions {
+  /// Which per-benchmark field to compare. Time-like metrics ("cpu_time",
+  /// "real_time") regress upward; rate-like metrics ("items_per_second",
+  /// "bytes_per_second") regress downward.
+  std::string metric = "cpu_time";
+  /// Allowed relative slowdown before a benchmark counts as regressed
+  /// (0.30 = current may be up to 30% worse than baseline). Generous by
+  /// default: CI machines are noisy, and the gate is for order-of-magnitude
+  /// mistakes (lost vectorization, accidental lock convoy), not 5% drift.
+  double tolerance = 0.30;
+  /// When true, a baseline benchmark missing from the current report is a
+  /// failure (benchmarks silently disappearing hides regressions).
+  bool require_all_baseline = true;
+};
+
+struct BenchDelta {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// current/baseline for time metrics, baseline/current for rate metrics:
+  /// > 1 always means "worse".
+  double worse_ratio = 0.0;
+  bool regressed = false;
+  /// Present in baseline but absent from the current report.
+  bool missing = false;
+};
+
+/// True for metrics where larger is better (throughput rates).
+bool metric_is_rate(const std::string& metric);
+
+/// Diff two parsed reports. Throws JsonParseError when either document
+/// lacks the google-benchmark "benchmarks" array or a row lacks `metric`.
+/// Benchmarks only present in `current` are ignored (new benches are not
+/// regressions).
+std::vector<BenchDelta> diff_benchmarks(const JsonValue& baseline,
+                                        const JsonValue& current,
+                                        const BenchDiffOptions& opts = {});
+
+/// Any regressed or (per options) missing entries?
+bool has_regression(std::span<const BenchDelta> deltas);
+
+/// Human-readable table of the diff, one line per benchmark, regressions
+/// marked. Ends with a PASS/FAIL summary line.
+std::string format_bench_report(std::span<const BenchDelta> deltas,
+                                const BenchDiffOptions& opts);
+
+}  // namespace c64fft::util

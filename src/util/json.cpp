@@ -1,0 +1,275 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace c64fft::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, JsonValue::Type got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw JsonParseError(std::string("json: type mismatch: wanted ") + want +
+                       ", value holds " + kNames[static_cast<int>(got)]);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': expect_word("true"); return JsonValue(true);
+      case 'f': expect_word("false"); return JsonValue(false);
+      case 'n': expect_word("null"); return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      obj.emplace_member(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::make_array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': out += parse_unicode_escape(); break;
+          default: fail("unknown escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  // \uXXXX → UTF-8. Surrogate pairs are not recombined (benchmark names
+  // never contain them); lone surrogates encode as-is.
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      if (pos_ == before) fail("malformed number");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc{}) fail("number out of range");
+    return JsonValue(value);
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("unexpected token");
+    pos_ += word.size();
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const char* what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream msg;
+    msg << "json: " << what << " at line " << line << ", column " << col;
+    throw JsonParseError(msg.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v)
+    throw JsonParseError("json: missing key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::emplace_member(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+JsonValue json_parse(std::string_view text) { return Parser(text).run(); }
+
+JsonValue json_parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json_parse(buf.str());
+}
+
+}  // namespace c64fft::util

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal recursive-descent JSON parser — just enough to read
+// google-benchmark's --benchmark_out=json reports (objects, arrays,
+// strings with escapes, numbers, booleans, null). No external
+// dependencies; values are an ordered tree of JsonValue nodes.
+//
+// Not a general-purpose serializer: there is no writer, no comment
+// support, and numbers are always parsed as double (fine for benchmark
+// timings; benchmark iteration counts < 2^53 round-trip exactly).
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace c64fft::util {
+
+/// Error thrown on malformed input, with 1-based line/column context.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue make_array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue make_object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; throw JsonParseError("type mismatch...") when the
+  /// value holds something else, so callers get a diagnosable failure
+  /// instead of UB on malformed reports.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object lookup (first match, insertion order); nullptr when absent or
+  /// when this value is not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() that throws when the key is missing.
+  const JsonValue& at(std::string_view key) const;
+
+  // Builder mutators (used by the parser and by tests).
+  void push_back(JsonValue v);
+  void emplace_member(std::string key, JsonValue v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+/// Throws JsonParseError with line/column on malformed input.
+JsonValue json_parse(std::string_view text);
+
+/// Read and parse a file. Throws std::runtime_error when unreadable.
+JsonValue json_parse_file(const std::string& path);
+
+}  // namespace c64fft::util

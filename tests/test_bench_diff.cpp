@@ -1,0 +1,116 @@
+#include "util/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace c64fft::util {
+namespace {
+
+JsonValue report(std::initializer_list<std::pair<const char*, double>> rows,
+                 const char* metric = "cpu_time") {
+  std::string doc = R"({"context": {}, "benchmarks": [)";
+  bool first = true;
+  for (const auto& [name, value] : rows) {
+    if (!first) doc += ",";
+    first = false;
+    doc += std::string("{\"name\": \"") + name + "\", \"" + metric +
+           "\": " + std::to_string(value) + "}";
+  }
+  doc += "]}";
+  return json_parse(doc);
+}
+
+TEST(BenchDiff, WithinToleranceIsClean) {
+  const auto base = report({{"a", 100.0}, {"b", 200.0}});
+  const auto cur = report({{"a", 120.0}, {"b", 190.0}});  // +20%, -5%
+  const auto deltas = diff_benchmarks(base, cur, {});
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_FALSE(deltas[0].regressed);
+  EXPECT_FALSE(deltas[1].regressed);
+  EXPECT_FALSE(has_regression(deltas));
+  EXPECT_NEAR(deltas[0].worse_ratio, 1.2, 1e-12);
+}
+
+TEST(BenchDiff, SlowdownBeyondToleranceRegresses) {
+  const auto base = report({{"a", 100.0}, {"b", 100.0}});
+  const auto cur = report({{"a", 131.0}, {"b", 129.0}});
+  const auto deltas = diff_benchmarks(base, cur, {});  // tolerance 0.30
+  EXPECT_TRUE(deltas[0].regressed);
+  EXPECT_FALSE(deltas[1].regressed);
+  EXPECT_TRUE(has_regression(deltas));
+}
+
+TEST(BenchDiff, RateMetricsRegressDownward) {
+  BenchDiffOptions opts;
+  opts.metric = "items_per_second";
+  opts.tolerance = 0.10;
+  const auto base = report({{"a", 1000.0}, {"b", 1000.0}}, "items_per_second");
+  const auto cur = report({{"a", 880.0}, {"b", 1500.0}}, "items_per_second");
+  const auto deltas = diff_benchmarks(base, cur, opts);
+  EXPECT_TRUE(deltas[0].regressed);   // throughput fell 12%
+  EXPECT_FALSE(deltas[1].regressed);  // faster is never a regression
+  EXPECT_NEAR(deltas[0].worse_ratio, 1000.0 / 880.0, 1e-12);
+}
+
+TEST(BenchDiff, MissingBenchmarkFailsUnlessAllowed) {
+  const auto base = report({{"a", 100.0}, {"gone", 50.0}});
+  const auto cur = report({{"a", 100.0}});
+  auto deltas = diff_benchmarks(base, cur, {});
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(deltas[1].missing);
+  EXPECT_TRUE(deltas[1].regressed);
+
+  BenchDiffOptions lax;
+  lax.require_all_baseline = false;
+  deltas = diff_benchmarks(base, cur, lax);
+  EXPECT_TRUE(deltas[1].missing);
+  EXPECT_FALSE(deltas[1].regressed);
+}
+
+TEST(BenchDiff, NewBenchmarksInCurrentAreIgnored) {
+  const auto base = report({{"a", 100.0}});
+  const auto cur = report({{"a", 100.0}, {"brand_new", 9999.0}});
+  const auto deltas = diff_benchmarks(base, cur, {});
+  EXPECT_EQ(deltas.size(), 1u);
+  EXPECT_FALSE(has_regression(deltas));
+}
+
+TEST(BenchDiff, NonMeanAggregatesAreSkipped) {
+  const auto base = report({{"a", 100.0}});
+  const auto cur = json_parse(R"({"benchmarks": [
+    {"name": "a", "run_type": "aggregate", "aggregate_name": "mean",
+     "cpu_time": 105.0},
+    {"name": "a_median", "run_type": "aggregate", "aggregate_name": "median",
+     "cpu_time": 1.0},
+    {"name": "a_stddev", "run_type": "aggregate", "aggregate_name": "stddev",
+     "cpu_time": 9000.0}
+  ]})");
+  const auto deltas = diff_benchmarks(base, cur, {});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_FALSE(deltas[0].regressed);
+  EXPECT_DOUBLE_EQ(deltas[0].current, 105.0);
+}
+
+TEST(BenchDiff, MalformedReportThrows) {
+  const auto base = report({{"a", 100.0}});
+  EXPECT_THROW(diff_benchmarks(base, json_parse("{}"), {}), JsonParseError);
+  EXPECT_THROW(
+      diff_benchmarks(base, json_parse(R"({"benchmarks": [{"name": "a"}]})"),
+                      {}),
+      JsonParseError);
+}
+
+TEST(BenchDiff, ReportFormatting) {
+  const auto base = report({{"fast", 100.0}, {"slow", 100.0}, {"gone", 1.0}});
+  const auto cur = report({{"fast", 90.0}, {"slow", 200.0}});
+  BenchDiffOptions opts;
+  const auto deltas = diff_benchmarks(base, cur, opts);
+  const std::string text = format_bench_report(deltas, opts);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("MISSING"), std::string::npos);
+  EXPECT_NE(text.find("FAIL: 2 of 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace c64fft::util

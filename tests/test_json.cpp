@@ -1,0 +1,98 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c64fft::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_EQ(json_parse("true").as_bool(), true);
+  EXPECT_EQ(json_parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(json_parse("1.25e3").as_number(), 1250.0);
+  EXPECT_DOUBLE_EQ(json_parse("2E-2").as_number(), 0.02);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(json_parse(R"("€")").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, ArraysAndNesting) {
+  const JsonValue v = json_parse("[1, [2, 3], {\"k\": 4}, \"x\"]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.items().size(), 4u);
+  EXPECT_DOUBLE_EQ(v.items()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.items()[1].items()[1].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(v.items()[2].at("k").as_number(), 4.0);
+  EXPECT_EQ(v.items()[3].as_string(), "x");
+}
+
+TEST(Json, ObjectsPreserveOrderAndLookUp) {
+  const JsonValue v = json_parse(R"({"b": 1, "a": 2, "c": {"d": [true]}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");  // insertion order kept
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 2.0);
+  EXPECT_TRUE(v.at("c").at("d").items()[0].as_bool());
+  EXPECT_EQ(v.find("zzz"), nullptr);
+  EXPECT_THROW(v.at("zzz"), JsonParseError);
+}
+
+TEST(Json, EmptyContainersAndWhitespace) {
+  EXPECT_TRUE(json_parse(" \n\t{ } ").members().empty());
+  EXPECT_TRUE(json_parse("[\r\n]").items().empty());
+}
+
+TEST(Json, GoogleBenchmarkShape) {
+  // The exact document shape bench_check consumes.
+  const JsonValue v = json_parse(R"({
+    "context": {"date": "2026-08-05T00:00:00", "num_cpus": 1},
+    "benchmarks": [
+      {"name": "BM_RunCodelet/6", "run_type": "iteration",
+       "iterations": 1000, "real_time": 1.5e3, "cpu_time": 1.4e3,
+       "time_unit": "ns", "items_per_second": 4.5e7}
+    ]
+  })");
+  const JsonValue& b = v.at("benchmarks").items()[0];
+  EXPECT_EQ(b.at("name").as_string(), "BM_RunCodelet/6");
+  EXPECT_DOUBLE_EQ(b.at("cpu_time").as_number(), 1400.0);
+  EXPECT_DOUBLE_EQ(b.at("items_per_second").as_number(), 4.5e7);
+}
+
+TEST(Json, MalformedInputThrowsWithPosition) {
+  EXPECT_THROW(json_parse(""), JsonParseError);
+  EXPECT_THROW(json_parse("{"), JsonParseError);
+  EXPECT_THROW(json_parse("[1,]"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(json_parse("tru"), JsonParseError);
+  EXPECT_THROW(json_parse("1 2"), JsonParseError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(json_parse("01x"), JsonParseError);
+  try {
+    json_parse("{\n  \"a\": !\n}");
+    FAIL();
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = json_parse("[1]");
+  EXPECT_THROW(v.as_number(), JsonParseError);
+  EXPECT_THROW(v.as_string(), JsonParseError);
+  EXPECT_THROW(v.members(), JsonParseError);
+  EXPECT_THROW(v.items()[0].items(), JsonParseError);
+}
+
+TEST(Json, ParseFileMissingThrows) {
+  EXPECT_THROW(json_parse_file("/nonexistent/bench.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace c64fft::util

@@ -27,13 +27,34 @@ void check_stagewise(std::uint64_t n, unsigned radix_log2, TwiddleLayout layout)
 
   const FftPlan plan(n, radix_log2);
   const TwiddleTable tw(n, layout);
-  std::vector<cplx> scratch(plan.radix());
+  KernelScratch scratch(plan.radix());
   bit_reverse_permute(data);
   for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
     for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i)
       run_codelet(plan, s, i, data, tw, scratch);
   ASSERT_LT(max_abs_error(data, want), 1e-9)
       << "n=" << n << " r=" << radix_log2;
+}
+
+// The vectorized split-complex kernel must be bit-identical to the scalar
+// std::complex reference: same butterflies, same twiddles, same operation
+// order — only the data layout differs.
+void check_split_matches_scalar(std::uint64_t n, unsigned radix_log2,
+                                TwiddleLayout layout) {
+  auto a = random_signal(n, n ^ 0xFEED);
+  auto b = a;
+  const FftPlan plan(n, radix_log2);
+  const TwiddleTable tw(n, layout);
+  KernelScratch scratch(plan.radix());
+  std::vector<cplx> scalar_scratch(plan.radix());
+  bit_reverse_permute(a);
+  bit_reverse_permute(b);
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
+    for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i) {
+      run_codelet(plan, s, i, a, tw, scratch);
+      run_codelet_scalar(plan, s, i, b, tw, scalar_scratch);
+    }
+  ASSERT_EQ(max_abs_error(a, b), 0.0) << "n=" << n << " r=" << radix_log2;
 }
 
 TEST(Kernel, Radix64FullStages) { check_stagewise(1ULL << 12, 6, TwiddleLayout::kLinear); }
@@ -58,6 +79,15 @@ TEST(Kernel, SmallerRadices) {
 
 TEST(Kernel, Radix128) { check_stagewise(1ULL << 14, 7, TwiddleLayout::kLinear); }
 
+TEST(Kernel, VectorizedMatchesScalarBitExactly) {
+  check_split_matches_scalar(1ULL << 12, 6, TwiddleLayout::kLinear);
+  check_split_matches_scalar(1ULL << 13, 6, TwiddleLayout::kLinear);   // partial last
+  check_split_matches_scalar(1ULL << 15, 6, TwiddleLayout::kLinear);
+  check_split_matches_scalar(1ULL << 12, 6, TwiddleLayout::kBitReversed);
+  check_split_matches_scalar(1ULL << 9, 3, TwiddleLayout::kLinear);
+  check_split_matches_scalar(64, 1, TwiddleLayout::kLinear);
+}
+
 TEST(Kernel, SingleTaskWholeTransform) {
   // N == R: one codelet is the whole FFT.
   const std::uint64_t n = 64;
@@ -66,7 +96,7 @@ TEST(Kernel, SingleTaskWholeTransform) {
   fft_serial_inplace(want);
   const FftPlan plan(n, 6);
   const TwiddleTable tw(n, TwiddleLayout::kLinear);
-  std::vector<cplx> scratch(64);
+  KernelScratch scratch(plan.radix());
   bit_reverse_permute(data);
   run_codelet(plan, 0, 0, data, tw, scratch);
   EXPECT_LT(max_abs_error(data, want), 1e-10);
@@ -80,7 +110,7 @@ TEST(Kernel, StageOrderWithinStageIsIrrelevant) {
   auto b = a;
   const FftPlan plan(n, 6);
   const TwiddleTable tw(n, TwiddleLayout::kLinear);
-  std::vector<cplx> scratch(plan.radix());
+  KernelScratch scratch(plan.radix());
   bit_reverse_permute(a);
   bit_reverse_permute(b);
   for (std::uint32_t s = 0; s < plan.stage_count(); ++s) {
@@ -104,6 +134,32 @@ TEST(ButterflyChain, SingleLevelMatchesDirectButterfly) {
   butterfly_chain(chain, 3, 4, 2, 1, 4, tw);
   EXPECT_NEAR(std::abs(chain[0] - want_lo), 0.0, 1e-15);
   EXPECT_NEAR(std::abs(chain[1] - want_hi), 0.0, 1e-15);
+}
+
+TEST(ButterflyChain, SplitMatchesComplexOnGenericChain) {
+  // Exercise butterfly_chain_split directly, including a base/stride
+  // combination where the twiddle progression wraps mod 2^L (c >= stride),
+  // forcing the per-element fallback path.
+  const std::uint64_t n = 1 << 10;
+  const TwiddleTable tw(n, TwiddleLayout::kLinear);
+  for (const auto& [base, stride] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 1}, {64, 1}, {3, 4}, {192, 8}, {7, 2}}) {
+    const std::uint32_t levels = 5;
+    const std::uint64_t len = 1u << levels;
+    auto chain = random_signal(len, base * 131 + stride);
+    std::vector<double> re(len), im(len), twr(len / 2), twi(len / 2);
+    for (std::uint64_t q = 0; q < len; ++q) {
+      re[q] = chain[q].real();
+      im[q] = chain[q].imag();
+    }
+    butterfly_chain(chain, base, stride, 3, levels, 10, tw);
+    butterfly_chain_split(re.data(), im.data(), len, base, stride, 3, levels, 10,
+                          tw, twr.data(), twi.data());
+    for (std::uint64_t q = 0; q < len; ++q) {
+      EXPECT_EQ(re[q], chain[q].real()) << "base=" << base << " q=" << q;
+      EXPECT_EQ(im[q], chain[q].imag()) << "base=" << base << " q=" << q;
+    }
+  }
 }
 
 }  // namespace

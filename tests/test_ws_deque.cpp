@@ -1,0 +1,144 @@
+#include "codelet/ws_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace c64fft::codelet {
+namespace {
+
+using StealResult = WorkStealingDeque::StealResult;
+
+TEST(WorkStealingDeque, OwnerPopsLifo) {
+  WorkStealingDeque dq;
+  for (std::uint64_t i = 0; i < 10; ++i) dq.push({1, i});
+  CodeletKey k;
+  for (std::uint64_t i = 10; i-- > 0;) {
+    ASSERT_TRUE(dq.pop(k));
+    EXPECT_EQ(k.stage, 1u);
+    EXPECT_EQ(k.index, i);
+  }
+  EXPECT_FALSE(dq.pop(k));
+  EXPECT_TRUE(dq.empty_relaxed());
+}
+
+TEST(WorkStealingDeque, ThievesStealFifo) {
+  WorkStealingDeque dq;
+  for (std::uint64_t i = 0; i < 10; ++i) dq.push({2, i});
+  CodeletKey k;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(dq.steal(k), StealResult::kStolen);
+    EXPECT_EQ(k.index, i);  // oldest first
+  }
+  EXPECT_EQ(dq.steal(k), StealResult::kEmpty);
+}
+
+TEST(WorkStealingDeque, MixedPopAndStealMeetInTheMiddle) {
+  WorkStealingDeque dq;
+  for (std::uint64_t i = 0; i < 6; ++i) dq.push({0, i});
+  CodeletKey k;
+  ASSERT_EQ(dq.steal(k), StealResult::kStolen);
+  EXPECT_EQ(k.index, 0u);
+  ASSERT_TRUE(dq.pop(k));
+  EXPECT_EQ(k.index, 5u);
+  ASSERT_EQ(dq.steal(k), StealResult::kStolen);
+  EXPECT_EQ(k.index, 1u);
+  ASSERT_TRUE(dq.pop(k));
+  EXPECT_EQ(k.index, 4u);
+  ASSERT_TRUE(dq.pop(k));
+  EXPECT_EQ(k.index, 3u);
+  ASSERT_EQ(dq.steal(k), StealResult::kStolen);
+  EXPECT_EQ(k.index, 2u);
+  EXPECT_EQ(dq.steal(k), StealResult::kEmpty);
+  EXPECT_FALSE(dq.pop(k));
+}
+
+TEST(WorkStealingDeque, GrowthPreservesPendingItems) {
+  WorkStealingDeque dq(2);  // force several doublings
+  const std::uint64_t n = 1000;
+  for (std::uint64_t i = 0; i < n; ++i) dq.push({3, i});
+  EXPECT_EQ(dq.size_relaxed(), n);
+  CodeletKey k;
+  for (std::uint64_t i = n; i-- > 0;) {
+    ASSERT_TRUE(dq.pop(k));
+    ASSERT_EQ(k.index, i);
+    ASSERT_EQ(k.stage, 3u);
+  }
+  EXPECT_FALSE(dq.pop(k));
+}
+
+TEST(WorkStealingDeque, GrowthInterleavedWithSteals) {
+  WorkStealingDeque dq(2);
+  CodeletKey k;
+  std::uint64_t next = 0, expect_top = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int j = 0; j < 5; ++j) dq.push({0, next++});
+    ASSERT_EQ(dq.steal(k), StealResult::kStolen);
+    EXPECT_EQ(k.index, expect_top++);  // still FIFO across growth
+  }
+  std::size_t drained = 0;
+  while (dq.pop(k)) ++drained;
+  EXPECT_EQ(drained + expect_top, next);
+}
+
+// Owner drains its own deque while thieves hammer the top: every pushed
+// key must surface exactly once, across owner pops and steals combined.
+// (Run under -DC64FFT_TSAN=ON this is also the deque's data-race proof.)
+TEST(WorkStealingDeque, ConcurrentStealStressLosesAndDuplicatesNothing) {
+  constexpr std::uint64_t kItems = 50000;
+  constexpr unsigned kThieves = 3;
+  WorkStealingDeque dq(4);
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::uint64_t>> stolen(kThieves);
+  std::atomic<std::uint64_t> lost_races{0};
+
+  std::vector<std::thread> thieves;
+  for (unsigned t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      CodeletKey k;
+      while (true) {
+        switch (dq.steal(k)) {
+          case StealResult::kStolen:
+            stolen[t].push_back(k.index);
+            break;
+          case StealResult::kLost:
+            lost_races.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case StealResult::kEmpty:
+            if (done.load(std::memory_order_acquire)) return;
+            std::this_thread::yield();
+            break;
+        }
+      }
+    });
+  }
+
+  // Owner: push in bursts, pop in bursts — exercises the b==t race and
+  // ring growth concurrently with the thieves.
+  std::vector<std::uint64_t> popped;
+  CodeletKey k;
+  std::uint64_t next = 0;
+  while (next < kItems) {
+    for (int j = 0; j < 37 && next < kItems; ++j) dq.push({0, next++});
+    for (int j = 0; j < 11; ++j)
+      if (dq.pop(k)) popped.push_back(k.index);
+  }
+  while (dq.pop(k)) popped.push_back(k.index);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::vector<std::uint64_t> all = popped;
+  for (const auto& v : stolen) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), kItems);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(all[i], i) << "key lost or duplicated around index " << i;
+}
+
+}  // namespace
+}  // namespace c64fft::codelet

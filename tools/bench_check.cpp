@@ -1,0 +1,68 @@
+// bench_check — perf-regression gate over google-benchmark JSON reports.
+//
+// Diffs a fresh benchmark run against a committed baseline and exits
+// nonzero when any benchmark got worse than the tolerance allows (or
+// disappeared from the report). Wire it after a micro_kernels run:
+//
+//   bench/micro_kernels --benchmark_out=current.json --benchmark_out_format=json
+//   tools/bench_check --baseline=BENCH_baseline.json --current=current.json
+//
+// Exit status: 0 pass, 1 regression(s), 2 usage/IO errors.
+
+#include <iostream>
+#include <string>
+
+#include "util/bench_diff.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace c64fft::util;
+
+  CliParser cli("Compare a google-benchmark JSON report against a baseline.");
+  cli.add_string("baseline", "", "committed baseline report (required)");
+  cli.add_string("current", "", "freshly produced report (required)");
+  cli.add_string("metric", "cpu_time",
+                 "field to compare: cpu_time, real_time, items_per_second, "
+                 "bytes_per_second");
+  cli.add_double("tolerance", 0.30,
+                 "allowed relative worsening before failing (0.30 = 30%)");
+  cli.add_flag("allow-missing",
+               "do not fail when a baseline benchmark is absent from the "
+               "current report");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_check: " << e.what() << "\n" << cli.help();
+    return 2;
+  }
+
+  const std::string baseline_path = cli.get_string("baseline");
+  const std::string current_path = cli.get_string("current");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "bench_check: --baseline and --current are required\n"
+              << cli.help();
+    return 2;
+  }
+
+  BenchDiffOptions opts;
+  opts.metric = cli.get_string("metric");
+  opts.tolerance = cli.get_double("tolerance");
+  opts.require_all_baseline = !cli.flag("allow-missing");
+  if (opts.tolerance < 0.0) {
+    std::cerr << "bench_check: tolerance must be >= 0\n";
+    return 2;
+  }
+
+  try {
+    const JsonValue baseline = json_parse_file(baseline_path);
+    const JsonValue current = json_parse_file(current_path);
+    const auto deltas = diff_benchmarks(baseline, current, opts);
+    std::cout << format_bench_report(deltas, opts);
+    return has_regression(deltas) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_check: " << e.what() << "\n";
+    return 2;
+  }
+}

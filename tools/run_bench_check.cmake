@@ -1,0 +1,33 @@
+# Runner for the opt-in perf-regression ctest (see C64FFT_BENCH_CHECK):
+# produce a fresh google-benchmark JSON report from micro_kernels, then
+# gate it against the committed baseline with bench_check.
+#
+#   cmake -DMICRO_KERNELS=<bin> -DBENCH_CHECK=<bin> -DBASELINE=<json> \
+#         -DOUT=<json> [-DTOLERANCE=0.30] -P run_bench_check.cmake
+
+foreach(var MICRO_KERNELS BENCH_CHECK BASELINE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_bench_check: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 0.30)
+endif()
+
+execute_process(
+  COMMAND ${MICRO_KERNELS}
+          --benchmark_out=${OUT}
+          --benchmark_out_format=json
+          --benchmark_min_time=0.05
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_bench_check: micro_kernels exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline=${BASELINE} --current=${OUT}
+          --tolerance=${TOLERANCE}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_bench_check: bench_check reported regressions (${rc})")
+endif()
