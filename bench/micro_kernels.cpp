@@ -23,6 +23,7 @@
 #include "codelet/pool.hpp"
 #include "fft/api.hpp"
 #include "fft/bit_reversal.hpp"
+#include "fft/executor.hpp"
 #include "fft/kernel.hpp"
 #include "fft/real_fft.hpp"
 #include "fft/reference.hpp"
@@ -334,6 +335,116 @@ void BM_SerialReferenceFft(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SerialReferenceFft)->Arg(14)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Executor: cached-plan steady state vs the cold per-call setup path, and
+// batched dispatch vs a loop of cached single transforms.
+
+// The pre-executor cost model: every call pays plan construction, the
+// O(N) trig twiddle build, and a worker-team spawn + join. A fresh
+// executor per iteration reproduces that (conservatively: the old code
+// spawned TWO teams per call — one for the bit-reversal, one in
+// fft_host — so this proxy understates the pre-executor cost).
+//
+// Arg = transform size N. Setup amortization dominates at small/medium
+// N; at large N on this single-core benchmarking VM the cached path is
+// already >90% pure butterfly compute, so the ratio narrows there.
+void BM_ExecutorForwardCold(benchmark::State& state) {
+  auto data = random_signal(static_cast<std::uint64_t>(state.range(0)), 9);
+  fft::HostFftOptions opts;
+  opts.workers = 4;
+  for (auto _ : state) {
+    fft::FftExecutor ex;
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+// Thread spawn/join cost is long-tailed; a larger MinTime keeps the
+// mean stable enough for the 30% bench_check gate.
+BENCHMARK(BM_ExecutorForwardCold)
+    ->Arg(256)
+    ->Arg(4096)
+    ->MinTime(0.5)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorForwardCached(benchmark::State& state) {
+  auto data = random_signal(static_cast<std::uint64_t>(state.range(0)), 9);
+  fft::HostFftOptions opts;
+  opts.workers = 4;
+  fft::FftExecutor ex;
+  ex.forward(data, opts);  // warm: plan + twiddles cached, team resident
+  for (auto _ : state) {
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ExecutorForwardCached)
+    ->Arg(256)
+    ->Arg(4096)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched dispatch: one forward_batch submission vs a loop of cached
+// single calls over the same buffers. Arg = per-transform size N, with
+// a fixed batch of 256 transforms. The batch path seeds one root
+// codelet per transform (bit-reversal + stage-seed fan-out on the
+// owning worker), replacing ~stages phase barriers per transform with
+// one phase for the whole batch.
+constexpr std::size_t kBatchCount = 256;
+
+std::vector<std::vector<cplx>> batch_signals(std::uint64_t n) {
+  std::vector<std::vector<cplx>> bufs;
+  bufs.reserve(kBatchCount);
+  for (std::size_t b = 0; b < kBatchCount; ++b)
+    bufs.push_back(random_signal(n, 100 + b));
+  return bufs;
+}
+
+void BM_ExecutorBatchLoop(benchmark::State& state) {
+  auto bufs = batch_signals(static_cast<std::uint64_t>(state.range(0)));
+  fft::HostFftOptions opts;
+  opts.workers = 4;
+  fft::FftExecutor ex;
+  ex.forward(bufs[0], opts);  // warm
+  for (auto _ : state) {
+    for (auto& buf : bufs) ex.forward(buf, opts);
+    benchmark::DoNotOptimize(bufs.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatchCount);
+}
+BENCHMARK(BM_ExecutorBatchLoop)
+    ->Arg(256)
+    ->Arg(1024)
+    ->MinTime(0.25)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorBatchSubmit(benchmark::State& state) {
+  auto bufs = batch_signals(static_cast<std::uint64_t>(state.range(0)));
+  std::vector<std::span<cplx>> spans;
+  spans.reserve(bufs.size());
+  for (auto& buf : bufs) spans.emplace_back(buf);
+  fft::HostFftOptions opts;
+  opts.workers = 4;
+  fft::FftExecutor ex;
+  ex.forward(bufs[0], opts);  // warm
+  for (auto _ : state) {
+    ex.forward_batch(spans, opts);
+    benchmark::DoNotOptimize(bufs.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatchCount);
+}
+BENCHMARK(BM_ExecutorBatchSubmit)
+    ->Arg(256)
+    ->Arg(1024)
+    ->MinTime(0.25)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

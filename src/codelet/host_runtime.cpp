@@ -207,9 +207,18 @@ void worker_main(HostRuntimeShared& sh, unsigned w) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_teams_created{0};
+}
+
+std::uint64_t HostRuntime::teams_created() noexcept {
+  return g_teams_created.load(std::memory_order_relaxed);
+}
+
 HostRuntime::HostRuntime(unsigned workers, SchedulerMode mode)
     : workers_(workers), mode_(mode), per_worker_(workers, 0) {
   if (workers == 0) throw std::invalid_argument("HostRuntime: zero workers");
+  g_teams_created.fetch_add(1, std::memory_order_relaxed);
   shared_ = std::make_unique<detail::HostRuntimeShared>(workers);
   if (mode_ == SchedulerMode::kWorkStealing) {
     threads_.reserve(workers - 1);

@@ -93,6 +93,11 @@ class HostRuntime {
   /// load-migration evidence of the work-stealing scheduler.
   std::uint64_t steals() const noexcept { return steals_; }
 
+  /// Process-wide count of HostRuntime constructions. The executor's
+  /// team-spawn regression guard asserts this stays flat across
+  /// steady-state cached transforms (see tests/test_executor.cpp).
+  static std::uint64_t teams_created() noexcept;
+
  private:
   void run_phase_work_stealing(std::span<const CodeletKey> seeds,
                                PoolPolicy policy, const CodeletBody& body);

@@ -1,32 +1,34 @@
 #include "fft/api.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "fft/executor.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
 
 namespace {
 // The codelet decomposition needs at least one radix-R stage; tiny inputs
-// use a narrower radix transparently.
+// use a narrower radix transparently. Delegates to the shared validator
+// (plan.hpp) so the public wrappers, the plan, and the executor agree on
+// one set of checks and messages.
 HostFftOptions clamp_radix(std::span<const cplx> data, HostFftOptions opts) {
-  if (!util::is_pow2(data.size()) || data.size() < 2)
-    throw std::invalid_argument("fft: size must be a power of two >= 2");
-  const unsigned bits = util::ilog2(data.size());
-  if (opts.radix_log2 > bits) opts.radix_log2 = bits;
+  opts.radix_log2 = validate_fft_shape(data.size(), opts.radix_log2,
+                                       /*clamp_radix=*/true);
   return opts;
 }
 }  // namespace
 
 void forward(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
-  fft_host(data, variant, clamp_radix(data, opts));
+  default_executor().forward(data, clamp_radix(data, opts), variant);
 }
 
 void inverse(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
-  for (auto& v : data) v = std::conj(v);
-  fft_host(data, variant, clamp_radix(data, opts));
-  const double inv = 1.0 / static_cast<double>(data.size());
-  for (auto& v : data) v = std::conj(v) * inv;
+  // The executor's inverse runs the forward stage kernels against the
+  // cached conjugated twiddle table, so the old pre-conjugation pass over
+  // the input is gone; only the 1/N scale epilogue remains.
+  default_executor().inverse(data, clamp_radix(data, opts), variant);
 }
 
 std::vector<cplx> forward_copy(std::span<const cplx> data, const HostFftOptions& opts,
@@ -63,10 +65,14 @@ std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cpl
     throw std::invalid_argument("circular_convolve: length mismatch");
   std::vector<cplx> fa(a.begin(), a.end());
   std::vector<cplx> fb(b.begin(), b.end());
-  forward(fa, opts);
-  forward(fb, opts);
+  // Both forwards go down as ONE batched submission (one bit-reversal
+  // phase + one set of stage phases for the pair), and `fa` is reused as
+  // the output buffer of the pointwise product and the inverse.
+  const HostFftOptions clamped = clamp_radix(fa, opts);
+  const std::span<cplx> pair[2] = {fa, fb};
+  default_executor().forward_batch(pair, clamped);
   for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
-  inverse(fa, opts);
+  default_executor().inverse(fa, clamped);
   return fa;
 }
 

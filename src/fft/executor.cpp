@@ -1,0 +1,340 @@
+#include "fft/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "codelet/dep_counter.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::fft {
+
+namespace {
+
+using codelet::CodeletKey;
+using codelet::PoolPolicy;
+
+/// Scale pass of the inverse transform (the only O(N) epilogue left: the
+/// input-conjugation pass is gone — the conjugated twiddle table computes
+/// conj(FFT(conj(x))) directly — and the output conjugation fused into the
+/// table as well, leaving just the 1/N normalization).
+void scale_by(std::span<cplx> data, double factor) {
+  for (cplx& v : data) v *= factor;
+}
+
+}  // namespace
+
+FftExecutor::FftExecutor(const ExecutorOptions& opts)
+    : opts_(opts), cache_(opts.capacity) {
+  if (opts.workers == 0)
+    throw std::invalid_argument("FftExecutor: zero workers");
+}
+
+FftExecutor::~FftExecutor() = default;
+
+codelet::HostRuntime& FftExecutor::team(unsigned workers,
+                                        codelet::SchedulerMode mode) {
+  if (workers == 0) throw std::invalid_argument("FftExecutor: zero workers");
+  if (!runtime_ || runtime_->workers() != workers || runtime_->mode() != mode) {
+    runtime_.reset();  // join the old team before spawning its replacement
+    runtime_ = std::make_unique<codelet::HostRuntime>(workers, mode);
+    ++teams_created_;
+  }
+  return *runtime_;
+}
+
+void FftExecutor::ensure_worker_buffers(std::uint64_t radix, unsigned workers) {
+  if (scratch_radix_ == radix && scratch_.size() == workers) return;
+  scratch_.clear();
+  scratch_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) scratch_.emplace_back(radix);
+  members_buf_.assign(workers, {});
+  keys_buf_.assign(workers, {});
+  scratch_radix_ = radix;
+}
+
+void FftExecutor::run(std::span<const std::span<cplx>> batch,
+                      const HostFftOptions& opts, Variant variant,
+                      TwiddleDirection dir) {
+  if (batch.empty()) return;
+  const std::uint64_t n = batch.front().size();
+  for (const std::span<cplx>& t : batch)
+    if (t.size() != n)
+      throw std::invalid_argument(
+          "FftExecutor: batch transforms must share one length");
+
+  // Shape errors surface before any cache/team work; no clamping here —
+  // this is the fft_host contract (api.cpp clamps on its own behalf).
+  validate_fft_shape(n, opts.radix_log2, /*clamp_radix=*/false);
+
+  std::shared_ptr<const PlanEntry> entry =
+      cache_.acquire(PlanKey{n, opts.radix_log2, opts.layout});
+  const FftPlan& plan = entry->plan();
+  const TwiddleTable& twiddles = entry->twiddles(dir);
+  const std::uint64_t tasks = plan.tasks_per_stage();
+  const std::uint64_t b_count = batch.size();
+  const std::uint32_t stages = plan.stage_count();
+
+  std::lock_guard lock(mutex_);
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+  ensure_worker_buffers(plan.radix(), rt.workers());
+
+  const unsigned bits = plan.log2_size();
+
+  // Single transforms bit-reverse as a chunked phase on the persistent
+  // team (the old free function spawned its own team per call); batches
+  // instead fold the permutation into per-transform root codelets below —
+  // one phase and one injection-queue pop per transform instead of one
+  // per stage-0 codelet, and each transform's butterflies start cache-warm
+  // right after its own permutation.
+  if (b_count == 1) {
+    const std::uint64_t per = std::uint64_t{rt.workers()} * 4;
+    const std::uint64_t chunk = util::ceil_div(n, per);
+    std::vector<CodeletKey> seeds;
+    seeds.reserve(per);
+    for (std::uint64_t c = 0; c < per; ++c) seeds.push_back({0, c});
+    rt.run_phase(seeds, PoolPolicy::kFifo,
+                 [&](CodeletKey key, unsigned, codelet::Pusher&) {
+                   std::span<cplx> data = batch[0];
+                   const std::uint64_t end = std::min(n, (key.index + 1) * chunk);
+                   for (std::uint64_t i = key.index * chunk; i < end; ++i) {
+                     const std::uint64_t j = util::bit_reverse(i, bits);
+                     if (i < j) std::swap(data[i], data[j]);
+                   }
+                 });
+  }
+
+  // Batch seeding: a root codelet per transform (sentinel stage) that
+  // optionally bit-reverses its whole transform, then releases that
+  // transform's `order`-ordered codelets of `target_stage` onto the
+  // executing worker's own lock-free deque.
+  constexpr std::uint32_t kRootStage = 0xFFFFFFFFu;
+  std::vector<CodeletKey> root_seeds;
+  if (b_count > 1) {
+    root_seeds.reserve(b_count);
+    for (std::uint64_t b = 0; b < b_count; ++b) root_seeds.push_back({kRootStage, b});
+  }
+  auto rooted = [&](const std::vector<std::uint64_t>& order,
+                    std::uint32_t target_stage, bool do_bitrev,
+                    codelet::CodeletBody inner) -> codelet::CodeletBody {
+    return [&, target_stage, do_bitrev, inner](CodeletKey key, unsigned worker,
+                                               codelet::Pusher& pusher) {
+      if (key.stage != kRootStage) {
+        inner(key, worker, pusher);
+        return;
+      }
+      const std::uint64_t b = key.index;
+      if (do_bitrev) {
+        std::span<cplx> data = batch[b];
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::uint64_t j = util::bit_reverse(i, bits);
+          if (i < j) std::swap(data[i], data[j]);
+        }
+      }
+      std::vector<CodeletKey>& keys = keys_buf_[worker];
+      keys.clear();
+      keys.reserve(order.size());
+      for (std::uint64_t t : order) keys.push_back({target_stage, b * tasks + t});
+      pusher.push_batch(keys);
+    };
+  };
+
+  std::vector<std::uint64_t> natural(tasks);
+  for (std::uint64_t t = 0; t < tasks; ++t) natural[t] = t;
+
+  if (variant == Variant::kCoarse) {
+    // Algorithm 1 over the whole batch: one phase per stage; every
+    // transform's stage-s codelets run inside the same phase.
+    const codelet::CodeletBody exec = [&](CodeletKey key, unsigned worker,
+                                          codelet::Pusher&) {
+      run_codelet(plan, key.stage, key.index % tasks, batch[key.index / tasks],
+                  twiddles, scratch_[worker]);
+    };
+    std::uint32_t first = 0;
+    if (b_count > 1) {
+      rt.run_phase(root_seeds, PoolPolicy::kFifo, rooted(natural, 0, true, exec));
+      first = 1;
+    }
+    std::vector<CodeletKey> seeds(tasks * b_count);
+    for (std::uint32_t s = first; s < stages; ++s) {
+      for (std::uint64_t i = 0; i < seeds.size(); ++i) seeds[i] = {s, i};
+      rt.run_phase(seeds, PoolPolicy::kFifo, exec);
+    }
+    transforms_ += (b_count == 1) ? 1 : 0;
+    batched_ += (b_count == 1) ? 0 : b_count;
+    return;
+  }
+
+  // Fine/guided: one DependencyCounters instance per transform, all
+  // stamped from the cached template.
+  std::vector<codelet::DependencyCounters> counters;
+  counters.reserve(b_count);
+  for (std::uint64_t b = 0; b < b_count; ++b)
+    counters.push_back(entry->make_counters());
+
+  // Kernel + readiness propagation over the batch-encoded key space;
+  // mirrors the single-transform fine body of the paper's Alg. 2/3.
+  auto fine_body = [&](std::uint32_t last_propagated) -> codelet::CodeletBody {
+    return [&, last_propagated](CodeletKey key, unsigned worker,
+                                codelet::Pusher& pusher) {
+      const std::uint64_t b = key.index / tasks;
+      const std::uint64_t t = key.index % tasks;
+      run_codelet(plan, key.stage, t, batch[b], twiddles, scratch_[worker]);
+      if (key.stage >= last_propagated || key.stage + 1 >= stages) return;
+      const std::uint64_t g = plan.child_group(key.stage, t);
+      if (counters[b].arrive(key.stage + 1, g)) {
+        std::vector<std::uint64_t>& members = members_buf_[worker];
+        plan.group_members(key.stage + 1, g, members);
+        std::vector<CodeletKey>& keys = keys_buf_[worker];
+        keys.clear();
+        keys.reserve(members.size());
+        for (std::uint64_t m : members)
+          keys.push_back({key.stage + 1, b * tasks + m});
+        pusher.push_batch(keys);
+      }
+    };
+  };
+
+  FineOrdering ordering = opts.ordering;
+  bool fine = variant == Variant::kFine;
+  if (variant == Variant::kGuided && stages < 3) {
+    // Degenerate guided input: Alg. 3 reduces to fine with its LIFO pool.
+    fine = true;
+    ordering = FineOrdering{PoolPolicy::kLifo, SeedOrder::kNatural, 1};
+  }
+
+  if (fine) {
+    const std::vector<std::uint64_t> order =
+        make_seed_order(ordering.order, tasks, ordering.seed);
+    if (b_count > 1) {
+      rt.run_phase(root_seeds, ordering.policy,
+                   rooted(order, 0, true, fine_body(stages - 1)));
+    } else {
+      std::vector<CodeletKey> seeds;
+      seeds.reserve(order.size());
+      for (std::uint64_t t : order) seeds.push_back({0, t});
+      rt.run_phase(seeds, ordering.policy, fine_body(stages - 1));
+    }
+  } else {
+    // Algorithm 3, phase 1: fine-grain over the early stages; the last
+    // early stage does not propagate readiness.
+    const std::uint32_t last_early = stages - 3;
+    if (b_count > 1) {
+      rt.run_phase(root_seeds, PoolPolicy::kLifo,
+                   rooted(natural, 0, true, fine_body(last_early)));
+    } else {
+      std::vector<CodeletKey> seeds;
+      seeds.reserve(tasks);
+      for (std::uint64_t i = 0; i < tasks; ++i) seeds.push_back({0, i});
+      rt.run_phase(seeds, PoolPolicy::kLifo, fine_body(last_early));
+    }
+    // Phase 2: per transform, the simulator's column-batched seed order of
+    // the penultimate stage.
+    const std::uint32_t penultimate = stages - 2;
+    const std::vector<std::uint64_t> order = guided_phase2_order(plan);
+    if (order.size() != tasks)
+      throw std::logic_error("guided: phase-2 seeding does not cover the stage");
+    if (b_count > 1) {
+      rt.run_phase(root_seeds, PoolPolicy::kLifo,
+                   rooted(order, penultimate, false, fine_body(stages - 1)));
+    } else {
+      std::vector<CodeletKey> phase2;
+      phase2.reserve(tasks);
+      for (std::uint64_t p : order) phase2.push_back({penultimate, p});
+      rt.run_phase(phase2, PoolPolicy::kLifo, fine_body(stages - 1));
+    }
+  }
+
+  transforms_ += (b_count == 1) ? 1 : 0;
+  batched_ += (b_count == 1) ? 0 : b_count;
+}
+
+void FftExecutor::forward(std::span<cplx> data, const HostFftOptions& opts,
+                          Variant variant) {
+  const std::span<cplx> one[1] = {data};
+  run(one, opts, variant, TwiddleDirection::kForward);
+}
+
+void FftExecutor::forward(std::span<cplx> data, Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  forward(data, opts, variant);
+}
+
+void FftExecutor::inverse(std::span<cplx> data, const HostFftOptions& opts,
+                          Variant variant) {
+  const std::span<cplx> one[1] = {data};
+  run(one, opts, variant, TwiddleDirection::kInverse);
+  scale_by(data, 1.0 / static_cast<double>(data.size()));
+}
+
+void FftExecutor::inverse(std::span<cplx> data, Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  inverse(data, opts, variant);
+}
+
+void FftExecutor::forward_batch(std::span<const std::span<cplx>> batch,
+                                const HostFftOptions& opts, Variant variant) {
+  run(batch, opts, variant, TwiddleDirection::kForward);
+}
+
+void FftExecutor::forward_batch(std::span<const std::span<cplx>> batch,
+                                Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  forward_batch(batch, opts, variant);
+}
+
+void FftExecutor::inverse_batch(std::span<const std::span<cplx>> batch,
+                                const HostFftOptions& opts, Variant variant) {
+  run(batch, opts, variant, TwiddleDirection::kInverse);
+  for (const std::span<cplx>& t : batch)
+    scale_by(t, 1.0 / static_cast<double>(t.size()));
+}
+
+void FftExecutor::inverse_batch(std::span<const std::span<cplx>> batch,
+                                Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  inverse_batch(batch, opts, variant);
+}
+
+void FftExecutor::resize(unsigned workers) {
+  if (workers == 0) throw std::invalid_argument("FftExecutor: zero workers");
+  std::lock_guard lock(mutex_);
+  opts_.workers = workers;
+  if (runtime_ && runtime_->workers() != workers) runtime_.reset();
+}
+
+void FftExecutor::shutdown() {
+  std::lock_guard lock(mutex_);
+  runtime_.reset();
+  scratch_.clear();
+  members_buf_.clear();
+  keys_buf_.clear();
+  scratch_radix_ = 0;
+}
+
+void FftExecutor::clear_cache() { cache_.clear(); }
+
+ExecutorStats FftExecutor::stats() const {
+  ExecutorStats s;
+  s.cache = cache_.stats();
+  std::lock_guard lock(mutex_);
+  s.transforms = transforms_;
+  s.batched = batched_;
+  s.teams_created = teams_created_;
+  return s;
+}
+
+FftExecutor& default_executor() {
+  static FftExecutor executor;
+  return executor;
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,126 @@
+#pragma once
+// Cached-plan FFT executor: the steady-state entry point of the library.
+//
+// Every fft_host call used to rebuild the FftPlan, recompute the O(N)
+// trig TwiddleTable, and spawn + join a fresh HostRuntime worker team.
+// FftExecutor amortizes all three: plans/twiddles/counter templates live
+// in a thread-safe LRU PlanCache, and one lazily created persistent
+// worker team is reused across transforms (and resized only when a call
+// asks for a different team shape). Steady-state forward() therefore does
+// zero thread spawns and zero trig recomputation.
+//
+// forward_batch()/inverse_batch() submit many independent equal-length
+// transforms as codelets of ONE runtime phase: CodeletKey::index encodes
+// (transform, task) as b * tasks_per_stage + t, each transform gets its
+// own DependencyCounters instance stamped from the shared template, and
+// all transforms share the plan/twiddles. Thousands of small FFTs then
+// saturate the work-stealing deques instead of paying a phase (or, worse,
+// a team lifecycle) per call.
+//
+// Concurrency: any number of caller threads may use one executor; a mutex
+// serializes the runtime phases (HostRuntime::run_phase is single-caller
+// by contract), while the PlanCache has its own finer lock. See DESIGN.md
+// "Executor & plan cache".
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "codelet/host_runtime.hpp"
+#include "fft/kernel.hpp"
+#include "fft/plan_cache.hpp"
+#include "fft/variants.hpp"
+
+namespace c64fft::fft {
+
+struct ExecutorOptions {
+  /// Team shape used by the option-less transform overloads (per-call
+  /// HostFftOptions override it, recreating the team when they differ).
+  unsigned workers = 4;
+  codelet::SchedulerMode mode = codelet::SchedulerMode::kWorkStealing;
+  /// Plan-cache capacity in entries (>= 1).
+  std::size_t capacity = 16;
+};
+
+struct ExecutorStats {
+  PlanCacheStats cache;
+  /// Transforms dispatched one at a time / via batch submissions.
+  std::uint64_t transforms = 0;
+  std::uint64_t batched = 0;
+  /// Worker teams this executor created over its lifetime.
+  std::uint64_t teams_created = 0;
+};
+
+class FftExecutor {
+ public:
+  explicit FftExecutor(const ExecutorOptions& opts = {});
+  ~FftExecutor();
+
+  FftExecutor(const FftExecutor&) = delete;
+  FftExecutor& operator=(const FftExecutor&) = delete;
+
+  /// In-place transforms. Shape validation matches fft_host: bad sizes
+  /// throw std::invalid_argument, the radix is NOT clamped (the api.cpp
+  /// wrappers clamp before calling). opts.workers/opts.mode select the
+  /// team; the option-less overloads use the ExecutorOptions defaults.
+  void forward(std::span<cplx> data, const HostFftOptions& opts,
+               Variant variant = Variant::kFine);
+  void forward(std::span<cplx> data, Variant variant = Variant::kFine);
+  void inverse(std::span<cplx> data, const HostFftOptions& opts,
+               Variant variant = Variant::kFine);
+  void inverse(std::span<cplx> data, Variant variant = Variant::kFine);
+
+  /// Batched transforms: every span is one independent transform; all must
+  /// share one power-of-two length (throws std::invalid_argument
+  /// otherwise). The whole batch runs as one bit-reversal phase plus the
+  /// variant's stage phases, bit-identical per transform to a loop of
+  /// single calls.
+  void forward_batch(std::span<const std::span<cplx>> batch,
+                     const HostFftOptions& opts, Variant variant = Variant::kFine);
+  void forward_batch(std::span<const std::span<cplx>> batch,
+                     Variant variant = Variant::kFine);
+  void inverse_batch(std::span<const std::span<cplx>> batch,
+                     const HostFftOptions& opts, Variant variant = Variant::kFine);
+  void inverse_batch(std::span<const std::span<cplx>> batch,
+                     Variant variant = Variant::kFine);
+
+  /// Default team size for the option-less overloads; an existing team of
+  /// a different size is dropped (and respawned lazily at next use).
+  void resize(unsigned workers);
+
+  /// Join and destroy the worker team (the plan cache survives). The next
+  /// transform lazily spawns a fresh team — intended for tests and for
+  /// quiescing the process.
+  void shutdown();
+
+  void clear_cache();
+  ExecutorStats stats() const;
+
+ private:
+  codelet::HostRuntime& team(unsigned workers, codelet::SchedulerMode mode);
+  void ensure_worker_buffers(std::uint64_t radix, unsigned workers);
+  void run(std::span<const std::span<cplx>> batch, const HostFftOptions& opts,
+           Variant variant, TwiddleDirection dir);
+
+  ExecutorOptions opts_;
+  PlanCache cache_;
+
+  /// Guards the team, the per-worker buffers, and phase execution.
+  mutable std::mutex mutex_;
+  std::unique_ptr<codelet::HostRuntime> runtime_;
+  std::vector<KernelScratch> scratch_;
+  std::vector<std::vector<std::uint64_t>> members_buf_;
+  std::vector<std::vector<codelet::CodeletKey>> keys_buf_;
+  std::uint64_t scratch_radix_ = 0;
+  std::uint64_t transforms_ = 0;
+  std::uint64_t batched_ = 0;
+  std::uint64_t teams_created_ = 0;
+};
+
+/// The process-wide executor the api.cpp wrappers (and the fft_host
+/// compatibility shim) dispatch through.
+FftExecutor& default_executor();
+
+}  // namespace c64fft::fft

@@ -3,8 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "codelet/host_runtime.hpp"
-#include "fft/reference.hpp"
+#include "fft/executor.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
@@ -17,18 +16,20 @@ void check_dims(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols) {
   if (data.size() != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
 }
 
-// Transform every row with a pool of per-row codelets. Each codelet runs
-// the serial in-place kernel on its own row — parallelism across rows is
-// the codelet-level parallelism here.
+// Transform every row as one batched executor submission: the rows share
+// the cached plan/twiddles and run as codelets of one phase set on the
+// persistent team (the old per-call HostRuntime + serial-kernel-per-row
+// scheme is gone). Row-level and intra-row parallelism both land on the
+// same work-stealing deques.
 void rows_pass(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
-               unsigned workers) {
-  codelet::HostRuntime rt(workers);
-  std::vector<codelet::CodeletKey> seeds(rows);
-  for (std::uint64_t r = 0; r < rows; ++r) seeds[r] = {0, r};
-  rt.run_phase(seeds, codelet::PoolPolicy::kFifo,
-               [&](codelet::CodeletKey key, unsigned, codelet::Pusher&) {
-                 fft_serial_inplace(data.subspan(key.index * cols, cols));
-               });
+               const HostFftOptions& opts, Variant variant) {
+  std::vector<std::span<cplx>> row_spans;
+  row_spans.reserve(rows);
+  for (std::uint64_t r = 0; r < rows; ++r)
+    row_spans.push_back(data.subspan(r * cols, cols));
+  HostFftOptions clamped = opts;
+  clamped.radix_log2 = validate_fft_shape(cols, opts.radix_log2, /*clamp_radix=*/true);
+  default_executor().forward_batch(row_spans, clamped, variant);
 }
 
 void transpose_into(std::span<const cplx> src, std::span<cplx> dst, std::uint64_t rows,
@@ -40,12 +41,12 @@ void transpose_into(std::span<const cplx> src, std::span<cplx> dst, std::uint64_
 }  // namespace
 
 void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
-                const HostFftOptions& opts, Variant /*variant*/) {
+                const HostFftOptions& opts, Variant variant) {
   check_dims(data, rows, cols);
-  rows_pass(data, rows, cols, opts.workers);
+  rows_pass(data, rows, cols, opts, variant);
   std::vector<cplx> t(data.size());
   transpose_into(data, t, rows, cols);
-  rows_pass(t, cols, rows, opts.workers);
+  rows_pass(t, cols, rows, opts, variant);
   transpose_into(t, data, cols, rows);
 }
 

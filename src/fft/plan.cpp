@@ -7,13 +7,22 @@
 
 namespace c64fft::fft {
 
-FftPlan::FftPlan(std::uint64_t n, unsigned radix_log2) : n_(n), r_(radix_log2) {
-  if (!util::is_pow2(n)) throw std::invalid_argument("FftPlan: N must be a power of two");
+unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_radix) {
+  if (!util::is_pow2(n) || n < 2)
+    throw std::invalid_argument("fft: size must be a power of two >= 2");
   if (radix_log2 < 1 || radix_log2 > 8)
-    throw std::invalid_argument("FftPlan: radix_log2 must be in [1, 8]");
-  log2n_ = util::ilog2(n);
-  if (log2n_ < r_) throw std::invalid_argument("FftPlan: N must be at least the radix");
+    throw std::invalid_argument("fft: radix_log2 must be in [1, 8]");
+  const unsigned bits = util::ilog2(n);
+  if (bits < radix_log2) {
+    if (!clamp_radix) throw std::invalid_argument("fft: size must be at least the radix");
+    return bits;
+  }
+  return radix_log2;
+}
 
+FftPlan::FftPlan(std::uint64_t n, unsigned radix_log2)
+    : n_(n), r_(validate_fft_shape(n, radix_log2, /*clamp_radix=*/false)) {
+  log2n_ = util::ilog2(n);
   tasks_ = n_ >> r_;
   const std::uint32_t full = log2n_ / r_;
   const std::uint32_t rem = log2n_ % r_;

@@ -40,6 +40,14 @@ struct StageInfo {
   bool partial = false;
 };
 
+/// Shared shape validator for every FFT entry point (plan construction,
+/// the public api.cpp wrappers, the executor): N must be a power of two
+/// >= 2 and radix_log2 in [1, 8]. Returns the radix_log2 to use. When
+/// `clamp_radix` is true a radix wider than log2(N) is narrowed to
+/// log2(N) (the public-API convenience); when false it throws (the plan
+/// contract, relied on by tests).
+unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_radix);
+
 class FftPlan {
  public:
   /// N must be a power of two with N >= R = 2^radix_log2, radix_log2 in

@@ -1,0 +1,79 @@
+#include "fft/plan_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace c64fft::fft {
+
+PlanEntry::PlanEntry(const PlanKey& key)
+    : key_(key), plan_(key.n, key.radix_log2), forward_(key.n, key.layout) {
+  const std::uint32_t stages = plan_.stage_count();
+  groups_.assign(stages, 0);
+  thresholds_.assign(stages, 1);
+  for (std::uint32_t s = 1; s < stages; ++s) {
+    groups_[s] = plan_.groups_in_stage(s);
+    thresholds_[s] = plan_.group_threshold(s);
+  }
+}
+
+const TwiddleTable& PlanEntry::twiddles(TwiddleDirection dir) const {
+  if (dir == TwiddleDirection::kForward) return forward_;
+  std::call_once(inverse_once_, [this] {
+    inverse_ = std::make_unique<TwiddleTable>(key_.n, key_.layout,
+                                              TwiddleDirection::kInverse);
+  });
+  return *inverse_;
+}
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::shared_ptr<const PlanEntry> PlanCache::acquire(const PlanKey& key) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return it->second->second;
+    }
+    ++stats_.misses;
+  }
+
+  // O(N) plan + trig build runs unlocked; a losing racer adopts the entry
+  // the winner inserted.
+  auto entry = std::make_shared<const PlanEntry>(key);
+
+  std::lock_guard lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, entry);
+  map_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return entry;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,119 @@
+#pragma once
+// Thread-safe LRU cache of immutable FFT plan entries.
+//
+// The paper's codelet model assumes the plan, twiddle table, and
+// dependency-counter shape exist once and transforms stream through them;
+// this cache is that amortization layer. A PlanEntry bundles everything a
+// transform of a given shape needs that does not depend on the data
+// buffer: the FftPlan index algebra, the forward (and lazily the
+// conjugated inverse) TwiddleTable, and the counter template
+// (groups/thresholds per stage) from which per-transform
+// DependencyCounters instances are stamped out. Entries are immutable and
+// handed out as shared_ptr<const PlanEntry>, so a cache eviction never
+// invalidates a transform in flight. See DESIGN.md "Executor & plan
+// cache".
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "codelet/dep_counter.hpp"
+#include "fft/plan.hpp"
+#include "fft/twiddle.hpp"
+
+namespace c64fft::fft {
+
+/// Everything that distinguishes one cached plan from another. The
+/// scheduling variant is deliberately NOT part of the key: all three
+/// variants share the same plan/twiddles/counter shape, so one entry
+/// serves them all.
+struct PlanKey {
+  std::uint64_t n = 0;
+  unsigned radix_log2 = 6;
+  TwiddleLayout layout = TwiddleLayout::kLinear;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept {
+    std::uint64_t h = k.n * 0x9e3779b97f4a7c15ull;
+    h ^= (std::uint64_t{k.radix_log2} << 1) ^
+         (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0);
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class PlanEntry {
+ public:
+  /// Builds the plan, the forward twiddle table, and the counter template.
+  /// Throws std::invalid_argument for bad shapes (no radix clamping here —
+  /// callers validate first).
+  explicit PlanEntry(const PlanKey& key);
+
+  PlanEntry(const PlanEntry&) = delete;
+  PlanEntry& operator=(const PlanEntry&) = delete;
+
+  const PlanKey& key() const noexcept { return key_; }
+  const FftPlan& plan() const noexcept { return plan_; }
+
+  /// Forward table always exists; the conjugated inverse table is built on
+  /// first request and cached for the entry's lifetime.
+  const TwiddleTable& twiddles(TwiddleDirection dir) const;
+
+  /// Fresh per-transform counter set matching this plan (stage 0 has no
+  /// producers; stages 1..S-1 use the plan's sibling-group algebra). Both
+  /// the fine and guided drivers consume this full-range shape.
+  codelet::DependencyCounters make_counters() const {
+    return codelet::DependencyCounters(groups_, thresholds_);
+  }
+
+ private:
+  PlanKey key_;
+  FftPlan plan_;
+  TwiddleTable forward_;
+  mutable std::once_flag inverse_once_;
+  mutable std::unique_ptr<TwiddleTable> inverse_;
+  std::vector<std::uint64_t> groups_;
+  std::vector<std::uint32_t> thresholds_;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Mutex-guarded LRU map from PlanKey to shared immutable PlanEntry.
+/// Entry construction (the O(N) trig) happens outside the lock; when two
+/// threads race to build the same key the first insertion wins and the
+/// loser adopts the resident entry.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 16);
+
+  /// Return the cached entry for `key`, building and inserting it on miss
+  /// (evicting the least recently used entry when over capacity).
+  std::shared_ptr<const PlanEntry> acquire(const PlanKey& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  PlanCacheStats stats() const;
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<PlanKey, std::shared_ptr<const PlanEntry>>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> map_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace c64fft::fft

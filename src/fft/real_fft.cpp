@@ -4,10 +4,20 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "fft/api.hpp"
+#include "fft/executor.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
+
+namespace {
+// Half-size packed transforms go straight through the process-wide
+// executor (cached plan/twiddles, persistent team), with the same radix
+// clamping the api.cpp wrappers apply.
+HostFftOptions clamp_for(std::uint64_t n, HostFftOptions opts) {
+  opts.radix_log2 = validate_fft_shape(n, opts.radix_log2, /*clamp_radix=*/true);
+  return opts;
+}
+}  // namespace
 
 std::vector<cplx> real_forward(std::span<const double> signal,
                                const HostFftOptions& opts, Variant variant) {
@@ -21,7 +31,7 @@ std::vector<cplx> real_forward(std::span<const double> signal,
   std::vector<cplx> packed(half);
   for (std::uint64_t i = 0; i < half; ++i)
     packed[i] = cplx(signal[2 * i], signal[2 * i + 1]);
-  if (half >= 2) forward(packed, opts, variant);
+  if (half >= 2) default_executor().forward(packed, clamp_for(half, opts), variant);
   else packed[0] = cplx(signal[0], signal[1]);
 
   // Untangle: with E/O the transforms of the even/odd subsequences,
@@ -63,7 +73,7 @@ std::vector<double> real_inverse(std::span<const cplx> half_spectrum,
     const cplx odd = winv * odd_w;
     packed[k] = even + cplx(0.0, 1.0) * odd;
   }
-  if (half >= 2) inverse(packed, opts, variant);
+  if (half >= 2) default_executor().inverse(packed, clamp_for(half, opts), variant);
 
   std::vector<double> out(n);
   for (std::uint64_t i = 0; i < half; ++i) {

@@ -6,17 +6,21 @@
 
 namespace c64fft::fft {
 
-TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout)
-    : n_(n), layout_(layout) {
+TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout,
+                           TwiddleDirection direction)
+    : n_(n), layout_(layout), direction_(direction) {
   if (!util::is_pow2(n) || n < 2)
     throw std::invalid_argument("TwiddleTable: N must be a power of two >= 2");
   const std::uint64_t m = n / 2;
   bits_ = m > 1 ? util::ilog2(m) : 0;
   table_.resize(m);
   const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
+  // The inverse table negates the imaginary part instead of flipping the
+  // angle sign so its entries are exact conjugates of the forward ones.
+  const double sign = direction == TwiddleDirection::kForward ? 1.0 : -1.0;
   for (std::uint64_t t = 0; t < m; ++t) {
     const double angle = step * static_cast<double>(t);
-    table_[storage_index(t)] = cplx(std::cos(angle), std::sin(angle));
+    table_[storage_index(t)] = cplx(std::cos(angle), sign * std::sin(angle));
   }
 }
 

@@ -22,15 +22,24 @@ namespace c64fft::fft {
 
 enum class TwiddleLayout { kLinear, kBitReversed };
 
+/// kInverse holds the exact conjugates W[t] = exp(+2*pi*i * t / N) of the
+/// forward entries. Running the forward stage kernels against a conjugated
+/// table computes conj(FFT(conj(x))) bit-identically (every rounding is
+/// sign-symmetric), which is how the executor's inverse path drops the
+/// input-conjugation pass.
+enum class TwiddleDirection { kForward, kInverse };
+
 class TwiddleTable {
  public:
   /// Precompute the N/2 twiddles of an N-point transform (N = power of
   /// two, N >= 2) in the given layout.
-  TwiddleTable(std::uint64_t n, TwiddleLayout layout);
+  TwiddleTable(std::uint64_t n, TwiddleLayout layout,
+               TwiddleDirection direction = TwiddleDirection::kForward);
 
   std::uint64_t fft_size() const noexcept { return n_; }
   std::uint64_t size() const noexcept { return table_.size(); }
   TwiddleLayout layout() const noexcept { return layout_; }
+  TwiddleDirection direction() const noexcept { return direction_; }
   /// Significant bits of a table index (log2(N/2)); the hash cost model
   /// charges per-access work proportional to this.
   unsigned index_bits() const noexcept { return bits_; }
@@ -49,6 +58,7 @@ class TwiddleTable {
  private:
   std::uint64_t n_;
   TwiddleLayout layout_;
+  TwiddleDirection direction_;
   unsigned bits_;
   std::vector<cplx> table_;
 };

@@ -1,155 +1,17 @@
 #include "fft/variants.hpp"
 
-#include <numeric>
-#include <stdexcept>
-#include <vector>
-
-#include "codelet/dep_counter.hpp"
-#include "codelet/host_runtime.hpp"
-#include "fft/bit_reversal.hpp"
-#include "fft/kernel.hpp"
+#include "fft/executor.hpp"
 
 namespace c64fft::fft {
 
-namespace {
-
-using codelet::CodeletKey;
-using codelet::PoolPolicy;
-
-// Per-run execution context shared by the three drivers.
-struct Driver {
-  Driver(std::span<cplx> data, const HostFftOptions& opts)
-      : data(data),
-        plan(data.size(), opts.radix_log2),
-        twiddles(data.size(), opts.layout),
-        runtime(opts.workers, opts.mode) {
-    scratch.reserve(opts.workers);
-    for (unsigned w = 0; w < opts.workers; ++w) scratch.emplace_back(plan.radix());
-    members_buf.resize(opts.workers);
-    keys_buf.resize(opts.workers);
-  }
-
-  // Shared counters for the consumer stages in [first_consumer, last]
-  // (inclusive); other entries have zero groups.
-  codelet::DependencyCounters make_counters(std::uint32_t first_consumer,
-                                            std::uint32_t last) const {
-    const std::uint32_t stages = plan.stage_count();
-    std::vector<std::uint64_t> groups(stages, 0);
-    std::vector<std::uint32_t> thresholds(stages, 1);
-    for (std::uint32_t s = first_consumer; s <= last && s < stages; ++s) {
-      if (s == 0) continue;
-      groups[s] = plan.groups_in_stage(s);
-      thresholds[s] = plan.group_threshold(s);
-    }
-    return codelet::DependencyCounters(groups, thresholds);
-  }
-
-  // Codelet body that executes the kernel and propagates readiness to
-  // child groups in stages <= last_propagated.
-  codelet::CodeletBody fine_body(codelet::DependencyCounters& counters,
-                                 std::uint32_t last_propagated) {
-    return [this, &counters, last_propagated](CodeletKey key, unsigned worker,
-                                              codelet::Pusher& pusher) {
-      run_codelet(plan, key.stage, key.index, data, twiddles, scratch[worker]);
-      if (key.stage >= last_propagated || key.stage + 1 >= plan.stage_count()) return;
-      const std::uint64_t g = plan.child_group(key.stage, key.index);
-      if (counters.arrive(key.stage + 1, g)) {
-        // Release the whole sibling group in one batched injection: one
-        // pending update and one wake signal instead of one per child.
-        std::vector<std::uint64_t>& members = members_buf[worker];
-        plan.group_members(key.stage + 1, g, members);
-        std::vector<CodeletKey>& keys = keys_buf[worker];
-        keys.clear();
-        keys.reserve(members.size());
-        for (std::uint64_t m : members) keys.push_back({key.stage + 1, m});
-        pusher.push_batch(keys);
-      }
-    };
-  }
-
-  std::span<cplx> data;
-  FftPlan plan;
-  TwiddleTable twiddles;
-  codelet::HostRuntime runtime;
-  std::vector<KernelScratch> scratch;
-  std::vector<std::vector<std::uint64_t>> members_buf;
-  std::vector<std::vector<CodeletKey>> keys_buf;
-};
-
-void run_coarse(Driver& d) {
-  // Algorithm 1: one phase per stage; the phase boundary is the barrier.
-  std::vector<CodeletKey> seeds(d.plan.tasks_per_stage());
-  for (std::uint32_t s = 0; s < d.plan.stage_count(); ++s) {
-    for (std::uint64_t i = 0; i < seeds.size(); ++i) seeds[i] = {s, i};
-    d.runtime.run_phase(seeds, PoolPolicy::kFifo,
-                        [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
-                          run_codelet(d.plan, key.stage, key.index, d.data, d.twiddles,
-                                      d.scratch[worker]);
-                        });
-  }
-}
-
-void run_fine(Driver& d, const FineOrdering& ordering) {
-  // Algorithm 2: all stage-0 codelets seeded in the chosen order; shared
-  // counters enable everything else.
-  auto counters = d.make_counters(1, d.plan.stage_count() - 1);
-  const auto order =
-      make_seed_order(ordering.order, d.plan.tasks_per_stage(), ordering.seed);
-  std::vector<CodeletKey> seeds(order.size());
-  for (std::size_t i = 0; i < order.size(); ++i) seeds[i] = {0, order[i]};
-  d.runtime.run_phase(seeds, ordering.policy,
-                      d.fine_body(counters, d.plan.stage_count() - 1));
-}
-
-void run_guided(Driver& d) {
-  const std::uint32_t stages = d.plan.stage_count();
-  if (stages < 3) {
-    // Degenerate input: too few stages to split; Alg. 3 reduces to the
-    // fine algorithm with its LIFO pool.
-    run_fine(d, FineOrdering{PoolPolicy::kLifo, SeedOrder::kNatural, 1});
-    return;
-  }
-
-  // Phase 1 (Alg. 3): fine-grain over the early stages 0..last_stage-2;
-  // codelets of the last early stage do not propagate readiness.
-  const std::uint32_t last_early = stages - 3;  // "last_stage - 2"
-  auto counters = d.make_counters(1, stages - 1);
-  std::vector<CodeletKey> seeds(d.plan.tasks_per_stage());
-  for (std::uint64_t i = 0; i < seeds.size(); ++i) seeds[i] = {0, i};
-  d.runtime.run_phase(seeds, PoolPolicy::kLifo, d.fine_body(counters, last_early));
-  // (the implicit end-of-phase barrier is the "barrier" of Alg. 3)
-
-  // Phase 2: seed stage last_stage-1 sibling-group-by-sibling-group into a
-  // LIFO pool, so finishing one group immediately enables a whole
-  // last-stage group.
-  const std::uint32_t penultimate = stages - 2;
-  std::vector<CodeletKey> phase2;
-  phase2.reserve(d.plan.tasks_per_stage());
-  // Column batches with distinct data banks, member-interleaved (see
-  // fft::guided_phase2_order) — same seed sequence as the simulator.
-  for (std::uint64_t p : guided_phase2_order(d.plan))
-    phase2.push_back({penultimate, p});
-  if (phase2.size() != d.plan.tasks_per_stage())
-    throw std::logic_error("guided: phase-2 seeding does not cover the stage");
-  d.runtime.run_phase(phase2, PoolPolicy::kLifo, d.fine_body(counters, stages - 1));
-}
-
-}  // namespace
-
+// Compatibility shim. The per-call Driver (plan + twiddle + worker-team
+// construction on every invocation) moved into FftExecutor, which caches
+// the plan/twiddles and keeps one persistent team; this free function now
+// just dispatches a single-transform batch through the process-wide
+// executor. Shape validation is unchanged: bad sizes throw
+// std::invalid_argument and the radix is not clamped.
 void fft_host(std::span<cplx> data, Variant variant, const HostFftOptions& opts) {
-  Driver d(data, opts);
-  bit_reverse_permute_parallel(data, opts.workers);
-  switch (variant) {
-    case Variant::kCoarse:
-      run_coarse(d);
-      break;
-    case Variant::kFine:
-      run_fine(d, opts.ordering);
-      break;
-    case Variant::kGuided:
-      run_guided(d);
-      break;
-  }
+  default_executor().forward(data, opts, variant);
 }
 
 std::string to_string(Variant v) {

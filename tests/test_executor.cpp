@@ -1,0 +1,273 @@
+// FftExecutor: the cached-plan / persistent-team layer. These tests pin
+// down the amortization contract (steady state spawns no worker teams, no
+// trig is recomputed), the batch semantics (bit-identical to a loop of
+// single calls for every variant and layout), the conjugated-twiddle
+// inverse path, LRU cache accounting, shutdown/re-create, and concurrent
+// callers (run under TSan via C64FFT_TSAN).
+
+#include "fft/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "codelet/host_runtime.hpp"
+#include "fft/api.hpp"
+#include "fft/reference.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+std::vector<cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+TEST(Executor, ForwardMatchesSerialReference) {
+  FftExecutor ex;
+  for (std::uint64_t n : {std::uint64_t{64}, std::uint64_t{1} << 12}) {
+    auto data = random_signal(n, n);
+    auto want = data;
+    fft_serial_inplace(want);
+    HostFftOptions opts;
+    opts.workers = 2;
+    opts.radix_log2 = 6;
+    ex.forward(data, opts);
+    ASSERT_LT(max_abs_error(data, want), 1e-8) << n;
+  }
+}
+
+TEST(Executor, InverseBitIdenticalToConjugateForwardPath) {
+  // The conjugated-twiddle inverse must reproduce the classic
+  // conj -> forward -> conj * 1/N path exactly (every rounding in the
+  // butterflies is sign-symmetric), for both twiddle layouts.
+  for (TwiddleLayout layout : {TwiddleLayout::kLinear, TwiddleLayout::kBitReversed}) {
+    const std::uint64_t n = 1ULL << 12;
+    const auto input = random_signal(n, 7 + static_cast<int>(layout));
+    HostFftOptions opts;
+    opts.workers = 3;
+    opts.layout = layout;
+
+    FftExecutor ex;
+    auto got = input;
+    ex.inverse(got, opts);
+
+    auto want = input;
+    for (auto& v : want) v = std::conj(v);
+    ex.forward(want, opts);
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : want) v = std::conj(v) * inv;
+
+    ASSERT_EQ(max_abs_error(got, want), 0.0);
+  }
+}
+
+TEST(Executor, RoundTripRestoresInput) {
+  FftExecutor ex;
+  const std::uint64_t n = 1ULL << 11;
+  const auto input = random_signal(n, 42);
+  auto data = input;
+  HostFftOptions opts;
+  opts.workers = 4;
+  ex.forward(data, opts);
+  ex.inverse(data, opts);
+  ASSERT_LT(max_abs_error(data, input), 1e-9);
+}
+
+TEST(Executor, BatchMatchesLoopBitExactlyAllVariantsAndLayouts) {
+  const std::uint64_t n = 1ULL << 13;  // 3 stages at radix 64: real guided path
+  const std::size_t batch_size = 4;
+  for (Variant variant : {Variant::kCoarse, Variant::kFine, Variant::kGuided}) {
+    for (TwiddleLayout layout : {TwiddleLayout::kLinear, TwiddleLayout::kBitReversed}) {
+      HostFftOptions opts;
+      opts.workers = 4;
+      opts.layout = layout;
+
+      std::vector<std::vector<cplx>> loop_bufs, batch_bufs;
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        loop_bufs.push_back(random_signal(n, 1000 + b));
+        batch_bufs.push_back(loop_bufs.back());
+      }
+
+      FftExecutor ex;
+      for (auto& buf : loop_bufs) ex.forward(buf, opts, variant);
+
+      std::vector<std::span<cplx>> spans;
+      for (auto& buf : batch_bufs) spans.emplace_back(buf);
+      ex.forward_batch(spans, opts, variant);
+
+      for (std::size_t b = 0; b < batch_size; ++b)
+        ASSERT_EQ(max_abs_error(batch_bufs[b], loop_bufs[b]), 0.0)
+            << to_string(variant) << " layout=" << static_cast<int>(layout)
+            << " b=" << b;
+    }
+  }
+}
+
+TEST(Executor, InverseBatchMatchesLoop) {
+  const std::uint64_t n = 1ULL << 10;
+  HostFftOptions opts;
+  opts.workers = 2;
+  std::vector<std::vector<cplx>> loop_bufs, batch_bufs;
+  for (std::size_t b = 0; b < 3; ++b) {
+    loop_bufs.push_back(random_signal(n, 77 + b));
+    batch_bufs.push_back(loop_bufs.back());
+  }
+  FftExecutor ex;
+  for (auto& buf : loop_bufs) ex.inverse(buf, opts);
+  std::vector<std::span<cplx>> spans;
+  for (auto& buf : batch_bufs) spans.emplace_back(buf);
+  ex.inverse_batch(spans, opts);
+  for (std::size_t b = 0; b < 3; ++b)
+    ASSERT_EQ(max_abs_error(batch_bufs[b], loop_bufs[b]), 0.0) << b;
+}
+
+TEST(Executor, BatchRejectsMixedLengths) {
+  FftExecutor ex;
+  std::vector<cplx> a(256), b(512);
+  std::span<cplx> spans[2] = {a, b};
+  EXPECT_THROW(ex.forward_batch(spans, HostFftOptions{}), std::invalid_argument);
+}
+
+TEST(Executor, ConcurrentCallersComputeCorrectTransforms) {
+  // Several caller threads share one executor (and its single team); the
+  // phase mutex must serialize them with no data races (run under TSan).
+  FftExecutor ex;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::vector<std::thread> threads;
+  std::vector<double> errors(kThreads, 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Distinct sizes per thread also exercise concurrent cache misses.
+      const std::uint64_t n = std::uint64_t{256} << (t % 3);
+      HostFftOptions opts;
+      opts.workers = 2;
+      for (int i = 0; i < kIters; ++i) {
+        auto data = random_signal(n, t * 100 + i);
+        auto want = data;
+        fft_serial_inplace(want);
+        ex.forward(data, opts);
+        errors[t] = std::max(errors[t], max_abs_error(data, want));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_LT(errors[t], 1e-8) << t;
+}
+
+TEST(Executor, CacheHitMissAndLruEvictionAccounting) {
+  ExecutorOptions eopts;
+  eopts.capacity = 2;
+  FftExecutor ex(eopts);
+  HostFftOptions opts;
+  opts.workers = 1;
+
+  auto a = random_signal(256, 1), b = random_signal(512, 2), c = random_signal(1024, 3);
+  ex.forward(a, opts);  // miss: {A}
+  ex.forward(a, opts);  // hit
+  ex.forward(b, opts);  // miss: {B, A}
+  ex.forward(c, opts);  // miss, evicts LRU = A: {C, B}
+  auto s = ex.stats();
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.cache.misses, 3u);
+  EXPECT_EQ(s.cache.evictions, 1u);
+
+  ex.forward(a, opts);  // A was evicted: miss again, evicts B
+  s = ex.stats();
+  EXPECT_EQ(s.cache.misses, 4u);
+  EXPECT_EQ(s.cache.evictions, 2u);
+  EXPECT_EQ(s.transforms, 5u);
+
+  // Layout is part of the key: same n, other layout must miss.
+  opts.layout = TwiddleLayout::kBitReversed;
+  ex.forward(a, opts);
+  EXPECT_EQ(ex.stats().cache.misses, 5u);
+}
+
+TEST(Executor, ShutdownThenRecreate) {
+  FftExecutor ex;
+  HostFftOptions opts;
+  opts.workers = 2;
+  auto data = random_signal(1024, 5);
+  auto want = data;
+  fft_serial_inplace(want);
+
+  auto first = data;
+  ex.forward(first, opts);
+  EXPECT_EQ(ex.stats().teams_created, 1u);
+
+  ex.shutdown();  // joins the team; the plan cache survives
+  auto second = data;
+  ex.forward(second, opts);
+  EXPECT_EQ(ex.stats().teams_created, 2u);
+  EXPECT_EQ(ex.stats().cache.misses, 1u);  // no rebuild after shutdown
+  ASSERT_EQ(max_abs_error(second, first), 0.0);
+  ASSERT_LT(max_abs_error(second, want), 1e-8);
+}
+
+TEST(Executor, SteadyStateSpawnsNoTeams) {
+  // Regression guard for the tentpole claim: 1000 steady-state forward()
+  // calls must not create a single new worker team (the old code spawned
+  // two per call — one in fft_host, one in the bit-reversal).
+  FftExecutor ex;
+  HostFftOptions opts;
+  opts.workers = 2;
+  auto data = random_signal(1ULL << 10, 11);
+  ex.forward(data, opts);  // warm: plan cached, team spawned
+  const std::uint64_t before = codelet::HostRuntime::teams_created();
+  for (int i = 0; i < 1000; ++i) ex.forward(data, opts);
+  EXPECT_EQ(codelet::HostRuntime::teams_created(), before);
+}
+
+TEST(Executor, PublicApiLoopCreatesAtMostOneTeam) {
+  // Same guard through the api.cpp wrappers / the process-wide default
+  // executor: a 1000-iteration forward() loop may lazily create at most
+  // one team in total.
+  auto data = random_signal(1ULL << 10, 13);
+  const std::uint64_t before = codelet::HostRuntime::teams_created();
+  for (int i = 0; i < 1000; ++i) forward(data);
+  EXPECT_LE(codelet::HostRuntime::teams_created() - before, 1u);
+}
+
+TEST(Executor, ResizeChangesDefaultTeam) {
+  FftExecutor ex;
+  auto data = random_signal(512, 17);
+  ex.forward(data);  // default ExecutorOptions team (4 workers)
+  EXPECT_EQ(ex.stats().teams_created, 1u);
+  ex.resize(2);
+  ex.forward(data);
+  EXPECT_EQ(ex.stats().teams_created, 2u);
+  ex.forward(data);  // steady again
+  EXPECT_EQ(ex.stats().teams_created, 2u);
+}
+
+TEST(PlanCache, SharedEntriesSurviveEviction) {
+  PlanCache cache(1);
+  auto a = cache.acquire(PlanKey{1024, 6, TwiddleLayout::kLinear});
+  auto a2 = cache.acquire(PlanKey{1024, 6, TwiddleLayout::kLinear});
+  EXPECT_EQ(a.get(), a2.get());  // one immutable entry, shared
+  auto b = cache.acquire(PlanKey{2048, 6, TwiddleLayout::kLinear});  // evicts a
+  EXPECT_EQ(cache.size(), 1u);
+  // The evicted entry stays valid for holders — eviction only drops the
+  // cache's reference.
+  EXPECT_EQ(a->plan().size(), 1024u);
+  EXPECT_EQ(a->twiddles(TwiddleDirection::kForward).fft_size(), 1024u);
+  EXPECT_EQ(b->plan().size(), 2048u);
+}
+
+TEST(PlanCache, BadShapesAreNotCached) {
+  PlanCache cache(4);
+  EXPECT_THROW(cache.acquire(PlanKey{100, 6, TwiddleLayout::kLinear}),
+               std::invalid_argument);
+  EXPECT_THROW(cache.acquire(PlanKey{16, 6, TwiddleLayout::kLinear}),
+               std::invalid_argument);  // N < radix: no clamping on this path
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace c64fft::fft

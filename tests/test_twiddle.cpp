@@ -79,6 +79,23 @@ TEST(TwiddleTable, StrideMultiplesOfFourScatterUnderHash) {
   for (int h : hist) EXPECT_GT(h, 0);
 }
 
+TEST(TwiddleTable, InverseDirectionIsExactConjugate) {
+  // The executor's inverse path relies on the inverse table being the
+  // bitwise conjugate of the forward one (not just numerically close):
+  // that is what makes the conj-twiddle FFT bit-identical to the classic
+  // conj -> forward -> conj path.
+  for (TwiddleLayout layout : {TwiddleLayout::kLinear, TwiddleLayout::kBitReversed}) {
+    TwiddleTable fwd(512, layout);
+    TwiddleTable inv(512, layout, TwiddleDirection::kInverse);
+    EXPECT_EQ(fwd.direction(), TwiddleDirection::kForward);
+    EXPECT_EQ(inv.direction(), TwiddleDirection::kInverse);
+    for (std::uint64_t t = 0; t < fwd.size(); ++t) {
+      EXPECT_EQ(inv.at(t).real(), fwd.at(t).real()) << t;
+      EXPECT_EQ(inv.at(t).imag(), -fwd.at(t).imag()) << t;
+    }
+  }
+}
+
 TEST(TwiddleTable, MinimumSize) {
   TwiddleTable t(2, TwiddleLayout::kBitReversed);
   EXPECT_EQ(t.size(), 1u);
