@@ -28,6 +28,7 @@
 #include "fft/real_fft.hpp"
 #include "fft/reference.hpp"
 #include "fft/stockham.hpp"
+#include "fft/transpose.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -445,6 +446,114 @@ BENCHMARK(BM_ExecutorBatchSubmit)
     ->MinTime(0.25)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Transpose kernels: the naive element loop streams one array and strides
+// the other by a power of two — the strided stream folds onto a handful
+// of cache sets (see fft_lint --cache-sets) and every line is evicted
+// before its neighbors are touched. The blocked kernels are what fft2d
+// and the four-step path use. Arg = log2 of the square matrix edge.
+
+void BM_TransposeNaive(benchmark::State& state) {
+  const std::uint64_t edge = std::uint64_t{1} << state.range(0);
+  const auto src = random_signal(edge * edge, 11);
+  std::vector<cplx> dst(src.size());
+  for (auto _ : state) {
+    for (std::uint64_t r = 0; r < edge; ++r)
+      for (std::uint64_t c = 0; c < edge; ++c)
+        dst[c * edge + r] = src[r * edge + c];
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * src.size() * sizeof(cplx)));
+}
+BENCHMARK(BM_TransposeNaive)->Arg(8)->Arg(9)->Arg(10);
+
+void BM_TransposeBlocked(benchmark::State& state) {
+  const std::uint64_t edge = std::uint64_t{1} << state.range(0);
+  const auto src = random_signal(edge * edge, 11);
+  std::vector<cplx> dst(src.size());
+  for (auto _ : state) {
+    fft::transpose_blocked(src, dst, edge, edge);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * src.size() * sizeof(cplx)));
+}
+BENCHMARK(BM_TransposeBlocked)->Arg(8)->Arg(9)->Arg(10);
+
+void BM_TransposeInplaceSquare(benchmark::State& state) {
+  const std::uint64_t edge = std::uint64_t{1} << state.range(0);
+  auto data = random_signal(edge * edge, 12);
+  for (auto _ : state) {
+    fft::transpose_inplace_square(data, edge);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * data.size() * sizeof(cplx)));
+}
+BENCHMARK(BM_TransposeInplaceSquare)->Arg(8)->Arg(9)->Arg(10);
+
+void BM_TransposeTwiddleBlocked(benchmark::State& state) {
+  const std::uint64_t edge = std::uint64_t{1} << state.range(0);
+  const auto src = random_signal(edge * edge, 13);
+  std::vector<cplx> dst(src.size());
+  for (auto _ : state) {
+    fft::transpose_twiddle_blocked(src, dst, edge, edge,
+                                   fft::TwiddleDirection::kForward);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * src.size() * sizeof(cplx)));
+}
+BENCHMARK(BM_TransposeTwiddleBlocked)->Arg(8)->Arg(9);
+
+// ---------------------------------------------------------------------------
+// Four-step vs classic at large N: the pair behind the executor's default
+// routing threshold (kDefaultFourStepThresholdLog2) and the
+// BENCH_runtime.json large-N numbers. Both executors are warmed so the
+// steady state is measured; the classic executor pins the threshold to 0
+// (never four-step), the other to 2 (always four-step). Arg = log2 N.
+
+void BM_ClassicFftLargeN(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 14);
+  fft::ExecutorOptions eo;
+  eo.workers = 2;
+  eo.four_step_threshold_log2 = 0;
+  fft::FftExecutor ex(eo);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  ex.forward(data, opts);  // warm: plan + O(N) twiddle table resident
+  for (auto _ : state) {
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ClassicFftLargeN)
+    ->Arg(14)->Arg(16)->Arg(18)->Arg(20)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_FourStepFftLargeN(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 14);
+  fft::ExecutorOptions eo;
+  eo.workers = 2;
+  eo.four_step_threshold_log2 = 2;
+  fft::FftExecutor ex(eo);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  ex.forward(data, opts);  // warm: sub-plans + scratch resident
+  for (auto _ : state) {
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_FourStepFftLargeN)
+    ->Arg(14)->Arg(16)->Arg(18)->Arg(20)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: tier-1 tests in the normal build, then again
+# under ASan(+LSan) and UBSan. Usage:
+#
+#   scripts/check.sh            # release-ish build + both sanitizer builds
+#   scripts/check.sh --fast     # normal build only (skip sanitizers)
+#
+# Each configuration builds into its own tree (build/, build-asan/,
+# build-ubsan/) so the sanitizer runs never dirty the main build and
+# incremental re-runs stay fast. Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_config() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j
+}
+
+echo "== tier-1 (normal build) =="
+run_config build
+
+if [[ $fast -eq 0 ]]; then
+  echo "== tier-1 under ASan + LSan =="
+  run_config build-asan -DC64FFT_ASAN=ON
+  echo "== tier-1 under UBSan =="
+  run_config build-ubsan -DC64FFT_UBSAN=ON
+fi
+
+echo "check.sh: all configurations passed"

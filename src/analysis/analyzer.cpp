@@ -30,6 +30,8 @@ AnalysisReport analyze(const PlanModel& model, const AnalysisOptions& opts) {
     }
   }
   if (opts.check_banks) report.checks.push_back(lint_banks(model, opts.banks));
+  if (opts.check_cache_sets)
+    report.checks.push_back(lint_cache_sets(model, opts.cache_sets));
   return report;
 }
 

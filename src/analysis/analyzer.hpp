@@ -16,9 +16,13 @@ struct AnalysisOptions {
   bool check_graph = true;
   bool check_races = true;
   bool check_banks = true;
+  /// Opt-in report mode (fft_lint --cache-sets): host-cache set-conflict
+  /// histogram of the data stream, stage by stage.
+  bool check_cache_sets = false;
   VerifierOptions verifier;
   RaceOptions races;
   BankLintOptions banks;
+  CacheSetLintOptions cache_sets;
 };
 
 /// Run every enabled check. The race check is skipped (not failed) when

@@ -120,4 +120,91 @@ CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
   return res;
 }
 
+CheckResult lint_cache_sets(const PlanModel& model, const CacheSetLintOptions& opts) {
+  CheckResult res;
+  res.name = "cache-sets";
+  const Severity sev = opts.strict ? Severity::kError : Severity::kWarning;
+  // set_of(addr) = (addr / line) mod sets is bank_of with banks = sets and
+  // interleave = line_bytes, so the c64 address map is reused verbatim.
+  const c64::AddressMap map(opts.sets, opts.line_bytes);
+
+  std::uint32_t stages = model.stages;
+  for (const CodeletModel& c : model.codelets)
+    stages = std::max(stages, c.key.stage + 1);
+
+  // Conflict misses are a PER-CODELET phenomenon: different codelets of a
+  // stage start at different bases, so the stage-wide histogram is flat
+  // even when every single codelet's footprint folds onto one set. Tally
+  // per codelet the distinct cache lines it touches and the distinct sets
+  // those lines index into, plus the gcd of its element deltas (the
+  // stride the report keys the finding by; 1 for stages mixing strides).
+  std::vector<double> sum_lines(stages, 0), sum_sets(stages, 0);
+  std::vector<std::uint64_t> min_sets(stages, 0), counts(stages, 0),
+      stride_gcd(stages, 0);
+  std::vector<std::vector<std::uint64_t>> hist(stages);
+  for (std::uint32_t s = 0; s < stages; ++s) hist[s].assign(opts.sets, 0);
+  std::vector<std::uint64_t> lines, line_sets;
+  for (const CodeletModel& c : model.codelets) {
+    const std::uint32_t s = c.key.stage;
+    lines.clear();
+    for (std::uint64_t e : c.reads)
+      lines.push_back((opts.data_base + e * opts.element_bytes) / opts.line_bytes);
+    for (std::uint64_t e : c.writes)
+      lines.push_back((opts.data_base + e * opts.element_bytes) / opts.line_bytes);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    line_sets = lines;
+    for (std::uint64_t& l : line_sets) l %= opts.sets;
+    for (std::uint64_t l : line_sets) ++hist[s][l];
+    std::sort(line_sets.begin(), line_sets.end());
+    line_sets.erase(std::unique(line_sets.begin(), line_sets.end()),
+                    line_sets.end());
+    sum_lines[s] += static_cast<double>(lines.size());
+    sum_sets[s] += static_cast<double>(line_sets.size());
+    min_sets[s] = counts[s] == 0 ? line_sets.size()
+                                 : std::min(min_sets[s], line_sets.size());
+    ++counts[s];
+    for (std::size_t i = 1; i < c.reads.size(); ++i) {
+      const std::uint64_t a = c.reads[i - 1], b = c.reads[i];
+      stride_gcd[s] = std::gcd(stride_gcd[s], b >= a ? b - a : a - b);
+    }
+  }
+
+  res.metrics["sets"] = opts.sets;
+  res.metrics["line_bytes"] = opts.line_bytes;
+
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    if (counts[s] == 0) continue;
+    const double lines_per = sum_lines[s] / static_cast<double>(counts[s]);
+    const double sets_per = sum_sets[s] / static_cast<double>(counts[s]);
+    const unsigned touched = static_cast<unsigned>(
+        std::count_if(hist[s].begin(), hist[s].end(),
+                      [](std::uint64_t v) { return v != 0; }));
+    const std::string tag = "stage" + std::to_string(s);
+    res.metrics[tag + "_stride"] = static_cast<double>(stride_gcd[s]);
+    res.metrics[tag + "_chain_lines"] = lines_per;
+    res.metrics[tag + "_chain_sets"] = sets_per;
+    res.metrics[tag + "_stage_sets_touched"] = touched;
+
+    // A codelet that walks more lines than the sets they fold onto is
+    // queueing lines behind each set's associativity ways. Judge against
+    // the best a footprint of that size could do (all distinct sets, or
+    // all `sets` when the footprint is larger than the cache's index
+    // range).
+    const double ideal = std::min<double>(opts.sets, lines_per);
+    if (lines_per < 2 || sets_per >= opts.min_set_coverage * ideal) continue;
+    std::ostringstream os;
+    const std::uint64_t stride_bytes = stride_gcd[s] * opts.element_bytes;
+    os << "stage " << s << ": a codelet's " << lines_per
+       << "-line footprint (element stride gcd " << stride_gcd[s] << " = "
+       << stride_bytes << " B) folds onto " << sets_per << " of " << opts.sets
+       << " cache sets: the strided chain walk queues behind those sets' "
+          "associativity ways instead of using the whole cache";
+    res.add(sev, "cache-set-conflict", os.str(), {s, 0});
+  }
+
+  res.finalize();
+  return res;
+}
+
 }  // namespace c64fft::analysis

@@ -37,4 +37,40 @@ struct BankLintOptions {
 
 CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts = {});
 
+/// Host-cache analogue of the bank lint (fft_lint check "cache-sets",
+/// opt-in via --cache-sets). A set-associative cache indexes lines by
+/// set_of(addr) = (addr / line_bytes) mod sets — the same modular algebra
+/// as the DRAM round-robin interleave, so a power-of-two access stride
+/// folds onto a handful of sets exactly the way the linear twiddle layout
+/// folds onto bank 0. The late stages of a classic large-N plan stride by
+/// R^s elements; once stride_bytes/line_bytes is a multiple of `sets`,
+/// EVERY element of a chain lands in one set and the stage thrashes its
+/// associativity ways instead of using the whole cache. The four-step
+/// path exists to avoid precisely this regime (its sub-FFTs and blocked
+/// transposes keep strides inside a tile).
+struct CacheSetLintOptions {
+  /// Geometry defaults match this project's reference host L1d:
+  /// 48 KiB, 64 B lines, 12-way => 64 sets.
+  unsigned sets = 64;
+  unsigned line_bytes = 64;
+  unsigned element_bytes = 16;  // one double-precision complex
+  std::uint64_t data_base = 0;
+  /// Flag a stage whose typical codelet footprint folds onto fewer sets
+  /// than this fraction of the best that footprint could achieve (1/2
+  /// keeps the verdict robust to edge stages while still catching the
+  /// single-set collapse, which scores 1/footprint).
+  double min_set_coverage = 0.5;
+  /// Emit findings as errors instead of warnings.
+  bool strict = false;
+};
+
+/// Per-stage stride -> set-index histogram report over the model's data
+/// accesses, judged per codelet (a stage-wide histogram is flat even when
+/// every codelet collapses onto one set, because codelet bases differ).
+/// Diagnostics use code "cache-set-conflict"; metrics expose
+/// stage{s}_stride / stage{s}_chain_lines / stage{s}_chain_sets /
+/// stage{s}_stage_sets_touched.
+CheckResult lint_cache_sets(const PlanModel& model,
+                            const CacheSetLintOptions& opts = {});
+
 }  // namespace c64fft::analysis

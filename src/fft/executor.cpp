@@ -1,10 +1,12 @@
 #include "fft/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "codelet/dep_counter.hpp"
+#include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
@@ -22,12 +24,40 @@ void scale_by(std::span<cplx> data, double factor) {
   for (cplx& v : data) v *= factor;
 }
 
+/// Strict base-10 parse of an environment variable into an unsigned;
+/// returns false (leaving `out` untouched) when unset or malformed.
+bool env_unsigned(const char* name, unsigned& out) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || v > 0xFFFFFFFFul) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
 }  // namespace
 
+void FftExecutor::apply_env_overrides() {
+  unsigned workers = opts_.workers;
+  if (env_unsigned("C64FFT_WORKERS", workers) && workers > 0)
+    opts_.workers = workers;
+  unsigned threshold = opts_.four_step_threshold_log2;
+  if (env_unsigned("C64FFT_FOURSTEP_THRESHOLD_LOG2", threshold))
+    opts_.four_step_threshold_log2 = threshold;
+  four_step_threshold_log2_.store(opts_.four_step_threshold_log2,
+                                  std::memory_order_relaxed);
+}
+
 FftExecutor::FftExecutor(const ExecutorOptions& opts)
-    : opts_(opts), cache_(opts.capacity) {
+    : opts_(opts),
+      cache_(opts.capacity),
+      four_step_threshold_log2_(opts.four_step_threshold_log2) {
   if (opts.workers == 0)
     throw std::invalid_argument("FftExecutor: zero workers");
+  // Environment snapshot happens here, once; see the header contract and
+  // reconfigure().
+  apply_env_overrides();
 }
 
 FftExecutor::~FftExecutor() = default;
@@ -67,15 +97,42 @@ void FftExecutor::run(std::span<const std::span<cplx>> batch,
   // this is the fft_host contract (api.cpp clamps on its own behalf).
   validate_fft_shape(n, opts.radix_log2, /*clamp_radix=*/false);
 
+  // Large-N routing: at/above the threshold every transform of the batch
+  // runs the four-step decomposition (whose sub-batches bypass this check
+  // by construction, so the recursion depth is exactly one).
+  const unsigned threshold =
+      four_step_threshold_log2_.load(std::memory_order_relaxed);
+  if (threshold != 0 && n >= 4 && util::ilog2(n) >= threshold) {
+    std::shared_ptr<const PlanEntry> entry = cache_.acquire(
+        PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kFourStep});
+    std::lock_guard lock(mutex_);
+    for (const std::span<cplx>& t : batch)
+      run_four_step_locked(*entry, t, opts, variant, dir);
+    four_step_ += batch.size();
+    transforms_ += (batch.size() == 1) ? 1 : 0;
+    batched_ += (batch.size() == 1) ? 0 : batch.size();
+    return;
+  }
+
   std::shared_ptr<const PlanEntry> entry =
       cache_.acquire(PlanKey{n, opts.radix_log2, opts.layout});
-  const FftPlan& plan = entry->plan();
-  const TwiddleTable& twiddles = entry->twiddles(dir);
+  std::lock_guard lock(mutex_);
+  run_classic_locked(*entry, batch, opts, variant, dir);
+  transforms_ += (batch.size() == 1) ? 1 : 0;
+  batched_ += (batch.size() == 1) ? 0 : batch.size();
+}
+
+void FftExecutor::run_classic_locked(const PlanEntry& entry,
+                                     std::span<const std::span<cplx>> batch,
+                                     const HostFftOptions& opts,
+                                     Variant variant, TwiddleDirection dir) {
+  const std::uint64_t n = batch.front().size();
+  const FftPlan& plan = entry.plan();
+  const TwiddleTable& twiddles = entry.twiddles(dir);
   const std::uint64_t tasks = plan.tasks_per_stage();
   const std::uint64_t b_count = batch.size();
   const std::uint32_t stages = plan.stage_count();
 
-  std::lock_guard lock(mutex_);
   codelet::HostRuntime& rt = team(opts.workers, opts.mode);
   ensure_worker_buffers(plan.radix(), rt.workers());
 
@@ -160,8 +217,6 @@ void FftExecutor::run(std::span<const std::span<cplx>> batch,
       for (std::uint64_t i = 0; i < seeds.size(); ++i) seeds[i] = {s, i};
       rt.run_phase(seeds, PoolPolicy::kFifo, exec);
     }
-    transforms_ += (b_count == 1) ? 1 : 0;
-    batched_ += (b_count == 1) ? 0 : b_count;
     return;
   }
 
@@ -170,7 +225,7 @@ void FftExecutor::run(std::span<const std::span<cplx>> batch,
   std::vector<codelet::DependencyCounters> counters;
   counters.reserve(b_count);
   for (std::uint64_t b = 0; b < b_count; ++b)
-    counters.push_back(entry->make_counters());
+    counters.push_back(entry.make_counters());
 
   // Kernel + readiness propagation over the batch-encoded key space;
   // mirrors the single-transform fine body of the paper's Alg. 2/3.
@@ -244,9 +299,119 @@ void FftExecutor::run(std::span<const std::span<cplx>> batch,
       rt.run_phase(phase2, PoolPolicy::kLifo, fine_body(stages - 1));
     }
   }
+}
 
-  transforms_ += (b_count == 1) ? 1 : 0;
-  batched_ += (b_count == 1) ? 0 : b_count;
+void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
+                                  std::uint64_t row_count,
+                                  const HostFftOptions& opts,
+                                  TwiddleDirection dir) {
+  // Sub-FFT sweep of the four-step path: `row_count` independent
+  // `plan.size()`-point transforms over consecutive rows of `data`. Each
+  // row is transformed completely — permutation, then every stage — while
+  // it is cache-resident, by one worker. Routing these rows through the
+  // batch path instead (per-transform dependency counters, root-codelet
+  // seeding, stages interleaving across rows) measures ~10% slower at
+  // 512 x 512 and evicts rows between their own stages; a row is the
+  // natural grain here precisely because the sub-sizes were chosen
+  // cache-resident. Chunks of rows seed the persistent team, so multi-
+  // worker teams still spread the sweep.
+  const FftPlan& plan = entry.plan();
+  const TwiddleTable& twiddles = entry.twiddles(dir);
+  const std::uint64_t row_len = plan.size();
+  const std::uint32_t stages = plan.stage_count();
+  const std::uint64_t tasks = plan.tasks_per_stage();
+
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+  ensure_worker_buffers(plan.radix(), rt.workers());
+
+  // The row permutation repeats row_count times, so computing
+  // bit_reverse(i) per element per row is pure waste: a cached index
+  // table (a few KiB for the cache-resident sub-sizes, rebuilt only when
+  // the row length changes) feeds run_stage0_bitrev's fused gather.
+  if (bitrev_len_ != row_len) {
+    bitrev_idx_.resize(row_len);
+    const unsigned bits = plan.log2_size();
+    for (std::uint64_t i = 0; i < row_len; ++i)
+      bitrev_idx_[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
+    bitrev_len_ = row_len;
+  }
+  const std::span<const std::uint32_t> brev(bitrev_idx_);
+
+  // Row-length split-complex scratch for the fused stage-0 pass, one per
+  // worker (KernelScratch is only radix-sized).
+  if (row_split_.size() < rt.workers()) row_split_.resize(rt.workers());
+  for (unsigned w = 0; w < rt.workers(); ++w)
+    if (row_split_[w].size() < 2 * row_len) row_split_[w].resize(2 * row_len);
+
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(row_count, std::uint64_t{rt.workers()} * 4);
+  const std::uint64_t per = util::ceil_div(row_count, chunks);
+  std::vector<CodeletKey> seeds;
+  seeds.reserve(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) seeds.push_back({0, c});
+  rt.run_phase(
+      seeds, PoolPolicy::kFifo,
+      [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
+        double* const re = row_split_[worker].data();
+        double* const im = re + row_len;
+        const std::uint64_t end = std::min(row_count, (key.index + 1) * per);
+        for (std::uint64_t r = key.index * per; r < end; ++r) {
+          const std::span<cplx> row = data.subspan(r * row_len, row_len);
+          run_stage0_bitrev(plan, row, twiddles, brev, re, im,
+                            scratch_[worker]);
+          for (std::uint32_t st = 1; st < stages; ++st)
+            for (std::uint64_t t = 0; t < tasks; ++t)
+              run_codelet(plan, st, t, row, twiddles, scratch_[worker]);
+        }
+      });
+}
+
+void FftExecutor::run_four_step_locked(const PlanEntry& entry,
+                                       std::span<cplx> data,
+                                       const HostFftOptions& opts,
+                                       Variant /*variant*/,
+                                       TwiddleDirection dir) {
+  // The scheduling variant is accepted for interface symmetry but does not
+  // alter the decomposition: the sub-FFT sweeps always use the row-serial
+  // chunk schedule of run_rows_locked (see its rationale), so every
+  // variant produces bit-identical output on this path.
+  //
+  // Index algebra (forward; kInverse conjugates every W below): with
+  // j = j1*n2 + j2 and k = k2*n1 + k1,
+  //   X[k2*n1 + k1] = sum_j2 W_n2^{j2*k2} * ( W_N^{j2*k1}
+  //                   * sum_j1 x[j1*n2 + j2] * W_n1^{j1*k1} ).
+  // Realized as five passes over the n1 x n2 row-major matrix view:
+  //   1. transpose data -> s            (s is n2 x n1; columns made rows)
+  //   2. n2 batched n1-point FFTs, one per row of s       (the inner sum)
+  //   3. fused twiddle-transpose s -> data:
+  //        data[k1*n2 + j2] = s[j2*n1 + k1] * W_N^{j2*k1}
+  //   4. n1 batched n2-point FFTs, one per row of data    (the outer sum)
+  //   5. data now holds X transposed (data[k1*n2 + k2] = X[k2*n1 + k1]);
+  //      a final transpose restores natural output order.
+  // No pass scales: the public inverse wrappers apply the single 1/N.
+  const FourStepSplit& split = entry.split();
+  const std::uint64_t n1 = split.n1;
+  const std::uint64_t n2 = split.n2;
+  const std::uint64_t n = n1 * n2;
+
+  if (four_step_scratch_.size() < n) four_step_scratch_.resize(n);
+  const std::span<cplx> s(four_step_scratch_.data(), n);
+
+  transpose_blocked(std::span<const cplx>(data.data(), n), s, n1, n2);
+
+  run_rows_locked(*entry.col_entry(), s, n2, opts, dir);
+
+  transpose_twiddle_blocked(std::span<const cplx>(s.data(), n), data, n2, n1,
+                            dir);
+
+  run_rows_locked(*entry.row_entry(), data, n1, opts, dir);
+
+  if (n1 == n2) {
+    transpose_inplace_square(data, n1);
+  } else {
+    transpose_blocked(std::span<const cplx>(data.data(), n), s, n1, n2);
+    std::copy(s.begin(), s.end(), data.begin());
+  }
 }
 
 void FftExecutor::forward(std::span<cplx> data, const HostFftOptions& opts,
@@ -311,12 +476,39 @@ void FftExecutor::resize(unsigned workers) {
   if (runtime_ && runtime_->workers() != workers) runtime_.reset();
 }
 
+void FftExecutor::reconfigure() {
+  std::lock_guard lock(mutex_);
+  apply_env_overrides();
+  if (runtime_ && runtime_->workers() != opts_.workers) runtime_.reset();
+}
+
+void FftExecutor::set_four_step_threshold_log2(unsigned log2n) {
+  std::lock_guard lock(mutex_);
+  opts_.four_step_threshold_log2 = log2n;
+  four_step_threshold_log2_.store(log2n, std::memory_order_relaxed);
+}
+
+unsigned FftExecutor::four_step_threshold_log2() const {
+  return four_step_threshold_log2_.load(std::memory_order_relaxed);
+}
+
+unsigned FftExecutor::default_workers() const {
+  std::lock_guard lock(mutex_);
+  return opts_.workers;
+}
+
 void FftExecutor::shutdown() {
   std::lock_guard lock(mutex_);
   runtime_.reset();
   scratch_.clear();
   members_buf_.clear();
   keys_buf_.clear();
+  four_step_scratch_.clear();
+  four_step_scratch_.shrink_to_fit();
+  bitrev_idx_.clear();
+  bitrev_idx_.shrink_to_fit();
+  row_split_.clear();
+  bitrev_len_ = 0;
   scratch_radix_ = 0;
 }
 
@@ -328,6 +520,7 @@ ExecutorStats FftExecutor::stats() const {
   std::lock_guard lock(mutex_);
   s.transforms = transforms_;
   s.batched = batched_;
+  s.four_step = four_step_;
   s.teams_created = teams_created_;
   return s;
 }

@@ -17,11 +17,23 @@
 // saturate the work-stealing deques instead of paying a phase (or, worse,
 // a team lifecycle) per call.
 //
+// Large transforms route through Bailey's four-step decomposition
+// (PlanKind::kFourStep): N = n1*n2 splits into an n2-wide batch of
+// n1-point column FFTs and an n1-wide batch of n2-point row FFTs, glued
+// together by the blocked transpose kernels of transpose.hpp — the middle
+// transpose applies the inter-step twiddles on the fly, so no O(N) table
+// is ever built for the large size. Each sub-batch runs as a row-serial
+// sweep on the persistent team (chunks of rows are the codelets; each
+// sub-FFT completes while cache-resident). The routing threshold is
+// env-overridable and read at construction only (see the constructor and
+// reconfigure()). See DESIGN.md "Four-step large-N path".
+//
 // Concurrency: any number of caller threads may use one executor; a mutex
 // serializes the runtime phases (HostRuntime::run_phase is single-caller
 // by contract), while the PlanCache has its own finer lock. See DESIGN.md
 // "Executor & plan cache".
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -35,6 +47,15 @@
 
 namespace c64fft::fft {
 
+/// Transforms with log2(N) >= this route through the four-step path by
+/// default. 2^18 = 4 MiB of cplx data: at that size the classic path's
+/// data + O(N) twiddle table are far beyond this host's L2, while both
+/// four-step sub-sweeps (512-point row FFTs) stay L1-resident — measured
+/// crossover (bench/micro_kernels BM_FourStepFftLargeN vs
+/// BM_ClassicFftLargeN): four-step is ~0.95x at 2^17, >= 1.35x at 2^18,
+/// and the gap widens with N (~1.9x at 2^20).
+inline constexpr unsigned kDefaultFourStepThresholdLog2 = 18;
+
 struct ExecutorOptions {
   /// Team shape used by the option-less transform overloads (per-call
   /// HostFftOptions override it, recreating the team when they differ).
@@ -42,6 +63,10 @@ struct ExecutorOptions {
   codelet::SchedulerMode mode = codelet::SchedulerMode::kWorkStealing;
   /// Plan-cache capacity in entries (>= 1).
   std::size_t capacity = 16;
+  /// forward()/inverse() route transforms with log2(N) >= this value
+  /// through the four-step decomposition (PlanKind::kFourStep); 0 disables
+  /// the routing so every size runs the classic monolithic plan.
+  unsigned four_step_threshold_log2 = kDefaultFourStepThresholdLog2;
 };
 
 struct ExecutorStats {
@@ -49,12 +74,22 @@ struct ExecutorStats {
   /// Transforms dispatched one at a time / via batch submissions.
   std::uint64_t transforms = 0;
   std::uint64_t batched = 0;
+  /// Top-level transforms that took the four-step path (their internal
+  /// sub-batches are not double-counted in transforms/batched).
+  std::uint64_t four_step = 0;
   /// Worker teams this executor created over its lifetime.
   std::uint64_t teams_created = 0;
 };
 
 class FftExecutor {
  public:
+  /// Environment overrides are applied ON TOP of `opts` here, at
+  /// construction time ONLY (they are never re-read per transform):
+  ///  * C64FFT_WORKERS                 — default team size (>= 1)
+  ///  * C64FFT_FOURSTEP_THRESHOLD_LOG2 — four-step routing threshold
+  ///                                     (0 disables the four-step path)
+  /// A variable that is unset or fails to parse leaves the corresponding
+  /// option untouched. Call reconfigure() to re-read them after warm-up.
   explicit FftExecutor(const ExecutorOptions& opts = {});
   ~FftExecutor();
 
@@ -90,6 +125,24 @@ class FftExecutor {
   /// a different size is dropped (and respawned lazily at next use).
   void resize(unsigned workers);
 
+  /// Re-read the environment overrides (see the constructor) and apply
+  /// them to a live executor: the four-step threshold changes take effect
+  /// on the next transform, and a team whose size no longer matches is
+  /// dropped. This is the escape hatch for the first-use-only env
+  /// snapshot — processes that mutate C64FFT_* after warming the executor
+  /// up must call this for the change to be observed.
+  void reconfigure();
+
+  /// Programmatic equivalent of C64FFT_FOURSTEP_THRESHOLD_LOG2
+  /// (0 disables four-step routing). Takes effect on the next transform;
+  /// cached plans of either kind stay valid.
+  void set_four_step_threshold_log2(unsigned log2n);
+  unsigned four_step_threshold_log2() const;
+
+  /// Team size the option-less overloads currently use (after the
+  /// constructor/reconfigure() env snapshot).
+  unsigned default_workers() const;
+
   /// Join and destroy the worker team (the plan cache survives). The next
   /// transform lazily spawns a fresh team — intended for tests and for
   /// quiescing the process.
@@ -103,9 +156,32 @@ class FftExecutor {
   void ensure_worker_buffers(std::uint64_t radix, unsigned workers);
   void run(std::span<const std::span<cplx>> batch, const HostFftOptions& opts,
            Variant variant, TwiddleDirection dir);
+  /// The classic stage/task dispatch (mutex_ held by the caller). Never
+  /// scales — inverse normalization lives in the public wrappers only.
+  void run_classic_locked(const PlanEntry& entry,
+                          std::span<const std::span<cplx>> batch,
+                          const HostFftOptions& opts, Variant variant,
+                          TwiddleDirection dir);
+  /// One four-step transform (mutex_ held): transpose, n2-row sub-sweep of
+  /// n1-point FFTs, fused twiddle-transpose, n1-row sub-sweep of n2-point
+  /// FFTs, final transpose. Sub-sweeps go straight to run_rows_locked, so
+  /// they never re-enter the routing (no recursion, any threshold).
+  void run_four_step_locked(const PlanEntry& entry, std::span<cplx> data,
+                            const HostFftOptions& opts, Variant variant,
+                            TwiddleDirection dir);
+  /// Four-step sub-FFT sweep (mutex_ held): row_count consecutive
+  /// plan-sized rows of `data`, each transformed completely by one worker
+  /// while cache-resident; chunks of rows are the codelets of one phase on
+  /// the persistent team.
+  void run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
+                       std::uint64_t row_count, const HostFftOptions& opts,
+                       TwiddleDirection dir);
+  void apply_env_overrides();
 
   ExecutorOptions opts_;
   PlanCache cache_;
+  /// Atomic so the routing check in run() needs no lock; 0 = disabled.
+  std::atomic<unsigned> four_step_threshold_log2_;
 
   /// Guards the team, the per-worker buffers, and phase execution.
   mutable std::mutex mutex_;
@@ -113,9 +189,17 @@ class FftExecutor {
   std::vector<KernelScratch> scratch_;
   std::vector<std::vector<std::uint64_t>> members_buf_;
   std::vector<std::vector<codelet::CodeletKey>> keys_buf_;
+  std::vector<cplx> four_step_scratch_;
+  /// Bit-reversal index table of the last run_rows_locked row length, and
+  /// per-worker row-length split-complex scratch for the fused stage-0
+  /// pass (re in [0, row_len), im in [row_len, 2*row_len)).
+  std::vector<std::uint32_t> bitrev_idx_;
+  std::vector<std::vector<double>> row_split_;
+  std::uint64_t bitrev_len_ = 0;
   std::uint64_t scratch_radix_ = 0;
   std::uint64_t transforms_ = 0;
   std::uint64_t batched_ = 0;
+  std::uint64_t four_step_ = 0;
   std::uint64_t teams_created_ = 0;
 };
 

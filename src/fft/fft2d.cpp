@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fft/executor.hpp"
+#include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
@@ -32,22 +33,25 @@ void rows_pass(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
   default_executor().forward_batch(row_spans, clamped, variant);
 }
 
-void transpose_into(std::span<const cplx> src, std::span<cplx> dst, std::uint64_t rows,
-                    std::uint64_t cols) {
-  for (std::uint64_t r = 0; r < rows; ++r)
-    for (std::uint64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
-}
-
 }  // namespace
 
 void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
                 const HostFftOptions& opts, Variant variant) {
   check_dims(data, rows, cols);
   rows_pass(data, rows, cols, opts, variant);
+  // Column pass via the cache-blocked transpose kernels (transpose.hpp):
+  // square matrices flip in place, rectangular ones bounce through one
+  // scratch buffer.
+  if (rows == cols) {
+    transpose_inplace_square(data, rows);
+    rows_pass(data, cols, rows, opts, variant);
+    transpose_inplace_square(data, rows);
+    return;
+  }
   std::vector<cplx> t(data.size());
-  transpose_into(data, t, rows, cols);
+  transpose_blocked(data, t, rows, cols);
   rows_pass(t, cols, rows, opts, variant);
-  transpose_into(t, data, cols, rows);
+  transpose_blocked(t, data, cols, rows);
 }
 
 void inverse_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,

@@ -121,6 +121,41 @@ void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
   }
 }
 
+void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
+                       const TwiddleTable& twiddles,
+                       std::span<const std::uint32_t> bitrev_idx, double* re,
+                       double* im, KernelScratch& scratch) {
+  const StageInfo& st = plan.stage(0);
+  const std::uint64_t n = plan.size();
+  assert(st.chain_stride == 1);
+  assert(data.size() == n);
+  assert(bitrev_idx.size() >= n);
+  assert(twiddles.fft_size() == n);
+
+  // Permuted gather: the whole row deinterleaves into the split scratch in
+  // one pass (scattered reads stay inside the cache-resident row).
+  const cplx* d = data.data();
+  for (std::uint64_t g = 0; g < n; ++g) {
+    const cplx x = d[bitrev_idx[g]];
+    re[g] = x.real();
+    im[g] = x.imag();
+  }
+
+  // Stage-0 chains are contiguous [base, base + chain_len) slices of the
+  // scratch (stride 1), so the butterflies run directly on it.
+  for (std::uint64_t t = 0; t < plan.tasks_per_stage(); ++t)
+    for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
+      const std::uint64_t base = plan.chain_base(0, t, c);
+      butterfly_chain_split(re + base, im + base, st.chain_len, base,
+                            st.chain_stride, 0, st.levels, plan.log2_size(),
+                            twiddles, scratch.tw_re.data(),
+                            scratch.tw_im.data());
+    }
+
+  cplx* out = data.data();
+  for (std::uint64_t g = 0; g < n; ++g) out[g] = cplx(re[g], im[g]);
+}
+
 void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                         std::span<cplx> data, const TwiddleTable& twiddles,
                         std::span<cplx> scratch) {

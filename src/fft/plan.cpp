@@ -20,6 +20,15 @@ unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_rad
   return radix_log2;
 }
 
+FourStepSplit four_step_split(std::uint64_t n) {
+  if (!util::is_pow2(n) || n < 4)
+    throw std::invalid_argument("four_step_split: N must be a power of two >= 4");
+  FourStepSplit split;
+  split.n1 = std::uint64_t{1} << (util::ilog2(n) / 2);
+  split.n2 = n / split.n1;
+  return split;
+}
+
 FftPlan::FftPlan(std::uint64_t n, unsigned radix_log2)
     : n_(n), r_(validate_fft_shape(n, radix_log2, /*clamp_radix=*/false)) {
   log2n_ = util::ilog2(n);

@@ -40,6 +40,28 @@ struct StageInfo {
   bool partial = false;
 };
 
+/// How a transform of a given size is executed:
+///  * kClassic  — the paper's stage/task codelet decomposition below.
+///  * kFourStep — Bailey's four-step decomposition for large N: the data
+///    is viewed as an N1 x N2 matrix, each sub-dimension is transformed
+///    as a batch of classic cache-resident FFTs, and the inter-step
+///    twiddle scaling is fused into a blocked transpose (transpose.hpp).
+///    The executor routes N at/above its threshold through this kind.
+enum class PlanKind { kClassic, kFourStep };
+
+/// Factorization N = n1 * n2 used by the four-step path. Balanced
+/// (n1 = 2^floor(log2(N)/2) <= n2) so both sub-transforms are as small —
+/// and as cache-resident — as possible; the matrix view has n1 rows of
+/// n2 columns.
+struct FourStepSplit {
+  std::uint64_t n1 = 0;
+  std::uint64_t n2 = 0;
+};
+
+/// Split for the four-step path. N must be a power of two >= 4 (both
+/// factors >= 2); throws std::invalid_argument otherwise.
+FourStepSplit four_step_split(std::uint64_t n);
+
 /// Shared shape validator for every FFT entry point (plan construction,
 /// the public api.cpp wrappers, the executor): N must be a power of two
 /// >= 2 and radix_log2 in [1, 8]. Returns the radix_log2 to use. When

@@ -1,23 +1,55 @@
 #include "fft/plan_cache.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace c64fft::fft {
 
 PlanEntry::PlanEntry(const PlanKey& key)
-    : key_(key), plan_(key.n, key.radix_log2), forward_(key.n, key.layout) {
-  const std::uint32_t stages = plan_.stage_count();
+    : key_(key),
+      plan_(std::make_unique<FftPlan>(key.n, key.radix_log2)),
+      forward_(std::make_unique<TwiddleTable>(key.n, key.layout)) {
+  if (key.kind != PlanKind::kClassic)
+    throw std::invalid_argument("PlanEntry: classic constructor requires kClassic key");
+  const std::uint32_t stages = plan_->stage_count();
   groups_.assign(stages, 0);
   thresholds_.assign(stages, 1);
   for (std::uint32_t s = 1; s < stages; ++s) {
-    groups_[s] = plan_.groups_in_stage(s);
-    thresholds_[s] = plan_.group_threshold(s);
+    groups_[s] = plan_->groups_in_stage(s);
+    thresholds_[s] = plan_->group_threshold(s);
   }
 }
 
+PlanEntry::PlanEntry(const PlanKey& key, FourStepSplit split,
+                     std::shared_ptr<const PlanEntry> col_entry,
+                     std::shared_ptr<const PlanEntry> row_entry)
+    : key_(key),
+      split_(split),
+      col_entry_(std::move(col_entry)),
+      row_entry_(std::move(row_entry)) {
+  if (key.kind != PlanKind::kFourStep)
+    throw std::invalid_argument("PlanEntry: four-step constructor requires kFourStep key");
+  if (split_.n1 * split_.n2 != key.n || !col_entry_ || !row_entry_ ||
+      col_entry_->key().n != split_.n1 || row_entry_->key().n != split_.n2)
+    throw std::invalid_argument("PlanEntry: four-step split/sub-entry mismatch");
+}
+
+const PlanEntry& PlanEntry::require_classic() const {
+  if (key_.kind != PlanKind::kClassic)
+    throw std::logic_error("PlanEntry: classic-only accessor on a four-step entry");
+  return *this;
+}
+
+const PlanEntry& PlanEntry::require_four_step() const {
+  if (key_.kind != PlanKind::kFourStep)
+    throw std::logic_error("PlanEntry: four-step accessor on a classic entry");
+  return *this;
+}
+
 const TwiddleTable& PlanEntry::twiddles(TwiddleDirection dir) const {
-  if (dir == TwiddleDirection::kForward) return forward_;
+  const PlanEntry& e = require_classic();
+  if (dir == TwiddleDirection::kForward) return *e.forward_;
   std::call_once(inverse_once_, [this] {
     inverse_ = std::make_unique<TwiddleTable>(key_.n, key_.layout,
                                               TwiddleDirection::kInverse);
@@ -42,7 +74,22 @@ std::shared_ptr<const PlanEntry> PlanCache::acquire(const PlanKey& key) {
 
   // O(N) plan + trig build runs unlocked; a losing racer adopts the entry
   // the winner inserted.
-  auto entry = std::make_shared<const PlanEntry>(key);
+  std::shared_ptr<const PlanEntry> entry;
+  if (key.kind == PlanKind::kFourStep) {
+    // Recursion depth is exactly 1: sub-keys are always kClassic, with the
+    // radix narrowed when a sub-size is smaller than 2^radix_log2.
+    const FourStepSplit split = four_step_split(key.n);
+    PlanKey col_key{split.n1, validate_fft_shape(split.n1, key.radix_log2, true),
+                    key.layout, PlanKind::kClassic};
+    PlanKey row_key{split.n2, validate_fft_shape(split.n2, key.radix_log2, true),
+                    key.layout, PlanKind::kClassic};
+    auto col = acquire(col_key);
+    auto row = split.n1 == split.n2 ? col : acquire(row_key);
+    entry = std::make_shared<const PlanEntry>(key, split, std::move(col),
+                                              std::move(row));
+  } else {
+    entry = std::make_shared<const PlanEntry>(key);
+  }
 
   std::lock_guard lock(mutex_);
   auto it = map_.find(key);

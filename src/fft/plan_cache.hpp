@@ -30,11 +30,14 @@ namespace c64fft::fft {
 /// Everything that distinguishes one cached plan from another. The
 /// scheduling variant is deliberately NOT part of the key: all three
 /// variants share the same plan/twiddles/counter shape, so one entry
-/// serves them all.
+/// serves them all. `kind` IS part of the key — the classic and the
+/// four-step decomposition of one size are distinct entries, so toggling
+/// the executor threshold never invalidates either.
 struct PlanKey {
   std::uint64_t n = 0;
   unsigned radix_log2 = 6;
   TwiddleLayout layout = TwiddleLayout::kLinear;
+  PlanKind kind = PlanKind::kClassic;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -43,7 +46,8 @@ struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const noexcept {
     std::uint64_t h = k.n * 0x9e3779b97f4a7c15ull;
     h ^= (std::uint64_t{k.radix_log2} << 1) ^
-         (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0);
+         (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0) ^
+         (k.kind == PlanKind::kFourStep ? 0xc2b2ae3d27d4eb4full : 0);
     h ^= h >> 33;
     return static_cast<std::size_t>(h);
   }
@@ -51,36 +55,68 @@ struct PlanKeyHash {
 
 class PlanEntry {
  public:
-  /// Builds the plan, the forward twiddle table, and the counter template.
-  /// Throws std::invalid_argument for bad shapes (no radix clamping here —
-  /// callers validate first).
+  /// Builds a classic entry: the plan, the forward twiddle table, and the
+  /// counter template. Throws std::invalid_argument for bad shapes (no
+  /// radix clamping here — callers validate first).
   explicit PlanEntry(const PlanKey& key);
+
+  /// Builds a four-step entry: no plan/twiddles/counters of its own, just
+  /// the balanced split and pinned classic sub-entries for the column
+  /// (length n1) and row (length n2) batches. The inter-step twiddles are
+  /// generated on the fly by transpose_twiddle_blocked, so a four-step
+  /// entry is O(n1 + n2) where a classic entry would be O(N).
+  PlanEntry(const PlanKey& key, FourStepSplit split,
+            std::shared_ptr<const PlanEntry> col_entry,
+            std::shared_ptr<const PlanEntry> row_entry);
 
   PlanEntry(const PlanEntry&) = delete;
   PlanEntry& operator=(const PlanEntry&) = delete;
 
   const PlanKey& key() const noexcept { return key_; }
-  const FftPlan& plan() const noexcept { return plan_; }
+  PlanKind kind() const noexcept { return key_.kind; }
+
+  /// Classic entries only (four-step entries have no monolithic plan).
+  const FftPlan& plan() const { return *require_classic().plan_; }
 
   /// Forward table always exists; the conjugated inverse table is built on
-  /// first request and cached for the entry's lifetime.
+  /// first request and cached for the entry's lifetime. Classic only.
   const TwiddleTable& twiddles(TwiddleDirection dir) const;
 
   /// Fresh per-transform counter set matching this plan (stage 0 has no
   /// producers; stages 1..S-1 use the plan's sibling-group algebra). Both
-  /// the fine and guided drivers consume this full-range shape.
+  /// the fine and guided drivers consume this full-range shape. Classic
+  /// only.
   codelet::DependencyCounters make_counters() const {
-    return codelet::DependencyCounters(groups_, thresholds_);
+    const PlanEntry& e = require_classic();
+    return codelet::DependencyCounters(e.groups_, e.thresholds_);
+  }
+
+  // ---- Four-step entries only ----
+
+  const FourStepSplit& split() const { return require_four_step().split_; }
+  const std::shared_ptr<const PlanEntry>& col_entry() const {
+    return require_four_step().col_entry_;
+  }
+  const std::shared_ptr<const PlanEntry>& row_entry() const {
+    return require_four_step().row_entry_;
   }
 
  private:
+  const PlanEntry& require_classic() const;
+  const PlanEntry& require_four_step() const;
+
   PlanKey key_;
-  FftPlan plan_;
-  TwiddleTable forward_;
+  // Classic state (null for four-step entries).
+  std::unique_ptr<FftPlan> plan_;
+  std::unique_ptr<TwiddleTable> forward_;
   mutable std::once_flag inverse_once_;
   mutable std::unique_ptr<TwiddleTable> inverse_;
   std::vector<std::uint64_t> groups_;
   std::vector<std::uint32_t> thresholds_;
+  // Four-step state (empty for classic entries).
+  FourStepSplit split_;
+  std::shared_ptr<const PlanEntry> col_entry_;
+  std::shared_ptr<const PlanEntry> row_entry_;
 };
 
 struct PlanCacheStats {
@@ -98,7 +134,10 @@ class PlanCache {
   explicit PlanCache(std::size_t capacity = 16);
 
   /// Return the cached entry for `key`, building and inserting it on miss
-  /// (evicting the least recently used entry when over capacity).
+  /// (evicting the least recently used entry when over capacity). A
+  /// kFourStep key first acquires the two classic sub-entries (length n1
+  /// and n2, radix clamped per sub-size), so those stay independently
+  /// cached and shared with direct transforms of the same size.
   std::shared_ptr<const PlanEntry> acquire(const PlanKey& key);
 
   std::size_t size() const;

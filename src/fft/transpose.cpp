@@ -1,0 +1,95 @@
+#include "fft/transpose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace c64fft::fft {
+
+namespace {
+
+constexpr std::uint64_t kTile = kTransposeTile;
+
+void check_shape(std::size_t src_size, std::size_t dst_size, std::uint64_t rows,
+                 std::uint64_t cols) {
+  if (src_size != rows * cols || dst_size != rows * cols)
+    throw std::invalid_argument("transpose: buffer size != rows * cols");
+}
+
+/// Diagonal-tile micro-kernel of the in-place square transpose: swap the
+/// strict upper triangle of the tile at (d0, d0) with its mirror. The
+/// whole tile is L1-resident, so the triangular (non-streaming) access
+/// pattern costs nothing extra.
+void transpose_diag_tile(cplx* data, std::uint64_t n, std::uint64_t d0,
+                         std::uint64_t dmax) {
+  for (std::uint64_t r = d0; r < dmax; ++r)
+    for (std::uint64_t c = r + 1; c < dmax; ++c)
+      std::swap(data[r * n + c], data[c * n + r]);
+}
+
+}  // namespace
+
+void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                       std::uint64_t rows, std::uint64_t cols) {
+  check_shape(src.size(), dst.size(), rows, cols);
+  for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::uint64_t rmax = std::min(rows, r0 + kTile);
+    for (std::uint64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::uint64_t cmax = std::min(cols, c0 + kTile);
+      for (std::uint64_t r = r0; r < rmax; ++r)
+        for (std::uint64_t c = c0; c < cmax; ++c)
+          dst[c * rows + r] = src[r * cols + c];
+    }
+  }
+}
+
+void transpose_inplace_square(std::span<cplx> data, std::uint64_t n) {
+  check_shape(data.size(), data.size(), n, n);
+  for (std::uint64_t r0 = 0; r0 < n; r0 += kTile) {
+    const std::uint64_t rmax = std::min(n, r0 + kTile);
+    transpose_diag_tile(data.data(), n, r0, rmax);
+    // Off-diagonal tiles come in mirror pairs: swap-transpose (r0,c0)
+    // with (c0,r0) in one pass so each pair is touched exactly once.
+    for (std::uint64_t c0 = r0 + kTile; c0 < n; c0 += kTile) {
+      const std::uint64_t cmax = std::min(n, c0 + kTile);
+      for (std::uint64_t r = r0; r < rmax; ++r)
+        for (std::uint64_t c = c0; c < cmax; ++c)
+          std::swap(data[r * n + c], data[c * n + r]);
+    }
+  }
+}
+
+void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                               std::uint64_t rows, std::uint64_t cols,
+                               TwiddleDirection dir) {
+  check_shape(src.size(), dst.size(), rows, cols);
+  const std::uint64_t n = rows * cols;
+  const cplx w1 = unit_root(n, 1, dir);
+  for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::uint64_t rmax = std::min(rows, r0 + kTile);
+    for (std::uint64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::uint64_t cmax = std::min(cols, c0 + kTile);
+      // The factors W^(r*c) are geometric along both tile axes: along a
+      // source row the ratio is W^r, and from one row to the next the
+      // row seed W^(r*c0) advances by W^c0 while the row ratio W^r
+      // advances by W^1. Three unit-root evaluations therefore seed the
+      // whole tile and recurrences of at most kTile multiplies cover the
+      // rest (r*c < rows*cols, so the exponents never need reduction;
+      // every chain is at most 2*kTile multiplies from a fresh sincos).
+      cplx w_row = unit_root(n, r0 * c0, dir);
+      cplx step = unit_root(n, r0, dir);
+      const cplx w_col = unit_root(n, c0, dir);
+      for (std::uint64_t r = r0; r < rmax; ++r) {
+        cplx w = w_row;
+        for (std::uint64_t c = c0; c < cmax; ++c) {
+          dst[c * rows + r] = src[r * cols + c] * w;
+          w *= step;
+        }
+        w_row *= w_col;
+        step *= w1;
+      }
+    }
+  }
+}
+
+}  // namespace c64fft::fft

@@ -1,0 +1,53 @@
+#pragma once
+// Cache-blocked matrix transpose kernels.
+//
+// A naive element-loop transpose reads one array contiguously and writes
+// the other with a power-of-two column stride — on a set-associative cache
+// that strided stream maps every access onto a handful of cache sets, the
+// host analogue of the paper's bank-0 twiddle hotspot (every write evicts
+// the line the previous one brought in). Blocking the traversal into
+// square tiles keeps both the source and destination footprint of a tile
+// inside L1, so every fetched line is fully consumed before eviction.
+//
+// Three kernels, all row-major:
+//  * transpose_blocked        — out-of-place, any rows x cols shape.
+//  * transpose_inplace_square — in-place square transpose: off-diagonal
+//    tile *pairs* are swap-transposed; diagonal tiles run a dedicated
+//    micro-kernel (upper-triangle swaps within one tile).
+//  * transpose_twiddle_blocked — the four-step FFT's fused inter-step
+//    pass: dst[c*rows + r] = src[r*cols + c] * W_N^(r*c) with
+//    N = rows*cols (conjugated for kInverse). The factors are generated
+//    per tile row from the twiddle.hpp unit-root primitive (one root +
+//    one per-row geometric recurrence), so the O(N) inter-step twiddle
+//    array of a huge transform is never materialized.
+
+#include <cstdint>
+#include <span>
+
+#include "fft/twiddle.hpp"
+#include "fft/types.hpp"
+
+namespace c64fft::fft {
+
+/// Tile edge of the blocked kernels: 16 x 16 cplx = 4 KiB per operand,
+/// four cache lines per tile row — both tiles stay L1-resident while each
+/// 64 B line is read/written whole.
+inline constexpr std::uint64_t kTransposeTile = 16;
+
+/// dst[c * rows + r] = src[r * cols + c] for a row-major rows x cols
+/// `src`. `dst` must not alias `src`. Throws std::invalid_argument on
+/// size mismatch.
+void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                       std::uint64_t rows, std::uint64_t cols);
+
+/// In-place transpose of a row-major n x n matrix.
+void transpose_inplace_square(std::span<cplx> data, std::uint64_t n);
+
+/// Fused twiddle-transpose of the four-step decomposition:
+/// dst[c * rows + r] = src[r * cols + c] * W^(r*c) where W is the
+/// (rows*cols)-th unit root of `dir`. `dst` must not alias `src`.
+void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                               std::uint64_t rows, std::uint64_t cols,
+                               TwiddleDirection dir);
+
+}  // namespace c64fft::fft

@@ -6,6 +6,15 @@
 
 namespace c64fft::fft {
 
+cplx unit_root(std::uint64_t n, std::uint64_t t, TwiddleDirection direction) {
+  const double angle =
+      -2.0 * std::numbers::pi * static_cast<double>(t) / static_cast<double>(n);
+  // The inverse root negates the imaginary part instead of flipping the
+  // angle sign so it is the exact conjugate of the forward one.
+  const double sign = direction == TwiddleDirection::kForward ? 1.0 : -1.0;
+  return {std::cos(angle), sign * std::sin(angle)};
+}
+
 TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout,
                            TwiddleDirection direction)
     : n_(n), layout_(layout), direction_(direction) {
@@ -14,14 +23,8 @@ TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout,
   const std::uint64_t m = n / 2;
   bits_ = m > 1 ? util::ilog2(m) : 0;
   table_.resize(m);
-  const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
-  // The inverse table negates the imaginary part instead of flipping the
-  // angle sign so its entries are exact conjugates of the forward ones.
-  const double sign = direction == TwiddleDirection::kForward ? 1.0 : -1.0;
-  for (std::uint64_t t = 0; t < m; ++t) {
-    const double angle = step * static_cast<double>(t);
-    table_[storage_index(t)] = cplx(std::cos(angle), sign * std::sin(angle));
-  }
+  for (std::uint64_t t = 0; t < m; ++t)
+    table_[storage_index(t)] = unit_root(n, t, direction);
 }
 
 }  // namespace c64fft::fft

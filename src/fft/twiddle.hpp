@@ -29,6 +29,15 @@ enum class TwiddleLayout { kLinear, kBitReversed };
 /// input-conjugation pass.
 enum class TwiddleDirection { kForward, kInverse };
 
+/// The N-th unit root W_N^t = exp(-2*pi*i * t / n) (conjugated for
+/// kInverse) — the primitive every TwiddleTable entry is built from.
+/// Exposed so on-the-fly consumers (the four-step path's fused
+/// twiddle-transpose) can generate inter-step factors per tile instead of
+/// materializing an O(N) table. Bit-identical to the corresponding table
+/// entry: the table constructor calls this.
+cplx unit_root(std::uint64_t n, std::uint64_t t,
+               TwiddleDirection direction = TwiddleDirection::kForward);
+
 class TwiddleTable {
  public:
   /// Precompute the N/2 twiddles of an N-point transform (N = power of

@@ -88,6 +88,46 @@ TEST(Analyzer, LinearLayoutFlaggedBank0HashedClean) {
   EXPECT_LT(check_of(hashed, "banks").metrics.at("twiddle_imbalance"), 1.5);
 }
 
+TEST(Analyzer, CacheSetLintFlagsStridedStagesOnly) {
+  // Opt-in report mode: absent by default, present when requested.
+  const FftPlan plan(4096, 6);
+  const auto off = analyze_plan(plan, TwiddleLayout::kLinear, Schedule::kCounters);
+  EXPECT_THROW(check_of(off, "cache-sets"), std::logic_error);
+
+  AnalysisOptions opts;
+  opts.check_cache_sets = true;
+  const auto report =
+      analyze_plan(plan, TwiddleLayout::kLinear, Schedule::kCounters, opts);
+  const CheckResult& cs = check_of(report, "cache-sets");
+  // Stage 0 walks contiguous chains -> every set in the footprint's range;
+  // stage 1 strides by R = 64 elements = 16 lines -> its 64-line codelet
+  // footprint folds onto 64/gcd(64,16) = 4 of the 64 sets.
+  ASSERT_TRUE(has_code(report, "cache-sets", "cache-set-conflict"))
+      << report.to_json();
+  EXPECT_EQ(cs.metrics.at("stage0_chain_sets"), 16.0);
+  EXPECT_EQ(cs.metrics.at("stage1_chain_sets"), 4.0);
+  EXPECT_EQ(cs.metrics.at("stage1_stride"), 64.0);
+  // Warnings by default (a performance hazard, not a correctness bug).
+  EXPECT_EQ(report.errors(), 0u);
+
+  AnalysisOptions strict = opts;
+  strict.cache_sets.strict = true;
+  EXPECT_GT(analyze_plan(plan, TwiddleLayout::kLinear, Schedule::kCounters, strict)
+                .errors(),
+            0u);
+}
+
+TEST(Analyzer, CacheSetLintCleanOnTinyPlan) {
+  // A cache-resident plan (N = 256: 64 lines total) has nothing to flag —
+  // every stage's footprint covers the whole (tiny) index range it uses.
+  AnalysisOptions opts;
+  opts.check_cache_sets = true;
+  const auto report = analyze_plan(FftPlan(256, 6), TwiddleLayout::kLinear,
+                                   Schedule::kCounters, opts);
+  EXPECT_FALSE(has_code(report, "cache-sets", "cache-set-conflict"))
+      << report.to_json();
+}
+
 TEST(Analyzer, StrictBanksPromotesToError) {
   AnalysisOptions opts;
   opts.banks.strict = true;

@@ -1,0 +1,190 @@
+// Four-step large-N path (PlanKind::kFourStep): split algebra, cache
+// wiring, numerical equivalence with the classic monolithic plan at
+// N in {2^14, 2^16, 2^18} (forward, inverse, round-trip, batch, every
+// scheduling variant), and the executor's threshold routing. Registered
+// under the `large_n` ctest label:
+//     ctest -L large_n --output-on-failure
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fft/executor.hpp"
+#include "fft/plan_cache.hpp"
+#include "fft/reference.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+std::vector<cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+ExecutorOptions classic_opts() {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 0;  // never route four-step
+  return o;
+}
+
+ExecutorOptions four_step_opts() {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 2;  // always route four-step
+  return o;
+}
+
+TEST(FourStepSplitAlgebra, BalancedPowerOfTwoSplit) {
+  EXPECT_EQ(four_step_split(1ULL << 14).n1, 128u);
+  EXPECT_EQ(four_step_split(1ULL << 14).n2, 128u);
+  EXPECT_EQ(four_step_split(1ULL << 16).n1, 256u);
+  EXPECT_EQ(four_step_split(1ULL << 18).n2, 512u);
+  // Odd log2: n1 = 2^floor(log2/2) < n2, product preserved.
+  const FourStepSplit odd = four_step_split(1ULL << 13);
+  EXPECT_EQ(odd.n1, 64u);
+  EXPECT_EQ(odd.n2, 128u);
+  EXPECT_EQ(four_step_split(4).n1 * four_step_split(4).n2, 4u);
+  EXPECT_THROW(four_step_split(2), std::invalid_argument);
+  EXPECT_THROW(four_step_split(96), std::invalid_argument);
+}
+
+TEST(FourStepPlanCache, EntryPinsClassicSubEntries) {
+  PlanCache cache(8);
+  const PlanKey key{1ULL << 13, 6, TwiddleLayout::kLinear, PlanKind::kFourStep};
+  auto entry = cache.acquire(key);
+  ASSERT_EQ(entry->kind(), PlanKind::kFourStep);
+  EXPECT_EQ(entry->split().n1, 64u);
+  EXPECT_EQ(entry->split().n2, 128u);
+  EXPECT_EQ(entry->col_entry()->key().n, 64u);
+  EXPECT_EQ(entry->row_entry()->key().n, 128u);
+  EXPECT_EQ(entry->col_entry()->kind(), PlanKind::kClassic);
+  // Classic-only accessors are fenced off on the four-step entry...
+  EXPECT_THROW(entry->plan(), std::logic_error);
+  EXPECT_THROW(entry->twiddles(TwiddleDirection::kForward), std::logic_error);
+  // ...and vice versa.
+  EXPECT_THROW(entry->col_entry()->split(), std::logic_error);
+  // The classic sub-entries are ordinary cache residents, shared with a
+  // direct acquire of the same shape.
+  auto direct = cache.acquire(PlanKey{64, 6, TwiddleLayout::kLinear});
+  EXPECT_EQ(direct.get(), entry->col_entry().get());
+  // A square split shares one sub-entry for both dimensions.
+  auto square = cache.acquire(
+      PlanKey{1ULL << 14, 6, TwiddleLayout::kLinear, PlanKind::kFourStep});
+  EXPECT_EQ(square->col_entry().get(), square->row_entry().get());
+}
+
+TEST(FourStep, ForwardMatchesClassicLargeN) {
+  for (unsigned logn : {14u, 16u, 18u}) {
+    const std::uint64_t n = 1ULL << logn;
+    const auto input = random_signal(n, logn);
+    FftExecutor classic(classic_opts());
+    FftExecutor four(four_step_opts());
+
+    auto want = input;
+    classic.forward(want);
+    auto got = input;
+    four.forward(got);
+
+    EXPECT_EQ(four.stats().four_step, 1u);
+    EXPECT_EQ(classic.stats().four_step, 0u);
+    // Output magnitudes grow like sqrt(N); compare relative to that scale.
+    EXPECT_LT(rel_l2_error(got, want), 1e-12) << "n=" << n;
+    EXPECT_LT(max_abs_error(got, want), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(FourStep, InverseAndRoundTripLargeN) {
+  for (unsigned logn : {14u, 16u, 18u}) {
+    const std::uint64_t n = 1ULL << logn;
+    const auto input = random_signal(n, 100 + logn);
+    FftExecutor classic(classic_opts());
+    FftExecutor four(four_step_opts());
+
+    // Inverse parity: both paths invert the same spectrum.
+    auto spectrum = input;
+    classic.forward(spectrum);
+    auto want = spectrum;
+    classic.inverse(want);
+    auto got = spectrum;
+    four.inverse(got);
+    EXPECT_LT(max_abs_error(got, want), 1e-10) << "n=" << n;
+
+    // Round trip entirely on the four-step path recovers the input (the
+    // single 1/N normalization lives in the public inverse wrapper).
+    auto rt = input;
+    four.forward(rt);
+    four.inverse(rt);
+    EXPECT_LT(max_abs_error(rt, input), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(FourStep, MatchesReferenceDft) {
+  // Direct O(N^2) cross-check at a size where that is still affordable.
+  const std::uint64_t n = 1ULL << 12;
+  const auto input = random_signal(n, 5);
+  FftExecutor four(four_step_opts());
+  auto got = input;
+  four.forward(got);
+  const auto want = dft_reference(input);
+  EXPECT_LT(rel_l2_error(got, want), 1e-12);
+}
+
+TEST(FourStep, BatchMatchesSingles) {
+  const std::uint64_t n = 1ULL << 14;
+  const std::size_t b = 3;
+  std::vector<std::vector<cplx>> singles, batch;
+  for (std::size_t i = 0; i < b; ++i) {
+    singles.push_back(random_signal(n, 200 + i));
+    batch.push_back(singles.back());
+  }
+  FftExecutor four(four_step_opts());
+  for (auto& t : singles) four.forward(t);
+  std::vector<std::span<cplx>> spans;
+  for (auto& t : batch) spans.emplace_back(t);
+  four.forward_batch(spans);
+  EXPECT_EQ(four.stats().four_step, b + 3);  // 3 singles + 3 batched
+  for (std::size_t i = 0; i < b; ++i)
+    EXPECT_EQ(batch[i], singles[i]) << i;  // same dispatch, bit-identical
+}
+
+TEST(FourStep, AllVariantsAgree) {
+  const std::uint64_t n = 1ULL << 14;
+  const auto input = random_signal(n, 9);
+  FftExecutor classic(classic_opts());
+  auto want = input;
+  classic.forward(want);
+  for (Variant v : {Variant::kCoarse, Variant::kFine, Variant::kGuided}) {
+    FftExecutor four(four_step_opts());
+    auto got = input;
+    HostFftOptions opts;
+    opts.workers = 2;
+    four.forward(got, opts, v);
+    EXPECT_LT(rel_l2_error(got, want), 1e-12) << static_cast<int>(v);
+  }
+}
+
+TEST(FourStep, ThresholdRoutesOnlyLargeTransforms) {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 12;
+  FftExecutor ex(o);
+  auto small = random_signal(1ULL << 10, 1);
+  auto large = random_signal(1ULL << 12, 2);
+  ex.forward(small);
+  EXPECT_EQ(ex.stats().four_step, 0u);
+  ex.forward(large);
+  EXPECT_EQ(ex.stats().four_step, 1u);
+
+  // Threshold changes apply to the next transform; 0 disables routing.
+  ex.set_four_step_threshold_log2(0);
+  EXPECT_EQ(ex.four_step_threshold_log2(), 0u);
+  ex.forward(large);
+  EXPECT_EQ(ex.stats().four_step, 1u);
+}
+
+}  // namespace
+}  // namespace c64fft::fft

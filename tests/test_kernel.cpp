@@ -6,6 +6,7 @@
 
 #include "fft/bit_reversal.hpp"
 #include "fft/reference.hpp"
+#include "util/bit_ops.hpp"
 #include "util/prng.hpp"
 
 namespace c64fft::fft {
@@ -55,6 +56,36 @@ void check_split_matches_scalar(std::uint64_t n, unsigned radix_log2,
       run_codelet_scalar(plan, s, i, b, tw, scalar_scratch);
     }
   ASSERT_EQ(max_abs_error(a, b), 0.0) << "n=" << n << " r=" << radix_log2;
+}
+
+// The fused bit-reversal + stage-0 sweep must be bit-identical to
+// bit-reversing the data and then running every stage-0 codelet — it is
+// the same butterflies in the same order, only the permutation is folded
+// into the gather.
+void check_stage0_bitrev_fused(std::uint64_t n, unsigned radix_log2) {
+  auto fused = random_signal(n, n ^ 0xB17E);
+  auto ref = fused;
+  const FftPlan plan(n, radix_log2);
+  const TwiddleTable tw(n, TwiddleLayout::kLinear);
+  KernelScratch scratch(plan.radix());
+
+  bit_reverse_permute(ref);
+  for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i)
+    run_codelet(plan, 0, i, ref, tw, scratch);
+
+  std::vector<std::uint32_t> brev(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    brev[i] = static_cast<std::uint32_t>(util::bit_reverse(i, plan.log2_size()));
+  std::vector<double> split(2 * n);
+  run_stage0_bitrev(plan, fused, tw, brev, split.data(), split.data() + n,
+                    scratch);
+  ASSERT_EQ(max_abs_error(fused, ref), 0.0) << "n=" << n << " r=" << radix_log2;
+}
+
+TEST(Kernel, Stage0BitrevFusedMatchesUnfused) {
+  check_stage0_bitrev_fused(1ULL << 12, 6);
+  check_stage0_bitrev_fused(1ULL << 9, 6);   // partial last stage
+  check_stage0_bitrev_fused(1ULL << 10, 3);
 }
 
 TEST(Kernel, Radix64FullStages) { check_stagewise(1ULL << 12, 6, TwiddleLayout::kLinear); }

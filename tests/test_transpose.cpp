@@ -1,0 +1,132 @@
+// Blocked transpose kernels: equivalence with the naive element loop for
+// arbitrary (not just tile-multiple or power-of-two) shapes, the
+// involution property transpose(transpose(x)) == x on non-square
+// matrices, the in-place square kernel against the out-of-place one, and
+// the fused twiddle-transpose against an unfused reference built from
+// std::polar.
+
+#include "fft/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/reference.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+std::vector<cplx> random_matrix(std::uint64_t rows, std::uint64_t cols,
+                                std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> m(rows * cols);
+  for (auto& x : m) x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return m;
+}
+
+std::vector<cplx> transpose_naive(const std::vector<cplx>& src, std::uint64_t rows,
+                                  std::uint64_t cols) {
+  std::vector<cplx> dst(src.size());
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) dst[c * rows + r] = src[r * cols + c];
+  return dst;
+}
+
+TEST(Transpose, BlockedMatchesNaiveAcrossShapes) {
+  // Shapes straddle every tiling case: smaller than a tile, exact tile
+  // multiples, ragged edges in one or both dimensions, and tall/wide
+  // aspect ratios.
+  const std::pair<std::uint64_t, std::uint64_t> shapes[] = {
+      {1, 1}, {1, 7}, {5, 3}, {16, 16}, {16, 48}, {33, 17}, {128, 64}, {31, 129}};
+  for (auto [rows, cols] : shapes) {
+    const auto src = random_matrix(rows, cols, rows * 1000 + cols);
+    std::vector<cplx> dst(src.size());
+    transpose_blocked(src, dst, rows, cols);
+    EXPECT_EQ(dst, transpose_naive(src, rows, cols)) << rows << "x" << cols;
+  }
+}
+
+TEST(Transpose, BlockedIsAnInvolutionOnNonSquare) {
+  const std::uint64_t rows = 96, cols = 40;
+  const auto src = random_matrix(rows, cols, 42);
+  std::vector<cplx> t(src.size()), back(src.size());
+  transpose_blocked(src, t, rows, cols);
+  transpose_blocked(t, back, cols, rows);
+  EXPECT_EQ(back, src);
+}
+
+TEST(Transpose, InplaceSquareMatchesBlocked) {
+  for (std::uint64_t n : {std::uint64_t{1}, std::uint64_t{8}, std::uint64_t{16},
+                          std::uint64_t{33}, std::uint64_t{100}, std::uint64_t{128}}) {
+    auto data = random_matrix(n, n, n);
+    std::vector<cplx> want(data.size());
+    transpose_blocked(data, want, n, n);
+    transpose_inplace_square(data, n);
+    EXPECT_EQ(data, want) << n;
+  }
+}
+
+TEST(Transpose, InplaceSquareIsAnInvolution) {
+  const std::uint64_t n = 80;
+  const auto src = random_matrix(n, n, 7);
+  auto data = src;
+  transpose_inplace_square(data, n);
+  transpose_inplace_square(data, n);
+  EXPECT_EQ(data, src);
+}
+
+TEST(Transpose, TwiddleBlockedMatchesPolarReference) {
+  for (TwiddleDirection dir :
+       {TwiddleDirection::kForward, TwiddleDirection::kInverse}) {
+    const std::uint64_t rows = 24, cols = 40;  // n = 960, ragged tiles
+    const std::uint64_t n = rows * cols;
+    const double sign = dir == TwiddleDirection::kForward ? -1.0 : 1.0;
+    const auto src = random_matrix(rows, cols, 11);
+    std::vector<cplx> got(n), want(n);
+    transpose_twiddle_blocked(src, got, rows, cols, dir);
+    for (std::uint64_t r = 0; r < rows; ++r)
+      for (std::uint64_t c = 0; c < cols; ++c) {
+        const double angle =
+            sign * 2.0 * std::numbers::pi * static_cast<double>(r * c) /
+            static_cast<double>(n);
+        want[c * rows + r] = src[r * cols + c] * std::polar(1.0, angle);
+      }
+    // The per-tile geometric recurrence is at most kTransposeTile steps
+    // long, so its drift against direct polar evaluation stays at a few
+    // ulps even for the largest exponents.
+    EXPECT_LT(max_abs_error(got, want), 1e-12) << static_cast<int>(dir);
+  }
+}
+
+TEST(Transpose, TwiddleFusionEquivalentToSeparatePasses) {
+  const std::uint64_t rows = 32, cols = 32;
+  const auto src = random_matrix(rows, cols, 3);
+  std::vector<cplx> fused(src.size());
+  transpose_twiddle_blocked(src, fused, rows, cols, TwiddleDirection::kForward);
+
+  std::vector<cplx> scaled = src;
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c)
+      scaled[r * cols + c] *= unit_root(rows * cols, r * c);
+  std::vector<cplx> unfused(src.size());
+  transpose_blocked(scaled, unfused, rows, cols);
+  // Not bit-identical (the fused kernel generates factors by recurrence,
+  // the reference evaluates each root directly) but within a few ulps.
+  EXPECT_LT(max_abs_error(fused, unfused), 1e-13);
+}
+
+TEST(Transpose, ShapeMismatchThrows) {
+  std::vector<cplx> src(12), dst(12), small(11);
+  EXPECT_THROW(transpose_blocked(src, dst, 3, 5), std::invalid_argument);
+  EXPECT_THROW(transpose_blocked(src, small, 3, 4), std::invalid_argument);
+  EXPECT_THROW(transpose_inplace_square(src, 4), std::invalid_argument);
+  EXPECT_THROW(
+      transpose_twiddle_blocked(src, small, 3, 4, TwiddleDirection::kForward),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c64fft::fft

@@ -3,12 +3,16 @@
 // Checks an FFT plan's codelet graph (acyclicity, counter thresholds,
 // orphans, deadlock-freedom), proves the schedule race-free from the
 // footprint algebra, and lints the DRAM bank balance of the chosen
-// twiddle layout — all without executing a single codelet. Exit status is
-// 0 when no check reports an error (bank findings are warnings unless
-// --strict-banks), 1 otherwise, 2 on usage errors.
+// twiddle layout — all without executing a single codelet. --cache-sets
+// adds the host-side report mode: the per-stage stride -> cache-set
+// histogram that flags stages whose chain walk folds onto few sets (the
+// conflict-miss regime the four-step path avoids). Exit status is 0 when
+// no check reports an error (bank and cache-set findings are warnings
+// unless --strict-banks / --strict-sets), 1 otherwise, 2 on usage errors.
 //
 //   fft_lint --logn=12 --layout=linear --schedule=fine --json
 //   fft_lint --all-variants            # lint every shipped Table-I variant
+//   fft_lint --logn=18 --cache-sets    # large-N cache-set conflict report
 
 #include <fstream>
 #include <iostream>
@@ -68,6 +72,14 @@ int main(int argc, char** argv) {
   cli.add_int("interleave", 64, "bank interleave in bytes");
   cli.add_double("imbalance-threshold", 1.5, "flag max/mean bank ratio above this");
   cli.add_flag("strict-banks", "report bank findings as errors, not warnings");
+  cli.add_flag("cache-sets",
+               "also report host cache-set conflicts (stride -> set-index "
+               "histogram of the data stream, per stage)");
+  cli.add_int("sets", 64, "cache sets of the modelled host cache");
+  cli.add_int("cache-line", 64, "cache line size in bytes");
+  cli.add_double("set-coverage", 0.5,
+                 "flag stages touching less than this fraction of the sets");
+  cli.add_flag("strict-sets", "report cache-set findings as errors, not warnings");
   cli.add_flag("all-variants", "lint every shipped Table-I plan variant");
   cli.add_flag("json", "emit the JSON report on stdout");
   cli.add_string("json-file", "", "also write the JSON report to this path");
@@ -84,6 +96,11 @@ int main(int argc, char** argv) {
   opts.banks.interleave_bytes = static_cast<unsigned>(cli.get_int("interleave"));
   opts.banks.imbalance_threshold = cli.get_double("imbalance-threshold");
   opts.banks.strict = cli.flag("strict-banks");
+  opts.check_cache_sets = cli.flag("cache-sets");
+  opts.cache_sets.sets = static_cast<unsigned>(cli.get_int("sets"));
+  opts.cache_sets.line_bytes = static_cast<unsigned>(cli.get_int("cache-line"));
+  opts.cache_sets.min_set_coverage = cli.get_double("set-coverage");
+  opts.cache_sets.strict = cli.flag("strict-sets");
 
   const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
   const auto radix_log2 = static_cast<unsigned>(cli.get_int("radix-log2"));
