@@ -29,6 +29,11 @@ if [[ $fast -eq 0 ]]; then
   run_config build-asan -DC64FFT_ASAN=ON
   echo "== tier-1 under UBSan =="
   run_config build-ubsan -DC64FFT_UBSAN=ON
+  # The f32/f64 numeric paths are where narrowing and float UB would hide;
+  # re-run the precision label explicitly so its pass/fail is visible even
+  # when skimming the full-suite output above.
+  echo "== precision label under UBSan =="
+  ctest --test-dir build-ubsan -L precision --output-on-failure
 fi
 
 echo "check.sh: all configurations passed"

@@ -13,6 +13,7 @@ CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
   CheckResult res;
   res.name = "banks";
   const Severity sev = opts.strict ? Severity::kError : Severity::kWarning;
+  const unsigned elem = opts.element_bytes ? opts.element_bytes : model.element_bytes;
   const c64::AddressMap map(opts.banks, opts.interleave_bytes);
 
   std::uint32_t stages = model.stages;
@@ -32,11 +33,11 @@ CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
   for (const CodeletModel& c : model.codelets) {
     const std::uint32_t s = c.key.stage;
     for (std::uint64_t e : c.reads)
-      ++data[s][map.bank_of_element(opts.data_base, e, opts.element_bytes)];
+      ++data[s][map.bank_of_element(opts.data_base, e, elem)];
     for (std::uint64_t e : c.writes)
-      ++data[s][map.bank_of_element(opts.data_base, e, opts.element_bytes)];
+      ++data[s][map.bank_of_element(opts.data_base, e, elem)];
     for (std::uint64_t t : c.twiddle_slots) {
-      ++twiddle[s][map.bank_of_element(opts.twiddle_base, t, opts.element_bytes)];
+      ++twiddle[s][map.bank_of_element(opts.twiddle_base, t, elem)];
       if (!tw_seen[s]) {
         tw_seen[s] = true;
         tw_first[s] = t;
@@ -68,6 +69,7 @@ CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
   const double imbalance = imbalance_of(totals, hot);
   const double tw_imbalance = imbalance_of(tw_totals, tw_hot);
 
+  res.metrics["element_bytes"] = elem;
   res.metrics["imbalance"] = imbalance;
   res.metrics["twiddle_imbalance"] = tw_imbalance;
   res.metrics["threshold"] = opts.imbalance_threshold;
@@ -108,7 +110,7 @@ CheckResult lint_banks(const PlanModel& model, const BankLintOptions& opts) {
     std::ostringstream os;
     os << "stage " << s << ": all " << stage_tw << " twiddle loads hit bank " << bank;
     if (tw_gcd[s] != 0) {
-      const std::uint64_t stride_bytes = tw_gcd[s] * opts.element_bytes;
+      const std::uint64_t stride_bytes = tw_gcd[s] * elem;
       os << " (slot stride gcd " << tw_gcd[s] << " elements = " << stride_bytes
          << " B touches " << map.banks_touched_by_stride(stride_bytes) << " of "
          << opts.banks << " banks)";
@@ -124,6 +126,7 @@ CheckResult lint_cache_sets(const PlanModel& model, const CacheSetLintOptions& o
   CheckResult res;
   res.name = "cache-sets";
   const Severity sev = opts.strict ? Severity::kError : Severity::kWarning;
+  const unsigned elem = opts.element_bytes ? opts.element_bytes : model.element_bytes;
   // set_of(addr) = (addr / line) mod sets is bank_of with banks = sets and
   // interleave = line_bytes, so the c64 address map is reused verbatim.
   const c64::AddressMap map(opts.sets, opts.line_bytes);
@@ -148,9 +151,9 @@ CheckResult lint_cache_sets(const PlanModel& model, const CacheSetLintOptions& o
     const std::uint32_t s = c.key.stage;
     lines.clear();
     for (std::uint64_t e : c.reads)
-      lines.push_back((opts.data_base + e * opts.element_bytes) / opts.line_bytes);
+      lines.push_back((opts.data_base + e * elem) / opts.line_bytes);
     for (std::uint64_t e : c.writes)
-      lines.push_back((opts.data_base + e * opts.element_bytes) / opts.line_bytes);
+      lines.push_back((opts.data_base + e * elem) / opts.line_bytes);
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
     line_sets = lines;
@@ -172,6 +175,7 @@ CheckResult lint_cache_sets(const PlanModel& model, const CacheSetLintOptions& o
 
   res.metrics["sets"] = opts.sets;
   res.metrics["line_bytes"] = opts.line_bytes;
+  res.metrics["element_bytes"] = elem;
 
   for (std::uint32_t s = 0; s < stages; ++s) {
     if (counts[s] == 0) continue;
@@ -194,7 +198,7 @@ CheckResult lint_cache_sets(const PlanModel& model, const CacheSetLintOptions& o
     const double ideal = std::min<double>(opts.sets, lines_per);
     if (lines_per < 2 || sets_per >= opts.min_set_coverage * ideal) continue;
     std::ostringstream os;
-    const std::uint64_t stride_bytes = stride_gcd[s] * opts.element_bytes;
+    const std::uint64_t stride_bytes = stride_gcd[s] * elem;
     os << "stage " << s << ": a codelet's " << lines_per
        << "-line footprint (element stride gcd " << stride_gcd[s] << " = "
        << stride_bytes << " B) folds onto " << sets_per << " of " << opts.sets

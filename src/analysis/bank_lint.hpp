@@ -23,7 +23,10 @@ namespace c64fft::analysis {
 struct BankLintOptions {
   unsigned banks = 4;
   unsigned interleave_bytes = 64;
-  unsigned element_bytes = 16;  // one double-precision complex
+  /// 0 = inherit PlanModel::element_bytes (16 for a double-complex model);
+  /// a nonzero value overrides it, e.g. to re-lint an f64 model at f32
+  /// width (8) without rebuilding it.
+  unsigned element_bytes = 0;
   /// Byte addresses of the two arrays (interleave-aligned bank-0 bases,
   /// as in the paper's setup).
   std::uint64_t data_base = 0;
@@ -53,7 +56,9 @@ struct CacheSetLintOptions {
   /// 48 KiB, 64 B lines, 12-way => 64 sets.
   unsigned sets = 64;
   unsigned line_bytes = 64;
-  unsigned element_bytes = 16;  // one double-precision complex
+  /// 0 = inherit PlanModel::element_bytes; nonzero overrides (see
+  /// BankLintOptions::element_bytes).
+  unsigned element_bytes = 0;
   std::uint64_t data_base = 0;
   /// Flag a stage whose typical codelet footprint folds onto fewer sets
   /// than this fraction of the best that footprint could achieve (1/2

@@ -59,6 +59,11 @@ struct PlanModel {
   fft::TwiddleLayout layout = fft::TwiddleLayout::kLinear;
   /// Twiddle-table slots (N/2 for a standard table).
   std::uint64_t twiddle_table_size = 0;
+  /// Byte width of one complex element of the modelled transform
+  /// (16 = double-complex, 8 = float-complex). The byte-level checks
+  /// (bank balance, cache sets) multiply every element index by this, so
+  /// the same plan genuinely lints differently at the two precisions.
+  unsigned element_bytes = 16;
 
   std::vector<CodeletModel> codelets;
   /// Producer -> consumer edges; one edge per (producer, consumer) pair of

@@ -13,22 +13,30 @@ namespace {
 // use a narrower radix transparently. Delegates to the shared validator
 // (plan.hpp) so the public wrappers, the plan, and the executor agree on
 // one set of checks and messages.
-HostFftOptions clamp_radix(std::span<const cplx> data, HostFftOptions opts) {
-  opts.radix_log2 = validate_fft_shape(data.size(), opts.radix_log2,
+HostFftOptions clamp_radix(std::size_t n, HostFftOptions opts) {
+  opts.radix_log2 = validate_fft_shape(n, opts.radix_log2,
                                        /*clamp_radix=*/true);
   return opts;
 }
 }  // namespace
 
 void forward(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
-  default_executor().forward(data, clamp_radix(data, opts), variant);
+  default_executor().forward(data, clamp_radix(data.size(), opts), variant);
+}
+
+void forward(std::span<cplx32> data, const HostFftOptions& opts, Variant variant) {
+  default_executor().forward(data, clamp_radix(data.size(), opts), variant);
 }
 
 void inverse(std::span<cplx> data, const HostFftOptions& opts, Variant variant) {
   // The executor's inverse runs the forward stage kernels against the
   // cached conjugated twiddle table, so the old pre-conjugation pass over
   // the input is gone; only the 1/N scale epilogue remains.
-  default_executor().inverse(data, clamp_radix(data, opts), variant);
+  default_executor().inverse(data, clamp_radix(data.size(), opts), variant);
+}
+
+void inverse(std::span<cplx32> data, const HostFftOptions& opts, Variant variant) {
+  default_executor().inverse(data, clamp_radix(data.size(), opts), variant);
 }
 
 std::vector<cplx> forward_copy(std::span<const cplx> data, const HostFftOptions& opts,
@@ -38,9 +46,23 @@ std::vector<cplx> forward_copy(std::span<const cplx> data, const HostFftOptions&
   return out;
 }
 
+std::vector<cplx32> forward_copy(std::span<const cplx32> data,
+                                 const HostFftOptions& opts, Variant variant) {
+  std::vector<cplx32> out(data.begin(), data.end());
+  forward(out, opts, variant);
+  return out;
+}
+
 std::vector<cplx> inverse_copy(std::span<const cplx> data, const HostFftOptions& opts,
                                Variant variant) {
   std::vector<cplx> out(data.begin(), data.end());
+  inverse(out, opts, variant);
+  return out;
+}
+
+std::vector<cplx32> inverse_copy(std::span<const cplx32> data,
+                                 const HostFftOptions& opts, Variant variant) {
+  std::vector<cplx32> out(data.begin(), data.end());
   inverse(out, opts, variant);
   return out;
 }
@@ -68,7 +90,7 @@ std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cpl
   // Both forwards go down as ONE batched submission (one bit-reversal
   // phase + one set of stage phases for the pair), and `fa` is reused as
   // the output buffer of the pointwise product and the inverse.
-  const HostFftOptions clamped = clamp_radix(fa, opts);
+  const HostFftOptions clamped = clamp_radix(fa.size(), opts);
   const std::span<cplx> pair[2] = {fa, fb};
   default_executor().forward_batch(pair, clamped);
   for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];

@@ -12,21 +12,33 @@
 namespace c64fft::fft {
 
 /// In-place forward FFT. Defaults: fine-grain algorithm (Alg. 2), radix
-/// 64, LIFO/natural ordering, linear twiddles.
+/// 64, LIFO/natural ordering, linear twiddles. The cplx32 overloads run
+/// the single-precision engine (same plan algebra, f32 twiddles/kernels,
+/// distinct plan-cache entries) on the same process-wide executor.
 void forward(std::span<cplx> data, const HostFftOptions& opts = {},
+             Variant variant = Variant::kFine);
+void forward(std::span<cplx32> data, const HostFftOptions& opts = {},
              Variant variant = Variant::kFine);
 
 /// In-place inverse FFT (unitary 1/N scaling), same engine.
 void inverse(std::span<cplx> data, const HostFftOptions& opts = {},
+             Variant variant = Variant::kFine);
+void inverse(std::span<cplx32> data, const HostFftOptions& opts = {},
              Variant variant = Variant::kFine);
 
 /// Out-of-place convenience forms.
 std::vector<cplx> forward_copy(std::span<const cplx> data,
                                const HostFftOptions& opts = {},
                                Variant variant = Variant::kFine);
+std::vector<cplx32> forward_copy(std::span<const cplx32> data,
+                                 const HostFftOptions& opts = {},
+                                 Variant variant = Variant::kFine);
 std::vector<cplx> inverse_copy(std::span<const cplx> data,
                                const HostFftOptions& opts = {},
                                Variant variant = Variant::kFine);
+std::vector<cplx32> inverse_copy(std::span<const cplx32> data,
+                                 const HostFftOptions& opts = {},
+                                 Variant variant = Variant::kFine);
 
 /// Power spectrum |X[k]|^2 / N of a real-valued signal (returns N/2+1
 /// bins). Pads to the next power of two >= max(n, radix).

@@ -8,8 +8,10 @@
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
+namespace {
 
-void bit_reverse_permute(std::span<cplx> data) {
+template <typename T>
+void permute_impl(std::span<cplx_t<T>> data) {
   const std::uint64_t n = data.size();
   if (!util::is_pow2(n)) throw std::invalid_argument("bit_reverse_permute: non-power-of-two");
   const unsigned bits = util::ilog2(n);
@@ -19,11 +21,13 @@ void bit_reverse_permute(std::span<cplx> data) {
   }
 }
 
-void bit_reverse_permute_parallel(std::span<cplx> data, unsigned workers, unsigned chunks) {
+template <typename T>
+void permute_parallel_impl(std::span<cplx_t<T>> data, unsigned workers,
+                           unsigned chunks) {
   const std::uint64_t n = data.size();
   if (!util::is_pow2(n)) throw std::invalid_argument("bit_reverse_permute: non-power-of-two");
   if (workers <= 1 || n < 2) {
-    bit_reverse_permute(data);
+    permute_impl<T>(data);
     return;
   }
   if (chunks == 0) chunks = workers * 4;
@@ -44,6 +48,21 @@ void bit_reverse_permute_parallel(std::span<cplx> data, unsigned workers, unsign
                    if (i < j) std::swap(data[i], data[j]);
                  }
                });
+}
+
+}  // namespace
+
+void bit_reverse_permute(std::span<cplx> data) { permute_impl<double>(data); }
+void bit_reverse_permute(std::span<cplx32> data) { permute_impl<float>(data); }
+
+void bit_reverse_permute_parallel(std::span<cplx> data, unsigned workers,
+                                  unsigned chunks) {
+  permute_parallel_impl<double>(data, workers, chunks);
+}
+
+void bit_reverse_permute_parallel(std::span<cplx32> data, unsigned workers,
+                                  unsigned chunks) {
+  permute_parallel_impl<float>(data, workers, chunks);
 }
 
 }  // namespace c64fft::fft

@@ -1,7 +1,9 @@
 #pragma once
 // Bit-reversal permutation of the input array — the first step of every
 // Cooley-Tukey variant in the paper (Fig. 4: "applied once and only once
-// in the whole FFT computation").
+// in the whole FFT computation"). Available at both precisions; the
+// overloads are concrete so vector-to-span conversions at call sites keep
+// working (bodies are shared templates in bit_reversal.cpp).
 
 #include <cstdint>
 #include <span>
@@ -12,11 +14,14 @@ namespace c64fft::fft {
 
 /// In-place bit-reversal permutation; data.size() must be a power of two.
 void bit_reverse_permute(std::span<cplx> data);
+void bit_reverse_permute(std::span<cplx32> data);
 
 /// Parallel variant: the permutation is split into `chunks` independent
 /// codelets executed on `workers` threads (the paper's
 /// "Bit_reversal(D) in parallel"). Equivalent to the serial form.
 void bit_reverse_permute_parallel(std::span<cplx> data, unsigned workers,
+                                  unsigned chunks = 0);
+void bit_reverse_permute_parallel(std::span<cplx32> data, unsigned workers,
                                   unsigned chunks = 0);
 
 }  // namespace c64fft::fft

@@ -19,9 +19,13 @@ using codelet::PoolPolicy;
 /// Scale pass of the inverse transform (the only O(N) epilogue left: the
 /// input-conjugation pass is gone — the conjugated twiddle table computes
 /// conj(FFT(conj(x))) directly — and the output conjugation fused into the
-/// table as well, leaving just the 1/N normalization).
-void scale_by(std::span<cplx> data, double factor) {
-  for (cplx& v : data) v *= factor;
+/// table as well, leaving just the 1/N normalization). The factor is
+/// computed in double and narrowed once, so the f32 pass multiplies by the
+/// correctly rounded 1/N.
+template <typename T>
+void scale_by(std::span<cplx_t<T>> data, double factor) {
+  const T f = static_cast<T>(factor);
+  for (cplx_t<T>& v : data) v *= f;
 }
 
 /// Strict base-10 parse of an environment variable into an unsigned;
@@ -73,22 +77,27 @@ codelet::HostRuntime& FftExecutor::team(unsigned workers,
   return *runtime_;
 }
 
+template <typename T>
 void FftExecutor::ensure_worker_buffers(std::uint64_t radix, unsigned workers) {
-  if (scratch_radix_ == radix && scratch_.size() == workers) return;
-  scratch_.clear();
-  scratch_.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) scratch_.emplace_back(radix);
-  members_buf_.assign(workers, {});
-  keys_buf_.assign(workers, {});
-  scratch_radix_ = radix;
+  if (members_buf_.size() != workers) {
+    members_buf_.assign(workers, {});
+    keys_buf_.assign(workers, {});
+  }
+  NumericState<T>& st = num<T>();
+  if (st.scratch_radix == radix && st.scratch.size() == workers) return;
+  st.scratch.clear();
+  st.scratch.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) st.scratch.emplace_back(radix);
+  st.scratch_radix = radix;
 }
 
-void FftExecutor::run(std::span<const std::span<cplx>> batch,
-                      const HostFftOptions& opts, Variant variant,
-                      TwiddleDirection dir) {
+template <typename T>
+void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
+                        const HostFftOptions& opts, Variant variant,
+                        TwiddleDirection dir) {
   if (batch.empty()) return;
   const std::uint64_t n = batch.front().size();
-  for (const std::span<cplx>& t : batch)
+  for (const std::span<cplx_t<T>>& t : batch)
     if (t.size() != n)
       throw std::invalid_argument(
           "FftExecutor: batch transforms must share one length");
@@ -104,37 +113,41 @@ void FftExecutor::run(std::span<const std::span<cplx>> batch,
       four_step_threshold_log2_.load(std::memory_order_relaxed);
   if (threshold != 0 && n >= 4 && util::ilog2(n) >= threshold) {
     std::shared_ptr<const PlanEntry> entry = cache_.acquire(
-        PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kFourStep});
+        PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kFourStep,
+                precision_of<T>});
     std::lock_guard lock(mutex_);
-    for (const std::span<cplx>& t : batch)
-      run_four_step_locked(*entry, t, opts, variant, dir);
+    for (const std::span<cplx_t<T>>& t : batch)
+      run_four_step_locked<T>(*entry, t, opts, variant, dir);
     four_step_ += batch.size();
     transforms_ += (batch.size() == 1) ? 1 : 0;
     batched_ += (batch.size() == 1) ? 0 : batch.size();
     return;
   }
 
-  std::shared_ptr<const PlanEntry> entry =
-      cache_.acquire(PlanKey{n, opts.radix_log2, opts.layout});
+  std::shared_ptr<const PlanEntry> entry = cache_.acquire(
+      PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kClassic,
+              precision_of<T>});
   std::lock_guard lock(mutex_);
-  run_classic_locked(*entry, batch, opts, variant, dir);
+  run_classic_locked<T>(*entry, batch, opts, variant, dir);
   transforms_ += (batch.size() == 1) ? 1 : 0;
   batched_ += (batch.size() == 1) ? 0 : batch.size();
 }
 
+template <typename T>
 void FftExecutor::run_classic_locked(const PlanEntry& entry,
-                                     std::span<const std::span<cplx>> batch,
+                                     std::span<const std::span<cplx_t<T>>> batch,
                                      const HostFftOptions& opts,
                                      Variant variant, TwiddleDirection dir) {
   const std::uint64_t n = batch.front().size();
   const FftPlan& plan = entry.plan();
-  const TwiddleTable& twiddles = entry.twiddles(dir);
+  const BasicTwiddleTable<T>& twiddles = entry.twiddles_for<T>(dir);
   const std::uint64_t tasks = plan.tasks_per_stage();
   const std::uint64_t b_count = batch.size();
   const std::uint32_t stages = plan.stage_count();
 
   codelet::HostRuntime& rt = team(opts.workers, opts.mode);
-  ensure_worker_buffers(plan.radix(), rt.workers());
+  ensure_worker_buffers<T>(plan.radix(), rt.workers());
+  std::vector<BasicKernelScratch<T>>& scratch = num<T>().scratch;
 
   const unsigned bits = plan.log2_size();
 
@@ -152,7 +165,7 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
     for (std::uint64_t c = 0; c < per; ++c) seeds.push_back({0, c});
     rt.run_phase(seeds, PoolPolicy::kFifo,
                  [&](CodeletKey key, unsigned, codelet::Pusher&) {
-                   std::span<cplx> data = batch[0];
+                   std::span<cplx_t<T>> data = batch[0];
                    const std::uint64_t end = std::min(n, (key.index + 1) * chunk);
                    for (std::uint64_t i = key.index * chunk; i < end; ++i) {
                      const std::uint64_t j = util::bit_reverse(i, bits);
@@ -182,7 +195,7 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
       }
       const std::uint64_t b = key.index;
       if (do_bitrev) {
-        std::span<cplx> data = batch[b];
+        std::span<cplx_t<T>> data = batch[b];
         for (std::uint64_t i = 0; i < n; ++i) {
           const std::uint64_t j = util::bit_reverse(i, bits);
           if (i < j) std::swap(data[i], data[j]);
@@ -205,7 +218,7 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
     const codelet::CodeletBody exec = [&](CodeletKey key, unsigned worker,
                                           codelet::Pusher&) {
       run_codelet(plan, key.stage, key.index % tasks, batch[key.index / tasks],
-                  twiddles, scratch_[worker]);
+                  twiddles, scratch[worker]);
     };
     std::uint32_t first = 0;
     if (b_count > 1) {
@@ -234,7 +247,7 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
                                 codelet::Pusher& pusher) {
       const std::uint64_t b = key.index / tasks;
       const std::uint64_t t = key.index % tasks;
-      run_codelet(plan, key.stage, t, batch[b], twiddles, scratch_[worker]);
+      run_codelet(plan, key.stage, t, batch[b], twiddles, scratch[worker]);
       if (key.stage >= last_propagated || key.stage + 1 >= stages) return;
       const std::uint64_t g = plan.child_group(key.stage, t);
       if (counters[b].arrive(key.stage + 1, g)) {
@@ -301,7 +314,8 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
   }
 }
 
-void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
+template <typename T>
+void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                                   std::uint64_t row_count,
                                   const HostFftOptions& opts,
                                   TwiddleDirection dir) {
@@ -316,13 +330,14 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
   // cache-resident. Chunks of rows seed the persistent team, so multi-
   // worker teams still spread the sweep.
   const FftPlan& plan = entry.plan();
-  const TwiddleTable& twiddles = entry.twiddles(dir);
+  const BasicTwiddleTable<T>& twiddles = entry.twiddles_for<T>(dir);
   const std::uint64_t row_len = plan.size();
   const std::uint32_t stages = plan.stage_count();
   const std::uint64_t tasks = plan.tasks_per_stage();
 
   codelet::HostRuntime& rt = team(opts.workers, opts.mode);
-  ensure_worker_buffers(plan.radix(), rt.workers());
+  ensure_worker_buffers<T>(plan.radix(), rt.workers());
+  NumericState<T>& st = num<T>();
 
   // The row permutation repeats row_count times, so computing
   // bit_reverse(i) per element per row is pure waste: a cached index
@@ -338,10 +353,10 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
   const std::span<const std::uint32_t> brev(bitrev_idx_);
 
   // Row-length split-complex scratch for the fused stage-0 pass, one per
-  // worker (KernelScratch is only radix-sized).
-  if (row_split_.size() < rt.workers()) row_split_.resize(rt.workers());
+  // worker (the kernel scratch is only radix-sized).
+  if (st.row_split.size() < rt.workers()) st.row_split.resize(rt.workers());
   for (unsigned w = 0; w < rt.workers(); ++w)
-    if (row_split_[w].size() < 2 * row_len) row_split_[w].resize(2 * row_len);
+    if (st.row_split[w].size() < 2 * row_len) st.row_split[w].resize(2 * row_len);
 
   const std::uint64_t chunks =
       std::min<std::uint64_t>(row_count, std::uint64_t{rt.workers()} * 4);
@@ -352,22 +367,23 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
   rt.run_phase(
       seeds, PoolPolicy::kFifo,
       [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
-        double* const re = row_split_[worker].data();
-        double* const im = re + row_len;
+        T* const re = st.row_split[worker].data();
+        T* const im = re + row_len;
         const std::uint64_t end = std::min(row_count, (key.index + 1) * per);
         for (std::uint64_t r = key.index * per; r < end; ++r) {
-          const std::span<cplx> row = data.subspan(r * row_len, row_len);
+          const std::span<cplx_t<T>> row = data.subspan(r * row_len, row_len);
           run_stage0_bitrev(plan, row, twiddles, brev, re, im,
-                            scratch_[worker]);
-          for (std::uint32_t st = 1; st < stages; ++st)
+                            st.scratch[worker]);
+          for (std::uint32_t stg = 1; stg < stages; ++stg)
             for (std::uint64_t t = 0; t < tasks; ++t)
-              run_codelet(plan, st, t, row, twiddles, scratch_[worker]);
+              run_codelet(plan, stg, t, row, twiddles, st.scratch[worker]);
         }
       });
 }
 
+template <typename T>
 void FftExecutor::run_four_step_locked(const PlanEntry& entry,
-                                       std::span<cplx> data,
+                                       std::span<cplx_t<T>> data,
                                        const HostFftOptions& opts,
                                        Variant /*variant*/,
                                        TwiddleDirection dir) {
@@ -394,22 +410,23 @@ void FftExecutor::run_four_step_locked(const PlanEntry& entry,
   const std::uint64_t n2 = split.n2;
   const std::uint64_t n = n1 * n2;
 
-  if (four_step_scratch_.size() < n) four_step_scratch_.resize(n);
-  const std::span<cplx> s(four_step_scratch_.data(), n);
+  NumericState<T>& st = num<T>();
+  if (st.four_step_scratch.size() < n) st.four_step_scratch.resize(n);
+  const std::span<cplx_t<T>> s(st.four_step_scratch.data(), n);
 
-  transpose_blocked(std::span<const cplx>(data.data(), n), s, n1, n2);
+  transpose_blocked(std::span<const cplx_t<T>>(data.data(), n), s, n1, n2);
 
-  run_rows_locked(*entry.col_entry(), s, n2, opts, dir);
+  run_rows_locked<T>(*entry.col_entry(), s, n2, opts, dir);
 
-  transpose_twiddle_blocked(std::span<const cplx>(s.data(), n), data, n2, n1,
-                            dir);
+  transpose_twiddle_blocked(std::span<const cplx_t<T>>(s.data(), n), data, n2,
+                            n1, dir);
 
-  run_rows_locked(*entry.row_entry(), data, n1, opts, dir);
+  run_rows_locked<T>(*entry.row_entry(), data, n1, opts, dir);
 
   if (n1 == n2) {
     transpose_inplace_square(data, n1);
   } else {
-    transpose_blocked(std::span<const cplx>(data.data(), n), s, n1, n2);
+    transpose_blocked(std::span<const cplx_t<T>>(data.data(), n), s, n1, n2);
     std::copy(s.begin(), s.end(), data.begin());
   }
 }
@@ -417,7 +434,7 @@ void FftExecutor::run_four_step_locked(const PlanEntry& entry,
 void FftExecutor::forward(std::span<cplx> data, const HostFftOptions& opts,
                           Variant variant) {
   const std::span<cplx> one[1] = {data};
-  run(one, opts, variant, TwiddleDirection::kForward);
+  run_t<double>(one, opts, variant, TwiddleDirection::kForward);
 }
 
 void FftExecutor::forward(std::span<cplx> data, Variant variant) {
@@ -427,11 +444,24 @@ void FftExecutor::forward(std::span<cplx> data, Variant variant) {
   forward(data, opts, variant);
 }
 
+void FftExecutor::forward(std::span<cplx32> data, const HostFftOptions& opts,
+                          Variant variant) {
+  const std::span<cplx32> one[1] = {data};
+  run_t<float>(one, opts, variant, TwiddleDirection::kForward);
+}
+
+void FftExecutor::forward(std::span<cplx32> data, Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  forward(data, opts, variant);
+}
+
 void FftExecutor::inverse(std::span<cplx> data, const HostFftOptions& opts,
                           Variant variant) {
   const std::span<cplx> one[1] = {data};
-  run(one, opts, variant, TwiddleDirection::kInverse);
-  scale_by(data, 1.0 / static_cast<double>(data.size()));
+  run_t<double>(one, opts, variant, TwiddleDirection::kInverse);
+  scale_by<double>(data, 1.0 / static_cast<double>(data.size()));
 }
 
 void FftExecutor::inverse(std::span<cplx> data, Variant variant) {
@@ -441,9 +471,23 @@ void FftExecutor::inverse(std::span<cplx> data, Variant variant) {
   inverse(data, opts, variant);
 }
 
+void FftExecutor::inverse(std::span<cplx32> data, const HostFftOptions& opts,
+                          Variant variant) {
+  const std::span<cplx32> one[1] = {data};
+  run_t<float>(one, opts, variant, TwiddleDirection::kInverse);
+  scale_by<float>(data, 1.0 / static_cast<double>(data.size()));
+}
+
+void FftExecutor::inverse(std::span<cplx32> data, Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  inverse(data, opts, variant);
+}
+
 void FftExecutor::forward_batch(std::span<const std::span<cplx>> batch,
                                 const HostFftOptions& opts, Variant variant) {
-  run(batch, opts, variant, TwiddleDirection::kForward);
+  run_t<double>(batch, opts, variant, TwiddleDirection::kForward);
 }
 
 void FftExecutor::forward_batch(std::span<const std::span<cplx>> batch,
@@ -454,14 +498,42 @@ void FftExecutor::forward_batch(std::span<const std::span<cplx>> batch,
   forward_batch(batch, opts, variant);
 }
 
-void FftExecutor::inverse_batch(std::span<const std::span<cplx>> batch,
+void FftExecutor::forward_batch(std::span<const std::span<cplx32>> batch,
                                 const HostFftOptions& opts, Variant variant) {
-  run(batch, opts, variant, TwiddleDirection::kInverse);
-  for (const std::span<cplx>& t : batch)
-    scale_by(t, 1.0 / static_cast<double>(t.size()));
+  run_t<float>(batch, opts, variant, TwiddleDirection::kForward);
+}
+
+void FftExecutor::forward_batch(std::span<const std::span<cplx32>> batch,
+                                Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  forward_batch(batch, opts, variant);
 }
 
 void FftExecutor::inverse_batch(std::span<const std::span<cplx>> batch,
+                                const HostFftOptions& opts, Variant variant) {
+  run_t<double>(batch, opts, variant, TwiddleDirection::kInverse);
+  for (const std::span<cplx>& t : batch)
+    scale_by<double>(t, 1.0 / static_cast<double>(t.size()));
+}
+
+void FftExecutor::inverse_batch(std::span<const std::span<cplx>> batch,
+                                Variant variant) {
+  HostFftOptions opts;
+  opts.workers = opts_.workers;
+  opts.mode = opts_.mode;
+  inverse_batch(batch, opts, variant);
+}
+
+void FftExecutor::inverse_batch(std::span<const std::span<cplx32>> batch,
+                                const HostFftOptions& opts, Variant variant) {
+  run_t<float>(batch, opts, variant, TwiddleDirection::kInverse);
+  for (const std::span<cplx32>& t : batch)
+    scale_by<float>(t, 1.0 / static_cast<double>(t.size()));
+}
+
+void FftExecutor::inverse_batch(std::span<const std::span<cplx32>> batch,
                                 Variant variant) {
   HostFftOptions opts;
   opts.workers = opts_.workers;
@@ -500,16 +572,21 @@ unsigned FftExecutor::default_workers() const {
 void FftExecutor::shutdown() {
   std::lock_guard lock(mutex_);
   runtime_.reset();
-  scratch_.clear();
   members_buf_.clear();
   keys_buf_.clear();
-  four_step_scratch_.clear();
-  four_step_scratch_.shrink_to_fit();
+  f64_.scratch.clear();
+  f64_.four_step_scratch.clear();
+  f64_.four_step_scratch.shrink_to_fit();
+  f64_.row_split.clear();
+  f64_.scratch_radix = 0;
+  f32_.scratch.clear();
+  f32_.four_step_scratch.clear();
+  f32_.four_step_scratch.shrink_to_fit();
+  f32_.row_split.clear();
+  f32_.scratch_radix = 0;
   bitrev_idx_.clear();
   bitrev_idx_.shrink_to_fit();
-  row_split_.clear();
   bitrev_len_ = 0;
-  scratch_radix_ = 0;
 }
 
 void FftExecutor::clear_cache() { cache_.clear(); }

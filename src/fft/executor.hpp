@@ -28,6 +28,14 @@
 // env-overridable and read at construction only (see the constructor and
 // reconfigure()). See DESIGN.md "Four-step large-N path".
 //
+// Precision: every entry point exists for cplx (f64) and cplx32 (f32).
+// The two precisions dispatch through one shared member-template body
+// (run_t<T> and friends, defined in executor.cpp), share the ONE
+// persistent worker team and the plan cache (entries keyed by Precision),
+// and keep separate per-worker numeric scratch (NumericState<T>) so a
+// precision switch never respawns the team or clobbers the other width's
+// buffers. See DESIGN.md "Precision-generic core".
+//
 // Concurrency: any number of caller threads may use one executor; a mutex
 // serializes the runtime phases (HostRuntime::run_phase is single-caller
 // by contract), while the PlanCache has its own finer lock. See DESIGN.md
@@ -38,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "codelet/host_runtime.hpp"
@@ -53,7 +62,9 @@ namespace c64fft::fft {
 /// four-step sub-sweeps (512-point row FFTs) stay L1-resident — measured
 /// crossover (bench/micro_kernels BM_FourStepFftLargeN vs
 /// BM_ClassicFftLargeN): four-step is ~0.95x at 2^17, >= 1.35x at 2^18,
-/// and the gap widens with N (~1.9x at 2^20).
+/// and the gap widens with N (~1.9x at 2^20). (The f32 footprint at a
+/// given N is half this, moving the true crossover up one octave; the
+/// shared default stays size-based for predictability.)
 inline constexpr unsigned kDefaultFourStepThresholdLog2 = 18;
 
 struct ExecutorOptions {
@@ -71,7 +82,8 @@ struct ExecutorOptions {
 
 struct ExecutorStats {
   PlanCacheStats cache;
-  /// Transforms dispatched one at a time / via batch submissions.
+  /// Transforms dispatched one at a time / via batch submissions (both
+  /// precisions; the plan cache distinguishes them by key).
   std::uint64_t transforms = 0;
   std::uint64_t batched = 0;
   /// Top-level transforms that took the four-step path (their internal
@@ -100,12 +112,20 @@ class FftExecutor {
   /// throw std::invalid_argument, the radix is NOT clamped (the api.cpp
   /// wrappers clamp before calling). opts.workers/opts.mode select the
   /// team; the option-less overloads use the ExecutorOptions defaults.
+  /// The cplx32 overloads are the f32 path — same plan algebra, f32
+  /// twiddles/kernels, separate plan-cache entries.
   void forward(std::span<cplx> data, const HostFftOptions& opts,
                Variant variant = Variant::kFine);
   void forward(std::span<cplx> data, Variant variant = Variant::kFine);
+  void forward(std::span<cplx32> data, const HostFftOptions& opts,
+               Variant variant = Variant::kFine);
+  void forward(std::span<cplx32> data, Variant variant = Variant::kFine);
   void inverse(std::span<cplx> data, const HostFftOptions& opts,
                Variant variant = Variant::kFine);
   void inverse(std::span<cplx> data, Variant variant = Variant::kFine);
+  void inverse(std::span<cplx32> data, const HostFftOptions& opts,
+               Variant variant = Variant::kFine);
+  void inverse(std::span<cplx32> data, Variant variant = Variant::kFine);
 
   /// Batched transforms: every span is one independent transform; all must
   /// share one power-of-two length (throws std::invalid_argument
@@ -116,9 +136,17 @@ class FftExecutor {
                      const HostFftOptions& opts, Variant variant = Variant::kFine);
   void forward_batch(std::span<const std::span<cplx>> batch,
                      Variant variant = Variant::kFine);
+  void forward_batch(std::span<const std::span<cplx32>> batch,
+                     const HostFftOptions& opts, Variant variant = Variant::kFine);
+  void forward_batch(std::span<const std::span<cplx32>> batch,
+                     Variant variant = Variant::kFine);
   void inverse_batch(std::span<const std::span<cplx>> batch,
                      const HostFftOptions& opts, Variant variant = Variant::kFine);
   void inverse_batch(std::span<const std::span<cplx>> batch,
+                     Variant variant = Variant::kFine);
+  void inverse_batch(std::span<const std::span<cplx32>> batch,
+                     const HostFftOptions& opts, Variant variant = Variant::kFine);
+  void inverse_batch(std::span<const std::span<cplx32>> batch,
                      Variant variant = Variant::kFine);
 
   /// Default team size for the option-less overloads; an existing team of
@@ -152,28 +180,55 @@ class FftExecutor {
   ExecutorStats stats() const;
 
  private:
+  /// Per-precision mutable working set: per-worker kernel scratch tiles,
+  /// the four-step ping buffer, and the per-worker row-length split
+  /// scratch of the fused stage-0 pass. One instance per element width so
+  /// alternating precisions never thrash each other's allocations; the
+  /// worker team, key/member buffers, and bit-reversal index table stay
+  /// shared (they are precision-independent).
+  template <typename T>
+  struct NumericState {
+    std::vector<BasicKernelScratch<T>> scratch;
+    std::vector<cplx_t<T>> four_step_scratch;
+    std::vector<std::vector<T>> row_split;
+    std::uint64_t scratch_radix = 0;
+  };
+
+  template <typename T>
+  NumericState<T>& num() {
+    if constexpr (std::is_same_v<T, float>)
+      return f32_;
+    else
+      return f64_;
+  }
+
   codelet::HostRuntime& team(unsigned workers, codelet::SchedulerMode mode);
+  template <typename T>
   void ensure_worker_buffers(std::uint64_t radix, unsigned workers);
-  void run(std::span<const std::span<cplx>> batch, const HostFftOptions& opts,
-           Variant variant, TwiddleDirection dir);
+  template <typename T>
+  void run_t(std::span<const std::span<cplx_t<T>>> batch,
+             const HostFftOptions& opts, Variant variant, TwiddleDirection dir);
   /// The classic stage/task dispatch (mutex_ held by the caller). Never
   /// scales — inverse normalization lives in the public wrappers only.
+  template <typename T>
   void run_classic_locked(const PlanEntry& entry,
-                          std::span<const std::span<cplx>> batch,
+                          std::span<const std::span<cplx_t<T>>> batch,
                           const HostFftOptions& opts, Variant variant,
                           TwiddleDirection dir);
   /// One four-step transform (mutex_ held): transpose, n2-row sub-sweep of
   /// n1-point FFTs, fused twiddle-transpose, n1-row sub-sweep of n2-point
   /// FFTs, final transpose. Sub-sweeps go straight to run_rows_locked, so
   /// they never re-enter the routing (no recursion, any threshold).
-  void run_four_step_locked(const PlanEntry& entry, std::span<cplx> data,
+  template <typename T>
+  void run_four_step_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                             const HostFftOptions& opts, Variant variant,
                             TwiddleDirection dir);
   /// Four-step sub-FFT sweep (mutex_ held): row_count consecutive
   /// plan-sized rows of `data`, each transformed completely by one worker
   /// while cache-resident; chunks of rows are the codelets of one phase on
   /// the persistent team.
-  void run_rows_locked(const PlanEntry& entry, std::span<cplx> data,
+  template <typename T>
+  void run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                        std::uint64_t row_count, const HostFftOptions& opts,
                        TwiddleDirection dir);
   void apply_env_overrides();
@@ -186,17 +241,14 @@ class FftExecutor {
   /// Guards the team, the per-worker buffers, and phase execution.
   mutable std::mutex mutex_;
   std::unique_ptr<codelet::HostRuntime> runtime_;
-  std::vector<KernelScratch> scratch_;
   std::vector<std::vector<std::uint64_t>> members_buf_;
   std::vector<std::vector<codelet::CodeletKey>> keys_buf_;
-  std::vector<cplx> four_step_scratch_;
-  /// Bit-reversal index table of the last run_rows_locked row length, and
-  /// per-worker row-length split-complex scratch for the fused stage-0
-  /// pass (re in [0, row_len), im in [row_len, 2*row_len)).
+  NumericState<double> f64_;
+  NumericState<float> f32_;
+  /// Bit-reversal index table of the last run_rows_locked row length
+  /// (shared across precisions — it is pure index algebra).
   std::vector<std::uint32_t> bitrev_idx_;
-  std::vector<std::vector<double>> row_split_;
   std::uint64_t bitrev_len_ = 0;
-  std::uint64_t scratch_radix_ = 0;
   std::uint64_t transforms_ = 0;
   std::uint64_t batched_ = 0;
   std::uint64_t four_step_ = 0;

@@ -11,10 +11,10 @@ namespace c64fft::fft {
 
 namespace {
 
-void check_dims(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols) {
+void check_dims(std::size_t size, std::uint64_t rows, std::uint64_t cols) {
   if (!util::is_pow2(rows) || !util::is_pow2(cols) || rows < 2 || cols < 2)
     throw std::invalid_argument("fft2d: dimensions must be powers of two >= 2");
-  if (data.size() != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
+  if (size != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
 }
 
 // Transform every row as one batched executor submission: the rows share
@@ -22,9 +22,10 @@ void check_dims(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols) {
 // persistent team (the old per-call HostRuntime + serial-kernel-per-row
 // scheme is gone). Row-level and intra-row parallelism both land on the
 // same work-stealing deques.
-void rows_pass(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+template <typename T>
+void rows_pass(std::span<cplx_t<T>> data, std::uint64_t rows, std::uint64_t cols,
                const HostFftOptions& opts, Variant variant) {
-  std::vector<std::span<cplx>> row_spans;
+  std::vector<std::span<cplx_t<T>>> row_spans;
   row_spans.reserve(rows);
   for (std::uint64_t r = 0; r < rows; ++r)
     row_spans.push_back(data.subspan(r * cols, cols));
@@ -33,34 +34,60 @@ void rows_pass(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
   default_executor().forward_batch(row_spans, clamped, variant);
 }
 
-}  // namespace
-
-void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
-                const HostFftOptions& opts, Variant variant) {
-  check_dims(data, rows, cols);
-  rows_pass(data, rows, cols, opts, variant);
+template <typename T>
+void forward_2d_impl(std::span<cplx_t<T>> data, std::uint64_t rows,
+                     std::uint64_t cols, const HostFftOptions& opts,
+                     Variant variant) {
+  check_dims(data.size(), rows, cols);
+  rows_pass<T>(data, rows, cols, opts, variant);
   // Column pass via the cache-blocked transpose kernels (transpose.hpp):
   // square matrices flip in place, rectangular ones bounce through one
   // scratch buffer.
   if (rows == cols) {
     transpose_inplace_square(data, rows);
-    rows_pass(data, cols, rows, opts, variant);
+    rows_pass<T>(data, cols, rows, opts, variant);
     transpose_inplace_square(data, rows);
     return;
   }
-  std::vector<cplx> t(data.size());
-  transpose_blocked(data, t, rows, cols);
-  rows_pass(t, cols, rows, opts, variant);
-  transpose_blocked(t, data, cols, rows);
+  std::vector<cplx_t<T>> t(data.size());
+  transpose_blocked(std::span<const cplx_t<T>>(data.data(), data.size()), t,
+                    rows, cols);
+  rows_pass<T>(std::span<cplx_t<T>>(t), cols, rows, opts, variant);
+  transpose_blocked(std::span<const cplx_t<T>>(t.data(), t.size()), data, cols,
+                    rows);
+}
+
+template <typename T>
+void inverse_2d_impl(std::span<cplx_t<T>> data, std::uint64_t rows,
+                     std::uint64_t cols, const HostFftOptions& opts,
+                     Variant variant) {
+  check_dims(data.size(), rows, cols);
+  for (auto& v : data) v = std::conj(v);
+  forward_2d_impl<T>(data, rows, cols, opts, variant);
+  const T inv = static_cast<T>(1.0 / static_cast<double>(data.size()));
+  for (auto& v : data) v = std::conj(v) * inv;
+}
+
+}  // namespace
+
+void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts, Variant variant) {
+  forward_2d_impl<double>(data, rows, cols, opts, variant);
+}
+
+void forward_2d(std::span<cplx32> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts, Variant variant) {
+  forward_2d_impl<float>(data, rows, cols, opts, variant);
 }
 
 void inverse_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
                 const HostFftOptions& opts, Variant variant) {
-  check_dims(data, rows, cols);
-  for (auto& v : data) v = std::conj(v);
-  forward_2d(data, rows, cols, opts, variant);
-  const double inv = 1.0 / static_cast<double>(data.size());
-  for (auto& v : data) v = std::conj(v) * inv;
+  inverse_2d_impl<double>(data, rows, cols, opts, variant);
+}
+
+void inverse_2d(std::span<cplx32> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts, Variant variant) {
+  inverse_2d_impl<float>(data, rows, cols, opts, variant);
 }
 
 }  // namespace c64fft::fft

@@ -2,7 +2,9 @@
 // 2-D FFT (row-column decomposition) built on the 1-D codelet variants —
 // the extension direction the paper inherits from Chen et al.'s 1-D/2-D
 // C64 study. Rows and columns are independent 1-D transforms, so each
-// pass is itself a pool of parallel codelets.
+// pass is itself a pool of parallel codelets. Both precisions are served
+// by one template body in fft2d.cpp (the cplx32 overloads are the f32
+// path).
 
 #include <cstdint>
 #include <span>
@@ -15,9 +17,13 @@ namespace c64fft::fft {
 /// dimensions must be powers of two >= 2.
 void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
                 const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
+void forward_2d(std::span<cplx32> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
 
 /// In-place 2-D inverse FFT (1/(rows*cols) scaling).
 void inverse_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
+                const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
+void inverse_2d(std::span<cplx32> data, std::uint64_t rows, std::uint64_t cols,
                 const HostFftOptions& opts = {}, Variant variant = Variant::kFine);
 
 }  // namespace c64fft::fft

@@ -3,10 +3,12 @@
 #include <cassert>
 
 namespace c64fft::fft {
+namespace {
 
-void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t stride,
-                     std::uint32_t first_level, std::uint32_t levels, unsigned log2n,
-                     const TwiddleTable& twiddles) {
+template <typename T>
+void chain_impl(std::span<cplx_t<T>> chain, std::uint64_t base, std::uint64_t stride,
+                std::uint32_t first_level, std::uint32_t levels, unsigned log2n,
+                const BasicTwiddleTable<T>& twiddles) {
   const std::uint64_t len = chain.size();
   assert(len == (std::uint64_t{1} << levels));
   for (std::uint32_t v = 0; v < levels; ++v) {
@@ -19,8 +21,8 @@ void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t st
         // Twiddle of the butterfly whose lower element has global index g:
         // W[(g mod 2^L) << (n - L - 1)].
         const std::uint64_t g = base + q * stride;
-        const cplx w = twiddles.at((g & block_mask) << shift);
-        const cplx t = w * chain[q + half];
+        const cplx_t<T> w = twiddles.at((g & block_mask) << shift);
+        const cplx_t<T> t = w * chain[q + half];
         chain[q + half] = chain[q] - t;
         chain[q] += t;
       }
@@ -28,13 +30,78 @@ void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t st
   }
 }
 
-void butterfly_chain_split(double* re, double* im, std::uint64_t len,
-                           std::uint64_t base, std::uint64_t stride,
-                           std::uint32_t first_level, std::uint32_t levels,
-                           unsigned log2n, const TwiddleTable& twiddles,
-                           double* tw_re, double* tw_im) {
+template <typename T>
+inline void butterfly_split(T* __restrict r, T* __restrict i, std::uint64_t a,
+                            std::uint64_t b, T wr, T wi) {
+  const T tr = wr * r[b] - wi * i[b];
+  const T ti = wr * i[b] + wi * r[b];
+  r[b] = r[a] - tr;
+  i[b] = i[a] - ti;
+  r[a] += tr;
+  i[a] += ti;
+}
+
+template <typename T>
+void chain_split_impl(T* __restrict re, T* __restrict im, std::uint64_t len,
+                      std::uint64_t base, std::uint64_t stride,
+                      std::uint32_t first_level, std::uint32_t levels,
+                      unsigned log2n, const BasicTwiddleTable<T>& twiddles,
+                      T* __restrict tw_re, T* __restrict tw_im) {
   assert(len == (std::uint64_t{1} << levels));
-  for (std::uint32_t v = 0; v < levels; ++v) {
+
+  // Fused radix-8 first pass: levels v = 0..2 have half = 1/2/4, so the
+  // per-level inner loops below run 1-4 scalar butterflies per block —
+  // pure loop overhead the vectorizer can't touch, identical for both
+  // precisions. When all three levels share their twiddles across blocks
+  // (every plan chain does: stride = 2^{first_level}), the 12 butterflies
+  // of one 8-element group use 7 twiddles total, so the whole group
+  // becomes one straight-line body the SLP vectorizer packs at the full
+  // register width — this is where f32's doubled lane count actually
+  // shows. Butterfly order within a group matches the per-level loops
+  // exactly (each element sees the same operation sequence), so results
+  // are bit-identical to the generic path.
+  std::uint32_t v_start = 0;
+  if (levels >= 3) {
+    bool fuse = true;
+    T twr[7], twi[7];
+    int k = 0;
+    for (std::uint32_t v = 0; v < 3 && fuse; ++v) {
+      const std::uint64_t half = std::uint64_t{1} << v;
+      const std::uint32_t level = first_level + v;
+      const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+      const unsigned shift = log2n - level - 1;
+      const std::uint64_t c = base & block_mask;
+      fuse = ((stride << (v + 1)) & block_mask) == 0 &&
+             c + (half - 1) * stride <= block_mask;
+      for (std::uint64_t u = 0; u < half && fuse; ++u) {
+        const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
+        twr[k] = w.real();
+        twi[k] = w.imag();
+        ++k;
+      }
+    }
+    if (fuse) {
+      for (std::uint64_t g = 0; g < len; g += 8) {
+        T* __restrict r = re + g;
+        T* __restrict i = im + g;
+        butterfly_split(r, i, 0, 1, twr[0], twi[0]);  // v=0, half=1
+        butterfly_split(r, i, 2, 3, twr[0], twi[0]);
+        butterfly_split(r, i, 4, 5, twr[0], twi[0]);
+        butterfly_split(r, i, 6, 7, twr[0], twi[0]);
+        butterfly_split(r, i, 0, 2, twr[1], twi[1]);  // v=1, half=2
+        butterfly_split(r, i, 1, 3, twr[2], twi[2]);
+        butterfly_split(r, i, 4, 6, twr[1], twi[1]);
+        butterfly_split(r, i, 5, 7, twr[2], twi[2]);
+        butterfly_split(r, i, 0, 4, twr[3], twi[3]);  // v=2, half=4
+        butterfly_split(r, i, 1, 5, twr[4], twi[4]);
+        butterfly_split(r, i, 2, 6, twr[5], twi[5]);
+        butterfly_split(r, i, 3, 7, twr[6], twi[6]);
+      }
+      v_start = 3;
+    }
+  }
+
+  for (std::uint32_t v = v_start; v < levels; ++v) {
     const std::uint64_t half = std::uint64_t{1} << v;
     const std::uint32_t level = first_level + v;  // global butterfly level L
     const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
@@ -53,33 +120,32 @@ void butterfly_chain_split(double* re, double* im, std::uint64_t len,
     const bool wrap_free = c + (half - 1) * stride <= block_mask;
     if (blocks_share && wrap_free) {
       for (std::uint64_t u = 0; u < half; ++u) {
-        const cplx w = twiddles.at((c + u * stride) << shift);
+        const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
         tw_re[u] = w.real();
         tw_im[u] = w.imag();
       }
+      // Indexed form, not per-block pointers: recomputing `re + lo + half`
+      // style pointers inside the lo loop defeats GCC's dependence
+      // analysis ("no vectype") and the butterflies stay scalar; with the
+      // affine indices below plus the __restrict parameters the u loop
+      // vectorizes at both element widths.
       for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
-        double* __restrict ar = re + lo;
-        double* __restrict ai = im + lo;
-        double* __restrict br = re + lo + half;
-        double* __restrict bi = im + lo + half;
-        const double* __restrict wr = tw_re;
-        const double* __restrict wi = tw_im;
         for (std::uint64_t u = 0; u < half; ++u) {
-          const double tr = wr[u] * br[u] - wi[u] * bi[u];
-          const double ti = wr[u] * bi[u] + wi[u] * br[u];
-          br[u] = ar[u] - tr;
-          bi[u] = ai[u] - ti;
-          ar[u] += tr;
-          ai[u] += ti;
+          const T tr = tw_re[u] * re[lo + half + u] - tw_im[u] * im[lo + half + u];
+          const T ti = tw_re[u] * im[lo + half + u] + tw_im[u] * re[lo + half + u];
+          re[lo + half + u] = re[lo + u] - tr;
+          im[lo + half + u] = im[lo + u] - ti;
+          re[lo + u] += tr;
+          im[lo + u] += ti;
         }
       }
     } else {
       for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
         for (std::uint64_t q = lo; q < lo + half; ++q) {
           const std::uint64_t g = base + q * stride;
-          const cplx w = twiddles.at((g & block_mask) << shift);
-          const double tr = w.real() * re[q + half] - w.imag() * im[q + half];
-          const double ti = w.real() * im[q + half] + w.imag() * re[q + half];
+          const cplx_t<T> w = twiddles.at((g & block_mask) << shift);
+          const T tr = w.real() * re[q + half] - w.imag() * im[q + half];
+          const T ti = w.real() * im[q + half] + w.imag() * re[q + half];
           re[q + half] = re[q] - tr;
           im[q + half] = im[q] - ti;
           re[q] += tr;
@@ -90,41 +156,43 @@ void butterfly_chain_split(double* re, double* im, std::uint64_t len,
   }
 }
 
-void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
-                 std::span<cplx> data, const TwiddleTable& twiddles,
-                 KernelScratch& scratch) {
+template <typename T>
+void run_codelet_impl(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                      std::span<cplx_t<T>> data, const BasicTwiddleTable<T>& twiddles,
+                      BasicKernelScratch<T>& scratch) {
   const StageInfo& st = plan.stage(stage);
   assert(scratch.re.size() >= plan.radix());
   assert(twiddles.fft_size() == plan.size());
 
   for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
     const std::uint64_t base = plan.chain_base(stage, task, c);
-    double* __restrict re = scratch.re.data() + c * st.chain_len;
-    double* __restrict im = scratch.im.data() + c * st.chain_len;
+    T* __restrict re = scratch.re.data() + c * st.chain_len;
+    T* __restrict im = scratch.im.data() + c * st.chain_len;
     // Gather, deinterleaved (the simulated machine's "load into
     // scratchpad" plus the split-complex layout the SIMD loops want).
-    const cplx* d = data.data();
+    const cplx_t<T>* d = data.data();
     for (std::uint64_t q = 0; q < st.chain_len; ++q) {
-      const cplx x = d[base + q * st.chain_stride];
+      const cplx_t<T> x = d[base + q * st.chain_stride];
       re[q] = x.real();
       im[q] = x.imag();
     }
 
-    butterfly_chain_split(re, im, st.chain_len, base, st.chain_stride,
-                          plan.radix_log2() * stage, st.levels, plan.log2_size(),
-                          twiddles, scratch.tw_re.data(), scratch.tw_im.data());
+    chain_split_impl<T>(re, im, st.chain_len, base, st.chain_stride,
+                        plan.radix_log2() * stage, st.levels, plan.log2_size(),
+                        twiddles, scratch.tw_re.data(), scratch.tw_im.data());
 
     // Scatter back in place, re-interleaving.
-    cplx* out = data.data();
+    cplx_t<T>* out = data.data();
     for (std::uint64_t q = 0; q < st.chain_len; ++q)
-      out[base + q * st.chain_stride] = cplx(re[q], im[q]);
+      out[base + q * st.chain_stride] = cplx_t<T>(re[q], im[q]);
   }
 }
 
-void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
-                       const TwiddleTable& twiddles,
-                       std::span<const std::uint32_t> bitrev_idx, double* re,
-                       double* im, KernelScratch& scratch) {
+template <typename T>
+void run_stage0_bitrev_impl(const FftPlan& plan, std::span<cplx_t<T>> data,
+                            const BasicTwiddleTable<T>& twiddles,
+                            std::span<const std::uint32_t> bitrev_idx, T* re,
+                            T* im, BasicKernelScratch<T>& scratch) {
   const StageInfo& st = plan.stage(0);
   const std::uint64_t n = plan.size();
   assert(st.chain_stride == 1);
@@ -134,9 +202,9 @@ void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
 
   // Permuted gather: the whole row deinterleaves into the split scratch in
   // one pass (scattered reads stay inside the cache-resident row).
-  const cplx* d = data.data();
+  const cplx_t<T>* d = data.data();
   for (std::uint64_t g = 0; g < n; ++g) {
-    const cplx x = d[bitrev_idx[g]];
+    const cplx_t<T> x = d[bitrev_idx[g]];
     re[g] = x.real();
     im[g] = x.imag();
   }
@@ -146,37 +214,109 @@ void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
   for (std::uint64_t t = 0; t < plan.tasks_per_stage(); ++t)
     for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
       const std::uint64_t base = plan.chain_base(0, t, c);
-      butterfly_chain_split(re + base, im + base, st.chain_len, base,
-                            st.chain_stride, 0, st.levels, plan.log2_size(),
-                            twiddles, scratch.tw_re.data(),
-                            scratch.tw_im.data());
+      chain_split_impl<T>(re + base, im + base, st.chain_len, base,
+                          st.chain_stride, 0, st.levels, plan.log2_size(),
+                          twiddles, scratch.tw_re.data(), scratch.tw_im.data());
     }
 
-  cplx* out = data.data();
-  for (std::uint64_t g = 0; g < n; ++g) out[g] = cplx(re[g], im[g]);
+  cplx_t<T>* out = data.data();
+  for (std::uint64_t g = 0; g < n; ++g) out[g] = cplx_t<T>(re[g], im[g]);
 }
 
-void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
-                        std::span<cplx> data, const TwiddleTable& twiddles,
-                        std::span<cplx> scratch) {
+template <typename T>
+void run_codelet_scalar_impl(const FftPlan& plan, std::uint32_t stage,
+                             std::uint64_t task, std::span<cplx_t<T>> data,
+                             const BasicTwiddleTable<T>& twiddles,
+                             std::span<cplx_t<T>> scratch) {
   const StageInfo& st = plan.stage(stage);
   assert(scratch.size() >= plan.radix());
   assert(twiddles.fft_size() == plan.size());
 
   for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
     const std::uint64_t base = plan.chain_base(stage, task, c);
-    cplx* local = scratch.data() + c * st.chain_len;
+    cplx_t<T>* local = scratch.data() + c * st.chain_len;
     // Gather (the simulated machine's "load into scratchpad").
     for (std::uint64_t q = 0; q < st.chain_len; ++q)
       local[q] = data[base + q * st.chain_stride];
 
-    butterfly_chain({local, st.chain_len}, base, st.chain_stride,
-                    plan.radix_log2() * stage, st.levels, plan.log2_size(), twiddles);
+    chain_impl<T>({local, st.chain_len}, base, st.chain_stride,
+                  plan.radix_log2() * stage, st.levels, plan.log2_size(), twiddles);
 
     // Scatter back in place.
     for (std::uint64_t q = 0; q < st.chain_len; ++q)
       data[base + q * st.chain_stride] = local[q];
   }
+}
+
+}  // namespace
+
+void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t stride,
+                     std::uint32_t first_level, std::uint32_t levels, unsigned log2n,
+                     const TwiddleTable& twiddles) {
+  chain_impl<double>(chain, base, stride, first_level, levels, log2n, twiddles);
+}
+
+void butterfly_chain(std::span<cplx32> chain, std::uint64_t base,
+                     std::uint64_t stride, std::uint32_t first_level,
+                     std::uint32_t levels, unsigned log2n,
+                     const TwiddleTableF& twiddles) {
+  chain_impl<float>(chain, base, stride, first_level, levels, log2n, twiddles);
+}
+
+void butterfly_chain_split(double* re, double* im, std::uint64_t len,
+                           std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, std::uint32_t levels,
+                           unsigned log2n, const TwiddleTable& twiddles,
+                           double* tw_re, double* tw_im) {
+  chain_split_impl<double>(re, im, len, base, stride, first_level, levels, log2n,
+                           twiddles, tw_re, tw_im);
+}
+
+void butterfly_chain_split(float* re, float* im, std::uint64_t len,
+                           std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, std::uint32_t levels,
+                           unsigned log2n, const TwiddleTableF& twiddles,
+                           float* tw_re, float* tw_im) {
+  chain_split_impl<float>(re, im, len, base, stride, first_level, levels, log2n,
+                          twiddles, tw_re, tw_im);
+}
+
+void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                 std::span<cplx> data, const TwiddleTable& twiddles,
+                 KernelScratch& scratch) {
+  run_codelet_impl<double>(plan, stage, task, data, twiddles, scratch);
+}
+
+void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                 std::span<cplx32> data, const TwiddleTableF& twiddles,
+                 KernelScratchF& scratch) {
+  run_codelet_impl<float>(plan, stage, task, data, twiddles, scratch);
+}
+
+void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
+                       const TwiddleTable& twiddles,
+                       std::span<const std::uint32_t> bitrev_idx, double* re,
+                       double* im, KernelScratch& scratch) {
+  run_stage0_bitrev_impl<double>(plan, data, twiddles, bitrev_idx, re, im, scratch);
+}
+
+void run_stage0_bitrev(const FftPlan& plan, std::span<cplx32> data,
+                       const TwiddleTableF& twiddles,
+                       std::span<const std::uint32_t> bitrev_idx, float* re,
+                       float* im, KernelScratchF& scratch) {
+  run_stage0_bitrev_impl<float>(plan, data, twiddles, bitrev_idx, re, im, scratch);
+}
+
+void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                        std::span<cplx> data, const TwiddleTable& twiddles,
+                        std::span<cplx> scratch) {
+  run_codelet_scalar_impl<double>(plan, stage, task, data, twiddles, scratch);
+}
+
+void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                        std::span<cplx32> data, const TwiddleTableF& twiddles,
+                        std::span<cplx32> scratch) {
+  run_codelet_scalar_impl<float>(plan, stage, task, data, twiddles, scratch);
 }
 
 }  // namespace c64fft::fft

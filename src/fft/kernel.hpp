@@ -12,6 +12,12 @@
 // twiddle sequence identical across blocks — see butterfly_chain_split).
 // The std::complex scalar path is kept as the bit-identical reference the
 // tests and micro-benchmarks compare against.
+//
+// Every kernel exists at both precisions (f64 = cplx, f32 = cplx32); the
+// overloads are concrete — not deduced — so call sites that pass a
+// std::vector<cplx> where a span is expected keep compiling. The bodies
+// are one internal template per kernel, explicitly instantiated in
+// kernel.cpp.
 
 #include <cstdint>
 #include <span>
@@ -27,13 +33,17 @@ namespace c64fft::fft {
 /// tile of `radix` points plus the per-level twiddle spans (at most
 /// radix/2 butterflies per level). Reused across codelets; never shared
 /// between workers.
-struct KernelScratch {
-  explicit KernelScratch(std::uint64_t radix)
+template <typename T>
+struct BasicKernelScratch {
+  explicit BasicKernelScratch(std::uint64_t radix)
       : re(radix), im(radix), tw_re(radix / 2), tw_im(radix / 2) {}
 
-  util::AlignedBuffer<double> re, im;
-  util::AlignedBuffer<double> tw_re, tw_im;
+  util::AlignedBuffer<T> re, im;
+  util::AlignedBuffer<T> tw_re, tw_im;
 };
+
+using KernelScratch = BasicKernelScratch<double>;
+using KernelScratchF = BasicKernelScratch<float>;
 
 /// Execute task `task` of stage `stage` on `data` (the full N-point
 /// array) using `scratch` as the local working tile (sized for
@@ -42,6 +52,9 @@ struct KernelScratch {
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx> data, const TwiddleTable& twiddles,
                  KernelScratch& scratch);
+void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                 std::span<cplx32> data, const TwiddleTableF& twiddles,
+                 KernelScratchF& scratch);
 
 /// Fused bit-reversal + stage-0 sweep of one whole transform: gathers all
 /// of `data` through the precomputed bit-reversal index table into a
@@ -53,19 +66,26 @@ void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
 /// every stage-0 codelet via run_codelet.
 ///
 /// Requirements: `bitrev_idx[g]` is the log2_size()-bit reversal of g for
-/// g < plan.size(); `re`/`im` hold plan.size() doubles. (Stage 0 always
+/// g < plan.size(); `re`/`im` hold plan.size() scalars. (Stage 0 always
 /// has chain_stride == 1, so the split scratch holds its chains
 /// contiguously — asserted.)
 void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
                        const TwiddleTable& twiddles,
                        std::span<const std::uint32_t> bitrev_idx, double* re,
                        double* im, KernelScratch& scratch);
+void run_stage0_bitrev(const FftPlan& plan, std::span<cplx32> data,
+                       const TwiddleTableF& twiddles,
+                       std::span<const std::uint32_t> bitrev_idx, float* re,
+                       float* im, KernelScratchF& scratch);
 
 /// Reference scalar implementation on std::complex scratch (the original
 /// kernel): kept for unit tests and the vectorized-vs-old benchmark.
 void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                         std::span<cplx> data, const TwiddleTable& twiddles,
                         std::span<cplx> scratch);
+void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
+                        std::span<cplx32> data, const TwiddleTableF& twiddles,
+                        std::span<cplx32> scratch);
 
 /// Apply `levels` in-place radix-2 DIT butterfly levels to a chain of
 /// `len = 2^levels` points already gathered in `chain`, where the chain's
@@ -75,6 +95,10 @@ void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t 
 void butterfly_chain(std::span<cplx> chain, std::uint64_t base, std::uint64_t stride,
                      std::uint32_t first_level, std::uint32_t levels, unsigned log2n,
                      const TwiddleTable& twiddles);
+void butterfly_chain(std::span<cplx32> chain, std::uint64_t base,
+                     std::uint64_t stride, std::uint32_t first_level,
+                     std::uint32_t levels, unsigned log2n,
+                     const TwiddleTableF& twiddles);
 
 /// Split-complex butterfly levels over a gathered chain of `len = 2^levels`
 /// points held in `re`/`im`. `tw_re`/`tw_im` must hold at least len/2
@@ -85,5 +109,10 @@ void butterfly_chain_split(double* re, double* im, std::uint64_t len,
                            std::uint32_t first_level, std::uint32_t levels,
                            unsigned log2n, const TwiddleTable& twiddles,
                            double* tw_re, double* tw_im);
+void butterfly_chain_split(float* re, float* im, std::uint64_t len,
+                           std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, std::uint32_t levels,
+                           unsigned log2n, const TwiddleTableF& twiddles,
+                           float* tw_re, float* tw_im);
 
 }  // namespace c64fft::fft

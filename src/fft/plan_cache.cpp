@@ -7,11 +7,13 @@
 namespace c64fft::fft {
 
 PlanEntry::PlanEntry(const PlanKey& key)
-    : key_(key),
-      plan_(std::make_unique<FftPlan>(key.n, key.radix_log2)),
-      forward_(std::make_unique<TwiddleTable>(key.n, key.layout)) {
+    : key_(key), plan_(std::make_unique<FftPlan>(key.n, key.radix_log2)) {
   if (key.kind != PlanKind::kClassic)
     throw std::invalid_argument("PlanEntry: classic constructor requires kClassic key");
+  if (key.precision == Precision::kF32)
+    forward32_ = std::make_unique<TwiddleTableF>(key.n, key.layout);
+  else
+    forward_ = std::make_unique<TwiddleTable>(key.n, key.layout);
   const std::uint32_t stages = plan_->stage_count();
   groups_.assign(stages, 0);
   thresholds_.assign(stages, 1);
@@ -31,7 +33,9 @@ PlanEntry::PlanEntry(const PlanKey& key, FourStepSplit split,
   if (key.kind != PlanKind::kFourStep)
     throw std::invalid_argument("PlanEntry: four-step constructor requires kFourStep key");
   if (split_.n1 * split_.n2 != key.n || !col_entry_ || !row_entry_ ||
-      col_entry_->key().n != split_.n1 || row_entry_->key().n != split_.n2)
+      col_entry_->key().n != split_.n1 || row_entry_->key().n != split_.n2 ||
+      col_entry_->precision() != key.precision ||
+      row_entry_->precision() != key.precision)
     throw std::invalid_argument("PlanEntry: four-step split/sub-entry mismatch");
 }
 
@@ -49,12 +53,26 @@ const PlanEntry& PlanEntry::require_four_step() const {
 
 const TwiddleTable& PlanEntry::twiddles(TwiddleDirection dir) const {
   const PlanEntry& e = require_classic();
+  if (e.key_.precision != Precision::kF64)
+    throw std::logic_error("PlanEntry: f64 twiddle accessor on an f32 entry");
   if (dir == TwiddleDirection::kForward) return *e.forward_;
   std::call_once(inverse_once_, [this] {
     inverse_ = std::make_unique<TwiddleTable>(key_.n, key_.layout,
                                               TwiddleDirection::kInverse);
   });
   return *inverse_;
+}
+
+const TwiddleTableF& PlanEntry::twiddles_f32(TwiddleDirection dir) const {
+  const PlanEntry& e = require_classic();
+  if (e.key_.precision != Precision::kF32)
+    throw std::logic_error("PlanEntry: f32 twiddle accessor on an f64 entry");
+  if (dir == TwiddleDirection::kForward) return *e.forward32_;
+  std::call_once(inverse_once_, [this] {
+    inverse32_ = std::make_unique<TwiddleTableF>(key_.n, key_.layout,
+                                                 TwiddleDirection::kInverse);
+  });
+  return *inverse32_;
 }
 
 PlanCache::PlanCache(std::size_t capacity)
@@ -79,10 +97,12 @@ std::shared_ptr<const PlanEntry> PlanCache::acquire(const PlanKey& key) {
     // Recursion depth is exactly 1: sub-keys are always kClassic, with the
     // radix narrowed when a sub-size is smaller than 2^radix_log2.
     const FourStepSplit split = four_step_split(key.n);
+    // Sub-keys inherit the parent's precision: an f32 four-step transform
+    // pins f32 row/column sub-plans.
     PlanKey col_key{split.n1, validate_fft_shape(split.n1, key.radix_log2, true),
-                    key.layout, PlanKind::kClassic};
+                    key.layout, PlanKind::kClassic, key.precision};
     PlanKey row_key{split.n2, validate_fft_shape(split.n2, key.radix_log2, true),
-                    key.layout, PlanKind::kClassic};
+                    key.layout, PlanKind::kClassic, key.precision};
     auto col = acquire(col_key);
     auto row = split.n1 == split.n2 ? col : acquire(row_key);
     entry = std::make_shared<const PlanEntry>(key, split, std::move(col),

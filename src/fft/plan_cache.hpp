@@ -18,6 +18,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -32,12 +33,17 @@ namespace c64fft::fft {
 /// variants share the same plan/twiddles/counter shape, so one entry
 /// serves them all. `kind` IS part of the key — the classic and the
 /// four-step decomposition of one size are distinct entries, so toggling
-/// the executor threshold never invalidates either.
+/// the executor threshold never invalidates either. `precision` is part of
+/// the key too: an f32 and an f64 transform of the same shape share
+/// nothing but the index algebra, and the twiddle tables they pin differ
+/// in both element width and content, so they must age through the LRU as
+/// separate entries.
 struct PlanKey {
   std::uint64_t n = 0;
   unsigned radix_log2 = 6;
   TwiddleLayout layout = TwiddleLayout::kLinear;
   PlanKind kind = PlanKind::kClassic;
+  Precision precision = Precision::kF64;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -47,7 +53,8 @@ struct PlanKeyHash {
     std::uint64_t h = k.n * 0x9e3779b97f4a7c15ull;
     h ^= (std::uint64_t{k.radix_log2} << 1) ^
          (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0) ^
-         (k.kind == PlanKind::kFourStep ? 0xc2b2ae3d27d4eb4full : 0);
+         (k.kind == PlanKind::kFourStep ? 0xc2b2ae3d27d4eb4full : 0) ^
+         (k.precision == Precision::kF32 ? 0xa0761d6478bd642full : 0);
     h ^= h >> 33;
     return static_cast<std::size_t>(h);
   }
@@ -74,13 +81,28 @@ class PlanEntry {
 
   const PlanKey& key() const noexcept { return key_; }
   PlanKind kind() const noexcept { return key_.kind; }
+  Precision precision() const noexcept { return key_.precision; }
 
   /// Classic entries only (four-step entries have no monolithic plan).
   const FftPlan& plan() const { return *require_classic().plan_; }
 
   /// Forward table always exists; the conjugated inverse table is built on
   /// first request and cached for the entry's lifetime. Classic only.
+  /// Only the key's precision is materialized: `twiddles` serves kF64
+  /// entries, `twiddles_f32` serves kF32 ones, and asking an entry for the
+  /// other width throws std::logic_error (an entry never silently holds
+  /// both tables — that would double the cache's memory accounting).
   const TwiddleTable& twiddles(TwiddleDirection dir) const;
+  const TwiddleTableF& twiddles_f32(TwiddleDirection dir) const;
+
+  /// Precision-generic accessor for templated executor internals.
+  template <typename T>
+  const BasicTwiddleTable<T>& twiddles_for(TwiddleDirection dir) const {
+    if constexpr (std::is_same_v<T, float>)
+      return twiddles_f32(dir);
+    else
+      return twiddles(dir);
+  }
 
   /// Fresh per-transform counter set matching this plan (stage 0 has no
   /// producers; stages 1..S-1 use the plan's sibling-group algebra). Both
@@ -106,11 +128,14 @@ class PlanEntry {
   const PlanEntry& require_four_step() const;
 
   PlanKey key_;
-  // Classic state (null for four-step entries).
+  // Classic state (null for four-step entries). Exactly one of the
+  // forward_/forward32_ pair is populated, chosen by key_.precision.
   std::unique_ptr<FftPlan> plan_;
   std::unique_ptr<TwiddleTable> forward_;
+  std::unique_ptr<TwiddleTableF> forward32_;
   mutable std::once_flag inverse_once_;
   mutable std::unique_ptr<TwiddleTable> inverse_;
+  mutable std::unique_ptr<TwiddleTableF> inverse32_;
   std::vector<std::uint64_t> groups_;
   std::vector<std::uint32_t> thresholds_;
   // Four-step state (empty for classic entries).

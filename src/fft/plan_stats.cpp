@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "fft/types.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
@@ -21,7 +20,7 @@ double StageTraffic::imbalance() const {
 
 TrafficCensus::TrafficCensus(const FftPlan& plan, TwiddleLayout layout, unsigned banks,
                              unsigned interleave_bytes, std::uint64_t data_base,
-                             std::uint64_t twiddle_base)
+                             std::uint64_t twiddle_base, unsigned element_bytes)
     : banks_(banks) {
   const std::uint64_t half = plan.size() / 2;
   const unsigned tw_bits = half > 1 ? util::ilog2(half) : 0;
@@ -40,13 +39,13 @@ TrafficCensus::TrafficCensus(const FftPlan& plan, TwiddleLayout layout, unsigned
       // Data: one load + one store per element.
       plan.task_elements(s, i, elems);
       for (std::uint64_t e : elems)
-        st.data_accesses[bank_of(data_base + e * kElementBytes)] += 2;
+        st.data_accesses[bank_of(data_base + e * element_bytes)] += 2;
       // Twiddles: one load per distinct factor.
       plan.task_twiddles(s, i, twiddles);
       for (std::uint64_t t : twiddles) {
         const std::uint64_t slot =
             layout == TwiddleLayout::kBitReversed ? util::bit_reverse(t, tw_bits) : t;
-        st.twiddle_accesses[bank_of(twiddle_base + slot * kElementBytes)] += 1;
+        st.twiddle_accesses[bank_of(twiddle_base + slot * element_bytes)] += 1;
       }
     }
     stages_.push_back(std::move(st));

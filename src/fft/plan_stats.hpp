@@ -30,12 +30,16 @@ struct StageTraffic {
 
 /// Per-stage per-bank access census of a whole plan under the given
 /// twiddle layout and array base addresses (both interleave-aligned by
-/// default, as in the paper's setup).
+/// default, as in the paper's setup). `element_bytes` is the runtime size
+/// of one complex element (16 for cplx, 8 for cplx32): halving it folds
+/// twice as many consecutive elements onto one interleave unit, which
+/// genuinely changes which strides collide on a bank — the f32 census of
+/// a plan is NOT the f64 census scaled.
 class TrafficCensus {
  public:
   TrafficCensus(const FftPlan& plan, TwiddleLayout layout, unsigned banks = 4,
                 unsigned interleave_bytes = 64, std::uint64_t data_base = 0,
-                std::uint64_t twiddle_base = 0);
+                std::uint64_t twiddle_base = 0, unsigned element_bytes = 16);
 
   const std::vector<StageTraffic>& stages() const noexcept { return stages_; }
 

@@ -2,7 +2,9 @@
 // Real-input FFT via the classic packing trick: an N-point real sequence
 // is transformed with one N/2-point complex FFT plus an O(N) untangling
 // pass — halving both the work and the off-chip traffic for the common
-// signal-processing case the paper's introduction motivates.
+// signal-processing case the paper's introduction motivates. The float
+// overloads are the f32 path (untangling trig still evaluated in double,
+// narrowed per factor).
 
 #include <span>
 #include <vector>
@@ -18,11 +20,17 @@ namespace c64fft::fft {
 std::vector<cplx> real_forward(std::span<const double> signal,
                                const HostFftOptions& opts = {},
                                Variant variant = Variant::kFine);
+std::vector<cplx32> real_forward(std::span<const float> signal,
+                                 const HostFftOptions& opts = {},
+                                 Variant variant = Variant::kFine);
 
 /// Inverse of real_forward: reconstructs the N-sample real sequence from
 /// its N/2+1 half-spectrum.
 std::vector<double> real_inverse(std::span<const cplx> half_spectrum,
                                  const HostFftOptions& opts = {},
                                  Variant variant = Variant::kFine);
+std::vector<float> real_inverse(std::span<const cplx32> half_spectrum,
+                                const HostFftOptions& opts = {},
+                                Variant variant = Variant::kFine);
 
 }  // namespace c64fft::fft

@@ -11,43 +11,61 @@ namespace c64fft::fft {
 namespace {
 
 // One decimation step: combine sub-transforms of length `len` from `src`
-// into length 2*len in `dst`, autosorting along the way.
-void stockham_pass(const cplx* src, cplx* dst, std::uint64_t n, std::uint64_t len) {
+// into length 2*len in `dst`, autosorting along the way. The twiddle trig
+// is evaluated in double and narrowed per element for the f32 variant.
+template <typename T>
+void stockham_pass(const cplx_t<T>* src, cplx_t<T>* dst, std::uint64_t n,
+                   std::uint64_t len) {
   const std::uint64_t half = n / 2;
   const std::uint64_t groups = half / len;  // sub-transform pairs
   const double step = -std::numbers::pi / static_cast<double>(len);
   for (std::uint64_t g = 0; g < groups; ++g) {
     for (std::uint64_t k = 0; k < len; ++k) {
       const double angle = step * static_cast<double>(k);
-      const cplx w(std::cos(angle), std::sin(angle));
-      const cplx a = src[g * len + k];
-      const cplx b = src[g * len + k + half];
-      const cplx t = w * b;
+      const cplx_t<T> w(static_cast<T>(std::cos(angle)),
+                        static_cast<T>(std::sin(angle)));
+      const cplx_t<T> a = src[g * len + k];
+      const cplx_t<T> b = src[g * len + k + half];
+      const cplx_t<T> t = w * b;
       dst[2 * g * len + k] = a + t;
       dst[2 * g * len + k + len] = a - t;
     }
   }
 }
 
-}  // namespace
-
-std::vector<cplx> fft_stockham(std::span<const cplx> input) {
+template <typename T>
+std::vector<cplx_t<T>> stockham_impl(std::span<const cplx_t<T>> input) {
   const std::uint64_t n = input.size();
   if (!util::is_pow2(n) || n == 0)
     throw std::invalid_argument("fft_stockham: N must be a power of two >= 1");
-  std::vector<cplx> a(input.begin(), input.end());
+  std::vector<cplx_t<T>> a(input.begin(), input.end());
   if (n == 1) return a;
-  std::vector<cplx> b(n);
-  cplx* src = a.data();
-  cplx* dst = b.data();
+  std::vector<cplx_t<T>> b(n);
+  cplx_t<T>* src = a.data();
+  cplx_t<T>* dst = b.data();
   for (std::uint64_t len = 1; len < n; len *= 2) {
-    stockham_pass(src, dst, n, len);
+    stockham_pass<T>(src, dst, n, len);
     std::swap(src, dst);
   }
   return src == a.data() ? a : b;
 }
 
+}  // namespace
+
+std::vector<cplx> fft_stockham(std::span<const cplx> input) {
+  return stockham_impl<double>(input);
+}
+
+std::vector<cplx32> fft_stockham(std::span<const cplx32> input) {
+  return stockham_impl<float>(input);
+}
+
 void fft_stockham_inplace(std::span<cplx> data) {
+  auto out = fft_stockham(data);
+  std::copy(out.begin(), out.end(), data.begin());
+}
+
+void fft_stockham_inplace(std::span<cplx32> data) {
   auto out = fft_stockham(data);
   std::copy(out.begin(), out.end(), data.begin());
 }

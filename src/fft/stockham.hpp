@@ -4,6 +4,8 @@
 // (which avoids the bit reversal preliminary stage)"). Ping-pongs between
 // two buffers, permuting as it goes, so no bit-reversal pass is needed —
 // at the price of out-of-place stages and a different access pattern.
+// Available at both precisions (shared template body in stockham.cpp; the
+// trig always runs in double and is narrowed per element for f32).
 
 #include <span>
 #include <vector>
@@ -15,8 +17,10 @@ namespace c64fft::fft {
 /// Out-of-place forward FFT (power-of-two N) via the radix-2 Stockham
 /// autosort algorithm.
 std::vector<cplx> fft_stockham(std::span<const cplx> input);
+std::vector<cplx32> fft_stockham(std::span<const cplx32> input);
 
 /// In-place convenience wrapper (uses one scratch buffer internally).
 void fft_stockham_inplace(std::span<cplx> data);
+void fft_stockham_inplace(std::span<cplx32> data);
 
 }  // namespace c64fft::fft

@@ -20,17 +20,17 @@ void check_shape(std::size_t src_size, std::size_t dst_size, std::uint64_t rows,
 /// strict upper triangle of the tile at (d0, d0) with its mirror. The
 /// whole tile is L1-resident, so the triangular (non-streaming) access
 /// pattern costs nothing extra.
-void transpose_diag_tile(cplx* data, std::uint64_t n, std::uint64_t d0,
+template <typename T>
+void transpose_diag_tile(cplx_t<T>* data, std::uint64_t n, std::uint64_t d0,
                          std::uint64_t dmax) {
   for (std::uint64_t r = d0; r < dmax; ++r)
     for (std::uint64_t c = r + 1; c < dmax; ++c)
       std::swap(data[r * n + c], data[c * n + r]);
 }
 
-}  // namespace
-
-void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
-                       std::uint64_t rows, std::uint64_t cols) {
+template <typename T>
+void blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> dst,
+                  std::uint64_t rows, std::uint64_t cols) {
   check_shape(src.size(), dst.size(), rows, cols);
   for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
     const std::uint64_t rmax = std::min(rows, r0 + kTile);
@@ -43,11 +43,12 @@ void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
   }
 }
 
-void transpose_inplace_square(std::span<cplx> data, std::uint64_t n) {
+template <typename T>
+void inplace_square_impl(std::span<cplx_t<T>> data, std::uint64_t n) {
   check_shape(data.size(), data.size(), n, n);
   for (std::uint64_t r0 = 0; r0 < n; r0 += kTile) {
     const std::uint64_t rmax = std::min(n, r0 + kTile);
-    transpose_diag_tile(data.data(), n, r0, rmax);
+    transpose_diag_tile<T>(data.data(), n, r0, rmax);
     // Off-diagonal tiles come in mirror pairs: swap-transpose (r0,c0)
     // with (c0,r0) in one pass so each pair is touched exactly once.
     for (std::uint64_t c0 = r0 + kTile; c0 < n; c0 += kTile) {
@@ -59,12 +60,13 @@ void transpose_inplace_square(std::span<cplx> data, std::uint64_t n) {
   }
 }
 
-void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
-                               std::uint64_t rows, std::uint64_t cols,
-                               TwiddleDirection dir) {
+template <typename T>
+void twiddle_blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> dst,
+                          std::uint64_t rows, std::uint64_t cols,
+                          TwiddleDirection dir) {
   check_shape(src.size(), dst.size(), rows, cols);
   const std::uint64_t n = rows * cols;
-  const cplx w1 = unit_root(n, 1, dir);
+  const cplx_t<T> w1 = unit_root<T>(n, 1, dir);
   for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
     const std::uint64_t rmax = std::min(rows, r0 + kTile);
     for (std::uint64_t c0 = 0; c0 < cols; c0 += kTile) {
@@ -76,11 +78,11 @@ void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
       // whole tile and recurrences of at most kTile multiplies cover the
       // rest (r*c < rows*cols, so the exponents never need reduction;
       // every chain is at most 2*kTile multiplies from a fresh sincos).
-      cplx w_row = unit_root(n, r0 * c0, dir);
-      cplx step = unit_root(n, r0, dir);
-      const cplx w_col = unit_root(n, c0, dir);
+      cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
+      cplx_t<T> step = unit_root<T>(n, r0, dir);
+      const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
       for (std::uint64_t r = r0; r < rmax; ++r) {
-        cplx w = w_row;
+        cplx_t<T> w = w_row;
         for (std::uint64_t c = c0; c < cmax; ++c) {
           dst[c * rows + r] = src[r * cols + c] * w;
           w *= step;
@@ -90,6 +92,38 @@ void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
       }
     }
   }
+}
+
+}  // namespace
+
+void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                       std::uint64_t rows, std::uint64_t cols) {
+  blocked_impl<double>(src, dst, rows, cols);
+}
+
+void transpose_blocked(std::span<const cplx32> src, std::span<cplx32> dst,
+                       std::uint64_t rows, std::uint64_t cols) {
+  blocked_impl<float>(src, dst, rows, cols);
+}
+
+void transpose_inplace_square(std::span<cplx> data, std::uint64_t n) {
+  inplace_square_impl<double>(data, n);
+}
+
+void transpose_inplace_square(std::span<cplx32> data, std::uint64_t n) {
+  inplace_square_impl<float>(data, n);
+}
+
+void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                               std::uint64_t rows, std::uint64_t cols,
+                               TwiddleDirection dir) {
+  twiddle_blocked_impl<double>(src, dst, rows, cols, dir);
+}
+
+void transpose_twiddle_blocked(std::span<const cplx32> src, std::span<cplx32> dst,
+                               std::uint64_t rows, std::uint64_t cols,
+                               TwiddleDirection dir) {
+  twiddle_blocked_impl<float>(src, dst, rows, cols, dir);
 }
 
 }  // namespace c64fft::fft

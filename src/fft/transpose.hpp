@@ -9,7 +9,8 @@
 // square tiles keeps both the source and destination footprint of a tile
 // inside L1, so every fetched line is fully consumed before eviction.
 //
-// Three kernels, all row-major:
+// Three kernels, all row-major, each at both precisions (a 16 x 16 cplx32
+// tile is 2 KiB — still two cache lines per tile row, still L1-resident):
 //  * transpose_blocked        — out-of-place, any rows x cols shape.
 //  * transpose_inplace_square — in-place square transpose: off-diagonal
 //    tile *pairs* are swap-transposed; diagonal tiles run a dedicated
@@ -19,7 +20,8 @@
 //    N = rows*cols (conjugated for kInverse). The factors are generated
 //    per tile row from the twiddle.hpp unit-root primitive (one root +
 //    one per-row geometric recurrence), so the O(N) inter-step twiddle
-//    array of a huge transform is never materialized.
+//    array of a huge transform is never materialized. The recurrences run
+//    in the element precision from double-rounded seeds.
 
 #include <cstdint>
 #include <span>
@@ -39,14 +41,20 @@ inline constexpr std::uint64_t kTransposeTile = 16;
 /// size mismatch.
 void transpose_blocked(std::span<const cplx> src, std::span<cplx> dst,
                        std::uint64_t rows, std::uint64_t cols);
+void transpose_blocked(std::span<const cplx32> src, std::span<cplx32> dst,
+                       std::uint64_t rows, std::uint64_t cols);
 
 /// In-place transpose of a row-major n x n matrix.
 void transpose_inplace_square(std::span<cplx> data, std::uint64_t n);
+void transpose_inplace_square(std::span<cplx32> data, std::uint64_t n);
 
 /// Fused twiddle-transpose of the four-step decomposition:
 /// dst[c * rows + r] = src[r * cols + c] * W^(r*c) where W is the
 /// (rows*cols)-th unit root of `dir`. `dst` must not alias `src`.
 void transpose_twiddle_blocked(std::span<const cplx> src, std::span<cplx> dst,
+                               std::uint64_t rows, std::uint64_t cols,
+                               TwiddleDirection dir);
+void transpose_twiddle_blocked(std::span<const cplx32> src, std::span<cplx32> dst,
                                std::uint64_t rows, std::uint64_t cols,
                                TwiddleDirection dir);
 

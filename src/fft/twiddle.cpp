@@ -6,17 +6,29 @@
 
 namespace c64fft::fft {
 
-cplx unit_root(std::uint64_t n, std::uint64_t t, TwiddleDirection direction) {
+template <typename T>
+cplx_t<T> unit_root(std::uint64_t n, std::uint64_t t, TwiddleDirection direction) {
   const double angle =
       -2.0 * std::numbers::pi * static_cast<double>(t) / static_cast<double>(n);
   // The inverse root negates the imaginary part instead of flipping the
-  // angle sign so it is the exact conjugate of the forward one.
+  // angle sign so it is the exact conjugate of the forward one. Narrowing
+  // (for T = float) happens after the double-precision trig, so the f32
+  // root is the rounding of the f64 one and the conjugate symmetry is
+  // preserved bitwise at either precision.
   const double sign = direction == TwiddleDirection::kForward ? 1.0 : -1.0;
-  return {std::cos(angle), sign * std::sin(angle)};
+  return {static_cast<T>(std::cos(angle)), static_cast<T>(sign * std::sin(angle))};
 }
 
-TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout,
-                           TwiddleDirection direction)
+template cplx_t<float> unit_root<float>(std::uint64_t, std::uint64_t, TwiddleDirection);
+template cplx_t<double> unit_root<double>(std::uint64_t, std::uint64_t, TwiddleDirection);
+
+cplx unit_root(std::uint64_t n, std::uint64_t t, TwiddleDirection direction) {
+  return unit_root<double>(n, t, direction);
+}
+
+template <typename T>
+BasicTwiddleTable<T>::BasicTwiddleTable(std::uint64_t n, TwiddleLayout layout,
+                                        TwiddleDirection direction)
     : n_(n), layout_(layout), direction_(direction) {
   if (!util::is_pow2(n) || n < 2)
     throw std::invalid_argument("TwiddleTable: N must be a power of two >= 2");
@@ -24,7 +36,10 @@ TwiddleTable::TwiddleTable(std::uint64_t n, TwiddleLayout layout,
   bits_ = m > 1 ? util::ilog2(m) : 0;
   table_.resize(m);
   for (std::uint64_t t = 0; t < m; ++t)
-    table_[storage_index(t)] = unit_root(n, t, direction);
+    table_[storage_index(t)] = unit_root<T>(n, t, direction);
 }
+
+template class BasicTwiddleTable<float>;
+template class BasicTwiddleTable<double>;
 
 }  // namespace c64fft::fft

@@ -10,6 +10,12 @@
 //                   paper's software "hash"). Accesses spread uniformly
 //                   over the banks at the price of computing BR on every
 //                   access.
+//
+// The table is precision-generic (BasicTwiddleTable<T>, T in {float,
+// double}); angles are always evaluated in double and narrowed at store
+// time, so the f32 table is the correctly rounded image of the f64 one.
+// `TwiddleTable` remains the double-precision alias every pre-existing
+// call site uses.
 
 #include <cstdint>
 #include <span>
@@ -30,20 +36,27 @@ enum class TwiddleLayout { kLinear, kBitReversed };
 enum class TwiddleDirection { kForward, kInverse };
 
 /// The N-th unit root W_N^t = exp(-2*pi*i * t / n) (conjugated for
-/// kInverse) — the primitive every TwiddleTable entry is built from.
+/// kInverse) — the primitive every BasicTwiddleTable entry is built from.
 /// Exposed so on-the-fly consumers (the four-step path's fused
 /// twiddle-transpose) can generate inter-step factors per tile instead of
 /// materializing an O(N) table. Bit-identical to the corresponding table
-/// entry: the table constructor calls this.
+/// entry: the table constructor calls this. The trig always runs in
+/// double; unit_root<float> narrows the result.
+template <typename T>
+cplx_t<T> unit_root(std::uint64_t n, std::uint64_t t,
+                    TwiddleDirection direction = TwiddleDirection::kForward);
+
+/// Double-precision convenience overload (the historical signature).
 cplx unit_root(std::uint64_t n, std::uint64_t t,
                TwiddleDirection direction = TwiddleDirection::kForward);
 
-class TwiddleTable {
+template <typename T>
+class BasicTwiddleTable {
  public:
   /// Precompute the N/2 twiddles of an N-point transform (N = power of
   /// two, N >= 2) in the given layout.
-  TwiddleTable(std::uint64_t n, TwiddleLayout layout,
-               TwiddleDirection direction = TwiddleDirection::kForward);
+  BasicTwiddleTable(std::uint64_t n, TwiddleLayout layout,
+                    TwiddleDirection direction = TwiddleDirection::kForward);
 
   std::uint64_t fft_size() const noexcept { return n_; }
   std::uint64_t size() const noexcept { return table_.size(); }
@@ -59,17 +72,26 @@ class TwiddleTable {
   }
 
   /// W[t] (logical index, layout-transparent).
-  cplx at(std::uint64_t t) const noexcept { return table_[storage_index(t)]; }
+  cplx_t<T> at(std::uint64_t t) const noexcept {
+    return table_[storage_index(t)];
+  }
 
   /// Raw storage (for address/bank analysis).
-  std::span<const cplx> storage() const noexcept { return table_; }
+  std::span<const cplx_t<T>> storage() const noexcept { return table_; }
 
  private:
   std::uint64_t n_;
   TwiddleLayout layout_;
   TwiddleDirection direction_;
   unsigned bits_;
-  std::vector<cplx> table_;
+  std::vector<cplx_t<T>> table_;
 };
+
+extern template class BasicTwiddleTable<float>;
+extern template class BasicTwiddleTable<double>;
+
+/// The double-precision table (historical name) and its f32 sibling.
+using TwiddleTable = BasicTwiddleTable<double>;
+using TwiddleTableF = BasicTwiddleTable<float>;
 
 }  // namespace c64fft::fft

@@ -1,15 +1,45 @@
 #pragma once
-// Common numeric types of the FFT library. Data elements are
-// double-precision complex numbers (16 bytes), matching the paper's
-// experimental setup.
+// Common numeric types of the FFT library. The core is precision-generic:
+// every hot kernel is instantiated for both double-complex (16 bytes, the
+// paper's experimental setup) and float-complex (8 bytes, where SIMD width
+// doubles and the bank/cache-set mapping of a given element stride
+// genuinely changes — see DESIGN.md "Precision-generic core"). `cplx`
+// stays the double-precision default so existing call sites are
+// unaffected.
 
 #include <complex>
 
 namespace c64fft::fft {
 
-using cplx = std::complex<double>;
+/// The complex element type of a transform with real type T.
+template <typename T>
+using cplx_t = std::complex<T>;
 
-/// Bytes of one data/twiddle element on C64 (double-precision complex).
-inline constexpr unsigned kElementBytes = 16;
+/// Double-precision complex — the historical (and default) element type.
+using cplx = cplx_t<double>;
+
+/// Single-precision complex.
+using cplx32 = cplx_t<float>;
+
+/// Runtime tag of a transform's element type: the plan-cache key, the
+/// executor entry points, and the byte-level analyses (bank balance,
+/// cache sets, simulated footprints) are parameterized by it.
+enum class Precision { kF32, kF64 };
+
+/// Bytes of one data/twiddle element at the given precision
+/// (sizeof(std::complex<float>) = 8, sizeof(std::complex<double>) = 16).
+constexpr unsigned element_bytes(Precision p) noexcept {
+  return p == Precision::kF32 ? 8u : 16u;
+}
+
+/// Precision tag of a real scalar type (float or double).
+template <typename T>
+inline constexpr Precision precision_of = Precision::kF64;
+template <>
+inline constexpr Precision precision_of<float> = Precision::kF32;
+
+constexpr const char* to_string(Precision p) noexcept {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
 
 }  // namespace c64fft::fft

@@ -2,22 +2,20 @@
 
 #include <cassert>
 
-#include "fft/types.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::simfft {
 
-using fft::kElementBytes;
-
 FootprintBuilder::FootprintBuilder(const fft::FftPlan& plan, const c64::ChipConfig& cfg,
                                    fft::TwiddleLayout layout, std::uint64_t data_base,
-                                   std::uint64_t twiddle_base)
+                                   std::uint64_t twiddle_base, unsigned element_bytes)
     : plan_(plan),
       cfg_(cfg),
       map_(cfg),
       layout_(layout),
       data_base_(data_base),
-      twiddle_base_(twiddle_base) {
+      twiddle_base_(twiddle_base),
+      elem_(element_bytes) {
   const std::uint64_t half = plan.size() / 2;
   twiddle_bits_ = half > 1 ? util::ilog2(half) : 0;
   // Working set of one task: R in-place points + the worst-case twiddle
@@ -25,7 +23,7 @@ FootprintBuilder::FootprintBuilder(const fft::FftPlan& plan, const c64::ChipConf
   std::uint64_t worst_tw = 0;
   for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
     worst_tw = std::max(worst_tw, plan.twiddles_per_task(s));
-  spill_ = (plan.radix() + worst_tw) * kElementBytes > cfg.scratchpad_bytes;
+  spill_ = (plan.radix() + worst_tw) * elem_ > cfg.scratchpad_bytes;
 }
 
 void FootprintBuilder::flush(c64::TaskSpec& out, Run& run) {
@@ -45,18 +43,18 @@ void FootprintBuilder::add_element(c64::TaskSpec& out, Run& run, std::uint64_t a
   // a scattered twiddle sequence stays one request per element.
   const int bank = static_cast<int>(map_.bank_of(addr));
   const bool contiguous = run.bank == bank && addr == run.next_addr &&
-                          map_.bank_of(addr + kElementBytes - 1) == static_cast<unsigned>(bank);
-  if (contiguous && run.bytes + kElementBytes <= cfg_.coalesce_limit) {
-    run.bytes += kElementBytes;
+                          map_.bank_of(addr + elem_ - 1) == static_cast<unsigned>(bank);
+  if (contiguous && run.bytes + elem_ <= cfg_.coalesce_limit) {
+    run.bytes += elem_;
     run.pre_issue += pre_issue;
-    run.next_addr = addr + kElementBytes;
+    run.next_addr = addr + elem_;
     return;
   }
   flush(out, run);
   run.bank = bank;
-  run.bytes = kElementBytes;
+  run.bytes = elem_;
   run.pre_issue = pre_issue;
-  run.next_addr = addr + kElementBytes;
+  run.next_addr = addr + elem_;
 }
 
 void FootprintBuilder::append_data_pass(std::uint32_t stage, std::uint64_t task,
@@ -65,7 +63,7 @@ void FootprintBuilder::append_data_pass(std::uint32_t stage, std::uint64_t task,
   for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
     const std::uint64_t base = plan_.chain_base(stage, task, c);
     for (std::uint64_t q = 0; q < st.chain_len; ++q)
-      add_element(out, run, data_base_ + (base + q * st.chain_stride) * kElementBytes, 0);
+      add_element(out, run, data_base_ + (base + q * st.chain_stride) * elem_, 0);
   }
 }
 
@@ -81,7 +79,7 @@ void FootprintBuilder::append_twiddles(std::uint32_t stage, std::uint64_t task,
         const std::uint64_t t = plan_.twiddle_index(stage, task, v, c * st.chain_len + p);
         const std::uint64_t slot =
             layout_ == fft::TwiddleLayout::kBitReversed ? util::bit_reverse(t, twiddle_bits_) : t;
-        add_element(out, run, twiddle_base_ + slot * kElementBytes, hash_cost);
+        add_element(out, run, twiddle_base_ + slot * elem_, hash_cost);
       }
     }
   }
@@ -112,8 +110,8 @@ void FootprintBuilder::build(std::uint32_t stage, std::uint64_t task,
 }
 
 std::uint64_t FootprintBuilder::bytes_per_task(std::uint32_t stage) const {
-  const std::uint64_t data = plan_.radix() * kElementBytes;
-  const std::uint64_t tw = plan_.twiddles_per_task(stage) * kElementBytes;
+  const std::uint64_t data = plan_.radix() * elem_;
+  const std::uint64_t tw = plan_.twiddles_per_task(stage) * elem_;
   const std::uint64_t passes = spill_ ? 2 : 1;
   return passes * data * 2 + tw;  // loads+stores of data, one twiddle pass
 }

@@ -26,9 +26,14 @@ class FootprintBuilder {
   /// `data_base` / `twiddle_base` are the byte addresses of the two
   /// arrays in DRAM. Both default to interleave-aligned bases (bank 0),
   /// matching the paper's setup where the twiddle hotspot is bank 0.
+  /// `element_bytes` is the byte width of one complex element (16 for
+  /// double-complex — the paper's setup and the default — or 8 for
+  /// float-complex); it scales every address, the coalescing runs, and
+  /// the spill threshold, so the f32 footprint is a genuinely different
+  /// traffic shape, not the f64 one rescaled.
   FootprintBuilder(const fft::FftPlan& plan, const c64::ChipConfig& cfg,
                    fft::TwiddleLayout layout, std::uint64_t data_base = 0,
-                   std::uint64_t twiddle_base = 0);
+                   std::uint64_t twiddle_base = 0, unsigned element_bytes = 16);
 
   /// Fill `out` (task_id and overhead fields are left to the caller) with
   /// the loads, compute cycles and stores of task `task` of stage `stage`.
@@ -42,6 +47,7 @@ class FootprintBuilder {
 
   const fft::FftPlan& plan() const noexcept { return plan_; }
   fft::TwiddleLayout layout() const noexcept { return layout_; }
+  unsigned element_bytes() const noexcept { return elem_; }
 
  private:
   struct Run {  // coalescing state
@@ -65,6 +71,7 @@ class FootprintBuilder {
   fft::TwiddleLayout layout_;
   std::uint64_t data_base_;
   std::uint64_t twiddle_base_;
+  unsigned elem_;
   unsigned twiddle_bits_;
   bool spill_;
 };

@@ -1,0 +1,71 @@
+#pragma once
+// Accuracy metric in units-in-the-last-place (ULP) of a target precision.
+//
+// The fp32 pipeline is validated against the fp64 reference. Absolute
+// thresholds would have to be re-derived per transform size and signal
+// scale; a ULP bound at float precision is size-stable, so one documented
+// tolerance covers N from 2^4 to 2^16. The unit is the ULP of the
+// reference spectrum's PEAK component's binade, ldexp(eps_T, ilogb(peak)):
+// an FFT's rounding error is additive noise proportional to the peak it
+// was computed alongside, so small components carry the same absolute
+// noise floor as large ones — judging each component against its own
+// binade would blow up on the (rare, legitimate) near-zero bins while
+// saying nothing new about the transform. max_ulp_error is therefore the
+// max absolute component error expressed in peak-ULPs: the scale-free
+// "how many last places of the biggest bin did we lose" number.
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace c64fft::util {
+
+/// One ULP of precision T in the binade of `ref` (`ref` > 0, finite).
+template <typename T>
+inline double ulp_at(double ref) {
+  return std::ldexp(static_cast<double>(std::numeric_limits<T>::epsilon()),
+                    std::ilogb(ref));
+}
+
+/// Max over all real/imag components of |got - want|, in T-precision ULPs
+/// of the reference peak's binade (see file comment). An all-zero
+/// reference is judged in absolute eps_T units. Size mismatch or a
+/// non-finite value anywhere returns +inf.
+template <typename T>
+double max_ulp_error(std::span<const std::complex<T>> got,
+                     std::span<const std::complex<double>> want) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (got.size() != want.size()) return kInf;
+  double peak = 0.0;
+  for (const auto& w : want) {
+    if (!std::isfinite(w.real()) || !std::isfinite(w.imag())) return kInf;
+    peak = std::max({peak, std::abs(w.real()), std::abs(w.imag())});
+  }
+  if (peak == 0.0) peak = 1.0;  // all-zero reference: absolute eps_T units
+  const double ulp = ulp_at<T>(peak);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double re = static_cast<double>(got[i].real());
+    const double im = static_cast<double>(got[i].imag());
+    if (!std::isfinite(re) || !std::isfinite(im)) return kInf;
+    worst = std::max({worst, std::abs(re - want[i].real()) / ulp,
+                      std::abs(im - want[i].imag()) / ulp});
+  }
+  return worst;
+}
+
+/// Vector convenience overload (span deduction does not look through
+/// std::vector's user-defined conversion).
+template <typename T>
+double max_ulp_error(const std::vector<std::complex<T>>& got,
+                     const std::vector<std::complex<double>>& want) {
+  return max_ulp_error<T>(
+      std::span<const std::complex<T>>(got.data(), got.size()),
+      std::span<const std::complex<double>>(want.data(), want.size()));
+}
+
+}  // namespace c64fft::util

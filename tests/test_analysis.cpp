@@ -244,6 +244,41 @@ TEST(Analyzer, SeededBank0HeavyTwiddleStrideIsFlagged) {
   EXPECT_EQ(check_of(report, "banks").metrics.at("hottest_bank"), 0.0);
 }
 
+TEST(Analyzer, ElementBytesChangesBankVerdict) {
+  // The same slot set lints clean at 16 B elements but bank-0/1-heavy at
+  // 8 B: element size is a genuine input of the verdict, not a scale
+  // factor. Give every codelet the bounded twiddle stream {0,2,...,14}.
+  PlanModel m = clean_model(4096, 6, TwiddleLayout::kBitReversed);
+  for (CodeletModel& c : m.codelets) {
+    c.twiddle_slots.clear();
+    for (std::uint64_t s = 0; s < 16; s += 2) c.twiddle_slots.push_back(s);
+  }
+
+  // At 16 B the eight slots are 32 B apart: 0..224 B covers all four
+  // 64 B-interleaved banks with two loads each — perfectly balanced.
+  const auto at16 = analyze(m);
+  EXPECT_FALSE(has_code(at16, "banks", "bank-imbalance")) << at16.to_json();
+  EXPECT_EQ(check_of(at16, "banks").metrics.at("element_bytes"), 16.0);
+  EXPECT_EQ(check_of(at16, "banks").metrics.at("twiddle_imbalance"), 1.0);
+
+  // At 8 B the same slots span only 0..112 B: banks 2 and 3 are never
+  // touched and the twiddle imbalance doubles to 2.0 — flagged. First via
+  // the explicit option override...
+  AnalysisOptions opts;
+  opts.banks.element_bytes = 8;
+  const auto at8 = analyze(m, opts);
+  EXPECT_TRUE(has_code(at8, "banks", "bank-imbalance")) << at8.to_json();
+  EXPECT_EQ(check_of(at8, "banks").metrics.at("element_bytes"), 8.0);
+  EXPECT_EQ(check_of(at8, "banks").metrics.at("twiddle_imbalance"), 2.0);
+
+  // ...then inherited from the model's own width (option 0 = inherit).
+  m.element_bytes = 8;
+  const auto inherited = analyze(m);
+  EXPECT_TRUE(has_code(inherited, "banks", "bank-imbalance"))
+      << inherited.to_json();
+  EXPECT_EQ(check_of(inherited, "banks").metrics.at("element_bytes"), 8.0);
+}
+
 // ---- Model / report plumbing ----
 
 TEST(Analyzer, ModelMatchesPlanAlgebra) {

@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
   cli.add_string("schedule", "fine", "scheduler: coarse | fine | guided");
   cli.add_int("banks", 4, "DRAM banks of the modelled chip");
   cli.add_int("interleave", 64, "bank interleave in bytes");
+  cli.add_int("element-bytes", 0,
+              "complex element size for the byte-level lints: 16 (f64), 8 "
+              "(f32), or 0 to use the model's width");
   cli.add_double("imbalance-threshold", 1.5, "flag max/mean bank ratio above this");
   cli.add_flag("strict-banks", "report bank findings as errors, not warnings");
   cli.add_flag("cache-sets",
@@ -91,14 +94,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const int elem_bytes = cli.get_int("element-bytes");
+  if (elem_bytes != 0 && elem_bytes != 8 && elem_bytes != 16) {
+    std::cerr << "fft_lint: --element-bytes must be 8, 16 or 0 (model width)\n";
+    return 2;
+  }
+
   analysis::AnalysisOptions opts;
   opts.banks.banks = static_cast<unsigned>(cli.get_int("banks"));
   opts.banks.interleave_bytes = static_cast<unsigned>(cli.get_int("interleave"));
+  opts.banks.element_bytes = static_cast<unsigned>(elem_bytes);
   opts.banks.imbalance_threshold = cli.get_double("imbalance-threshold");
   opts.banks.strict = cli.flag("strict-banks");
   opts.check_cache_sets = cli.flag("cache-sets");
   opts.cache_sets.sets = static_cast<unsigned>(cli.get_int("sets"));
   opts.cache_sets.line_bytes = static_cast<unsigned>(cli.get_int("cache-line"));
+  opts.cache_sets.element_bytes = static_cast<unsigned>(elem_bytes);
   opts.cache_sets.min_set_coverage = cli.get_double("set-coverage");
   opts.cache_sets.strict = cli.flag("strict-sets");
 

@@ -4,6 +4,14 @@
 #
 #   cmake -DMICRO_KERNELS=<bin> -DBENCH_CHECK=<bin> -DBASELINE=<json> \
 #         -DOUT=<json> [-DTOLERANCE=0.30] -P run_bench_check.cmake
+#
+# Regenerating the committed baseline: run micro_kernels (same
+# --benchmark_min_time=0.05) several times on a quiet machine and keep,
+# per benchmark, the run with the LARGEST real_time. A single lucky
+# fast-window run as baseline turns every later steady-state run into a
+# false regression on hosts whose clock drifts under sustained load; the
+# per-row max is the conservative envelope the tolerance is meant to
+# guard from.
 
 foreach(var MICRO_KERNELS BENCH_CHECK BASELINE OUT)
   if(NOT DEFINED ${var})
@@ -24,9 +32,13 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "run_bench_check: micro_kernels exited with ${rc}")
 endif()
 
+# Compare wall time, not the default cpu_time: the executor rows run
+# UseRealTime with the work on the team's threads, so their main-thread
+# cpu_time is scheduler noise; real_time is the meaningful metric for
+# them and equivalent for the single-threaded kernel rows.
 execute_process(
   COMMAND ${BENCH_CHECK} --baseline=${BASELINE} --current=${OUT}
-          --tolerance=${TOLERANCE}
+          --tolerance=${TOLERANCE} --metric=real_time
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "run_bench_check: bench_check reported regressions (${rc})")
