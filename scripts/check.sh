@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # One-shot correctness gate: tier-1 tests in the normal build, then again
-# under ASan(+LSan) and UBSan. Usage:
+# under ASan(+LSan), UBSan and TSan. Usage:
 #
-#   scripts/check.sh            # release-ish build + both sanitizer builds
+#   scripts/check.sh            # release-ish build + all sanitizer builds
 #   scripts/check.sh --fast     # normal build only (skip sanitizers)
 #
 # Each configuration builds into its own tree (build/, build-asan/,
-# build-ubsan/) so the sanitizer runs never dirty the main build and
-# incremental re-runs stay fast. Exits non-zero on the first failure.
+# build-ubsan/, build-tsan/) so the sanitizer runs never dirty the main
+# build and incremental re-runs stay fast. Exits non-zero on the first
+# failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +35,16 @@ if [[ $fast -eq 0 ]]; then
   # when skimming the full-suite output above.
   echo "== precision label under UBSan =="
   ctest --test-dir build-ubsan -L precision --output-on-failure
+  # TSan watches the concurrency surface: the work-stealing deques, the
+  # runtime's phase/counter machinery and the executor's batched dispatch.
+  # Only the threaded tests run here — TSan is slow, and the numeric tests
+  # add no thread interleavings it could observe. (ASan and TSan are
+  # mutually exclusive instrumentations, hence the separate tree.)
+  echo "== concurrency tests under TSan =="
+  cmake -B build-tsan -S . -DC64FFT_TSAN=ON >/dev/null
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j \
+    -R 'test_executor|test_ws_deque|test_ws_runtime|test_host_runtime'
 fi
 
 echo "check.sh: all configurations passed"

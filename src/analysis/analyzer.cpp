@@ -41,4 +41,23 @@ AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
   return analyze(build_model(plan, layout, schedule, std::move(name)), opts);
 }
 
+AnalysisReport analyze_pipeline(const PipelineModel& model,
+                                const PipelineAnalysisOptions& opts) {
+  AnalysisReport report;
+  report.plan_name = model.name;
+  report.n = model.n;
+  report.radix_log2 = model.radix_log2;
+  report.stages = static_cast<std::uint32_t>(model.phases.size());
+  report.codelets = model.total_tasks();
+  report.schedule = "pipeline";
+  report.layout = "";
+  if (opts.check_coverage)
+    report.checks.push_back(check_coverage(model, opts.coverage));
+  if (opts.check_cost) {
+    CostModelOptions cost = opts.cost;
+    report.checks.push_back(model_costs(model, cost));
+  }
+  return report;
+}
+
 }  // namespace c64fft::analysis

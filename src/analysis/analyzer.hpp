@@ -5,7 +5,10 @@
 // plan variant straight from (N, radix, layout, schedule).
 
 #include "analysis/bank_lint.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/coverage.hpp"
 #include "analysis/model.hpp"
+#include "analysis/pipeline.hpp"
 #include "analysis/race.hpp"
 #include "analysis/report.hpp"
 #include "analysis/verifier.hpp"
@@ -33,5 +36,19 @@ AnalysisReport analyze(const PlanModel& model, const AnalysisOptions& opts = {})
 AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
                             Schedule schedule, const AnalysisOptions& opts = {},
                             std::string name = {});
+
+struct PipelineAnalysisOptions {
+  bool check_coverage = true;
+  bool check_cost = true;
+  CoverageOptions coverage;
+  CostModelOptions cost;
+};
+
+/// Run the whole-pipeline checks (write-coverage proof, critical-path /
+/// load cost model) over a composite-plan model built by the
+/// build_*_pipeline functions. Reported with schedule "pipeline"; the
+/// `stages` field carries the phase count and `codelets` the task count.
+AnalysisReport analyze_pipeline(const PipelineModel& model,
+                                const PipelineAnalysisOptions& opts = {});
 
 }  // namespace c64fft::analysis

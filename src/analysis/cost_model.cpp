@@ -1,0 +1,132 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "c64/address_map.hpp"
+
+namespace c64fft::analysis {
+
+namespace {
+
+std::uint64_t task_cost(const PipelineTask& t) {
+  return t.flops +
+         t.passes * static_cast<std::uint64_t>(t.reads.size() + t.writes.size());
+}
+
+}  // namespace
+
+CheckResult model_costs(const PipelineModel& model, const CostModelOptions& opts) {
+  CheckResult res;
+  res.name = "cost";
+  const Severity sev = opts.strict ? Severity::kError : Severity::kWarning;
+  const unsigned workers = std::max(1u, opts.workers);
+
+  // Bank-aligned base byte address per buffer: each buffer starts on a
+  // fresh interleave super-line (banks * interleave bytes), the natural
+  // alignment of a large allocation, so the histogram measures the access
+  // pattern, not accidental base offsets.
+  const c64::AddressMap map(opts.banks, opts.interleave_bytes);
+  const std::uint64_t super = std::uint64_t{opts.banks} * opts.interleave_bytes;
+  std::vector<std::uint64_t> base(model.buffers.size(), 0);
+  std::uint64_t next = 0;
+  for (std::size_t b = 0; b < model.buffers.size(); ++b) {
+    base[b] = next;
+    const std::uint64_t bytes = model.buffers[b].elements *
+                                model.buffer_element_bytes(
+                                    static_cast<std::uint32_t>(b));
+    next += (bytes + super - 1) / super * super + super;
+  }
+  std::vector<std::uint64_t> bank_bytes(opts.banks, 0);
+
+  double span_cost = 0, total_work = 0, makespan = 0, max_imbalance = 0;
+  std::size_t flagged = 0;
+  for (std::size_t p = 0; p < model.phases.size(); ++p) {
+    const PhaseModel& phase = model.phases[p];
+    std::uint64_t work = 0, span = 0, max_task = 0;
+    for (const PipelineTask& t : phase.tasks) {
+      const std::uint64_t cost = task_cost(t);
+      work += cost;
+      if (cost > span) {
+        span = cost;
+        max_task = t.index;
+      }
+      for (const Access& a : t.reads) {
+        if (a.buffer >= model.buffers.size()) continue;
+        const unsigned eb = model.buffer_element_bytes(a.buffer);
+        bank_bytes[map.bank_of_element(base[a.buffer], a.element, eb)] +=
+            t.passes * eb;
+      }
+      for (const Access& a : t.writes) {
+        if (a.buffer >= model.buffers.size()) continue;
+        const unsigned eb = model.buffer_element_bytes(a.buffer);
+        bank_bytes[map.bank_of_element(base[a.buffer], a.element, eb)] +=
+            t.passes * eb;
+      }
+    }
+    span_cost += static_cast<double>(span);
+    total_work += static_cast<double>(work);
+    makespan += static_cast<double>(work) / workers +
+                static_cast<double>(workers - 1) / workers *
+                    static_cast<double>(span);
+
+    const std::string pi = "phase" + std::to_string(p);
+    res.metrics[pi + "_tasks"] = static_cast<double>(phase.tasks.size());
+    res.metrics[pi + "_work"] = static_cast<double>(work);
+    res.metrics[pi + "_span"] = static_cast<double>(span);
+    res.metrics[pi + "_parallelism"] =
+        span ? static_cast<double>(work) / static_cast<double>(span) : 0.0;
+
+    if (phase.tasks.size() >= 2 && work > 0) {
+      const double mean = static_cast<double>(work) /
+                          static_cast<double>(phase.tasks.size());
+      const double imbalance = static_cast<double>(span) / mean;
+      max_imbalance = std::max(max_imbalance, imbalance);
+      if (imbalance > opts.load_imbalance_threshold &&
+          ++flagged <= opts.max_diagnostics) {
+        std::ostringstream os;
+        os << "phase \"" << phase.name << "\" is load-imbalanced: slowest task "
+           << max_task << " costs " << span << " against a mean of " << mean
+           << " over " << phase.tasks.size() << " tasks (ratio "
+           << imbalance << " > " << opts.load_imbalance_threshold
+           << ") — the barrier idles every other worker for the difference";
+        res.add(sev, "load-imbalance", os.str(),
+                {static_cast<std::uint32_t>(p), max_task});
+      }
+    }
+  }
+
+  std::uint64_t total_bytes = 0, max_bank = 0;
+  for (unsigned b = 0; b < opts.banks; ++b) {
+    total_bytes += bank_bytes[b];
+    max_bank = std::max(max_bank, bank_bytes[b]);
+    res.metrics["bank" + std::to_string(b) + "_bytes"] =
+        static_cast<double>(bank_bytes[b]);
+  }
+  const double bank_imbalance =
+      total_bytes ? static_cast<double>(max_bank) * opts.banks /
+                        static_cast<double>(total_bytes)
+                  : 1.0;
+  if (bank_imbalance > opts.bank_imbalance_threshold) {
+    std::ostringstream os;
+    os << "bytes moved are bank-imbalanced: hottest bank carries " << max_bank
+       << " of " << total_bytes << " bytes (" << bank_imbalance
+       << "x fair share > " << opts.bank_imbalance_threshold << ")";
+    res.add(sev, "bank-bytes-imbalance", os.str());
+  }
+
+  res.metrics["workers"] = static_cast<double>(workers);
+  res.metrics["banks"] = static_cast<double>(opts.banks);
+  res.metrics["phases"] = static_cast<double>(model.phases.size());
+  res.metrics["span_cost"] = span_cost;
+  res.metrics["total_work"] = total_work;
+  res.metrics["avg_parallelism"] = span_cost > 0 ? total_work / span_cost : 0.0;
+  res.metrics["makespan_bound"] = makespan;
+  res.metrics["max_load_imbalance"] = max_imbalance;
+  res.metrics["bank_imbalance"] = bank_imbalance;
+  res.finalize();
+  return res;
+}
+
+}  // namespace c64fft::analysis

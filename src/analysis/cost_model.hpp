@@ -1,0 +1,49 @@
+#pragma once
+// Critical-path & load cost model over a PipelineModel.
+//
+// Static schedule economics of the barrier hull: per phase, the work
+// (sum of task costs), the span (max task cost — the phase's critical
+// path, since a barrier waits for its slowest task) and the resulting
+// parallelism profile; globally, the DAG span (sum of phase spans), the
+// total work, and Graham's list-scheduling makespan bound
+//   sum_p ( work_p / P  +  (P-1)/P * span_p )
+// for P workers. Task cost = flops + passes * (reads + writes): one
+// abstract unit per real flop and per element touched per streaming
+// pass — deliberately machine-free, so regressions in the *shape* of the
+// schedule (a serialized phase, a skewed chunk) move the numbers while
+// compiler/hardware noise cannot. Per-bank bytes-moved histograms reuse
+// the c64::AddressMap interleave algebra with each buffer based at a
+// bank-aligned address, giving the same memory-load-balance lens as the
+// twiddle bank lint but for whole-pipeline traffic.
+
+#include "analysis/pipeline.hpp"
+#include "analysis/report.hpp"
+
+namespace c64fft::analysis {
+
+struct CostModelOptions {
+  /// Workers of the makespan bound.
+  unsigned workers = 4;
+  /// Bank geometry of the bytes-moved histogram (C64 node defaults).
+  unsigned banks = 4;
+  unsigned interleave_bytes = 64;
+  /// Phase flagged when max task cost / mean task cost exceeds this
+  /// (phases with >= 2 tasks only).
+  double load_imbalance_threshold = 1.75;
+  /// Flagged when max-bank bytes * banks / total bytes exceeds this.
+  double bank_imbalance_threshold = 1.5;
+  /// Promote the imbalance warnings to errors (fft_lint --strict-cost).
+  bool strict = false;
+  /// Diagnostic cap, matching the other checks.
+  std::size_t max_diagnostics = 8;
+};
+
+/// Computes the profile and emits "load-imbalance" /
+/// "bank-bytes-imbalance" diagnostics. Metrics include span_cost,
+/// total_work, avg_parallelism, makespan_bound, max_load_imbalance,
+/// bank_imbalance, per-phase phase{i}_{tasks,work,span,parallelism} and
+/// per-bank bank{b}_bytes.
+CheckResult model_costs(const PipelineModel& model,
+                        const CostModelOptions& opts = {});
+
+}  // namespace c64fft::analysis

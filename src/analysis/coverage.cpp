@@ -1,0 +1,148 @@
+#include "analysis/coverage.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+namespace c64fft::analysis {
+
+namespace {
+
+constexpr std::uint32_t kNoWriter = 0xFFFFFFFFu;
+
+std::string task_str(std::size_t phase, std::uint64_t task) {
+  std::ostringstream os;
+  os << "(phase " << phase << ", task " << task << ")";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_coverage(const PipelineModel& model,
+                           const CoverageOptions& opts) {
+  CheckResult res;
+  res.name = "coverage";
+
+  // defined[b][e]: element e of buffer b holds a value some earlier phase
+  // (or the caller, for input buffers) produced.
+  std::vector<std::vector<char>> defined(model.buffers.size());
+  for (std::size_t b = 0; b < model.buffers.size(); ++b)
+    defined[b].assign(model.buffers[b].elements, model.buffers[b].input ? 1 : 0);
+
+  std::size_t overlaps = 0, aliases = 0, undef_reads = 0, oob = 0, gaps = 0;
+  std::uint64_t accesses = 0;
+  // writer[b][e]: task index (within the current phase) that wrote the
+  // element, kNoWriter if untouched this phase. Task counts per phase are
+  // far below the sentinel.
+  std::vector<std::vector<std::uint32_t>> writer(model.buffers.size());
+
+  auto diag = [&](std::size_t& counter, const char* code, std::size_t phase,
+                  std::uint64_t task, const std::string& msg) {
+    if (++counter <= opts.max_diagnostics)
+      res.add(Severity::kError, code, msg,
+              {static_cast<std::uint32_t>(phase), task});
+  };
+
+  for (std::size_t p = 0; p < model.phases.size(); ++p) {
+    const PhaseModel& phase = model.phases[p];
+    for (std::size_t b = 0; b < model.buffers.size(); ++b)
+      writer[b].assign(model.buffers[b].elements, kNoWriter);
+
+    // Pass 1: writes — overlap and bounds.
+    for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
+      const PipelineTask& task = phase.tasks[t];
+      for (const Access& a : task.writes) {
+        ++accesses;
+        if (a.buffer >= model.buffers.size() ||
+            a.element >= model.buffers[a.buffer].elements) {
+          std::ostringstream os;
+          os << task_str(p, task.index) << " writes out of bounds: buffer "
+             << a.buffer << " element " << a.element;
+          diag(oob, "oob-access", p, task.index, os.str());
+          continue;
+        }
+        std::uint32_t& w = writer[a.buffer][a.element];
+        if (w != kNoWriter && w != t) {
+          std::ostringstream os;
+          os << task_str(p, task.index) << " and "
+             << task_str(p, phase.tasks[w].index) << " both write "
+             << model.buffers[a.buffer].name << "[" << a.element
+             << "] in phase \"" << phase.name << "\"";
+          diag(overlaps, "write-overlap", p, task.index, os.str());
+        }
+        w = static_cast<std::uint32_t>(t);
+      }
+    }
+
+    // Pass 2: reads — intra-phase aliasing and definedness.
+    for (std::size_t t = 0; t < phase.tasks.size(); ++t) {
+      const PipelineTask& task = phase.tasks[t];
+      for (const Access& a : task.reads) {
+        ++accesses;
+        if (a.buffer >= model.buffers.size() ||
+            a.element >= model.buffers[a.buffer].elements) {
+          std::ostringstream os;
+          os << task_str(p, task.index) << " reads out of bounds: buffer "
+             << a.buffer << " element " << a.element;
+          diag(oob, "oob-access", p, task.index, os.str());
+          continue;
+        }
+        const std::uint32_t w = writer[a.buffer][a.element];
+        if (w != kNoWriter && w != t) {
+          std::ostringstream os;
+          os << task_str(p, task.index) << " reads "
+             << model.buffers[a.buffer].name << "[" << a.element
+             << "] which " << task_str(p, phase.tasks[w].index)
+             << " writes in the same phase \"" << phase.name
+             << "\" — unordered tasks, so the read races the write";
+          diag(aliases, "phase-aliasing", p, task.index, os.str());
+        }
+        if (!defined[a.buffer][a.element]) {
+          std::ostringstream os;
+          os << task_str(p, task.index) << " reads "
+             << model.buffers[a.buffer].name << "[" << a.element
+             << "] before any phase wrote it";
+          diag(undef_reads, "read-before-write", p, task.index, os.str());
+        }
+      }
+    }
+
+    // Coverage claims, then fold this phase's writes into `defined`.
+    for (std::uint32_t b : phase.full_coverage) {
+      if (b >= model.buffers.size()) continue;
+      std::uint64_t missing = 0, example = 0;
+      for (std::uint64_t e = 0; e < model.buffers[b].elements; ++e)
+        if (writer[b][e] == kNoWriter && missing++ == 0) example = e;
+      if (missing != 0) {
+        std::ostringstream os;
+        os << "phase \"" << phase.name << "\" claims full coverage of "
+           << model.buffers[b].name << " but leaves " << missing
+           << " element(s) unwritten, e.g. [" << example << "]";
+        diag(gaps, "coverage-gap", p, Diagnostic::kNoStage, os.str());
+      }
+    }
+    for (std::size_t b = 0; b < model.buffers.size(); ++b)
+      for (std::uint64_t e = 0; e < model.buffers[b].elements; ++e)
+        if (writer[b][e] != kNoWriter) defined[b][e] = 1;
+  }
+
+  const std::size_t total = overlaps + aliases + undef_reads + oob + gaps;
+  if (total > res.diagnostics.size())
+    res.add(Severity::kError, "coverage-suppressed",
+            std::to_string(total - res.diagnostics.size()) +
+                " further coverage findings suppressed");
+
+  res.metrics["phases"] = static_cast<double>(model.phases.size());
+  res.metrics["tasks"] = static_cast<double>(model.total_tasks());
+  res.metrics["buffers"] = static_cast<double>(model.buffers.size());
+  res.metrics["accesses_checked"] = static_cast<double>(accesses);
+  res.metrics["write_overlaps"] = static_cast<double>(overlaps);
+  res.metrics["phase_aliases"] = static_cast<double>(aliases);
+  res.metrics["undefined_reads"] = static_cast<double>(undef_reads);
+  res.metrics["oob_accesses"] = static_cast<double>(oob);
+  res.metrics["coverage_gaps"] = static_cast<double>(gaps);
+  res.finalize();
+  return res;
+}
+
+}  // namespace c64fft::analysis

@@ -1,0 +1,34 @@
+#pragma once
+// Write-coverage / single-assignment verifier over a PipelineModel.
+//
+// Proves, phase by phase, the memory discipline the barrier schedule
+// relies on:
+//  * no two tasks of one phase write the same element ("write-overlap" —
+//    the transpose tile-overlap / chunk off-by-one class);
+//  * no task reads an element another task of the same phase writes
+//    ("phase-aliasing" — unordered tasks, so such a read is a race; the
+//    fused-stage aliasing class);
+//  * every read is of an element some earlier phase wrote or of an input
+//    buffer ("read-before-write");
+//  * every access lands inside its buffer ("oob-access");
+//  * each buffer a phase claims via full_coverage is written completely
+//    ("coverage-gap" — a dropped tile or chunk).
+// A task rewriting its own element (in-place butterflies) is legal; the
+// "exactly once" contract is per element per phase across distinct tasks.
+
+#include "analysis/pipeline.hpp"
+#include "analysis/report.hpp"
+
+namespace c64fft::analysis {
+
+struct CoverageOptions {
+  /// Per-code diagnostic cap; totals are always exact in the metrics.
+  std::size_t max_diagnostics = 8;
+};
+
+/// Runs the proof; never executes a kernel. Diagnostic `where` anchors
+/// to {phase index, task index}.
+CheckResult check_coverage(const PipelineModel& model,
+                           const CoverageOptions& opts = {});
+
+}  // namespace c64fft::analysis

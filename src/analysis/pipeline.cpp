@@ -1,0 +1,458 @@
+#include "analysis/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fft/executor.hpp"
+#include "fft/fft2d.hpp"
+#include "fft/real_fft.hpp"
+#include "fft/transpose.hpp"
+#include "util/bit_ops.hpp"
+
+namespace c64fft::analysis {
+
+std::uint32_t PipelineModel::add_buffer(std::string buf_name,
+                                        std::uint64_t elements, bool input,
+                                        unsigned elem_bytes) {
+  BufferModel b;
+  b.name = std::move(buf_name);
+  b.elements = elements;
+  b.input = input;
+  b.element_bytes = elem_bytes;
+  buffers.push_back(std::move(b));
+  return static_cast<std::uint32_t>(buffers.size() - 1);
+}
+
+std::size_t PipelineModel::total_tasks() const {
+  std::size_t total = 0;
+  for (const PhaseModel& p : phases) total += p.tasks.size();
+  return total;
+}
+
+unsigned PipelineModel::buffer_element_bytes(std::uint32_t buffer) const {
+  const unsigned override_bytes = buffers.at(buffer).element_bytes;
+  return override_bytes != 0 ? override_bytes : element_bytes;
+}
+
+namespace {
+
+/// Flops of one complex multiply (4 mul + 2 add) — the fused
+/// twiddle-transpose charge per element.
+constexpr std::uint64_t kCplxMulFlops = 6;
+/// Per-bin charge of the real-FFT untangling pass (two half-sum
+/// combines plus one twiddle multiply; trig evaluation not counted, as
+/// everywhere else in the plan algebra).
+constexpr std::uint64_t kUntangleFlopsPerBin = 20;
+
+std::uint64_t plan_total_flops(const fft::FftPlan& plan) {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
+    total += plan.flops_per_task(s) * plan.tasks_per_stage();
+  return total;
+}
+
+std::uint64_t twiddle_slot(std::uint64_t t, fft::TwiddleLayout layout,
+                           unsigned tw_bits) {
+  return layout == fft::TwiddleLayout::kBitReversed ? util::bit_reverse(t, tw_bits)
+                                                    : t;
+}
+
+constexpr std::uint32_t kNoBuffer = 0xFFFFFFFFu;
+
+/// One classic plan executed over `batch` transforms stored at
+/// consecutive offsets of `data_buf` starting at `base`.
+struct ClassicPhaseSpec {
+  std::uint32_t data_buf = 0;
+  std::uint64_t base = 0;
+  std::uint64_t batch = 1;
+  std::uint32_t twiddle_buf = kNoBuffer;
+  fft::TwiddleLayout layout = fft::TwiddleLayout::kLinear;
+  unsigned workers = 4;
+  std::string prefix;
+};
+
+/// Appends the classic phases of one (possibly batched) plan execution:
+/// the permutation phase exactly as the executor grains it — chunked
+/// bit-reversal sweep (fft::bitrev_sweep_grain) for a single transform,
+/// one whole-transform root codelet per transform for a batch — then one
+/// phase per plan stage with the FftPlan footprint algebra. Stage phases
+/// claim full coverage of the data buffer when the batch tiles it
+/// exactly; the permutation phase never does (palindromic indices are
+/// not touched).
+void append_classic_phases(PipelineModel& m, const fft::FftPlan& plan,
+                           const ClassicPhaseSpec& spec) {
+  const std::uint64_t n = plan.size();
+  const unsigned bits = plan.log2_size();
+  const std::uint64_t tasks = plan.tasks_per_stage();
+  const bool covers_buffer =
+      spec.base == 0 && spec.batch * n == m.buffers.at(spec.data_buf).elements;
+
+  auto bitrev_pairs = [&](PipelineTask& task, std::uint64_t t0,
+                          std::uint64_t offset, std::uint64_t i_begin,
+                          std::uint64_t i_end) {
+    (void)t0;
+    for (std::uint64_t i = i_begin; i < i_end; ++i) {
+      const std::uint64_t j = util::bit_reverse(i, bits);
+      if (i >= j) continue;
+      task.reads.push_back({spec.data_buf, offset + i});
+      task.reads.push_back({spec.data_buf, offset + j});
+      task.writes.push_back({spec.data_buf, offset + i});
+      task.writes.push_back({spec.data_buf, offset + j});
+    }
+  };
+
+  if (spec.batch == 1) {
+    PhaseModel phase;
+    phase.name = spec.prefix + "bitrev";
+    const fft::SweepGrain grain = fft::bitrev_sweep_grain(n, spec.workers);
+    for (std::uint64_t c = 0; c < grain.chunks; ++c) {
+      const std::uint64_t begin = c * grain.per;
+      if (begin >= n) break;
+      PipelineTask task;
+      task.index = c;
+      bitrev_pairs(task, c, spec.base, begin,
+                   std::min<std::uint64_t>(n, begin + grain.per));
+      phase.tasks.push_back(std::move(task));
+    }
+    m.phases.push_back(std::move(phase));
+  } else {
+    PhaseModel phase;
+    phase.name = spec.prefix + "root";
+    for (std::uint64_t b = 0; b < spec.batch; ++b) {
+      PipelineTask task;
+      task.index = b;
+      bitrev_pairs(task, b, spec.base + b * n, 0, n);
+      phase.tasks.push_back(std::move(task));
+    }
+    m.phases.push_back(std::move(phase));
+  }
+
+  const unsigned tw_bits = n / 2 > 1 ? util::ilog2(n / 2) : 0;
+  std::vector<std::uint64_t> elems;
+  std::vector<std::uint64_t> twiddles;
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s) {
+    PhaseModel phase;
+    phase.name = spec.prefix + "stage" + std::to_string(s);
+    if (covers_buffer) phase.full_coverage.push_back(spec.data_buf);
+    for (std::uint64_t b = 0; b < spec.batch; ++b) {
+      for (std::uint64_t t = 0; t < tasks; ++t) {
+        PipelineTask task;
+        task.index = b * tasks + t;
+        plan.task_elements(s, t, elems);
+        const std::uint64_t offset = spec.base + b * n;
+        for (std::uint64_t e : elems) {
+          task.reads.push_back({spec.data_buf, offset + e});
+          task.writes.push_back({spec.data_buf, offset + e});
+        }
+        if (spec.twiddle_buf != kNoBuffer) {
+          plan.task_twiddles(s, t, twiddles);
+          for (std::uint64_t tw : twiddles)
+            task.reads.push_back(
+                {spec.twiddle_buf, twiddle_slot(tw, spec.layout, tw_bits)});
+        }
+        task.flops = plan.flops_per_task(s);
+        phase.tasks.push_back(std::move(task));
+      }
+    }
+    m.phases.push_back(std::move(phase));
+  }
+}
+
+/// Appends one row-sweep phase of the four-step path: `row_count`
+/// independent `plan.size()`-point transforms over consecutive rows of
+/// `buf`, grained into the executor's worker chunks
+/// (fft::four_step_sweep_grain). Each chunk streams its rows once per
+/// sub-plan stage (the fused stage-0+permutation pass plus the remaining
+/// stages), charged via `passes`.
+void append_row_sweep(PipelineModel& m, const fft::FftPlan& plan,
+                      std::uint32_t buf, std::uint64_t row_count,
+                      unsigned workers, std::string phase_name) {
+  const std::uint64_t row_len = plan.size();
+  const std::uint64_t per_row_flops = plan_total_flops(plan);
+  PhaseModel phase;
+  phase.name = std::move(phase_name);
+  phase.full_coverage.push_back(buf);
+  const fft::SweepGrain grain = fft::four_step_sweep_grain(row_count, workers);
+  for (std::uint64_t c = 0; c < grain.chunks; ++c) {
+    const std::uint64_t r_begin = c * grain.per;
+    if (r_begin >= row_count) break;
+    const std::uint64_t r_end =
+        std::min<std::uint64_t>(row_count, r_begin + grain.per);
+    PipelineTask task;
+    task.index = c;
+    for (std::uint64_t r = r_begin; r < r_end; ++r) {
+      for (std::uint64_t e = 0; e < row_len; ++e) {
+        task.reads.push_back({buf, r * row_len + e});
+        task.writes.push_back({buf, r * row_len + e});
+      }
+    }
+    task.flops = (r_end - r_begin) * per_row_flops;
+    task.passes = plan.stage_count();
+    phase.tasks.push_back(std::move(task));
+  }
+  m.phases.push_back(std::move(phase));
+}
+
+/// Out-of-place blocked transpose of an R x C row-major `src` into a
+/// C x R `dst`, one task per kTransposeTile tile; claims full coverage
+/// of `dst`. `flops_per_elem` > 0 models the fused twiddle multiply.
+void append_transpose(PipelineModel& m, std::uint32_t src, std::uint32_t dst,
+                      std::uint64_t rows, std::uint64_t cols,
+                      std::uint64_t flops_per_elem, std::string phase_name) {
+  PhaseModel phase;
+  phase.name = std::move(phase_name);
+  phase.full_coverage.push_back(dst);
+  std::uint64_t index = 0;
+  fft::for_each_transpose_tile(
+      rows, cols,
+      [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
+          std::uint64_t cmax) {
+        PipelineTask task;
+        task.index = index++;
+        for (std::uint64_t r = r0; r < rmax; ++r)
+          for (std::uint64_t c = c0; c < cmax; ++c) {
+            task.reads.push_back({src, r * cols + c});
+            task.writes.push_back({dst, c * rows + r});
+          }
+        task.flops = (rmax - r0) * (cmax - c0) * flops_per_elem;
+        phase.tasks.push_back(std::move(task));
+      });
+  m.phases.push_back(std::move(phase));
+}
+
+/// In-place square transpose, one task per diagonal tile or mirror tile
+/// pair (fft::for_each_transpose_tile_pair). No coverage claim: the
+/// diagonal is never touched, and the diagonal tiles' own diagonals stay
+/// in place — the check still proves the pair decomposition disjoint.
+void append_transpose_inplace(PipelineModel& m, std::uint32_t buf,
+                              std::uint64_t n, std::string phase_name) {
+  PhaseModel phase;
+  phase.name = std::move(phase_name);
+  std::uint64_t index = 0;
+  fft::for_each_transpose_tile_pair(
+      n, [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
+             std::uint64_t cmax) {
+        PipelineTask task;
+        task.index = index++;
+        auto touch = [&](std::uint64_t e) {
+          task.reads.push_back({buf, e});
+          task.writes.push_back({buf, e});
+        };
+        if (r0 == c0) {
+          for (std::uint64_t r = r0; r < rmax; ++r)
+            for (std::uint64_t c = r + 1; c < cmax; ++c) {
+              touch(r * n + c);
+              touch(c * n + r);
+            }
+        } else {
+          for (std::uint64_t r = r0; r < rmax; ++r)
+            for (std::uint64_t c = c0; c < cmax; ++c) {
+              touch(r * n + c);
+              touch(c * n + r);
+            }
+        }
+        phase.tasks.push_back(std::move(task));
+      });
+  m.phases.push_back(std::move(phase));
+}
+
+PipelineModel make_base(std::string name, std::uint64_t n, unsigned radix_log2,
+                        const PipelineBuildOptions& opts) {
+  PipelineModel m;
+  m.name = std::move(name);
+  m.n = n;
+  m.radix_log2 = radix_log2;
+  m.element_bytes = opts.element_bytes;
+  return m;
+}
+
+}  // namespace
+
+PipelineModel build_classic_pipeline(const fft::FftPlan& plan,
+                                     const PipelineBuildOptions& opts,
+                                     std::string name) {
+  PipelineModel m = make_base(name.empty() ? "classic" : std::move(name),
+                              plan.size(), plan.radix_log2(), opts);
+  ClassicPhaseSpec spec;
+  spec.data_buf = m.add_buffer("data", plan.size(), /*input=*/true);
+  spec.twiddle_buf =
+      m.add_buffer("twiddles", plan.size() / 2, /*input=*/true);
+  spec.layout = opts.layout;
+  spec.workers = opts.workers;
+  append_classic_phases(m, plan, spec);
+  return m;
+}
+
+PipelineModel build_batch_pipeline(const fft::FftPlan& plan,
+                                   std::uint64_t batch,
+                                   const PipelineBuildOptions& opts,
+                                   std::string name) {
+  if (batch < 1) throw std::invalid_argument("build_batch_pipeline: batch >= 1");
+  PipelineModel m = make_base(name.empty() ? "batch" : std::move(name),
+                              plan.size(), plan.radix_log2(), opts);
+  ClassicPhaseSpec spec;
+  spec.data_buf = m.add_buffer("data", batch * plan.size(), /*input=*/true);
+  spec.twiddle_buf =
+      m.add_buffer("twiddles", plan.size() / 2, /*input=*/true);
+  spec.batch = batch;
+  spec.layout = opts.layout;
+  spec.workers = opts.workers;
+  append_classic_phases(m, plan, spec);
+  return m;
+}
+
+PipelineModel build_four_step_pipeline(std::uint64_t n, unsigned radix_log2,
+                                       const PipelineBuildOptions& opts,
+                                       std::string name) {
+  const fft::FourStepSplit split = fft::four_step_split(n);
+  const fft::FftPlan col_plan(
+      split.n1, fft::validate_fft_shape(split.n1, radix_log2, true));
+  const fft::FftPlan row_plan(
+      split.n2, fft::validate_fft_shape(split.n2, radix_log2, true));
+
+  PipelineModel m = make_base(name.empty() ? "four-step" : std::move(name), n,
+                              radix_log2, opts);
+  const std::uint32_t data = m.add_buffer("data", n, /*input=*/true);
+  const std::uint32_t scratch = m.add_buffer("scratch", n, /*input=*/false);
+
+  // Pass 1: data (n1 x n2) -> scratch (n2 x n1).
+  append_transpose(m, data, scratch, split.n1, split.n2, 0, "transpose");
+  // Pass 2: n2 rows of n1-point FFTs over scratch.
+  append_row_sweep(m, col_plan, scratch, split.n2, opts.workers, "col-sweep");
+  // Pass 3: fused twiddle-transpose scratch (n2 x n1) -> data (n1 x n2).
+  append_transpose(m, scratch, data, split.n2, split.n1, kCplxMulFlops,
+                   "twiddle-transpose");
+  // Pass 4: n1 rows of n2-point FFTs over data.
+  append_row_sweep(m, row_plan, data, split.n1, opts.workers, "row-sweep");
+  // Pass 5: final transpose back to natural order.
+  if (split.n1 == split.n2) {
+    append_transpose_inplace(m, data, split.n1, "final-transpose");
+  } else {
+    append_transpose(m, data, scratch, split.n1, split.n2, 0,
+                     "final-transpose");
+    PhaseModel copy;
+    copy.name = "copy-back";
+    copy.full_coverage.push_back(data);
+    PipelineTask task;  // std::copy is one serial pass in the executor
+    for (std::uint64_t e = 0; e < n; ++e) {
+      task.reads.push_back({scratch, e});
+      task.writes.push_back({data, e});
+    }
+    copy.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(copy));
+  }
+  return m;
+}
+
+PipelineModel build_fft2d_pipeline(std::uint64_t rows, std::uint64_t cols,
+                                   unsigned radix_log2,
+                                   const PipelineBuildOptions& opts,
+                                   std::string name) {
+  const fft::Fft2dShape shape =
+      fft::fft2d_shape(rows * cols, rows, cols, radix_log2);
+  const fft::FftPlan row_plan(cols, shape.row_radix_log2);
+  const fft::FftPlan col_plan(rows, shape.col_radix_log2);
+
+  PipelineModel m = make_base(name.empty() ? "fft2d" : std::move(name),
+                              rows * cols, radix_log2, opts);
+  const std::uint32_t data = m.add_buffer("data", rows * cols, /*input=*/true);
+  const std::uint32_t tw_row =
+      m.add_buffer("twiddles-row", cols / 2, /*input=*/true);
+
+  // Row pass: the executor's batch path, one transform per matrix row.
+  ClassicPhaseSpec row_spec;
+  row_spec.data_buf = data;
+  row_spec.twiddle_buf = tw_row;
+  row_spec.batch = rows;
+  row_spec.layout = opts.layout;
+  row_spec.workers = opts.workers;
+  row_spec.prefix = "rows-";
+  append_classic_phases(m, row_plan, row_spec);
+
+  const std::uint32_t tw_col =
+      rows == cols ? tw_row : m.add_buffer("twiddles-col", rows / 2, true);
+  ClassicPhaseSpec col_spec;
+  col_spec.twiddle_buf = tw_col;
+  col_spec.batch = cols;
+  col_spec.layout = opts.layout;
+  col_spec.workers = opts.workers;
+  col_spec.prefix = "cols-";
+
+  if (shape.square) {
+    append_transpose_inplace(m, data, rows, "transpose");
+    col_spec.data_buf = data;
+    append_classic_phases(m, col_plan, col_spec);
+    append_transpose_inplace(m, data, rows, "transpose-back");
+  } else {
+    const std::uint32_t scratch =
+        m.add_buffer("scratch", rows * cols, /*input=*/false);
+    append_transpose(m, data, scratch, rows, cols, 0, "transpose");
+    col_spec.data_buf = scratch;
+    append_classic_phases(m, col_plan, col_spec);
+    append_transpose(m, scratch, data, cols, rows, 0, "transpose-back");
+  }
+  return m;
+}
+
+PipelineModel build_real_fft_pipeline(std::uint64_t n, unsigned radix_log2,
+                                      const PipelineBuildOptions& opts,
+                                      std::string name) {
+  const fft::RealFftShape shape = fft::real_forward_shape(n, radix_log2);
+  PipelineModel m = make_base(name.empty() ? "real" : std::move(name), n,
+                              radix_log2, opts);
+  // The input is real scalars: half the byte width of the complex
+  // buffers, so the byte-level bank histogram stays honest.
+  const std::uint32_t signal =
+      m.add_buffer("signal", n, /*input=*/true, opts.element_bytes / 2);
+  const std::uint32_t packed =
+      m.add_buffer("packed", shape.half, /*input=*/false);
+  const std::uint32_t out =
+      m.add_buffer("spectrum", shape.half + 1, /*input=*/false);
+
+  // Pack: one serial pass interleaving even/odd samples.
+  {
+    PhaseModel phase;
+    phase.name = "pack";
+    phase.full_coverage.push_back(packed);
+    PipelineTask task;
+    for (std::uint64_t i = 0; i < shape.half; ++i) {
+      task.reads.push_back({signal, 2 * i});
+      task.reads.push_back({signal, 2 * i + 1});
+      task.writes.push_back({packed, i});
+    }
+    phase.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(phase));
+  }
+
+  if (shape.half >= 2) {
+    const fft::FftPlan half_plan(shape.half, shape.radix_log2);
+    ClassicPhaseSpec spec;
+    spec.data_buf = packed;
+    spec.twiddle_buf = m.add_buffer("twiddles", shape.half / 2, true);
+    spec.layout = opts.layout;
+    spec.workers = opts.workers;
+    spec.prefix = "half-";
+    append_classic_phases(m, half_plan, spec);
+  }
+
+  // Untangle: one serial pass over the half+1 output bins; bin k reads
+  // the conjugate-mirror pair of packed bins the kernel reads.
+  {
+    PhaseModel phase;
+    phase.name = "untangle";
+    phase.full_coverage.push_back(out);
+    PipelineTask task;
+    for (std::uint64_t k = 0; k <= shape.half; ++k) {
+      const auto src = fft::real_unpack_sources(k, shape.half);
+      task.reads.push_back({packed, src[0]});
+      task.reads.push_back({packed, src[1]});
+      task.writes.push_back({out, k});
+    }
+    task.flops = (shape.half + 1) * kUntangleFlopsPerBin;
+    phase.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(phase));
+  }
+  return m;
+}
+
+}  // namespace c64fft::analysis

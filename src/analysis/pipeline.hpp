@@ -1,0 +1,157 @@
+#pragma once
+// Multi-phase pipeline model — the composite-plan input language of the
+// static verifier.
+//
+// A PlanModel (model.hpp) describes ONE scheduled classic plan; shipped
+// execution paths are compositions: the four-step path is five
+// barrier-separated passes over two buffers, fft2d is row sweep +
+// transpose + column sweep, real_fft is pack + half-size FFT + untangle.
+// A PipelineModel makes that whole choreography explicit: an ordered list
+// of phases (the runtime's run_phase barriers), each a set of unordered
+// tasks with read/write footprints across named buffers. The builders
+// below derive every footprint from the same hooks the runtime executes —
+// fft::for_each_transpose_tile{,_pair}, fft::four_step_sweep_grain,
+// fft::bitrev_sweep_grain, fft::fft2d_shape, fft::real_forward_shape,
+// fft::real_unpack_sources and the FftPlan index algebra — so the model
+// is the barrier hull of what actually runs, not a parallel description
+// that can drift.
+//
+// Within one phase tasks are unordered (they may run concurrently on any
+// worker); across phases the barrier orders everything. The fine/guided
+// counter schedules refine this hull — their intra-phase orderings are
+// proved separately by verify_graph/detect_races on the per-plan model —
+// so a property proved here (coverage, aliasing-freedom) holds for every
+// shipped schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fft/plan.hpp"
+#include "fft/twiddle.hpp"
+
+namespace c64fft::analysis {
+
+/// One named storage region of the pipeline (the data array, the
+/// four-step scratch, a twiddle table, the packed real-FFT buffer...).
+struct BufferModel {
+  std::string name;
+  /// Element count (elements, not bytes).
+  std::uint64_t elements = 0;
+  /// Defined before phase 0 (transform input, twiddle tables). Reads of
+  /// a non-input buffer are legal only after a phase has written the
+  /// element — the read-before-write proof.
+  bool input = false;
+  /// Byte width of one element; 0 inherits PipelineModel::element_bytes.
+  /// Real-scalar buffers (the real_fft signal) override to half the
+  /// complex width.
+  unsigned element_bytes = 0;
+};
+
+/// One element touched by a task: buffer id + element index.
+struct Access {
+  std::uint32_t buffer = 0;
+  std::uint64_t element = 0;
+};
+
+/// One schedulable unit of a phase (a codelet, a transpose tile, a chunk
+/// of rows of a sub-FFT sweep).
+struct PipelineTask {
+  std::uint64_t index = 0;
+  std::vector<Access> reads;
+  std::vector<Access> writes;
+  /// Real floating-point operations.
+  std::uint64_t flops = 0;
+  /// How many times the task streams its footprint. A four-step row chunk
+  /// re-reads and re-writes its rows once per sub-plan stage; modelling
+  /// that as `passes` keeps the footprint (the coverage input) exact
+  /// while the cost model still charges the repeated traffic.
+  std::uint64_t passes = 1;
+};
+
+/// One barrier-separated phase.
+struct PhaseModel {
+  std::string name;
+  std::vector<PipelineTask> tasks;
+  /// Buffers this phase claims to write completely: the coverage check
+  /// proves every element of each listed buffer is written by exactly one
+  /// task. Phases with partial footprints (bit-reversal, which never
+  /// touches palindromic indices; the in-place square transpose, which
+  /// never touches the diagonal) list nothing and are still proved
+  /// overlap- and alias-free.
+  std::vector<std::uint32_t> full_coverage;
+};
+
+struct PipelineModel {
+  std::string name;
+  /// Transform size (the public N, not a sub-plan size).
+  std::uint64_t n = 0;
+  unsigned radix_log2 = 0;
+  /// Default byte width of one element (16 = double-complex, 8 =
+  /// float-complex); per-buffer override in BufferModel.
+  unsigned element_bytes = 16;
+
+  std::vector<BufferModel> buffers;
+  std::vector<PhaseModel> phases;
+
+  std::uint32_t add_buffer(std::string buf_name, std::uint64_t elements,
+                           bool input, unsigned elem_bytes = 0);
+  std::size_t total_tasks() const;
+  unsigned buffer_element_bytes(std::uint32_t buffer) const;
+};
+
+struct PipelineBuildOptions {
+  /// Worker count the runtime grains its sweeps for (bitrev chunks, row
+  /// chunks) — part of the modelled shape, not an analysis knob.
+  unsigned workers = 4;
+  /// 16 = f64 path, 8 = f32 path.
+  unsigned element_bytes = 16;
+  /// Twiddle storage layout of the classic stage phases.
+  fft::TwiddleLayout layout = fft::TwiddleLayout::kLinear;
+};
+
+/// Classic single-transform pipeline: the chunked bit-reversal phase
+/// (fft::bitrev_sweep_grain) followed by one phase per plan stage.
+PipelineModel build_classic_pipeline(const fft::FftPlan& plan,
+                                     const PipelineBuildOptions& opts = {},
+                                     std::string name = {});
+
+/// Batched pipeline (executor forward_batch/inverse_batch): a root phase
+/// with one codelet per transform (whole-transform bit-reversal) followed
+/// by one phase per stage over all transforms. Transforms are modelled at
+/// consecutive offsets of one data buffer.
+PipelineModel build_batch_pipeline(const fft::FftPlan& plan,
+                                   std::uint64_t batch,
+                                   const PipelineBuildOptions& opts = {},
+                                   std::string name = {});
+
+/// Four-step large-N pipeline (executor run_four_step_locked): blocked
+/// transpose -> n2-row sweep of n1-point FFTs -> fused twiddle-transpose
+/// -> n1-row sweep of n2-point FFTs -> final transpose (in place when
+/// n1 == n2, through scratch plus copy-back otherwise). Transpose tasks
+/// are the kTransposeTile tiles; sweep tasks are the worker-grained row
+/// chunks. Sub-sweep twiddle-table traffic is deliberately not modelled:
+/// the sub-tables are sized cache-resident (that is the point of the
+/// decomposition), so charging them to the banks would overstate off-chip
+/// traffic the shipped path never generates.
+PipelineModel build_four_step_pipeline(std::uint64_t n, unsigned radix_log2,
+                                       const PipelineBuildOptions& opts = {},
+                                       std::string name = {});
+
+/// 2-D row-column pipeline (fft::forward_2d): batched row sweep,
+/// transpose (in place when square, through scratch otherwise), batched
+/// column sweep, transpose back.
+PipelineModel build_fft2d_pipeline(std::uint64_t rows, std::uint64_t cols,
+                                   unsigned radix_log2,
+                                   const PipelineBuildOptions& opts = {},
+                                   std::string name = {});
+
+/// Real-input forward pipeline (fft::real_forward): pack phase (even/odd
+/// interleave into the half-length complex buffer), classic half-point
+/// FFT phases, untangling phase over the half+1 output bins with the
+/// exact conjugate-mirror read pattern (fft::real_unpack_sources).
+PipelineModel build_real_fft_pipeline(std::uint64_t n, unsigned radix_log2,
+                                      const PipelineBuildOptions& opts = {},
+                                      std::string name = {});
+
+}  // namespace c64fft::analysis

@@ -21,7 +21,10 @@ struct Diagnostic {
   Severity severity = Severity::kError;
   /// Stable machine id: "cycle", "threshold-mismatch", "parent-set-mismatch",
   /// "orphan", "deadlock", "over-arrival", "ambiguous-arrival",
-  /// "race-ww", "race-rw", "bank-imbalance", "twiddle-single-bank".
+  /// "race-ww", "race-rw", "bank-imbalance", "twiddle-single-bank";
+  /// pipeline checks add "write-overlap", "phase-aliasing",
+  /// "read-before-write", "coverage-gap", "oob-access",
+  /// "load-imbalance", "bank-bytes-imbalance".
   std::string code;
   std::string message;
   /// Primary codelet the finding anchors to (kNoKey when plan-wide).

@@ -42,6 +42,23 @@ bool env_unsigned(const char* name, unsigned& out) {
 
 }  // namespace
 
+SweepGrain four_step_sweep_grain(std::uint64_t row_count, unsigned workers) {
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(row_count, std::uint64_t{workers} * 4);
+  return {chunks, chunks ? util::ceil_div(row_count, chunks) : 0};
+}
+
+SweepGrain bitrev_sweep_grain(std::uint64_t n, unsigned workers) {
+  const std::uint64_t chunks = std::uint64_t{workers} * 4;
+  return {chunks, util::ceil_div(n, chunks)};
+}
+
+PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2) {
+  return (threshold_log2 != 0 && n >= 4 && util::ilog2(n) >= threshold_log2)
+             ? PlanKind::kFourStep
+             : PlanKind::kClassic;
+}
+
 void FftExecutor::apply_env_overrides() {
   unsigned workers = opts_.workers;
   if (env_unsigned("C64FFT_WORKERS", workers) && workers > 0)
@@ -111,7 +128,7 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
   // by construction, so the recursion depth is exactly one).
   const unsigned threshold =
       four_step_threshold_log2_.load(std::memory_order_relaxed);
-  if (threshold != 0 && n >= 4 && util::ilog2(n) >= threshold) {
+  if (routed_plan_kind(n, threshold) == PlanKind::kFourStep) {
     std::shared_ptr<const PlanEntry> entry = cache_.acquire(
         PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kFourStep,
                 precision_of<T>});
@@ -158,11 +175,11 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
   // per stage-0 codelet, and each transform's butterflies start cache-warm
   // right after its own permutation.
   if (b_count == 1) {
-    const std::uint64_t per = std::uint64_t{rt.workers()} * 4;
-    const std::uint64_t chunk = util::ceil_div(n, per);
+    const SweepGrain grain = bitrev_sweep_grain(n, rt.workers());
+    const std::uint64_t chunk = grain.per;
     std::vector<CodeletKey> seeds;
-    seeds.reserve(per);
-    for (std::uint64_t c = 0; c < per; ++c) seeds.push_back({0, c});
+    seeds.reserve(grain.chunks);
+    for (std::uint64_t c = 0; c < grain.chunks; ++c) seeds.push_back({0, c});
     rt.run_phase(seeds, PoolPolicy::kFifo,
                  [&](CodeletKey key, unsigned, codelet::Pusher&) {
                    std::span<cplx_t<T>> data = batch[0];
@@ -358,12 +375,11 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> d
   for (unsigned w = 0; w < rt.workers(); ++w)
     if (st.row_split[w].size() < 2 * row_len) st.row_split[w].resize(2 * row_len);
 
-  const std::uint64_t chunks =
-      std::min<std::uint64_t>(row_count, std::uint64_t{rt.workers()} * 4);
-  const std::uint64_t per = util::ceil_div(row_count, chunks);
+  const SweepGrain grain = four_step_sweep_grain(row_count, rt.workers());
+  const std::uint64_t per = grain.per;
   std::vector<CodeletKey> seeds;
-  seeds.reserve(chunks);
-  for (std::uint64_t c = 0; c < chunks; ++c) seeds.push_back({0, c});
+  seeds.reserve(grain.chunks);
+  for (std::uint64_t c = 0; c < grain.chunks; ++c) seeds.push_back({0, c});
   rt.run_phase(
       seeds, PoolPolicy::kFifo,
       [&](CodeletKey key, unsigned worker, codelet::Pusher&) {

@@ -67,6 +67,29 @@ namespace c64fft::fft {
 /// shared default stays size-based for predictability.)
 inline constexpr unsigned kDefaultFourStepThresholdLog2 = 18;
 
+/// Chunk decomposition of the executor's data-parallel utility phases
+/// (`chunks` codelets of `per` units each; the last chunk may be short).
+/// Exposed so the static pipeline model (analysis::build_*_pipeline)
+/// enumerates exactly the codelet grain the executor runs — these are
+/// model-builder hooks, not tuning knobs.
+struct SweepGrain {
+  std::uint64_t chunks = 0;
+  std::uint64_t per = 0;
+};
+
+/// Grain of the four-step sub-FFT row sweeps (run_rows_locked): row_count
+/// plan-sized rows spread over at most workers*4 row-chunk codelets.
+SweepGrain four_step_sweep_grain(std::uint64_t row_count, unsigned workers);
+
+/// Grain of the single-transform chunked bit-reversal phase
+/// (run_classic_locked): always workers*4 chunk codelets over n elements.
+SweepGrain bitrev_sweep_grain(std::uint64_t n, unsigned workers);
+
+/// The PlanKind run_t routes an n-point transform to under
+/// `threshold_log2` (0 disables four-step routing) — the executor's own
+/// routing predicate, shared with fft_lint --plan-kind=auto.
+PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2);
+
 struct ExecutorOptions {
   /// Team shape used by the option-less transform overloads (per-call
   /// HostFftOptions override it, recreating the team when they differ).

@@ -11,12 +11,6 @@ namespace c64fft::fft {
 
 namespace {
 
-void check_dims(std::size_t size, std::uint64_t rows, std::uint64_t cols) {
-  if (!util::is_pow2(rows) || !util::is_pow2(cols) || rows < 2 || cols < 2)
-    throw std::invalid_argument("fft2d: dimensions must be powers of two >= 2");
-  if (size != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
-}
-
 // Transform every row as one batched executor submission: the rows share
 // the cached plan/twiddles and run as codelets of one phase set on the
 // persistent team (the old per-call HostRuntime + serial-kernel-per-row
@@ -24,13 +18,13 @@ void check_dims(std::size_t size, std::uint64_t rows, std::uint64_t cols) {
 // same work-stealing deques.
 template <typename T>
 void rows_pass(std::span<cplx_t<T>> data, std::uint64_t rows, std::uint64_t cols,
-               const HostFftOptions& opts, Variant variant) {
+               unsigned radix_log2, const HostFftOptions& opts, Variant variant) {
   std::vector<std::span<cplx_t<T>>> row_spans;
   row_spans.reserve(rows);
   for (std::uint64_t r = 0; r < rows; ++r)
     row_spans.push_back(data.subspan(r * cols, cols));
   HostFftOptions clamped = opts;
-  clamped.radix_log2 = validate_fft_shape(cols, opts.radix_log2, /*clamp_radix=*/true);
+  clamped.radix_log2 = radix_log2;
   default_executor().forward_batch(row_spans, clamped, variant);
 }
 
@@ -38,21 +32,22 @@ template <typename T>
 void forward_2d_impl(std::span<cplx_t<T>> data, std::uint64_t rows,
                      std::uint64_t cols, const HostFftOptions& opts,
                      Variant variant) {
-  check_dims(data.size(), rows, cols);
-  rows_pass<T>(data, rows, cols, opts, variant);
+  const Fft2dShape shape = fft2d_shape(data.size(), rows, cols, opts.radix_log2);
+  rows_pass<T>(data, rows, cols, shape.row_radix_log2, opts, variant);
   // Column pass via the cache-blocked transpose kernels (transpose.hpp):
   // square matrices flip in place, rectangular ones bounce through one
   // scratch buffer.
-  if (rows == cols) {
+  if (shape.square) {
     transpose_inplace_square(data, rows);
-    rows_pass<T>(data, cols, rows, opts, variant);
+    rows_pass<T>(data, cols, rows, shape.col_radix_log2, opts, variant);
     transpose_inplace_square(data, rows);
     return;
   }
   std::vector<cplx_t<T>> t(data.size());
   transpose_blocked(std::span<const cplx_t<T>>(data.data(), data.size()), t,
                     rows, cols);
-  rows_pass<T>(std::span<cplx_t<T>>(t), cols, rows, opts, variant);
+  rows_pass<T>(std::span<cplx_t<T>>(t), cols, rows, shape.col_radix_log2, opts,
+               variant);
   transpose_blocked(std::span<const cplx_t<T>>(t.data(), t.size()), data, cols,
                     rows);
 }
@@ -61,7 +56,7 @@ template <typename T>
 void inverse_2d_impl(std::span<cplx_t<T>> data, std::uint64_t rows,
                      std::uint64_t cols, const HostFftOptions& opts,
                      Variant variant) {
-  check_dims(data.size(), rows, cols);
+  (void)fft2d_shape(data.size(), rows, cols, opts.radix_log2);
   for (auto& v : data) v = std::conj(v);
   forward_2d_impl<T>(data, rows, cols, opts, variant);
   const T inv = static_cast<T>(1.0 / static_cast<double>(data.size()));
@@ -69,6 +64,20 @@ void inverse_2d_impl(std::span<cplx_t<T>> data, std::uint64_t rows,
 }
 
 }  // namespace
+
+Fft2dShape fft2d_shape(std::size_t size, std::uint64_t rows, std::uint64_t cols,
+                       unsigned radix_log2) {
+  if (!util::is_pow2(rows) || !util::is_pow2(cols) || rows < 2 || cols < 2)
+    throw std::invalid_argument("fft2d: dimensions must be powers of two >= 2");
+  if (size != rows * cols) throw std::invalid_argument("fft2d: size mismatch");
+  Fft2dShape s;
+  s.rows = rows;
+  s.cols = cols;
+  s.square = rows == cols;
+  s.row_radix_log2 = validate_fft_shape(cols, radix_log2, /*clamp_radix=*/true);
+  s.col_radix_log2 = validate_fft_shape(rows, radix_log2, /*clamp_radix=*/true);
+  return s;
+}
 
 void forward_2d(std::span<cplx> data, std::uint64_t rows, std::uint64_t cols,
                 const HostFftOptions& opts, Variant variant) {

@@ -20,6 +20,10 @@ unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_rad
   return radix_log2;
 }
 
+const char* to_string(PlanKind kind) noexcept {
+  return kind == PlanKind::kFourStep ? "four-step" : "classic";
+}
+
 FourStepSplit four_step_split(std::uint64_t n) {
   if (!util::is_pow2(n) || n < 4)
     throw std::invalid_argument("four_step_split: N must be a power of two >= 4");

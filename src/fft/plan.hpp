@@ -49,6 +49,10 @@ struct StageInfo {
 ///    The executor routes N at/above its threshold through this kind.
 enum class PlanKind { kClassic, kFourStep };
 
+/// Stable lower-case name ("classic" / "four-step") used by lint tooling
+/// and baseline metric keys.
+const char* to_string(PlanKind kind) noexcept;
+
 /// Factorization N = n1 * n2 used by the four-step path. Balanced
 /// (n1 = 2^floor(log2(N)/2) <= n2) so both sub-transforms are as small —
 /// and as cache-resident — as possible; the matrix view has n1 rows of

@@ -22,19 +22,22 @@ template <typename T>
 std::vector<cplx_t<T>> real_forward_impl(std::span<const T> signal,
                                          const HostFftOptions& opts,
                                          Variant variant) {
-  const std::uint64_t n = signal.size();
-  if (!util::is_pow2(n) || n < 2)
-    throw std::invalid_argument("real_forward: length must be a power of two >= 2");
-  const std::uint64_t half = n / 2;
+  const RealFftShape shape = real_forward_shape(signal.size(), opts.radix_log2);
+  const std::uint64_t n = shape.n;
+  const std::uint64_t half = shape.half;
 
   // Pack even samples into the real parts and odd samples into the
   // imaginary parts of an N/2-point complex sequence.
   std::vector<cplx_t<T>> packed(half);
   for (std::uint64_t i = 0; i < half; ++i)
     packed[i] = cplx_t<T>(signal[2 * i], signal[2 * i + 1]);
-  if (half >= 2) default_executor().forward(std::span<cplx_t<T>>(packed),
-                                            clamp_for(half, opts), variant);
-  else packed[0] = cplx_t<T>(signal[0], signal[1]);
+  if (half >= 2) {
+    HostFftOptions sub = opts;
+    sub.radix_log2 = shape.radix_log2;
+    default_executor().forward(std::span<cplx_t<T>>(packed), sub, variant);
+  } else {
+    packed[0] = cplx_t<T>(signal[0], signal[1]);
+  }
 
   // Untangle: with E/O the transforms of the even/odd subsequences,
   //   Z[k] = E[k] + i O[k],  Z*[half-k] = E[k] - i O[k]
@@ -43,8 +46,9 @@ std::vector<cplx_t<T>> real_forward_impl(std::span<const T> signal,
   const double step = -2.0 * std::numbers::pi / static_cast<double>(n);
   const T h = static_cast<T>(0.5);
   for (std::uint64_t k = 0; k <= half; ++k) {
-    const cplx_t<T> zk = packed[k % half];
-    const cplx_t<T> zm = std::conj(packed[(half - k) % half]);
+    const auto src = real_unpack_sources(k, half);
+    const cplx_t<T> zk = packed[src[0]];
+    const cplx_t<T> zm = std::conj(packed[src[1]]);
     const cplx_t<T> even = h * (zk + zm);
     const cplx_t<T> odd = cplx_t<T>(0, -h) * (zk - zm);
     const cplx_t<T> w(static_cast<T>(std::cos(step * static_cast<double>(k))),
@@ -90,6 +94,18 @@ std::vector<T> real_inverse_impl(std::span<const cplx_t<T>> half_spectrum,
 }
 
 }  // namespace
+
+RealFftShape real_forward_shape(std::uint64_t n, unsigned radix_log2) {
+  if (!util::is_pow2(n) || n < 2)
+    throw std::invalid_argument("real_forward: length must be a power of two >= 2");
+  RealFftShape s;
+  s.n = n;
+  s.half = n / 2;
+  s.radix_log2 =
+      s.half >= 2 ? validate_fft_shape(s.half, radix_log2, /*clamp_radix=*/true)
+                  : 0;
+  return s;
+}
 
 std::vector<cplx> real_forward(std::span<const double> signal,
                                const HostFftOptions& opts, Variant variant) {

@@ -6,12 +6,36 @@
 // overloads are the f32 path (untangling trig still evaluated in double,
 // narrowed per factor).
 
+#include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "fft/variants.hpp"
 
 namespace c64fft::fft {
+
+/// Validated shape of one real forward transform: the N/2-point packed
+/// complex sub-transform and its clamped radix. Model-builder hook shared
+/// between real_forward and the static pipeline model
+/// (analysis::build_real_fft_pipeline). Throws std::invalid_argument when
+/// n is not a power of two >= 2.
+struct RealFftShape {
+  std::uint64_t n = 0;
+  std::uint64_t half = 0;
+  /// Radix of the half-point packed transform after the clamp; 0 when the
+  /// packed length is 1 (n == 2) and no sub-transform runs.
+  unsigned radix_log2 = 0;
+};
+RealFftShape real_forward_shape(std::uint64_t n, unsigned radix_log2);
+
+/// Packed-spectrum elements bin k of the untangled half-spectrum reads:
+/// {k % half, (half - k) % half}. Exposed so the static verifier proves
+/// the untangling pass against the same index algebra the kernel runs.
+inline std::array<std::uint64_t, 2> real_unpack_sources(std::uint64_t k,
+                                                        std::uint64_t half) {
+  return {k % half, (half - k) % half};
+}
 
 /// Forward transform of a real sequence (power-of-two length N >= 2).
 /// Returns the N/2+1 non-redundant spectrum bins X[0..N/2]; the remaining

@@ -8,8 +8,6 @@ namespace c64fft::fft {
 
 namespace {
 
-constexpr std::uint64_t kTile = kTransposeTile;
-
 void check_shape(std::size_t src_size, std::size_t dst_size, std::uint64_t rows,
                  std::uint64_t cols) {
   if (src_size != rows * cols || dst_size != rows * cols)
@@ -32,32 +30,32 @@ template <typename T>
 void blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> dst,
                   std::uint64_t rows, std::uint64_t cols) {
   check_shape(src.size(), dst.size(), rows, cols);
-  for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
-    const std::uint64_t rmax = std::min(rows, r0 + kTile);
-    for (std::uint64_t c0 = 0; c0 < cols; c0 += kTile) {
-      const std::uint64_t cmax = std::min(cols, c0 + kTile);
-      for (std::uint64_t r = r0; r < rmax; ++r)
-        for (std::uint64_t c = c0; c < cmax; ++c)
-          dst[c * rows + r] = src[r * cols + c];
-    }
-  }
+  for_each_transpose_tile(
+      rows, cols,
+      [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
+          std::uint64_t cmax) {
+        for (std::uint64_t r = r0; r < rmax; ++r)
+          for (std::uint64_t c = c0; c < cmax; ++c)
+            dst[c * rows + r] = src[r * cols + c];
+      });
 }
 
 template <typename T>
 void inplace_square_impl(std::span<cplx_t<T>> data, std::uint64_t n) {
   check_shape(data.size(), data.size(), n, n);
-  for (std::uint64_t r0 = 0; r0 < n; r0 += kTile) {
-    const std::uint64_t rmax = std::min(n, r0 + kTile);
-    transpose_diag_tile<T>(data.data(), n, r0, rmax);
-    // Off-diagonal tiles come in mirror pairs: swap-transpose (r0,c0)
-    // with (c0,r0) in one pass so each pair is touched exactly once.
-    for (std::uint64_t c0 = r0 + kTile; c0 < n; c0 += kTile) {
-      const std::uint64_t cmax = std::min(n, c0 + kTile);
-      for (std::uint64_t r = r0; r < rmax; ++r)
-        for (std::uint64_t c = c0; c < cmax; ++c)
-          std::swap(data[r * n + c], data[c * n + r]);
-    }
-  }
+  // Off-diagonal tiles come in mirror pairs: swap-transpose (r0,c0)
+  // with (c0,r0) in one pass so each pair is touched exactly once.
+  for_each_transpose_tile_pair(
+      n, [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
+             std::uint64_t cmax) {
+        if (r0 == c0) {
+          transpose_diag_tile<T>(data.data(), n, r0, rmax);
+          return;
+        }
+        for (std::uint64_t r = r0; r < rmax; ++r)
+          for (std::uint64_t c = c0; c < cmax; ++c)
+            std::swap(data[r * n + c], data[c * n + r]);
+      });
 }
 
 template <typename T>
@@ -67,31 +65,30 @@ void twiddle_blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> d
   check_shape(src.size(), dst.size(), rows, cols);
   const std::uint64_t n = rows * cols;
   const cplx_t<T> w1 = unit_root<T>(n, 1, dir);
-  for (std::uint64_t r0 = 0; r0 < rows; r0 += kTile) {
-    const std::uint64_t rmax = std::min(rows, r0 + kTile);
-    for (std::uint64_t c0 = 0; c0 < cols; c0 += kTile) {
-      const std::uint64_t cmax = std::min(cols, c0 + kTile);
-      // The factors W^(r*c) are geometric along both tile axes: along a
-      // source row the ratio is W^r, and from one row to the next the
-      // row seed W^(r*c0) advances by W^c0 while the row ratio W^r
-      // advances by W^1. Three unit-root evaluations therefore seed the
-      // whole tile and recurrences of at most kTile multiplies cover the
-      // rest (r*c < rows*cols, so the exponents never need reduction;
-      // every chain is at most 2*kTile multiplies from a fresh sincos).
-      cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
-      cplx_t<T> step = unit_root<T>(n, r0, dir);
-      const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
-      for (std::uint64_t r = r0; r < rmax; ++r) {
-        cplx_t<T> w = w_row;
-        for (std::uint64_t c = c0; c < cmax; ++c) {
-          dst[c * rows + r] = src[r * cols + c] * w;
-          w *= step;
+  for_each_transpose_tile(
+      rows, cols,
+      [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
+          std::uint64_t cmax) {
+        // The factors W^(r*c) are geometric along both tile axes: along a
+        // source row the ratio is W^r, and from one row to the next the
+        // row seed W^(r*c0) advances by W^c0 while the row ratio W^r
+        // advances by W^1. Three unit-root evaluations therefore seed the
+        // whole tile and recurrences of at most kTile multiplies cover the
+        // rest (r*c < rows*cols, so the exponents never need reduction;
+        // every chain is at most 2*kTile multiplies from a fresh sincos).
+        cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
+        cplx_t<T> step = unit_root<T>(n, r0, dir);
+        const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
+        for (std::uint64_t r = r0; r < rmax; ++r) {
+          cplx_t<T> w = w_row;
+          for (std::uint64_t c = c0; c < cmax; ++c) {
+            dst[c * rows + r] = src[r * cols + c] * w;
+            w *= step;
+          }
+          w_row *= w_col;
+          step *= w1;
         }
-        w_row *= w_col;
-        step *= w1;
-      }
-    }
-  }
+      });
 }
 
 }  // namespace

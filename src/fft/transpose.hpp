@@ -23,6 +23,7 @@
 //    array of a huge transform is never materialized. The recurrences run
 //    in the element precision from double-rounded seeds.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
@@ -35,6 +36,36 @@ namespace c64fft::fft {
 /// four cache lines per tile row — both tiles stay L1-resident while each
 /// 64 B line is read/written whole.
 inline constexpr std::uint64_t kTransposeTile = 16;
+
+/// Invokes fn(r0, rmax, c0, cmax) once per tile of the blocked traversal,
+/// in kernel order. This is the single source of truth for the tiling:
+/// the kernels below iterate it to move data, and the static pipeline
+/// model (analysis::build_*_pipeline) iterates it to enumerate tile-task
+/// footprints — so the verifier proves properties of exactly the tiles
+/// the kernel executes, never a lookalike decomposition.
+template <typename Fn>
+inline void for_each_transpose_tile(std::uint64_t rows, std::uint64_t cols,
+                                    Fn&& fn) {
+  for (std::uint64_t r0 = 0; r0 < rows; r0 += kTransposeTile) {
+    const std::uint64_t rmax = std::min(rows, r0 + kTransposeTile);
+    for (std::uint64_t c0 = 0; c0 < cols; c0 += kTransposeTile)
+      fn(r0, rmax, c0, std::min(cols, c0 + kTransposeTile));
+  }
+}
+
+/// Tile traversal of the in-place square transpose: fn(r0, rmax, c0, cmax)
+/// with c0 == r0 for diagonal tiles (upper-triangle swaps within the tile)
+/// and c0 > r0 for off-diagonal mirror pairs (each pair visited once; the
+/// callee owns BOTH the (r0,c0) tile and its (c0,r0) mirror).
+template <typename Fn>
+inline void for_each_transpose_tile_pair(std::uint64_t n, Fn&& fn) {
+  for (std::uint64_t r0 = 0; r0 < n; r0 += kTransposeTile) {
+    const std::uint64_t rmax = std::min(n, r0 + kTransposeTile);
+    fn(r0, rmax, r0, rmax);
+    for (std::uint64_t c0 = r0 + kTransposeTile; c0 < n; c0 += kTransposeTile)
+      fn(r0, rmax, c0, std::min(n, c0 + kTransposeTile));
+  }
+}
 
 /// dst[c * rows + r] = src[r * cols + c] for a row-major rows x cols
 /// `src`. `dst` must not alias `src`. Throws std::invalid_argument on

@@ -11,8 +11,11 @@
 #include <algorithm>
 #include <string>
 
+#include "analysis/baseline.hpp"
 #include "analysis/model.hpp"
+#include "fft/executor.hpp"
 #include "fft/plan.hpp"
+#include "util/json.hpp"
 
 namespace c64fft::analysis {
 namespace {
@@ -326,6 +329,239 @@ TEST(Analyzer, JsonReportIsWellFormed) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+// ---- Pipeline model: shipped composite shapes verify clean ----
+
+TEST(Pipeline, EveryBuilderIsCleanAtBothPrecisions) {
+  for (const unsigned eb : {16u, 8u}) {
+    PipelineBuildOptions opts;
+    opts.element_bytes = eb;
+    std::vector<PipelineModel> models;
+    models.push_back(build_classic_pipeline(FftPlan(4096, 6), opts));
+    opts.layout = TwiddleLayout::kBitReversed;
+    models.push_back(build_classic_pipeline(FftPlan(4096, 6), opts));
+    opts.layout = TwiddleLayout::kLinear;
+    models.push_back(build_batch_pipeline(FftPlan(256, 6), 8, opts));
+    models.push_back(build_four_step_pipeline(4096, 6, opts));   // 64 x 64
+    models.push_back(build_four_step_pipeline(8192, 6, opts));   // 64 x 128
+    models.push_back(build_fft2d_pipeline(32, 32, 6, opts));
+    models.push_back(build_fft2d_pipeline(16, 32, 6, opts));
+    models.push_back(build_real_fft_pipeline(512, 6, opts));
+    for (const PipelineModel& m : models) {
+      const auto report = analyze_pipeline(m);
+      EXPECT_EQ(report.errors(), 0u)
+          << m.name << " eb=" << eb << "\n" << report.to_json();
+      EXPECT_EQ(report.schedule, "pipeline");
+      EXPECT_EQ(check_of(report, "coverage").status, "pass")
+          << m.name << "\n" << report.to_json();
+      EXPECT_EQ(check_of(report, "coverage").metrics.at("write_overlaps"), 0.0);
+      EXPECT_EQ(check_of(report, "coverage").metrics.at("undefined_reads"), 0.0);
+    }
+  }
+}
+
+TEST(Pipeline, ModelMirrorsExecutorGrains) {
+  // The model's phase shapes must be the executor's, derived from the
+  // same hooks — not a lookalike that can drift.
+  PipelineBuildOptions opts;
+  opts.workers = 4;
+  const PipelineModel classic = build_classic_pipeline(FftPlan(4096, 6), opts);
+  ASSERT_GE(classic.phases.size(), 2u);
+  EXPECT_EQ(classic.phases.front().name, "bitrev");
+  EXPECT_EQ(classic.phases.front().tasks.size(),
+            fft::bitrev_sweep_grain(4096, 4).chunks);
+  EXPECT_EQ(classic.phases[1].tasks.size(), FftPlan(4096, 6).tasks_per_stage());
+
+  const PipelineModel fs = build_four_step_pipeline(4096, 6, opts);  // 64 x 64
+  ASSERT_EQ(fs.phases.size(), 5u);
+  EXPECT_EQ(fs.phases[1].name, "col-sweep");
+  EXPECT_EQ(fs.phases[1].tasks.size(), fft::four_step_sweep_grain(64, 4).chunks);
+  // Square split: the final transpose runs in place, no copy-back phase.
+  EXPECT_EQ(fs.phases.back().name, "final-transpose");
+  const PipelineModel rect = build_four_step_pipeline(8192, 6, opts);
+  EXPECT_EQ(rect.phases.back().name, "copy-back");
+}
+
+// ---- Seeded pipeline defects ----
+
+TEST(Pipeline, SeededTileOverlapIsCaught) {
+  PipelineModel m = build_four_step_pipeline(4096, 6);
+  // A transpose tile that also writes its neighbour's first element — the
+  // tile-bounds off-by-one the coverage proof exists for.
+  PhaseModel& transpose = m.phases.front();
+  ASSERT_GE(transpose.tasks.size(), 2u);
+  transpose.tasks[1].writes.push_back(transpose.tasks[0].writes.front());
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "coverage", "write-overlap")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, SeededDroppedTileIsACoverageGap) {
+  PipelineModel m = build_four_step_pipeline(4096, 6);
+  m.phases.front().tasks.pop_back();
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "coverage", "coverage-gap")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, SeededMissingProducerPhaseIsReadBeforeWrite) {
+  PipelineModel m = build_four_step_pipeline(4096, 6);
+  // Drop the initial transpose: the column sweep now reads scratch no
+  // phase ever wrote.
+  m.phases.erase(m.phases.begin());
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "coverage", "read-before-write"))
+      << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, SeededIntraPhaseAliasIsCaught) {
+  PipelineModel m = build_four_step_pipeline(4096, 6);
+  // A tile reading an element another tile of the same phase writes:
+  // unordered tasks, so the read races the write (fused-stage aliasing).
+  PhaseModel& transpose = m.phases.front();
+  transpose.tasks[0].reads.push_back(transpose.tasks[1].writes.front());
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "coverage", "phase-aliasing")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, SeededOutOfBoundsAccessIsCaught) {
+  PipelineModel m = build_classic_pipeline(FftPlan(256, 6));
+  PipelineTask& task = m.phases.back().tasks.front();
+  task.writes.push_back({0, m.buffers[0].elements});  // one past the end
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "coverage", "oob-access")) << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, SameTaskRewriteIsLegal) {
+  // "Exactly once" is per element per phase across distinct tasks: a
+  // task revisiting its own element (in-place multi-level butterflies)
+  // must not trip the proof.
+  PipelineModel m = build_classic_pipeline(FftPlan(256, 6));
+  PipelineTask& task = m.phases.back().tasks.front();
+  task.writes.push_back(task.writes.front());
+  const auto report = analyze_pipeline(m);
+  EXPECT_EQ(report.errors(), 0u) << report.to_json();
+}
+
+TEST(Pipeline, SeededSkewIsFlaggedAndStrictPromotes) {
+  PipelineModel skewed = build_classic_pipeline(FftPlan(4096, 6));
+  // One codelet of the last stage streams its footprint 64x: the skewed
+  // schedule the cost model exists for.
+  skewed.phases.back().tasks.front().passes *= 64;
+  const auto report = analyze_pipeline(skewed);
+  EXPECT_TRUE(has_code(report, "cost", "load-imbalance")) << report.to_json();
+  EXPECT_EQ(report.errors(), 0u);  // warning by default
+
+  PipelineAnalysisOptions strict;
+  strict.cost.strict = true;
+  const auto hard = analyze_pipeline(skewed, strict);
+  EXPECT_GT(hard.errors(), 0u);
+  EXPECT_FALSE(hard.passed());
+}
+
+TEST(Pipeline, SeededBankConcentrationIsFlagged) {
+  // Hand-built phase whose every access strides by banks * interleave
+  // bytes: all traffic on the base bank, imbalance = banks.
+  PipelineModel m;
+  m.name = "seeded-bank";
+  m.n = 64;
+  const std::uint32_t buf = m.add_buffer("data", 64, /*input=*/true);
+  PhaseModel phase;
+  phase.name = "hot";
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    PipelineTask task;
+    task.index = t;
+    for (std::uint64_t e = 0; e < 64; e += 16)  // 16 * 16 B = 256 B stride
+      task.reads.push_back({buf, e});
+    phase.tasks.push_back(std::move(task));
+  }
+  m.phases.push_back(std::move(phase));
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "cost", "bank-bytes-imbalance"))
+      << report.to_json();
+  EXPECT_EQ(check_of(report, "cost").metrics.at("bank_imbalance"), 4.0);
+}
+
+TEST(Pipeline, CostProfileIsConsistent) {
+  const PipelineModel m = build_four_step_pipeline(1 << 14, 6);
+  const auto report = analyze_pipeline(m);
+  const auto& metrics = check_of(report, "cost").metrics;
+  const double span = metrics.at("span_cost");
+  const double work = metrics.at("total_work");
+  const double bound = metrics.at("makespan_bound");
+  // Graham's bound is sandwiched between the two trivial schedules.
+  EXPECT_GE(bound, span * (1.0 - 1e-9));
+  EXPECT_LE(bound, work * (1.0 + 1e-9));
+  EXPECT_GE(metrics.at("avg_parallelism"), 1.0);
+  // Per-phase rows exist for every phase.
+  for (std::size_t p = 0; p < m.phases.size(); ++p)
+    EXPECT_TRUE(metrics.count("phase" + std::to_string(p) + "_span")) << p;
+}
+
+// ---- Baseline gate ----
+
+TEST(LintBaseline, RowsRoundTripThroughJson) {
+  const auto rows = collect_lint_rows();
+  ASSERT_EQ(rows.size(), 14u);  // 7 shapes x 2 precisions
+  const std::string json = lint_rows_to_json(rows);
+  const auto parsed = lint_rows_from_json(util::json_parse(json));
+  ASSERT_EQ(parsed.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(parsed[i].key, rows[i].key);
+    ASSERT_EQ(parsed[i].metrics.size(), rows[i].metrics.size());
+    for (std::size_t k = 0; k < rows[i].metrics.size(); ++k) {
+      EXPECT_EQ(parsed[i].metrics[k].first, rows[i].metrics[k].first);
+      EXPECT_EQ(parsed[i].metrics[k].second, rows[i].metrics[k].second);
+    }
+  }
+  // Deterministic inputs: a self-diff is clean at any tolerance.
+  LintGateOptions tight;
+  tight.tolerance = 0.0;
+  EXPECT_FALSE(has_lint_regression(diff_lint_rows(rows, rows, tight)));
+}
+
+TEST(LintBaseline, GateCatchesRegressionAndMissingRow) {
+  const auto baseline = collect_lint_rows();
+  auto current = collect_lint_rows();
+
+  // Higher-is-worse drift beyond tolerance fails...
+  for (auto& [name, value] : current[0].metrics)
+    if (name == "span_cost") value *= 1.2;
+  auto deltas = diff_lint_rows(baseline, current, {});
+  EXPECT_TRUE(has_lint_regression(deltas));
+  bool found = false;
+  for (const auto& d : deltas)
+    if (d.key == baseline[0].key && d.metric == "span_cost") {
+      EXPECT_TRUE(d.regressed);
+      EXPECT_NEAR(d.worse_ratio, 1.2, 1e-9);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+
+  // ...as does a lower-is-worse drop in parallelism...
+  current = collect_lint_rows();
+  for (auto& [name, value] : current[1].metrics)
+    if (name == "avg_parallelism") value *= 0.8;
+  EXPECT_TRUE(has_lint_regression(diff_lint_rows(baseline, current, {})));
+
+  // ...and a shape silently vanishing from the matrix.
+  current = collect_lint_rows();
+  current.pop_back();
+  deltas = diff_lint_rows(baseline, current, {});
+  EXPECT_TRUE(has_lint_regression(deltas));
+  const std::string report = format_lint_report(deltas, {});
+  EXPECT_NE(report.find("missing"), std::string::npos);
+  EXPECT_NE(report.find("FAIL"), std::string::npos);
+
+  // Within-tolerance drift passes.
+  current = collect_lint_rows();
+  for (auto& [name, value] : current[0].metrics)
+    if (name == "span_cost") value *= 1.05;
+  EXPECT_FALSE(has_lint_regression(diff_lint_rows(baseline, current, {})));
 }
 
 }  // namespace

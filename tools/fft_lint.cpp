@@ -1,25 +1,42 @@
-// fft_lint — static plan verifier and schedule race lint.
+// fft_lint — static plan verifier, schedule race lint, whole-pipeline
+// write-coverage proof and critical-path/load cost model.
 //
-// Checks an FFT plan's codelet graph (acyclicity, counter thresholds,
-// orphans, deadlock-freedom), proves the schedule race-free from the
-// footprint algebra, and lints the DRAM bank balance of the chosen
-// twiddle layout — all without executing a single codelet. --cache-sets
-// adds the host-side report mode: the per-stage stride -> cache-set
-// histogram that flags stages whose chain walk folds onto few sets (the
-// conflict-miss regime the four-step path avoids). Exit status is 0 when
-// no check reports an error (bank and cache-set findings are warnings
-// unless --strict-banks / --strict-sets), 1 otherwise, 2 on usage errors.
+// Per-plan checks (classic plans): the codelet graph (acyclicity, counter
+// thresholds, orphans, deadlock-freedom), a race-freedom proof from the
+// footprint algebra, the DRAM bank balance of the chosen twiddle layout,
+// and optionally (--cache-sets) the host cache-set conflict report.
+// Whole-pipeline checks (--coverage / --critical-path, or any composite
+// --plan-kind): the write-coverage / single-assignment proof and the
+// critical-path & load cost model over the composite pipeline model
+// (transposes, sub-FFT sweeps, pack/untangle passes) built from the same
+// hooks the executor runs. --all statically verifies the full shipped
+// matrix: every Table-I schedule/layout variant plus every composite kind
+// (classic, four-step, batch, 2-D, real) at both precisions.
+//
+// Exit status classifies the most fundamental failed check so CI can
+// triage without parsing:
+//   0  every check passed (warnings allowed unless --strict-*)
+//   1  errors of no classified check (unexpected)
+//   2  usage / model-construction error
+//   3  graph check failed (cycle, counter mismatch, deadlock)
+//   4  race check failed
+//   5  coverage proof failed (write-overlap, aliasing, gap, oob)
+//   6  cost model failed (--strict-cost imbalance)
+//   7  bank / cache-set lint failed (--strict-banks / --strict-sets)
 //
 //   fft_lint --logn=12 --layout=linear --schedule=fine --json
-//   fft_lint --all-variants            # lint every shipped Table-I variant
-//   fft_lint --logn=18 --cache-sets    # large-N cache-set conflict report
+//   fft_lint --all-variants             # every shipped Table-I variant
+//   fft_lint --plan-kind=four-step --logn=18 --coverage --critical-path
+//   fft_lint --all                      # full shipped matrix, all checks
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "fft/executor.hpp"
 #include "util/cli.hpp"
 
 using namespace c64fft;
@@ -58,16 +75,59 @@ void print_human(const analysis::AnalysisReport& report) {
             << report.warnings() << " warning(s))\n";
 }
 
+/// Exit code of the most fundamental failed check across all reports.
+int classify_exit(const std::vector<analysis::AnalysisReport>& reports) {
+  bool any_error = false;
+  bool graph = false, races = false, coverage = false, cost = false,
+       banks = false;
+  for (const analysis::AnalysisReport& r : reports) {
+    for (const analysis::CheckResult& c : r.checks) {
+      if (c.errors() == 0) continue;
+      any_error = true;
+      graph |= c.name == "graph";
+      races |= c.name == "races";
+      coverage |= c.name == "coverage";
+      cost |= c.name == "cost";
+      banks |= c.name == "banks" || c.name == "cache-sets";
+    }
+  }
+  if (graph) return 3;
+  if (races) return 4;
+  if (coverage) return 5;
+  if (cost) return 6;
+  if (banks) return 7;
+  return any_error ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliParser cli(
-      "fft_lint — static plan verifier, schedule race lint and DRAM "
-      "bank-balance lint");
+      "fft_lint — static plan verifier, schedule race lint, pipeline "
+      "write-coverage proof and critical-path cost model.\n"
+      "Exit codes: 0 pass, 1 unclassified error, 2 usage error, 3 graph "
+      "check failed, 4 race check failed, 5 coverage proof failed, 6 cost "
+      "model failed, 7 bank/cache-set lint failed (most fundamental check "
+      "wins)");
   cli.add_int("logn", 12, "log2 of the FFT size to lint");
   cli.add_int("radix-log2", 6, "log2 of the codelet radix (paper: 6)");
   cli.add_string("layout", "linear", "twiddle layout: linear | hashed");
   cli.add_string("schedule", "fine", "scheduler: coarse | fine | guided");
+  cli.add_string("plan-kind", "classic",
+                 "pipeline shape: classic | four-step | batch | fft2d | "
+                 "real | auto (executor routing for --logn)");
+  cli.add_int("batch", 8, "transforms per batch for --plan-kind=batch");
+  cli.add_int("rows-log2", 6, "log2 of the matrix rows for --plan-kind=fft2d");
+  cli.add_int("cols-log2", 6, "log2 of the matrix cols for --plan-kind=fft2d");
+  cli.add_int("workers", 4,
+              "worker count the pipeline model grains its sweeps for");
+  cli.add_flag("coverage",
+               "run the pipeline write-coverage proof (implied by composite "
+               "plan kinds and --all)");
+  cli.add_flag("critical-path",
+               "run the pipeline critical-path/load cost model (implied by "
+               "composite plan kinds and --all)");
+  cli.add_flag("strict-cost", "report cost findings as errors, not warnings");
   cli.add_int("banks", 4, "DRAM banks of the modelled chip");
   cli.add_int("interleave", 64, "bank interleave in bytes");
   cli.add_int("element-bytes", 0,
@@ -84,6 +144,12 @@ int main(int argc, char** argv) {
                  "flag stages touching less than this fraction of the sets");
   cli.add_flag("strict-sets", "report cache-set findings as errors, not warnings");
   cli.add_flag("all-variants", "lint every shipped Table-I plan variant");
+  cli.add_flag("all",
+               "statically verify the whole shipped matrix: every Table-I "
+               "variant plus every composite plan kind, both precisions");
+  cli.add_string("seed-defect", "",
+                 "inject a known defect to exercise the exit codes: cycle | "
+                 "race | tile-overlap | skew");
   cli.add_flag("json", "emit the JSON report on stdout");
   cli.add_string("json-file", "", "also write the JSON report to this path");
 
@@ -94,7 +160,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const int elem_bytes = cli.get_int("element-bytes");
+  const int elem_bytes = static_cast<int>(cli.get_int("element-bytes"));
   if (elem_bytes != 0 && elem_bytes != 8 && elem_bytes != 16) {
     std::cerr << "fft_lint: --element-bytes must be 8, 16 or 0 (model width)\n";
     return 2;
@@ -113,51 +179,184 @@ int main(int argc, char** argv) {
   opts.cache_sets.min_set_coverage = cli.get_double("set-coverage");
   opts.cache_sets.strict = cli.flag("strict-sets");
 
+  analysis::PipelineAnalysisOptions pipe_opts;
+  const unsigned workers = static_cast<unsigned>(cli.get_int("workers"));
+  pipe_opts.cost.workers = workers;
+  pipe_opts.cost.banks = opts.banks.banks;
+  pipe_opts.cost.interleave_bytes = opts.banks.interleave_bytes;
+  pipe_opts.cost.strict = cli.flag("strict-cost");
+
+  analysis::PipelineBuildOptions build;
+  build.workers = workers;
+  build.element_bytes = elem_bytes == 0 ? 16 : static_cast<unsigned>(elem_bytes);
+  build.layout = cli.get_string("layout") == "hashed"
+                     ? fft::TwiddleLayout::kBitReversed
+                     : fft::TwiddleLayout::kLinear;
+
   const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
   const auto radix_log2 = static_cast<unsigned>(cli.get_int("radix-log2"));
 
-  std::vector<VariantSpec> variants;
-  if (cli.flag("all-variants")) {
-    variants.assign(std::begin(kShippedVariants), std::end(kShippedVariants));
-  } else {
-    const std::string& layout = cli.get_string("layout");
-    const std::string& schedule = cli.get_string("schedule");
-    if (layout != "linear" && layout != "hashed") {
-      std::cerr << "fft_lint: unknown --layout '" << layout << "'\n";
-      return 2;
+  std::vector<analysis::AnalysisReport> reports;
+  try {
+    const std::string& defect = cli.get_string("seed-defect");
+    if (!defect.empty()) {
+      // Each seed builds a correct model, breaks it the way a real bug
+      // would, and lets the normal checks catch it — the CLI-level twin
+      // of the seeded-defect unit tests, pinning the exit-code contract.
+      if (defect == "cycle") {
+        analysis::PlanModel m = analysis::build_model(
+            fft::FftPlan(n, radix_log2), build.layout,
+            analysis::Schedule::kCounters, "seeded-cycle");
+        m.graph.add_edge(m.codelets.back().key, m.codelets.front().key);
+        reports.push_back(analysis::analyze(m, opts));
+      } else if (defect == "race") {
+        analysis::PlanModel m = analysis::build_model(
+            fft::FftPlan(n, radix_log2), build.layout,
+            analysis::Schedule::kCounters, "seeded-race");
+        // Task 1 of stage 0 also writes task 0's first element: a
+        // write-write conflict between unordered siblings.
+        m.codelets[1].writes.push_back(m.codelets[0].writes.front());
+        reports.push_back(analysis::analyze(m, opts));
+      } else if (defect == "tile-overlap") {
+        analysis::PipelineModel m = analysis::build_four_step_pipeline(
+            std::max<std::uint64_t>(n, 4), radix_log2, build, "seeded-overlap");
+        // Second transpose tile re-writes the first tile's first element.
+        analysis::PhaseModel& phase = m.phases.front();
+        phase.tasks[1].writes.push_back(phase.tasks[0].writes.front());
+        reports.push_back(analysis::analyze_pipeline(m, pipe_opts));
+      } else if (defect == "skew") {
+        analysis::PipelineModel m = analysis::build_classic_pipeline(
+            fft::FftPlan(n, radix_log2), build, "seeded-skew");
+        // One codelet of the last stage suddenly streams its footprint
+        // 64x: the skewed-chunk signature the cost model flags.
+        m.phases.back().tasks.front().passes *= 64;
+        reports.push_back(analysis::analyze_pipeline(m, pipe_opts));
+      } else {
+        std::cerr << "fft_lint: unknown --seed-defect '" << defect << "'\n";
+        return 2;
+      }
+    } else if (cli.flag("all")) {
+      for (unsigned eb : {16u, 8u}) {
+        analysis::AnalysisOptions popts = opts;
+        popts.banks.element_bytes = eb;
+        popts.cache_sets.element_bytes = eb;
+        analysis::PipelineBuildOptions b = build;
+        b.element_bytes = eb;
+        const std::string prec = eb == 16 ? " f64" : " f32";
+        const fft::FftPlan plan(n, radix_log2);
+        for (const VariantSpec& v : kShippedVariants)
+          reports.push_back(analysis::analyze_plan(plan, v.layout, v.schedule,
+                                                   popts, v.name + prec));
+        b.layout = fft::TwiddleLayout::kLinear;
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_classic_pipeline(plan, b, "classic" + prec),
+            pipe_opts));
+        b.layout = fft::TwiddleLayout::kBitReversed;
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_classic_pipeline(plan, b, "classic/hashed" + prec),
+            pipe_opts));
+        b.layout = fft::TwiddleLayout::kLinear;
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_four_step_pipeline(std::uint64_t{1} << 18, 6, b,
+                                               "four-step" + prec),
+            pipe_opts));
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_batch_pipeline(fft::FftPlan(256, 6), 8, b,
+                                           "batch8" + prec),
+            pipe_opts));
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_fft2d_pipeline(64, 64, 6, b, "fft2d-64x64" + prec),
+            pipe_opts));
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_fft2d_pipeline(32, 64, 6, b, "fft2d-32x64" + prec),
+            pipe_opts));
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_real_fft_pipeline(4096, 6, b, "real" + prec),
+            pipe_opts));
+      }
+    } else {
+      std::string kind = cli.get_string("plan-kind");
+      if (kind == "auto")
+        kind = fft::routed_plan_kind(n, fft::kDefaultFourStepThresholdLog2) ==
+                       fft::PlanKind::kFourStep
+                   ? "four-step"
+                   : "classic";
+      const bool want_pipeline = cli.flag("coverage") || cli.flag("critical-path");
+      if (cli.flag("coverage") != cli.flag("critical-path")) {
+        pipe_opts.check_coverage = cli.flag("coverage");
+        pipe_opts.check_cost = cli.flag("critical-path");
+      }
+      if (kind == "classic") {
+        std::vector<VariantSpec> variants;
+        if (cli.flag("all-variants")) {
+          variants.assign(std::begin(kShippedVariants), std::end(kShippedVariants));
+        } else {
+          const std::string& layout = cli.get_string("layout");
+          const std::string& schedule = cli.get_string("schedule");
+          if (layout != "linear" && layout != "hashed") {
+            std::cerr << "fft_lint: unknown --layout '" << layout << "'\n";
+            return 2;
+          }
+          if (schedule != "coarse" && schedule != "fine" && schedule != "guided") {
+            std::cerr << "fft_lint: unknown --schedule '" << schedule << "'\n";
+            return 2;
+          }
+          variants.push_back(
+              {"", schedule == "coarse" ? analysis::Schedule::kBarrier
+                                        : analysis::Schedule::kCounters,
+               layout == "hashed" ? fft::TwiddleLayout::kBitReversed
+                                  : fft::TwiddleLayout::kLinear});
+        }
+        const fft::FftPlan plan(n, radix_log2);
+        for (const VariantSpec& v : variants) {
+          const std::string name =
+              v.name && *v.name ? v.name
+                                : cli.get_string("schedule") + "/" +
+                                      cli.get_string("layout");
+          reports.push_back(
+              analysis::analyze_plan(plan, v.layout, v.schedule, opts, name));
+        }
+        if (want_pipeline)
+          reports.push_back(analysis::analyze_pipeline(
+              analysis::build_classic_pipeline(plan, build), pipe_opts));
+      } else if (kind == "four-step") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_four_step_pipeline(n, radix_log2, build),
+            pipe_opts));
+      } else if (kind == "batch") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_batch_pipeline(
+                fft::FftPlan(n, radix_log2),
+                static_cast<std::uint64_t>(cli.get_int("batch")), build),
+            pipe_opts));
+      } else if (kind == "fft2d") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_fft2d_pipeline(
+                std::uint64_t{1} << cli.get_int("rows-log2"),
+                std::uint64_t{1} << cli.get_int("cols-log2"), radix_log2,
+                build),
+            pipe_opts));
+      } else if (kind == "real") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_real_fft_pipeline(n, radix_log2, build),
+            pipe_opts));
+      } else {
+        std::cerr << "fft_lint: unknown --plan-kind '" << kind << "'\n";
+        return 2;
+      }
     }
-    if (schedule != "coarse" && schedule != "fine" && schedule != "guided") {
-      std::cerr << "fft_lint: unknown --schedule '" << schedule << "'\n";
-      return 2;
-    }
-    // name left empty: the loop below derives it from the CLI strings.
-    variants.push_back(
-        {"", schedule == "coarse" ? analysis::Schedule::kBarrier : analysis::Schedule::kCounters,
-         layout == "hashed" ? fft::TwiddleLayout::kBitReversed : fft::TwiddleLayout::kLinear});
+  } catch (const std::exception& e) {
+    std::cerr << "fft_lint: " << e.what() << '\n';
+    return 2;
   }
 
-  bool any_error = false;
   std::string json_all = "[";
-  bool first = true;
-  for (const VariantSpec& v : variants) {
-    std::string name = v.name && *v.name
-                           ? v.name
-                           : cli.get_string("schedule") + "/" + cli.get_string("layout");
-    analysis::AnalysisReport report;
-    try {
-      const fft::FftPlan plan(n, radix_log2);
-      report = analysis::analyze_plan(plan, v.layout, v.schedule, opts, name);
-    } catch (const std::exception& e) {
-      std::cerr << "fft_lint: " << name << ": " << e.what() << '\n';
-      return 2;
-    }
-    any_error |= !report.passed();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
     if (cli.flag("json") || !cli.get_string("json-file").empty()) {
-      if (!first) json_all += ',';
-      first = false;
-      json_all += report.to_json();
+      if (i) json_all += ',';
+      json_all += reports[i].to_json();
     }
-    if (!cli.flag("json")) print_human(report);
+    if (!cli.flag("json")) print_human(reports[i]);
   }
   json_all += ']';
 
@@ -170,5 +369,5 @@ int main(int argc, char** argv) {
     }
     out << json_all << '\n';
   }
-  return any_error ? 1 : 0;
+  return classify_exit(reports);
 }

@@ -1,0 +1,72 @@
+// lint_check — the lint-metrics baseline gate behind the "lint_check"
+// ctest. Recomputes the pipeline verifier's schedule-shape metrics for
+// every shipped composite shape x precision and diffs them against the
+// committed LINT_baseline.json (bench_check-style). The metrics are
+// deterministic functions of the plan algebra, so any drift beyond the
+// tolerance means the schedule shape itself changed — a serialized
+// phase, a skewed chunk grain, concentrated bank traffic, or a coverage
+// proof that started failing.
+//
+//   lint_check --baseline=LINT_baseline.json
+//   lint_check --write-baseline=LINT_baseline.json   # regenerate
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/baseline.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+using namespace c64fft;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "lint_check — diff the pipeline verifier's schedule-shape metrics "
+      "against the committed LINT_baseline.json");
+  cli.add_string("baseline", "LINT_baseline.json", "baseline JSON to compare against");
+  cli.add_double("tolerance", 0.10,
+                 "allowed relative drift per gated metric (deterministic "
+                 "numbers: drift means the schedule shape changed)");
+  cli.add_int("workers", 4, "worker count the pipeline models grain for");
+  cli.add_string("write-baseline", "",
+                 "write a fresh baseline to this path and exit (no diff)");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "lint_check: " << e.what() << '\n';
+    return 2;
+  }
+
+  try {
+    const std::vector<analysis::LintBaselineRow> current =
+        analysis::collect_lint_rows(static_cast<unsigned>(cli.get_int("workers")));
+
+    const std::string& write_path = cli.get_string("write-baseline");
+    if (!write_path.empty()) {
+      std::ofstream out(write_path);
+      if (!out) {
+        std::cerr << "lint_check: cannot write " << write_path << '\n';
+        return 2;
+      }
+      out << analysis::lint_rows_to_json(current);
+      std::cout << "lint_check: wrote " << current.size() << " rows to "
+                << write_path << '\n';
+      return 0;
+    }
+
+    const util::JsonValue doc = util::json_parse_file(cli.get_string("baseline"));
+    const std::vector<analysis::LintBaselineRow> baseline =
+        analysis::lint_rows_from_json(doc);
+    analysis::LintGateOptions opts;
+    opts.tolerance = cli.get_double("tolerance");
+    const std::vector<analysis::LintDelta> deltas =
+        analysis::diff_lint_rows(baseline, current, opts);
+    std::cout << analysis::format_lint_report(deltas, opts);
+    return analysis::has_lint_regression(deltas) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "lint_check: " << e.what() << '\n';
+    return 2;
+  }
+}
