@@ -26,10 +26,12 @@
 #include "fft/bit_reversal.hpp"
 #include "fft/executor.hpp"
 #include "fft/kernel.hpp"
+#include "fft/kernels/dispatch.hpp"
 #include "fft/real_fft.hpp"
 #include "fft/reference.hpp"
 #include "fft/stockham.hpp"
 #include "fft/transpose.hpp"
+#include "util/cpu_features.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -424,6 +426,68 @@ BENCHMARK(BM_ExecutorForwardCachedF32)
     ->Arg(4096)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+// SIMD kernel-dispatch pair: the same cached-forward protocol as the
+// rows above, but with the kernel table pinned — Simd rows run the best
+// table cpuid supports (what a fresh process dispatches to), Scalar rows
+// force the scalar oracle table. The spread between a Simd row and its
+// Scalar twin is the explicit-SIMD payoff with every other cost (plan
+// cache, twiddles, team) identical; the opt-in bench gate requires the
+// f32 pair at N=4096 to stay >= 1.3x apart (tools/CMakeLists.txt ratio
+// args). The ISA is forced AFTER executor construction — the constructor
+// re-resolves from C64FFT_ISA — and restored to the env resolution after
+// the timing loop so later benchmarks see the default dispatch.
+template <typename Complex>
+void executor_cached_isa_bench(benchmark::State& state, util::IsaLevel level,
+                               std::vector<Complex> data) {
+  fft::HostFftOptions opts;
+  // One worker, unlike the rows above: the pair isolates the kernel-table
+  // spread, and phase-barrier overhead at workers > num_cpus would bury
+  // the butterfly time it exists to compare.
+  opts.workers = 1;
+  fft::FftExecutor ex;
+  fft::kernels::set_kernel_isa(level);
+  ex.forward(std::span<Complex>(data), opts);  // warm: plan + team resident
+  for (auto _ : state) {
+    ex.forward(std::span<Complex>(data), opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  fft::kernels::reset_kernel_isa_from_env();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+
+void BM_ExecutorForwardCachedSimdF32(benchmark::State& state) {
+  executor_cached_isa_bench(
+      state, util::best_supported_isa(),
+      random_signal32(static_cast<std::uint64_t>(state.range(0)), 9));
+}
+BENCHMARK(BM_ExecutorForwardCachedSimdF32)
+    ->Arg(4096)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorForwardCachedScalarF32(benchmark::State& state) {
+  executor_cached_isa_bench(
+      state, util::IsaLevel::kScalar,
+      random_signal32(static_cast<std::uint64_t>(state.range(0)), 9));
+}
+BENCHMARK(BM_ExecutorForwardCachedScalarF32)
+    ->Arg(4096)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorForwardCachedSimdF64(benchmark::State& state) {
+  executor_cached_isa_bench(
+      state, util::best_supported_isa(),
+      random_signal(static_cast<std::uint64_t>(state.range(0)), 9));
+}
+BENCHMARK(BM_ExecutorForwardCachedSimdF64)
+    ->Arg(4096)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorForwardCachedScalarF64(benchmark::State& state) {
+  executor_cached_isa_bench(
+      state, util::IsaLevel::kScalar,
+      random_signal(static_cast<std::uint64_t>(state.range(0)), 9));
+}
+BENCHMARK(BM_ExecutorForwardCachedScalarF64)
+    ->Arg(4096)->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 // f32 batched dispatch, mirroring BM_ExecutorBatchSubmit: the batch
 // machinery (shared counter templates, one phase per batch) is

@@ -1,6 +1,49 @@
 #include "analysis/analyzer.hpp"
 
+#include "fft/kernels/dispatch.hpp"
+#include "util/cpu_features.hpp"
+
 namespace c64fft::analysis {
+
+CheckResult check_kernel_dispatch(const PipelineModel& model) {
+  CheckResult result;
+  result.name = "kernel";
+  if (model.kernel_isa.empty()) {
+    // Hand-built models may not record a dispatch id; that is not a
+    // defect, there is just nothing to verify.
+    result.status = "skipped";
+    result.note = "model records no kernel isa";
+    return result;
+  }
+  // The registry is the dispatch tables themselves: an id is known iff
+  // some level's table carries it, so this check can never drift from
+  // the kernels the runtime actually ships.
+  bool known = false;
+  util::IsaLevel level = util::IsaLevel::kScalar;
+  for (const util::IsaLevel l : {util::IsaLevel::kScalar, util::IsaLevel::kAvx2,
+                                 util::IsaLevel::kAvx512}) {
+    if (model.kernel_isa == fft::kernels::kernels_for<double>(l).id) {
+      known = true;
+      level = l;
+      break;
+    }
+  }
+  if (!known) {
+    result.add(Severity::kError, "unknown-kernel-isa",
+               "kernel isa id '" + model.kernel_isa +
+                   "' names no registered dispatch table");
+  } else if (!util::isa_supported(level)) {
+    result.add(Severity::kError, "unsupported-kernel-isa",
+               "kernel isa '" + model.kernel_isa +
+                   "' is not executable on this host (best supported: " +
+                   util::to_string(util::best_supported_isa()) + ")");
+  } else {
+    result.note = "dispatch table '" + model.kernel_isa + "'";
+    result.metrics["isa_level"] = static_cast<double>(level);
+  }
+  result.finalize();
+  return result;
+}
 
 AnalysisReport analyze(const PlanModel& model, const AnalysisOptions& opts) {
   AnalysisReport report;
@@ -50,7 +93,8 @@ AnalysisReport analyze_pipeline(const PipelineModel& model,
   report.stages = static_cast<std::uint32_t>(model.phases.size());
   report.codelets = model.total_tasks();
   report.schedule = "pipeline";
-  report.layout = "";
+  report.layout = model.kernel_isa;
+  if (opts.check_kernel) report.checks.push_back(check_kernel_dispatch(model));
   if (opts.check_coverage)
     report.checks.push_back(check_coverage(model, opts.coverage));
   if (opts.check_cost) {

@@ -40,9 +40,19 @@ AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
 struct PipelineAnalysisOptions {
   bool check_coverage = true;
   bool check_cost = true;
+  /// Validate PipelineModel::kernel_isa against the kernel dispatch
+  /// registry and host cpuid support. Cheap, so always on; a failure is
+  /// a model-construction error (fft_lint exit 2).
+  bool check_kernel = true;
   CoverageOptions coverage;
   CostModelOptions cost;
 };
+
+/// The kernel-dispatch check on its own: the model's kernel_isa id must
+/// name a registered dispatch table ("scalar"/"avx2"/"avx512") whose ISA
+/// level this host can execute. Codes: "unknown-kernel-isa",
+/// "unsupported-kernel-isa".
+CheckResult check_kernel_dispatch(const PipelineModel& model);
 
 /// Run the whole-pipeline checks (write-coverage proof, critical-path /
 /// load cost model) over a composite-plan model built by the

@@ -5,6 +5,7 @@
 
 #include "fft/executor.hpp"
 #include "fft/fft2d.hpp"
+#include "fft/kernels/dispatch.hpp"
 #include "fft/real_fft.hpp"
 #include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
@@ -263,6 +264,9 @@ PipelineModel make_base(std::string name, std::uint64_t n, unsigned radix_log2,
   m.n = n;
   m.radix_log2 = radix_log2;
   m.element_bytes = opts.element_bytes;
+  // The id of the table the executor would dispatch to right now; both
+  // precisions share one active level, so either table's id works.
+  m.kernel_isa = fft::kernels::active_kernels<double>().id;
   return m;
 }
 

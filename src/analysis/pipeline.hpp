@@ -87,6 +87,12 @@ struct PipelineModel {
   /// Transform size (the public N, not a sub-plan size).
   std::uint64_t n = 0;
   unsigned radix_log2 = 0;
+  /// Stable id of the kernel dispatch table the runtime would execute
+  /// this pipeline with ("scalar" / "avx2" / "avx512") — stamped by the
+  /// builders from the process-active table (fft::kernels), so a model
+  /// built under fft_lint --isa=X records X. The kernel check validates
+  /// the id against the dispatch registry and host cpuid support.
+  std::string kernel_isa;
   /// Default byte width of one element (16 = double-complex, 8 =
   /// float-complex); per-buffer override in BufferModel.
   unsigned element_bytes = 16;

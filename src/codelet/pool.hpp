@@ -3,6 +3,7 @@
 // deque with LIFO/FIFO pop policies; correctness (not raw throughput) is
 // what the host runtime is for — timing studies run on the simulator.
 
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>

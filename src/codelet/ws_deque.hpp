@@ -20,6 +20,7 @@
 // always complete its (doomed) read. Retirement is owner-only.
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -37,8 +38,7 @@ class WorkStealingDeque {
   enum class StealResult { kStolen, kEmpty, kLost };
 
   explicit WorkStealingDeque(std::size_t initial_capacity = 64) {
-    std::size_t cap = 1;
-    while (cap < initial_capacity) cap <<= 1;
+    const std::size_t cap = std::bit_ceil(initial_capacity | std::size_t{1});
     rings_.push_back(std::make_unique<Ring>(cap));
     ring_.store(rings_.back().get(), std::memory_order_relaxed);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -68,6 +69,19 @@ void FftExecutor::apply_env_overrides() {
     opts_.four_step_threshold_log2 = threshold;
   four_step_threshold_log2_.store(opts_.four_step_threshold_log2,
                                   std::memory_order_relaxed);
+  // Kernel ISA selection is process-wide, not per-executor, but this is
+  // the natural re-read point for C64FFT_ISA after a warm-up mutation
+  // (same contract as the variables above).
+  kernels::reset_kernel_isa_from_env();
+  if (const char* path = std::getenv("C64FFT_SCHEDULE");
+      path != nullptr && *path != '\0') {
+    try {
+      cache_.set_schedules(ScheduleSet::load_file(path));
+    } catch (const std::exception&) {
+      // Env contract: a value that fails to parse changes nothing.
+      // load_schedules() is the strict, throwing alternative.
+    }
+  }
 }
 
 FftExecutor::FftExecutor(const ExecutorOptions& opts)
@@ -123,6 +137,18 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
   // this is the fft_host contract (api.cpp clamps on its own behalf).
   validate_fft_shape(n, opts.radix_log2, /*clamp_radix=*/false);
 
+  // A loaded tuned schedule steers the plan radix — but only when the
+  // caller left HostFftOptions::radix_log2 at its default: an explicit
+  // per-call radix always wins over the tuner. (The matching fuse_log2 is
+  // looked up again by the locked dispatch bodies, which see the actual
+  // plan size — for four-step that is the sub-FFT length, not N.)
+  unsigned radix_log2 = opts.radix_log2;
+  if (radix_log2 == HostFftOptions{}.radix_log2) {
+    if (const std::optional<TunedSchedule> tuned = cache_.tuned_for(
+            n, precision_of<T>, kernels::active_kernel_isa()))
+      radix_log2 = validate_fft_shape(n, tuned->radix_log2, /*clamp_radix=*/true);
+  }
+
   // Large-N routing: at/above the threshold every transform of the batch
   // runs the four-step decomposition (whose sub-batches bypass this check
   // by construction, so the recursion depth is exactly one).
@@ -130,7 +156,7 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
       four_step_threshold_log2_.load(std::memory_order_relaxed);
   if (routed_plan_kind(n, threshold) == PlanKind::kFourStep) {
     std::shared_ptr<const PlanEntry> entry = cache_.acquire(
-        PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kFourStep,
+        PlanKey{n, radix_log2, opts.layout, PlanKind::kFourStep,
                 precision_of<T>});
     std::lock_guard lock(mutex_);
     for (const std::span<cplx_t<T>>& t : batch)
@@ -142,7 +168,7 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
   }
 
   std::shared_ptr<const PlanEntry> entry = cache_.acquire(
-      PlanKey{n, opts.radix_log2, opts.layout, PlanKind::kClassic,
+      PlanKey{n, radix_log2, opts.layout, PlanKind::kClassic,
               precision_of<T>});
   std::lock_guard lock(mutex_);
   run_classic_locked<T>(*entry, batch, opts, variant, dir);
@@ -167,6 +193,36 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
   std::vector<BasicKernelScratch<T>>& scratch = num<T>().scratch;
 
   const unsigned bits = plan.log2_size();
+  const unsigned fuse_log2 = tuned_fuse_locked<T>(n);
+
+  // Serial fast path: a single transform on a one-worker team has no
+  // scheduling to exercise — every variant degenerates to in-order
+  // execution — so instead of the swap-based permutation phase plus a
+  // stage-0 gather/scatter round-trip per codelet, it runs the same fused
+  // split-complex stage 0 as the four-step row sweep (cached bit-reversal
+  // index table feeding the dispatched permuted gather), then the
+  // remaining stages in order. Same butterflies in the same order, so the
+  // output is bit-identical to the phased path under every variant.
+  if (b_count == 1 && rt.workers() == 1) {
+    if (bitrev_len_ != n) {
+      bitrev_idx_.resize(n);
+      for (std::uint64_t i = 0; i < n; ++i)
+        bitrev_idx_[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
+      bitrev_len_ = n;
+    }
+    NumericState<T>& st = num<T>();
+    if (st.row_split.empty()) st.row_split.resize(1);
+    if (st.row_split[0].size() < 2 * n) st.row_split[0].resize(2 * n);
+    T* const re = st.row_split[0].data();
+    T* const im = re + n;
+    run_stage0_bitrev(plan, batch[0], twiddles,
+                      std::span<const std::uint32_t>(bitrev_idx_), re, im,
+                      scratch[0], fuse_log2);
+    for (std::uint32_t s = 1; s < stages; ++s)
+      for (std::uint64_t t = 0; t < tasks; ++t)
+        run_codelet(plan, s, t, batch[0], twiddles, scratch[0], fuse_log2);
+    return;
+  }
 
   // Single transforms bit-reverse as a chunked phase on the persistent
   // team (the old free function spawned its own team per call); batches
@@ -235,7 +291,7 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
     const codelet::CodeletBody exec = [&](CodeletKey key, unsigned worker,
                                           codelet::Pusher&) {
       run_codelet(plan, key.stage, key.index % tasks, batch[key.index / tasks],
-                  twiddles, scratch[worker]);
+                  twiddles, scratch[worker], fuse_log2);
     };
     std::uint32_t first = 0;
     if (b_count > 1) {
@@ -264,7 +320,8 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
                                 codelet::Pusher& pusher) {
       const std::uint64_t b = key.index / tasks;
       const std::uint64_t t = key.index % tasks;
-      run_codelet(plan, key.stage, t, batch[b], twiddles, scratch[worker]);
+      run_codelet(plan, key.stage, t, batch[b], twiddles, scratch[worker],
+                  fuse_log2);
       if (key.stage >= last_propagated || key.stage + 1 >= stages) return;
       const std::uint64_t g = plan.child_group(key.stage, t);
       if (counters[b].arrive(key.stage + 1, g)) {
@@ -375,6 +432,11 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> d
   for (unsigned w = 0; w < rt.workers(); ++w)
     if (st.row_split[w].size() < 2 * row_len) st.row_split[w].resize(2 * row_len);
 
+  // Tuned schedules key on the executed plan's own size — here the
+  // sub-FFT row length, so a four-step transform picks up fusion tuned
+  // for its cache-resident sub-sizes, not for the composite N.
+  const unsigned fuse_log2 = tuned_fuse_locked<T>(row_len);
+
   const SweepGrain grain = four_step_sweep_grain(row_count, rt.workers());
   const std::uint64_t per = grain.per;
   std::vector<CodeletKey> seeds;
@@ -389,12 +451,23 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> d
         for (std::uint64_t r = key.index * per; r < end; ++r) {
           const std::span<cplx_t<T>> row = data.subspan(r * row_len, row_len);
           run_stage0_bitrev(plan, row, twiddles, brev, re, im,
-                            st.scratch[worker]);
+                            st.scratch[worker], fuse_log2);
           for (std::uint32_t stg = 1; stg < stages; ++stg)
             for (std::uint64_t t = 0; t < tasks; ++t)
-              run_codelet(plan, stg, t, row, twiddles, st.scratch[worker]);
+              run_codelet(plan, stg, t, row, twiddles, st.scratch[worker],
+                          fuse_log2);
         }
       });
+}
+
+template <typename T>
+unsigned FftExecutor::tuned_fuse_locked(std::uint64_t n) {
+  if (const std::optional<TunedSchedule> tuned =
+          cache_.tuned_for(n, precision_of<T>, kernels::active_kernel_isa())) {
+    ++schedule_hits_;
+    return tuned->fuse_log2;
+  }
+  return kernels::kDefaultFuseLog2;
 }
 
 template <typename T>
@@ -580,6 +653,17 @@ unsigned FftExecutor::four_step_threshold_log2() const {
   return four_step_threshold_log2_.load(std::memory_order_relaxed);
 }
 
+void FftExecutor::set_schedules(ScheduleSet schedules) {
+  cache_.set_schedules(std::move(schedules));
+}
+
+std::size_t FftExecutor::load_schedules(const std::string& path) {
+  ScheduleSet schedules = ScheduleSet::load_file(path);
+  const std::size_t count = schedules.size();
+  cache_.set_schedules(std::move(schedules));
+  return count;
+}
+
 unsigned FftExecutor::default_workers() const {
   std::lock_guard lock(mutex_);
   return opts_.workers;
@@ -615,6 +699,7 @@ ExecutorStats FftExecutor::stats() const {
   s.batched = batched_;
   s.four_step = four_step_;
   s.teams_created = teams_created_;
+  s.schedule_hits = schedule_hits_;
   return s;
 }
 

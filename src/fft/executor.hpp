@@ -46,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -114,6 +115,10 @@ struct ExecutorStats {
   std::uint64_t four_step = 0;
   /// Worker teams this executor created over its lifetime.
   std::uint64_t teams_created = 0;
+  /// Plan-shape lookups answered by a loaded tuned schedule (one per
+  /// classic dispatch or four-step row sweep whose size/precision/ISA
+  /// matched an entry — the observable proof a schedule file is live).
+  std::uint64_t schedule_hits = 0;
 };
 
 class FftExecutor {
@@ -123,8 +128,13 @@ class FftExecutor {
   ///  * C64FFT_WORKERS                 — default team size (>= 1)
   ///  * C64FFT_FOURSTEP_THRESHOLD_LOG2 — four-step routing threshold
   ///                                     (0 disables the four-step path)
+  ///  * C64FFT_SCHEDULE                — path of a tuned-schedule JSON
+  ///                                     file (tools/fft_tune --emit)
+  ///                                     loaded into the plan cache
   /// A variable that is unset or fails to parse leaves the corresponding
-  /// option untouched. Call reconfigure() to re-read them after warm-up.
+  /// option untouched (an unreadable or malformed schedule file is
+  /// likewise ignored — use load_schedules() for a throwing load). Call
+  /// reconfigure() to re-read them after warm-up.
   explicit FftExecutor(const ExecutorOptions& opts = {});
   ~FftExecutor();
 
@@ -190,6 +200,19 @@ class FftExecutor {
   void set_four_step_threshold_log2(unsigned log2n);
   unsigned four_step_threshold_log2() const;
 
+  /// Install a tuned-schedule set (tools/fft_tune output): subsequent
+  /// transforms whose (size, precision, active kernel ISA) match an entry
+  /// use its radix_log2 — unless the caller passed a non-default
+  /// HostFftOptions::radix_log2, which always wins — and its fuse_log2.
+  /// Every schedule computes bit-identical results; only throughput moves.
+  void set_schedules(ScheduleSet schedules);
+
+  /// load_file + set_schedules; returns the number of schedules loaded.
+  /// Throws (std::runtime_error / std::invalid_argument) on an unreadable
+  /// or malformed file — the strict counterpart of the forgiving
+  /// C64FFT_SCHEDULE env path.
+  std::size_t load_schedules(const std::string& path);
+
   /// Team size the option-less overloads currently use (after the
   /// constructor/reconfigure() env snapshot).
   unsigned default_workers() const;
@@ -254,6 +277,11 @@ class FftExecutor {
   void run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                        std::uint64_t row_count, const HostFftOptions& opts,
                        TwiddleDirection dir);
+  /// Tuned fuse_log2 for a plan of size `n` at precision T under the
+  /// process-active kernel ISA (mutex_ held — bumps schedule_hits_);
+  /// kernels::kDefaultFuseLog2 when no schedule matches.
+  template <typename T>
+  unsigned tuned_fuse_locked(std::uint64_t n);
   void apply_env_overrides();
 
   ExecutorOptions opts_;
@@ -276,6 +304,7 @@ class FftExecutor {
   std::uint64_t batched_ = 0;
   std::uint64_t four_step_ = 0;
   std::uint64_t teams_created_ = 0;
+  std::uint64_t schedule_hits_ = 0;
 };
 
 /// The process-wide executor the api.cpp wrappers (and the fft_host

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "fft/kernels/dispatch.hpp"
+#include "fft/kernels/generic_kernels.hpp"
+
 namespace c64fft::fft {
 namespace {
 
@@ -31,160 +34,33 @@ void chain_impl(std::span<cplx_t<T>> chain, std::uint64_t base, std::uint64_t st
 }
 
 template <typename T>
-inline void butterfly_split(T* __restrict r, T* __restrict i, std::uint64_t a,
-                            std::uint64_t b, T wr, T wi) {
-  const T tr = wr * r[b] - wi * i[b];
-  const T ti = wr * i[b] + wi * r[b];
-  r[b] = r[a] - tr;
-  i[b] = i[a] - ti;
-  r[a] += tr;
-  i[a] += ti;
-}
-
-template <typename T>
-void chain_split_impl(T* __restrict re, T* __restrict im, std::uint64_t len,
-                      std::uint64_t base, std::uint64_t stride,
-                      std::uint32_t first_level, std::uint32_t levels,
-                      unsigned log2n, const BasicTwiddleTable<T>& twiddles,
-                      T* __restrict tw_re, T* __restrict tw_im) {
-  assert(len == (std::uint64_t{1} << levels));
-
-  // Fused radix-8 first pass: levels v = 0..2 have half = 1/2/4, so the
-  // per-level inner loops below run 1-4 scalar butterflies per block —
-  // pure loop overhead the vectorizer can't touch, identical for both
-  // precisions. When all three levels share their twiddles across blocks
-  // (every plan chain does: stride = 2^{first_level}), the 12 butterflies
-  // of one 8-element group use 7 twiddles total, so the whole group
-  // becomes one straight-line body the SLP vectorizer packs at the full
-  // register width — this is where f32's doubled lane count actually
-  // shows. Butterfly order within a group matches the per-level loops
-  // exactly (each element sees the same operation sequence), so results
-  // are bit-identical to the generic path.
-  std::uint32_t v_start = 0;
-  if (levels >= 3) {
-    bool fuse = true;
-    T twr[7], twi[7];
-    int k = 0;
-    for (std::uint32_t v = 0; v < 3 && fuse; ++v) {
-      const std::uint64_t half = std::uint64_t{1} << v;
-      const std::uint32_t level = first_level + v;
-      const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
-      const unsigned shift = log2n - level - 1;
-      const std::uint64_t c = base & block_mask;
-      fuse = ((stride << (v + 1)) & block_mask) == 0 &&
-             c + (half - 1) * stride <= block_mask;
-      for (std::uint64_t u = 0; u < half && fuse; ++u) {
-        const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
-        twr[k] = w.real();
-        twi[k] = w.imag();
-        ++k;
-      }
-    }
-    if (fuse) {
-      for (std::uint64_t g = 0; g < len; g += 8) {
-        T* __restrict r = re + g;
-        T* __restrict i = im + g;
-        butterfly_split(r, i, 0, 1, twr[0], twi[0]);  // v=0, half=1
-        butterfly_split(r, i, 2, 3, twr[0], twi[0]);
-        butterfly_split(r, i, 4, 5, twr[0], twi[0]);
-        butterfly_split(r, i, 6, 7, twr[0], twi[0]);
-        butterfly_split(r, i, 0, 2, twr[1], twi[1]);  // v=1, half=2
-        butterfly_split(r, i, 1, 3, twr[2], twi[2]);
-        butterfly_split(r, i, 4, 6, twr[1], twi[1]);
-        butterfly_split(r, i, 5, 7, twr[2], twi[2]);
-        butterfly_split(r, i, 0, 4, twr[3], twi[3]);  // v=2, half=4
-        butterfly_split(r, i, 1, 5, twr[4], twi[4]);
-        butterfly_split(r, i, 2, 6, twr[5], twi[5]);
-        butterfly_split(r, i, 3, 7, twr[6], twi[6]);
-      }
-      v_start = 3;
-    }
-  }
-
-  for (std::uint32_t v = v_start; v < levels; ++v) {
-    const std::uint64_t half = std::uint64_t{1} << v;
-    const std::uint32_t level = first_level + v;  // global butterfly level L
-    const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
-    const unsigned shift = log2n - level - 1;
-    // Within one block, butterfly u (0 <= u < half) twiddles with
-    // W[((base + lo*stride + u*stride) mod 2^L) << shift]. Block starts lo
-    // are multiples of 2^{v+1}, so whenever stride*2^{v+1} ≡ 0 (mod 2^L)
-    // every block of this level reuses the same `half` twiddles (plan
-    // chains always qualify: stride = 2^{first_level} there, giving
-    // stride*2^{v+1} = 2^{L+1}). If the progression additionally never
-    // wraps mod 2^L (also true for every plan chain: base mod 2^L <
-    // stride), it can be materialized once into a contiguous span;
-    // otherwise fall back to the per-element index computation.
-    const std::uint64_t c = base & block_mask;
-    const bool blocks_share = ((stride << (v + 1)) & block_mask) == 0;
-    const bool wrap_free = c + (half - 1) * stride <= block_mask;
-    if (blocks_share && wrap_free) {
-      for (std::uint64_t u = 0; u < half; ++u) {
-        const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
-        tw_re[u] = w.real();
-        tw_im[u] = w.imag();
-      }
-      // Indexed form, not per-block pointers: recomputing `re + lo + half`
-      // style pointers inside the lo loop defeats GCC's dependence
-      // analysis ("no vectype") and the butterflies stay scalar; with the
-      // affine indices below plus the __restrict parameters the u loop
-      // vectorizes at both element widths.
-      for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
-        for (std::uint64_t u = 0; u < half; ++u) {
-          const T tr = tw_re[u] * re[lo + half + u] - tw_im[u] * im[lo + half + u];
-          const T ti = tw_re[u] * im[lo + half + u] + tw_im[u] * re[lo + half + u];
-          re[lo + half + u] = re[lo + u] - tr;
-          im[lo + half + u] = im[lo + u] - ti;
-          re[lo + u] += tr;
-          im[lo + u] += ti;
-        }
-      }
-    } else {
-      for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
-        for (std::uint64_t q = lo; q < lo + half; ++q) {
-          const std::uint64_t g = base + q * stride;
-          const cplx_t<T> w = twiddles.at((g & block_mask) << shift);
-          const T tr = w.real() * re[q + half] - w.imag() * im[q + half];
-          const T ti = w.real() * im[q + half] + w.imag() * re[q + half];
-          re[q + half] = re[q] - tr;
-          im[q + half] = im[q] - ti;
-          re[q] += tr;
-          im[q] += ti;
-        }
-      }
-    }
-  }
-}
-
-template <typename T>
 void run_codelet_impl(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                       std::span<cplx_t<T>> data, const BasicTwiddleTable<T>& twiddles,
-                      BasicKernelScratch<T>& scratch) {
+                      BasicKernelScratch<T>& scratch, unsigned fuse_log2) {
   const StageInfo& st = plan.stage(stage);
   assert(scratch.re.size() >= plan.radix());
   assert(twiddles.fft_size() == plan.size());
 
+  // One table resolve per codelet: every hot loop below runs through the
+  // process-active ISA's kernels (scalar table = the historical
+  // autovectorized loops, bit-identical by contract).
+  const kernels::KernelDispatch<T>& K = kernels::active_kernels<T>();
+
   for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
     const std::uint64_t base = plan.chain_base(stage, task, c);
-    T* __restrict re = scratch.re.data() + c * st.chain_len;
-    T* __restrict im = scratch.im.data() + c * st.chain_len;
+    T* re = scratch.re.data() + c * st.chain_len;
+    T* im = scratch.im.data() + c * st.chain_len;
     // Gather, deinterleaved (the simulated machine's "load into
     // scratchpad" plus the split-complex layout the SIMD loops want).
-    const cplx_t<T>* d = data.data();
-    for (std::uint64_t q = 0; q < st.chain_len; ++q) {
-      const cplx_t<T> x = d[base + q * st.chain_stride];
-      re[q] = x.real();
-      im[q] = x.imag();
-    }
+    K.gather_split(data.data() + base, st.chain_stride, st.chain_len, re, im);
 
-    chain_split_impl<T>(re, im, st.chain_len, base, st.chain_stride,
-                        plan.radix_log2() * stage, st.levels, plan.log2_size(),
-                        twiddles, scratch.tw_re.data(), scratch.tw_im.data());
+    K.chain_split(re, im, st.chain_len, base, st.chain_stride,
+                  plan.radix_log2() * stage, st.levels, plan.log2_size(),
+                  twiddles, scratch.tw_re.data(), scratch.tw_im.data(),
+                  fuse_log2);
 
     // Scatter back in place, re-interleaving.
-    cplx_t<T>* out = data.data();
-    for (std::uint64_t q = 0; q < st.chain_len; ++q)
-      out[base + q * st.chain_stride] = cplx_t<T>(re[q], im[q]);
+    K.scatter_merge(re, im, st.chain_len, data.data() + base, st.chain_stride);
   }
 }
 
@@ -192,7 +68,8 @@ template <typename T>
 void run_stage0_bitrev_impl(const FftPlan& plan, std::span<cplx_t<T>> data,
                             const BasicTwiddleTable<T>& twiddles,
                             std::span<const std::uint32_t> bitrev_idx, T* re,
-                            T* im, BasicKernelScratch<T>& scratch) {
+                            T* im, BasicKernelScratch<T>& scratch,
+                            unsigned fuse_log2) {
   const StageInfo& st = plan.stage(0);
   const std::uint64_t n = plan.size();
   assert(st.chain_stride == 1);
@@ -200,27 +77,24 @@ void run_stage0_bitrev_impl(const FftPlan& plan, std::span<cplx_t<T>> data,
   assert(bitrev_idx.size() >= n);
   assert(twiddles.fft_size() == n);
 
+  const kernels::KernelDispatch<T>& K = kernels::active_kernels<T>();
+
   // Permuted gather: the whole row deinterleaves into the split scratch in
   // one pass (scattered reads stay inside the cache-resident row).
-  const cplx_t<T>* d = data.data();
-  for (std::uint64_t g = 0; g < n; ++g) {
-    const cplx_t<T> x = d[bitrev_idx[g]];
-    re[g] = x.real();
-    im[g] = x.imag();
-  }
+  K.permute_split(data.data(), bitrev_idx.data(), n, re, im);
 
   // Stage-0 chains are contiguous [base, base + chain_len) slices of the
   // scratch (stride 1), so the butterflies run directly on it.
   for (std::uint64_t t = 0; t < plan.tasks_per_stage(); ++t)
     for (std::uint64_t c = 0; c < st.chains_per_task; ++c) {
       const std::uint64_t base = plan.chain_base(0, t, c);
-      chain_split_impl<T>(re + base, im + base, st.chain_len, base,
-                          st.chain_stride, 0, st.levels, plan.log2_size(),
-                          twiddles, scratch.tw_re.data(), scratch.tw_im.data());
+      K.chain_split(re + base, im + base, st.chain_len, base, st.chain_stride,
+                    0, st.levels, plan.log2_size(), twiddles,
+                    scratch.tw_re.data(), scratch.tw_im.data(), fuse_log2);
     }
 
-  cplx_t<T>* out = data.data();
-  for (std::uint64_t g = 0; g < n; ++g) out[g] = cplx_t<T>(re[g], im[g]);
+  // Contiguous re-interleave of the whole transform.
+  K.scatter_merge(re, im, n, data.data(), 1);
 }
 
 template <typename T>
@@ -268,8 +142,10 @@ void butterfly_chain_split(double* re, double* im, std::uint64_t len,
                            std::uint32_t first_level, std::uint32_t levels,
                            unsigned log2n, const TwiddleTable& twiddles,
                            double* tw_re, double* tw_im) {
-  chain_split_impl<double>(re, im, len, base, stride, first_level, levels, log2n,
-                           twiddles, tw_re, tw_im);
+  kernels::detail::chain_split_generic<double>(re, im, len, base, stride,
+                                               first_level, levels, log2n,
+                                               twiddles, tw_re, tw_im,
+                                               kernels::kDefaultFuseLog2);
 }
 
 void butterfly_chain_split(float* re, float* im, std::uint64_t len,
@@ -277,34 +153,38 @@ void butterfly_chain_split(float* re, float* im, std::uint64_t len,
                            std::uint32_t first_level, std::uint32_t levels,
                            unsigned log2n, const TwiddleTableF& twiddles,
                            float* tw_re, float* tw_im) {
-  chain_split_impl<float>(re, im, len, base, stride, first_level, levels, log2n,
-                          twiddles, tw_re, tw_im);
+  kernels::detail::chain_split_generic<float>(re, im, len, base, stride,
+                                              first_level, levels, log2n,
+                                              twiddles, tw_re, tw_im,
+                                              kernels::kDefaultFuseLog2);
 }
 
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx> data, const TwiddleTable& twiddles,
-                 KernelScratch& scratch) {
-  run_codelet_impl<double>(plan, stage, task, data, twiddles, scratch);
+                 KernelScratch& scratch, unsigned fuse_log2) {
+  run_codelet_impl<double>(plan, stage, task, data, twiddles, scratch, fuse_log2);
 }
 
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx32> data, const TwiddleTableF& twiddles,
-                 KernelScratchF& scratch) {
-  run_codelet_impl<float>(plan, stage, task, data, twiddles, scratch);
+                 KernelScratchF& scratch, unsigned fuse_log2) {
+  run_codelet_impl<float>(plan, stage, task, data, twiddles, scratch, fuse_log2);
 }
 
 void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
                        const TwiddleTable& twiddles,
                        std::span<const std::uint32_t> bitrev_idx, double* re,
-                       double* im, KernelScratch& scratch) {
-  run_stage0_bitrev_impl<double>(plan, data, twiddles, bitrev_idx, re, im, scratch);
+                       double* im, KernelScratch& scratch, unsigned fuse_log2) {
+  run_stage0_bitrev_impl<double>(plan, data, twiddles, bitrev_idx, re, im,
+                                 scratch, fuse_log2);
 }
 
 void run_stage0_bitrev(const FftPlan& plan, std::span<cplx32> data,
                        const TwiddleTableF& twiddles,
                        std::span<const std::uint32_t> bitrev_idx, float* re,
-                       float* im, KernelScratchF& scratch) {
-  run_stage0_bitrev_impl<float>(plan, data, twiddles, bitrev_idx, re, im, scratch);
+                       float* im, KernelScratchF& scratch, unsigned fuse_log2) {
+  run_stage0_bitrev_impl<float>(plan, data, twiddles, bitrev_idx, re, im,
+                                scratch, fuse_log2);
 }
 
 void run_codelet_scalar(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <span>
 
+#include "fft/kernels/dispatch.hpp"
 #include "fft/plan.hpp"
 #include "fft/twiddle.hpp"
 #include "fft/types.hpp"
@@ -49,12 +50,19 @@ using KernelScratchF = BasicKernelScratch<float>;
 /// array) using `scratch` as the local working tile (sized for
 /// plan.radix()). Thread-safe across distinct tasks of one stage: tasks
 /// touch disjoint elements. Bit-identical to run_codelet_scalar.
+///
+/// All loops route through the process-active SIMD kernel table
+/// (fft/kernels/dispatch.hpp). `fuse_log2` is the tuner's stage-fusion
+/// knob (how many leading butterfly levels fuse into one pass — see
+/// kernels::kDefaultFuseLog2); every setting is bit-identical.
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx> data, const TwiddleTable& twiddles,
-                 KernelScratch& scratch);
+                 KernelScratch& scratch,
+                 unsigned fuse_log2 = kernels::kDefaultFuseLog2);
 void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
                  std::span<cplx32> data, const TwiddleTableF& twiddles,
-                 KernelScratchF& scratch);
+                 KernelScratchF& scratch,
+                 unsigned fuse_log2 = kernels::kDefaultFuseLog2);
 
 /// Fused bit-reversal + stage-0 sweep of one whole transform: gathers all
 /// of `data` through the precomputed bit-reversal index table into a
@@ -72,11 +80,13 @@ void run_codelet(const FftPlan& plan, std::uint32_t stage, std::uint64_t task,
 void run_stage0_bitrev(const FftPlan& plan, std::span<cplx> data,
                        const TwiddleTable& twiddles,
                        std::span<const std::uint32_t> bitrev_idx, double* re,
-                       double* im, KernelScratch& scratch);
+                       double* im, KernelScratch& scratch,
+                       unsigned fuse_log2 = kernels::kDefaultFuseLog2);
 void run_stage0_bitrev(const FftPlan& plan, std::span<cplx32> data,
                        const TwiddleTableF& twiddles,
                        std::span<const std::uint32_t> bitrev_idx, float* re,
-                       float* im, KernelScratchF& scratch);
+                       float* im, KernelScratchF& scratch,
+                       unsigned fuse_log2 = kernels::kDefaultFuseLog2);
 
 /// Reference scalar implementation on std::complex scratch (the original
 /// kernel): kept for unit tests and the vectorized-vs-old benchmark.

@@ -1,0 +1,126 @@
+#pragma once
+// Runtime-dispatched explicit-SIMD kernel table.
+//
+// Every data-parallel inner loop of the hot path — the split-complex
+// butterfly levels, the fused radix-4/8 first pass, the complex
+// de/interleave of the codelet gather/scatter (strided and bit-reversal
+// permuted), the Stockham combine pass, and the tiled-transpose copy — is
+// reached through one KernelDispatch<T> of function pointers instead of
+// being compiled inline. Three tables
+// exist per precision:
+//
+//   scalar  — the portable kernels (the pre-existing autovectorized
+//             loops), compiled at the build's baseline ISA. Always valid;
+//             this is the oracle every other table is tested against.
+//   avx2    — 256-bit AVX2 kernels (kernels_avx2.cpp, compiled with
+//             -mavx2 for just that translation unit).
+//   avx512  — 512-bit AVX-512 F/DQ/VL kernels (kernels_avx512.cpp).
+//
+// Which table is *active* is decided once, lazily, from the cpuid probe
+// (util::best_supported_isa) narrowed by the C64FFT_ISA environment
+// variable, and can be forced programmatically with set_kernel_isa()
+// (tests, the tuner, fft_lint --isa). A request the hardware cannot
+// execute clamps down, so dereferencing an active table is always safe.
+//
+// Numerics contract: every SIMD kernel assigns one butterfly (or one
+// element) per vector lane and keeps the scalar kernel's per-element
+// operation sequence — multiplies, adds and subtracts in the same order,
+// no FMA contraction (the SIMD translation units are built with
+// -ffp-contract=off). For finite data each table therefore produces
+// BIT-IDENTICAL results to the scalar table; the dispatch-matrix test
+// asserts agreement within the peak-ULP bounds of util/ulp.hpp so a
+// future kernel that does reassociate (e.g. an FMA variant) has a
+// documented contract to meet, and the scalar table remains the exact
+// bit-comparison oracle for the dispatch plumbing itself.
+
+#include <cstdint>
+
+#include "fft/twiddle.hpp"
+#include "fft/types.hpp"
+#include "util/cpu_features.hpp"
+
+namespace c64fft::fft::kernels {
+
+/// Caps the fused first pass of chain_split: 3 = radix-8 (the default,
+/// and the historical behavior), 2 = radix-4, 0 = never fuse. A pure
+/// scheduling knob searched by tools/fft_tune — every setting computes
+/// bit-identical results, only the loop structure changes.
+inline constexpr unsigned kDefaultFuseLog2 = 3;
+
+template <typename T>
+struct KernelDispatch {
+  /// The table's ISA level and its stable id ("scalar"/"avx2"/"avx512") —
+  /// recorded by fft_lint pipeline reports and the tuner schedule file.
+  util::IsaLevel isa;
+  const char* id;
+
+  /// Butterfly levels over a gathered split-complex chain; the semantics
+  /// of fft::butterfly_chain_split plus the fuse_log2 schedule knob.
+  void (*chain_split)(T* re, T* im, std::uint64_t len, std::uint64_t base,
+                      std::uint64_t stride, std::uint32_t first_level,
+                      std::uint32_t levels, unsigned log2n,
+                      const BasicTwiddleTable<T>& twiddles, T* tw_re, T* tw_im,
+                      unsigned fuse_log2);
+
+  /// Deinterleave `count` complex elements at src[k * stride] into re/im.
+  void (*gather_split)(const cplx_t<T>* src, std::uint64_t stride,
+                       std::uint64_t count, T* re, T* im);
+
+  /// Permuted deinterleave: re/im[k] = src[idx[k]] — the bit-reversal
+  /// reorder fused with the split-complex gather that opens stage 0
+  /// (kernel.cpp run_stage0_bitrev). idx entries must be < 2^30 (the SIMD
+  /// tables address scalar components through i32 gather indices).
+  void (*permute_split)(const cplx_t<T>* src, const std::uint32_t* idx,
+                        std::uint64_t count, T* re, T* im);
+
+  /// Re-interleave re/im into dst[k * stride].
+  void (*scatter_merge)(const T* re, const T* im, std::uint64_t count,
+                        cplx_t<T>* dst, std::uint64_t stride);
+
+  /// One Stockham DIT combine pass (stockham.cpp): twiddles precomputed
+  /// per k into `tw` (len entries), src/dst of n elements,
+  ///   dst[2g*len + k]        = src[g*len + k] + tw[k] * src[g*len + k + n/2]
+  ///   dst[2g*len + k + len]  = src[g*len + k] - tw[k] * src[g*len + k + n/2]
+  void (*stockham_combine)(const cplx_t<T>* src, cplx_t<T>* dst,
+                           std::uint64_t n, std::uint64_t len,
+                           const cplx_t<T>* tw);
+
+  /// Tiled-transpose micro-kernel: dst[c * dst_stride + r] =
+  /// src[r * src_stride + c] for r < rows, c < cols (pointers pre-offset
+  /// to the tile origin). dst must not alias src.
+  void (*transpose_tile)(const cplx_t<T>* src, cplx_t<T>* dst,
+                         std::uint64_t src_stride, std::uint64_t dst_stride,
+                         std::uint64_t rows, std::uint64_t cols);
+};
+
+/// The table for one ISA level. `level` above hardware support still
+/// returns that level's table (the caller asked for it explicitly — the
+/// tests force levels through set_kernel_isa, which clamps); levels not
+/// compiled into this build (non-x86) alias the scalar table.
+template <typename T>
+const KernelDispatch<T>& kernels_for(util::IsaLevel level);
+
+/// The process-active table: resolved on first use from
+/// util::isa_from_env() (cpuid best, narrowed by C64FFT_ISA), sticky
+/// until set_kernel_isa()/reset_kernel_isa_from_env().
+template <typename T>
+const KernelDispatch<T>& active_kernels();
+
+/// Force the active ISA level (clamped to hardware support; returns the
+/// level actually installed). Not thread-safe against in-flight
+/// transforms — call at startup, between phases, or from tests/tools.
+util::IsaLevel set_kernel_isa(util::IsaLevel level);
+
+/// Re-resolve the active level from C64FFT_ISA + cpuid (the executor's
+/// reconfigure() calls this so env changes after warm-up are observable).
+util::IsaLevel reset_kernel_isa_from_env();
+
+/// The currently active level (resolving it on first call).
+util::IsaLevel active_kernel_isa();
+
+extern template const KernelDispatch<float>& kernels_for<float>(util::IsaLevel);
+extern template const KernelDispatch<double>& kernels_for<double>(util::IsaLevel);
+extern template const KernelDispatch<float>& active_kernels<float>();
+extern template const KernelDispatch<double>& active_kernels<double>();
+
+}  // namespace c64fft::fft::kernels

@@ -1,0 +1,312 @@
+#pragma once
+// Portable template bodies of every dispatched kernel (dispatch.hpp) plus
+// the helpers the SIMD translation units share: fused-twiddle derivation,
+// per-group fused butterfly micro-bodies (used as scalar tails by the
+// vector kernels), and the per-level twiddle-span materialization.
+//
+// These are the pre-existing autovectorized loops of kernel.cpp /
+// stockham.cpp / transpose.cpp, moved here verbatim so the scalar table
+// IS the historical path: C64FFT_ISA=scalar reproduces the previous
+// release bit-for-bit. The only addition is the fuse_log2 schedule knob,
+// which selects how many leading butterfly levels collapse into one
+// straight-line fused pass (radix-8, radix-4, or none) — a pure loop
+// restructuring that performs the same operations on each element in the
+// same order, so every setting is bit-identical (asserted by tests).
+
+#include <cassert>
+#include <cstdint>
+
+#include "fft/twiddle.hpp"
+#include "fft/types.hpp"
+
+// Each translation unit that includes this header instantiates the
+// templates below under its own inline namespace (the SIMD TUs define
+// C64FFT_KERNEL_ARCH_NS before including). Without this, the linker would
+// COMDAT-fold the instantiations across TUs compiled with different ISA
+// flags and could install, e.g., AVX2-compiled code behind the scalar
+// table's pointers — breaking the "scalar table runs on any host" rule.
+#ifndef C64FFT_KERNEL_ARCH_NS
+#define C64FFT_KERNEL_ARCH_NS arch_portable
+#endif
+
+namespace c64fft::fft::kernels::detail {
+inline namespace C64FFT_KERNEL_ARCH_NS {
+
+/// One split-complex butterfly: the canonical operation sequence every
+/// kernel in the library — scalar or SIMD, fused or per-level — performs
+/// per element pair. a/b index the lower/upper elements.
+template <typename T>
+inline void butterfly_split(T* __restrict r, T* __restrict i, std::uint64_t a,
+                            std::uint64_t b, T wr, T wi) {
+  const T tr = wr * r[b] - wi * i[b];
+  const T ti = wr * i[b] + wi * r[b];
+  r[b] = r[a] - tr;
+  i[b] = i[a] - ti;
+  r[a] += tr;
+  i[a] += ti;
+}
+
+/// Derive the 2^fuse - 1 twiddles shared by every 2^fuse-element group of
+/// the first `fuse` levels of a chain. Returns false when the chain's
+/// twiddle progression is not block-shared or wraps mod 2^L (then the
+/// per-level loops must run instead). `twr`/`twi` need 2^fuse - 1 slots,
+/// filled level-major exactly as the per-level loops would read them.
+template <typename T>
+inline bool fused_twiddles(std::uint64_t base, std::uint64_t stride,
+                           std::uint32_t first_level, unsigned log2n,
+                           const BasicTwiddleTable<T>& twiddles, unsigned fuse,
+                           T* twr, T* twi) {
+  int k = 0;
+  for (std::uint32_t v = 0; v < fuse; ++v) {
+    const std::uint64_t half = std::uint64_t{1} << v;
+    const std::uint32_t level = first_level + v;
+    const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+    const unsigned shift = log2n - level - 1;
+    const std::uint64_t c = base & block_mask;
+    const bool fusable = ((stride << (v + 1)) & block_mask) == 0 &&
+                         c + (half - 1) * stride <= block_mask;
+    if (!fusable) return false;
+    for (std::uint64_t u = 0; u < half; ++u) {
+      const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
+      twr[k] = w.real();
+      twi[k] = w.imag();
+      ++k;
+    }
+  }
+  return true;
+}
+
+/// Fused radix-8 group: the 12 butterflies of levels v = 0..2 over one
+/// 8-element group, in per-level loop order (each element sees the exact
+/// operation sequence of the unfused loops). twr/twi hold the 7 fused
+/// twiddles from fused_twiddles(..., 3, ...).
+template <typename T>
+inline void fused8_group(T* __restrict r, T* __restrict i,
+                         const T* __restrict twr, const T* __restrict twi) {
+  butterfly_split(r, i, 0, 1, twr[0], twi[0]);  // v=0, half=1
+  butterfly_split(r, i, 2, 3, twr[0], twi[0]);
+  butterfly_split(r, i, 4, 5, twr[0], twi[0]);
+  butterfly_split(r, i, 6, 7, twr[0], twi[0]);
+  butterfly_split(r, i, 0, 2, twr[1], twi[1]);  // v=1, half=2
+  butterfly_split(r, i, 1, 3, twr[2], twi[2]);
+  butterfly_split(r, i, 4, 6, twr[1], twi[1]);
+  butterfly_split(r, i, 5, 7, twr[2], twi[2]);
+  butterfly_split(r, i, 0, 4, twr[3], twi[3]);  // v=2, half=4
+  butterfly_split(r, i, 1, 5, twr[4], twi[4]);
+  butterfly_split(r, i, 2, 6, twr[5], twi[5]);
+  butterfly_split(r, i, 3, 7, twr[6], twi[6]);
+}
+
+/// Fused radix-4 group: the 4 butterflies of levels v = 0..1 over one
+/// 4-element group. twr/twi hold 3 fused twiddles.
+template <typename T>
+inline void fused4_group(T* __restrict r, T* __restrict i,
+                         const T* __restrict twr, const T* __restrict twi) {
+  butterfly_split(r, i, 0, 1, twr[0], twi[0]);  // v=0, half=1
+  butterfly_split(r, i, 2, 3, twr[0], twi[0]);
+  butterfly_split(r, i, 0, 2, twr[1], twi[1]);  // v=1, half=2
+  butterfly_split(r, i, 1, 3, twr[2], twi[2]);
+}
+
+/// Attempt the fused first pass: picks the widest fusion allowed by
+/// fuse_log2/levels whose twiddle progression qualifies, runs it over the
+/// whole chain with `group` applied per 2^f-element block, and returns
+/// the level the per-level loops should resume from (0 when nothing
+/// fused). `run_groups(f, twr, twi)` is the caller-supplied sweep (SIMD
+/// kernels substitute register-blocked group sweeps).
+template <typename T, typename RunGroups>
+inline std::uint32_t fused_first_pass(T* re, T* im, std::uint64_t len,
+                                      std::uint64_t base, std::uint64_t stride,
+                                      std::uint32_t first_level,
+                                      std::uint32_t levels, unsigned log2n,
+                                      const BasicTwiddleTable<T>& twiddles,
+                                      unsigned fuse_log2, RunGroups&& run_groups) {
+  T twr[7], twi[7];
+  if (fuse_log2 >= 3 && levels >= 3 &&
+      fused_twiddles<T>(base, stride, first_level, log2n, twiddles, 3, twr, twi)) {
+    run_groups(3u, twr, twi);
+    return 3;
+  }
+  if (fuse_log2 >= 2 && levels >= 2 &&
+      fused_twiddles<T>(base, stride, first_level, log2n, twiddles, 2, twr, twi)) {
+    run_groups(2u, twr, twi);
+    return 2;
+  }
+  (void)len;
+  (void)re;
+  (void)im;
+  return 0;
+}
+
+/// Per-level twiddle materialization check of the generic loops: when
+/// every block of level v shares its `half` twiddles and the progression
+/// never wraps, they can be loaded once into tw_re/tw_im.
+template <typename T>
+inline bool level_twiddle_span(std::uint64_t base, std::uint64_t stride,
+                               std::uint32_t level, std::uint32_t v,
+                               unsigned log2n,
+                               const BasicTwiddleTable<T>& twiddles,
+                               T* __restrict tw_re, T* __restrict tw_im) {
+  const std::uint64_t half = std::uint64_t{1} << v;
+  const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+  const unsigned shift = log2n - level - 1;
+  const std::uint64_t c = base & block_mask;
+  const bool blocks_share = ((stride << (v + 1)) & block_mask) == 0;
+  const bool wrap_free = c + (half - 1) * stride <= block_mask;
+  if (!(blocks_share && wrap_free)) return false;
+  for (std::uint64_t u = 0; u < half; ++u) {
+    const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
+    tw_re[u] = w.real();
+    tw_im[u] = w.imag();
+  }
+  return true;
+}
+
+/// One butterfly level with a materialized twiddle span (tw_re/tw_im hold
+/// the `half` twiddles shared by every block). Indexed form, not
+/// per-block pointers: recomputing `re + lo + half` style pointers inside
+/// the lo loop defeats GCC's dependence analysis ("no vectype") and the
+/// butterflies stay scalar; with the affine indices below plus the
+/// __restrict parameters the u loop vectorizes at both element widths.
+template <typename T>
+inline void span_level(T* __restrict re, T* __restrict im, std::uint64_t len,
+                       std::uint64_t half, const T* __restrict tw_re,
+                       const T* __restrict tw_im) {
+  for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+    for (std::uint64_t u = 0; u < half; ++u) {
+      const T tr = tw_re[u] * re[lo + half + u] - tw_im[u] * im[lo + half + u];
+      const T ti = tw_re[u] * im[lo + half + u] + tw_im[u] * re[lo + half + u];
+      re[lo + half + u] = re[lo + u] - tr;
+      im[lo + half + u] = im[lo + u] - ti;
+      re[lo + u] += tr;
+      im[lo + u] += ti;
+    }
+  }
+}
+
+/// Generic (per-element twiddle index) fallback of one butterfly level —
+/// the path taken when the twiddle progression wraps or is not shared.
+template <typename T>
+inline void generic_level(T* __restrict re, T* __restrict im, std::uint64_t len,
+                          std::uint64_t base, std::uint64_t stride,
+                          std::uint32_t level, std::uint32_t v, unsigned log2n,
+                          const BasicTwiddleTable<T>& twiddles) {
+  const std::uint64_t half = std::uint64_t{1} << v;
+  const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+  const unsigned shift = log2n - level - 1;
+  for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+    for (std::uint64_t q = lo; q < lo + half; ++q) {
+      const std::uint64_t g = base + q * stride;
+      const cplx_t<T> w = twiddles.at((g & block_mask) << shift);
+      const T tr = w.real() * re[q + half] - w.imag() * im[q + half];
+      const T ti = w.real() * im[q + half] + w.imag() * re[q + half];
+      re[q + half] = re[q] - tr;
+      im[q + half] = im[q] - ti;
+      re[q] += tr;
+      im[q] += ti;
+    }
+  }
+}
+
+// ---- Portable kernel bodies (the scalar dispatch table) ----
+
+template <typename T>
+void chain_split_generic(T* __restrict re, T* __restrict im, std::uint64_t len,
+                         std::uint64_t base, std::uint64_t stride,
+                         std::uint32_t first_level, std::uint32_t levels,
+                         unsigned log2n, const BasicTwiddleTable<T>& twiddles,
+                         T* __restrict tw_re, T* __restrict tw_im,
+                         unsigned fuse_log2) {
+  assert(len == (std::uint64_t{1} << levels));
+
+  // Fused first pass: levels with half = 1/2/4 run 1-4 scalar butterflies
+  // per block in the per-level loops below — pure loop overhead the
+  // vectorizer can't touch. When the leading levels share their twiddles
+  // across blocks (every plan chain does: stride = 2^{first_level}), each
+  // 2^f-element group becomes one straight-line body the SLP vectorizer
+  // packs at the full register width.
+  const std::uint32_t v_start = fused_first_pass<T>(
+      re, im, len, base, stride, first_level, levels, log2n, twiddles,
+      fuse_log2, [&](unsigned f, const T* twr, const T* twi) {
+        const std::uint64_t glen = std::uint64_t{1} << f;
+        if (f == 3) {
+          for (std::uint64_t g = 0; g < len; g += glen)
+            fused8_group<T>(re + g, im + g, twr, twi);
+        } else {
+          for (std::uint64_t g = 0; g < len; g += glen)
+            fused4_group<T>(re + g, im + g, twr, twi);
+        }
+      });
+
+  for (std::uint32_t v = v_start; v < levels; ++v) {
+    const std::uint64_t half = std::uint64_t{1} << v;
+    const std::uint32_t level = first_level + v;  // global butterfly level L
+    if (level_twiddle_span<T>(base, stride, level, v, log2n, twiddles, tw_re,
+                              tw_im)) {
+      span_level<T>(re, im, len, half, tw_re, tw_im);
+    } else {
+      generic_level<T>(re, im, len, base, stride, level, v, log2n, twiddles);
+    }
+  }
+}
+
+template <typename T>
+void gather_split_generic(const cplx_t<T>* __restrict src, std::uint64_t stride,
+                          std::uint64_t count, T* __restrict re,
+                          T* __restrict im) {
+  for (std::uint64_t q = 0; q < count; ++q) {
+    const cplx_t<T> x = src[q * stride];
+    re[q] = x.real();
+    im[q] = x.imag();
+  }
+}
+
+template <typename T>
+void permute_split_generic(const cplx_t<T>* __restrict src,
+                           const std::uint32_t* __restrict idx,
+                           std::uint64_t count, T* __restrict re,
+                           T* __restrict im) {
+  for (std::uint64_t q = 0; q < count; ++q) {
+    const cplx_t<T> x = src[idx[q]];
+    re[q] = x.real();
+    im[q] = x.imag();
+  }
+}
+
+template <typename T>
+void scatter_merge_generic(const T* __restrict re, const T* __restrict im,
+                           std::uint64_t count, cplx_t<T>* __restrict dst,
+                           std::uint64_t stride) {
+  for (std::uint64_t q = 0; q < count; ++q)
+    dst[q * stride] = cplx_t<T>(re[q], im[q]);
+}
+
+template <typename T>
+void stockham_combine_generic(const cplx_t<T>* __restrict src,
+                              cplx_t<T>* __restrict dst, std::uint64_t n,
+                              std::uint64_t len, const cplx_t<T>* __restrict tw) {
+  const std::uint64_t half = n / 2;
+  const std::uint64_t groups = half / len;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    for (std::uint64_t k = 0; k < len; ++k) {
+      const cplx_t<T> a = src[g * len + k];
+      const cplx_t<T> b = src[g * len + k + half];
+      const cplx_t<T> t = tw[k] * b;
+      dst[2 * g * len + k] = a + t;
+      dst[2 * g * len + k + len] = a - t;
+    }
+  }
+}
+
+template <typename T>
+void transpose_tile_generic(const cplx_t<T>* __restrict src,
+                            cplx_t<T>* __restrict dst, std::uint64_t src_stride,
+                            std::uint64_t dst_stride, std::uint64_t rows,
+                            std::uint64_t cols) {
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c)
+      dst[c * dst_stride + r] = src[r * src_stride + c];
+}
+
+}  // inline namespace C64FFT_KERNEL_ARCH_NS
+}  // namespace c64fft::fft::kernels::detail

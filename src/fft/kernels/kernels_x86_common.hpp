@@ -1,0 +1,645 @@
+#pragma once
+// AVX2 intrinsic kernel bodies, shared by kernels_avx2.cpp and
+// kernels_avx512.cpp (AVX-512 implies AVX2; the 512-bit TU reuses these
+// for the register-blocked fused pass, the 256-bit butterfly widths, and
+// the transpose tiles). Everything lives in an anonymous namespace ON
+// PURPOSE: each including TU is compiled with different ISA flags, and
+// internal linkage guarantees each gets its own copy — an inline function
+// here would be COMDAT-folded by the linker, and the surviving copy could
+// be the one compiled with the wider ISA, crashing the narrower table on
+// hosts that lack it.
+//
+// Numerics: one butterfly (or one element) per lane, scalar operation
+// order — multiply, subtract, add, never FMA (the including TUs are built
+// with -ffp-contract=off, and neither -mavx2 nor -mavx512* enables -mfma
+// codegen for these explicit mul/add intrinsics). Shuffles and
+// transposes only move lanes. Results are bit-identical to the portable
+// kernels for finite data.
+//
+// The including TU must define C64FFT_KERNEL_ARCH_NS and include
+// "fft/kernels/generic_kernels.hpp" BEFORE this header so the scalar
+// helpers (fused tails, twiddle derivation) resolve to that TU's arch
+// namespace.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "fft/kernels/generic_kernels.hpp"
+#include "fft/twiddle.hpp"
+#include "fft/types.hpp"
+
+namespace c64fft::fft::kernels::detail {
+namespace {
+
+// ---- Register transposes (pure lane moves, exact) ----
+
+/// 8x8 f32 in-register transpose: r[j] = row j on entry, column j on exit.
+inline void transpose8x8_ps(__m256 r[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(r[0], r[1]);
+  const __m256 t1 = _mm256_unpackhi_ps(r[0], r[1]);
+  const __m256 t2 = _mm256_unpacklo_ps(r[2], r[3]);
+  const __m256 t3 = _mm256_unpackhi_ps(r[2], r[3]);
+  const __m256 t4 = _mm256_unpacklo_ps(r[4], r[5]);
+  const __m256 t5 = _mm256_unpackhi_ps(r[4], r[5]);
+  const __m256 t6 = _mm256_unpacklo_ps(r[6], r[7]);
+  const __m256 t7 = _mm256_unpackhi_ps(r[6], r[7]);
+  const __m256 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 s6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 s7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+  r[0] = _mm256_permute2f128_ps(s0, s4, 0x20);
+  r[1] = _mm256_permute2f128_ps(s1, s5, 0x20);
+  r[2] = _mm256_permute2f128_ps(s2, s6, 0x20);
+  r[3] = _mm256_permute2f128_ps(s3, s7, 0x20);
+  r[4] = _mm256_permute2f128_ps(s0, s4, 0x31);
+  r[5] = _mm256_permute2f128_ps(s1, s5, 0x31);
+  r[6] = _mm256_permute2f128_ps(s2, s6, 0x31);
+  r[7] = _mm256_permute2f128_ps(s3, s7, 0x31);
+}
+
+/// 4x4 f64 in-register transpose.
+inline void transpose4x4_pd(__m256d r[4]) {
+  const __m256d t0 = _mm256_unpacklo_pd(r[0], r[1]);
+  const __m256d t1 = _mm256_unpackhi_pd(r[0], r[1]);
+  const __m256d t2 = _mm256_unpacklo_pd(r[2], r[3]);
+  const __m256d t3 = _mm256_unpackhi_pd(r[2], r[3]);
+  r[0] = _mm256_permute2f128_pd(t0, t2, 0x20);
+  r[1] = _mm256_permute2f128_pd(t1, t3, 0x20);
+  r[2] = _mm256_permute2f128_pd(t0, t2, 0x31);
+  r[3] = _mm256_permute2f128_pd(t1, t3, 0x31);
+}
+
+// ---- Vector butterflies (element a/b of W independent chains per lane) ----
+
+inline void bf_ps(__m256 r[8], __m256 i[8], int a, int b, float wr, float wi) {
+  const __m256 vwr = _mm256_set1_ps(wr);
+  const __m256 vwi = _mm256_set1_ps(wi);
+  const __m256 tr = _mm256_sub_ps(_mm256_mul_ps(vwr, r[b]), _mm256_mul_ps(vwi, i[b]));
+  const __m256 ti = _mm256_add_ps(_mm256_mul_ps(vwr, i[b]), _mm256_mul_ps(vwi, r[b]));
+  r[b] = _mm256_sub_ps(r[a], tr);
+  i[b] = _mm256_sub_ps(i[a], ti);
+  r[a] = _mm256_add_ps(r[a], tr);
+  i[a] = _mm256_add_ps(i[a], ti);
+}
+
+inline void bf_pd(__m256d r[8], __m256d i[8], int a, int b, double wr, double wi) {
+  const __m256d vwr = _mm256_set1_pd(wr);
+  const __m256d vwi = _mm256_set1_pd(wi);
+  const __m256d tr = _mm256_sub_pd(_mm256_mul_pd(vwr, r[b]), _mm256_mul_pd(vwi, i[b]));
+  const __m256d ti = _mm256_add_pd(_mm256_mul_pd(vwr, i[b]), _mm256_mul_pd(vwi, r[b]));
+  r[b] = _mm256_sub_pd(r[a], tr);
+  i[b] = _mm256_sub_pd(i[a], ti);
+  r[a] = _mm256_add_pd(r[a], tr);
+  i[a] = _mm256_add_pd(i[a], ti);
+}
+
+/// The 12 butterflies of a fused radix-8 group over register-resident
+/// element slices x?[j] = element j of each lane's group. Same order as
+/// detail::fused8_group.
+template <typename V, typename BF, typename T>
+inline void fused8_regs(V xr[8], V xi[8], const T* twr, const T* twi, BF&& bf) {
+  bf(xr, xi, 0, 1, twr[0], twi[0]);
+  bf(xr, xi, 2, 3, twr[0], twi[0]);
+  bf(xr, xi, 4, 5, twr[0], twi[0]);
+  bf(xr, xi, 6, 7, twr[0], twi[0]);
+  bf(xr, xi, 0, 2, twr[1], twi[1]);
+  bf(xr, xi, 1, 3, twr[2], twi[2]);
+  bf(xr, xi, 4, 6, twr[1], twi[1]);
+  bf(xr, xi, 5, 7, twr[2], twi[2]);
+  bf(xr, xi, 0, 4, twr[3], twi[3]);
+  bf(xr, xi, 1, 5, twr[4], twi[4]);
+  bf(xr, xi, 2, 6, twr[5], twi[5]);
+  bf(xr, xi, 3, 7, twr[6], twi[6]);
+}
+
+// ---- Register-blocked fused radix-8 first pass ----
+
+/// f32: 8 groups of 8 at a time — 8x8 transpose puts element j of all 8
+/// groups in one register, the 12 butterflies run on full vectors, and
+/// the transpose back restores group-contiguous layout.
+inline void fused8_pass_avx2(float* re, float* im, std::uint64_t len,
+                             const float* twr, const float* twi) {
+  std::uint64_t g = 0;
+  for (; g + 64 <= len; g += 64) {
+    __m256 xr[8], xi[8];
+    for (int j = 0; j < 8; ++j) {
+      xr[j] = _mm256_loadu_ps(re + g + 8 * j);
+      xi[j] = _mm256_loadu_ps(im + g + 8 * j);
+    }
+    transpose8x8_ps(xr);
+    transpose8x8_ps(xi);
+    fused8_regs(xr, xi, twr, twi, [](__m256 r[8], __m256 i[8], int a, int b,
+                                     float wr, float wi) { bf_ps(r, i, a, b, wr, wi); });
+    transpose8x8_ps(xr);
+    transpose8x8_ps(xi);
+    for (int j = 0; j < 8; ++j) {
+      _mm256_storeu_ps(re + g + 8 * j, xr[j]);
+      _mm256_storeu_ps(im + g + 8 * j, xi[j]);
+    }
+  }
+  for (; g < len; g += 8) fused8_group<float>(re + g, im + g, twr, twi);
+}
+
+/// f64: 4 groups of 8 at a time — two 4x4 transposes (low/high half of
+/// each group) produce the eight element slices.
+inline void fused8_pass_avx2(double* re, double* im, std::uint64_t len,
+                             const double* twr, const double* twi) {
+  std::uint64_t g = 0;
+  for (; g + 32 <= len; g += 32) {
+    __m256d xr[8], xi[8];
+    for (int k = 0; k < 4; ++k) {
+      xr[k] = _mm256_loadu_pd(re + g + 8 * k);
+      xr[4 + k] = _mm256_loadu_pd(re + g + 8 * k + 4);
+      xi[k] = _mm256_loadu_pd(im + g + 8 * k);
+      xi[4 + k] = _mm256_loadu_pd(im + g + 8 * k + 4);
+    }
+    transpose4x4_pd(xr);
+    transpose4x4_pd(xr + 4);
+    transpose4x4_pd(xi);
+    transpose4x4_pd(xi + 4);
+    fused8_regs(xr, xi, twr, twi, [](__m256d r[8], __m256d i[8], int a, int b,
+                                     double wr, double wi) { bf_pd(r, i, a, b, wr, wi); });
+    transpose4x4_pd(xr);
+    transpose4x4_pd(xr + 4);
+    transpose4x4_pd(xi);
+    transpose4x4_pd(xi + 4);
+    for (int k = 0; k < 4; ++k) {
+      _mm256_storeu_pd(re + g + 8 * k, xr[k]);
+      _mm256_storeu_pd(re + g + 8 * k + 4, xr[4 + k]);
+      _mm256_storeu_pd(im + g + 8 * k, xi[k]);
+      _mm256_storeu_pd(im + g + 8 * k + 4, xi[4 + k]);
+    }
+  }
+  for (; g < len; g += 8) fused8_group<double>(re + g, im + g, twr, twi);
+}
+
+// ---- 256-bit shared-twiddle butterfly level (half must be a multiple of
+// the vector width) ----
+
+inline void span_level_avx2(float* re, float* im, std::uint64_t len,
+                            std::uint64_t half, const float* tw_re,
+                            const float* tw_im) {
+  for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+    for (std::uint64_t u = 0; u < half; u += 8) {
+      const __m256 wr = _mm256_loadu_ps(tw_re + u);
+      const __m256 wi = _mm256_loadu_ps(tw_im + u);
+      const __m256 ar = _mm256_loadu_ps(re + lo + u);
+      const __m256 ai = _mm256_loadu_ps(im + lo + u);
+      const __m256 br = _mm256_loadu_ps(re + lo + half + u);
+      const __m256 bi = _mm256_loadu_ps(im + lo + half + u);
+      const __m256 tr = _mm256_sub_ps(_mm256_mul_ps(wr, br), _mm256_mul_ps(wi, bi));
+      const __m256 ti = _mm256_add_ps(_mm256_mul_ps(wr, bi), _mm256_mul_ps(wi, br));
+      _mm256_storeu_ps(re + lo + half + u, _mm256_sub_ps(ar, tr));
+      _mm256_storeu_ps(im + lo + half + u, _mm256_sub_ps(ai, ti));
+      _mm256_storeu_ps(re + lo + u, _mm256_add_ps(ar, tr));
+      _mm256_storeu_ps(im + lo + u, _mm256_add_ps(ai, ti));
+    }
+  }
+}
+
+inline void span_level_avx2(double* re, double* im, std::uint64_t len,
+                            std::uint64_t half, const double* tw_re,
+                            const double* tw_im) {
+  for (std::uint64_t lo = 0; lo < len; lo += 2 * half) {
+    for (std::uint64_t u = 0; u < half; u += 4) {
+      const __m256d wr = _mm256_loadu_pd(tw_re + u);
+      const __m256d wi = _mm256_loadu_pd(tw_im + u);
+      const __m256d ar = _mm256_loadu_pd(re + lo + u);
+      const __m256d ai = _mm256_loadu_pd(im + lo + u);
+      const __m256d br = _mm256_loadu_pd(re + lo + half + u);
+      const __m256d bi = _mm256_loadu_pd(im + lo + half + u);
+      const __m256d tr = _mm256_sub_pd(_mm256_mul_pd(wr, br), _mm256_mul_pd(wi, bi));
+      const __m256d ti = _mm256_add_pd(_mm256_mul_pd(wr, bi), _mm256_mul_pd(wi, br));
+      _mm256_storeu_pd(re + lo + half + u, _mm256_sub_pd(ar, tr));
+      _mm256_storeu_pd(im + lo + half + u, _mm256_sub_pd(ai, ti));
+      _mm256_storeu_pd(re + lo + u, _mm256_add_pd(ar, tr));
+      _mm256_storeu_pd(im + lo + u, _mm256_add_pd(ai, ti));
+    }
+  }
+}
+
+template <typename T>
+inline constexpr std::uint64_t kAvx2Width = 32 / sizeof(T);
+
+/// vgather/vscatter instructions take i32 element indices: a strided
+/// access pattern may only use them when its last index fits (stride2 is
+/// the scalar-element stride, i.e. twice the complex stride).
+inline bool gather_fits_i32(std::uint64_t stride2, std::uint64_t count) {
+  return count == 0 || (count - 1) * stride2 + 1 <= 0x7fffffffull;
+}
+
+template <typename T>
+void gather_split_avx2(const cplx_t<T>* src, std::uint64_t stride,
+                       std::uint64_t count, T* re, T* im);
+
+/// SIMD sibling of detail::level_twiddle_span — same shareability
+/// predicate, but with a kLinear table the span is an affine strided read
+/// of the storage array (storage[(c << shift) + u * (stride << shift)]),
+/// so the materialization runs through the vgather path instead of the
+/// scalar at() loop. The entries loaded are the identical table values —
+/// lane moves only, bit-identical spans. kBitReversed layouts index
+/// through bit_reverse (not affine) and keep the scalar loop.
+template <typename T>
+inline bool level_twiddle_span_x86(std::uint64_t base, std::uint64_t stride,
+                                   std::uint32_t level, std::uint32_t v,
+                                   unsigned log2n,
+                                   const BasicTwiddleTable<T>& twiddles,
+                                   T* __restrict tw_re, T* __restrict tw_im) {
+  const std::uint64_t half = std::uint64_t{1} << v;
+  const std::uint64_t block_mask = (std::uint64_t{1} << level) - 1;
+  const unsigned shift = log2n - level - 1;
+  const std::uint64_t c = base & block_mask;
+  const bool blocks_share = ((stride << (v + 1)) & block_mask) == 0;
+  const bool wrap_free = c + (half - 1) * stride <= block_mask;
+  if (!(blocks_share && wrap_free)) return false;
+  const std::uint64_t tw_stride = stride << shift;
+  if (twiddles.layout() == TwiddleLayout::kLinear &&
+      half >= kAvx2Width<T> && gather_fits_i32(2 * tw_stride, half)) {
+    gather_split_avx2<T>(twiddles.storage().data() + (c << shift), tw_stride,
+                         half, tw_re, tw_im);
+    return true;
+  }
+  for (std::uint64_t u = 0; u < half; ++u) {
+    const cplx_t<T> w = twiddles.at((c + u * stride) << shift);
+    tw_re[u] = w.real();
+    tw_im[u] = w.imag();
+  }
+  return true;
+}
+
+// ---- chain_split: fused register-blocked first pass + wide levels ----
+
+template <typename T>
+void chain_split_avx2(T* re, T* im, std::uint64_t len, std::uint64_t base,
+                      std::uint64_t stride, std::uint32_t first_level,
+                      std::uint32_t levels, unsigned log2n,
+                      const BasicTwiddleTable<T>& twiddles, T* tw_re, T* tw_im,
+                      unsigned fuse_log2) {
+  const std::uint32_t v_start = fused_first_pass<T>(
+      re, im, len, base, stride, first_level, levels, log2n, twiddles,
+      fuse_log2, [&](unsigned f, const T* twr, const T* twi) {
+        if (f == 3) {
+          fused8_pass_avx2(re, im, len, twr, twi);
+        } else {
+          for (std::uint64_t g = 0; g < len; g += 4)
+            fused4_group<T>(re + g, im + g, twr, twi);
+        }
+      });
+
+  for (std::uint32_t v = v_start; v < levels; ++v) {
+    const std::uint64_t half = std::uint64_t{1} << v;
+    const std::uint32_t level = first_level + v;
+    if (level_twiddle_span_x86<T>(base, stride, level, v, log2n, twiddles,
+                                  tw_re, tw_im)) {
+      if (half >= kAvx2Width<T>)
+        span_level_avx2(re, im, len, half, tw_re, tw_im);
+      else
+        span_level<T>(re, im, len, half, tw_re, tw_im);
+    } else {
+      generic_level<T>(re, im, len, base, stride, level, v, log2n, twiddles);
+    }
+  }
+}
+
+// ---- Complex de/interleave (the codelet gather/scatter, stride 1) ----
+
+inline void deinterleave8_ps(const float* src, float* re, float* im) {
+  const __m256 v0 = _mm256_loadu_ps(src);      // r0 i0 r1 i1 | r2 i2 r3 i3
+  const __m256 v1 = _mm256_loadu_ps(src + 8);  // r4 i4 r5 i5 | r6 i6 r7 i7
+  const __m256 lo = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+  const __m256 hi = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(3, 1, 3, 1));
+  // lo = r0 r1 r4 r5 | r2 r3 r6 r7; fix qword order 0,2,1,3.
+  _mm256_storeu_ps(re, _mm256_castpd_ps(_mm256_permute4x64_pd(
+                           _mm256_castps_pd(lo), _MM_SHUFFLE(3, 1, 2, 0))));
+  _mm256_storeu_ps(im, _mm256_castpd_ps(_mm256_permute4x64_pd(
+                           _mm256_castps_pd(hi), _MM_SHUFFLE(3, 1, 2, 0))));
+}
+
+inline void interleave8_ps(const float* re, const float* im, float* dst) {
+  // Qword swap 1<->2 is an involution, so the same permute undoes the
+  // deinterleave ordering before the unpacks rebuild (re, im) pairs.
+  const __m256 a = _mm256_castpd_ps(_mm256_permute4x64_pd(
+      _mm256_castps_pd(_mm256_loadu_ps(re)), _MM_SHUFFLE(3, 1, 2, 0)));
+  const __m256 b = _mm256_castpd_ps(_mm256_permute4x64_pd(
+      _mm256_castps_pd(_mm256_loadu_ps(im)), _MM_SHUFFLE(3, 1, 2, 0)));
+  _mm256_storeu_ps(dst, _mm256_unpacklo_ps(a, b));
+  _mm256_storeu_ps(dst + 8, _mm256_unpackhi_ps(a, b));
+}
+
+inline void deinterleave4_pd(const double* src, double* re, double* im) {
+  const __m256d a = _mm256_loadu_pd(src);      // r0 i0 | r1 i1
+  const __m256d b = _mm256_loadu_pd(src + 4);  // r2 i2 | r3 i3
+  const __m256d t0 = _mm256_permute2f128_pd(a, b, 0x20);  // r0 i0 | r2 i2
+  const __m256d t1 = _mm256_permute2f128_pd(a, b, 0x31);  // r1 i1 | r3 i3
+  _mm256_storeu_pd(re, _mm256_unpacklo_pd(t0, t1));
+  _mm256_storeu_pd(im, _mm256_unpackhi_pd(t0, t1));
+}
+
+inline void interleave4_pd(const double* re, const double* im, double* dst) {
+  const __m256d r = _mm256_loadu_pd(re);
+  const __m256d i = _mm256_loadu_pd(im);
+  const __m256d t0 = _mm256_unpacklo_pd(r, i);  // r0 i0 | r2 i2
+  const __m256d t1 = _mm256_unpackhi_pd(r, i);  // r1 i1 | r3 i3
+  _mm256_storeu_pd(dst, _mm256_permute2f128_pd(t0, t1, 0x20));
+  _mm256_storeu_pd(dst + 4, _mm256_permute2f128_pd(t0, t1, 0x31));
+}
+
+// ---- Strided split-complex loads via hardware vgather ----
+//
+// For stride != 1 the codelet reads re[q] = s[q*stride2] and
+// im[q] = s[q*stride2 + 1] with s the scalar view of the complex array
+// and stride2 = 2*stride. A vgather per component replaces the scalar
+// address-generation chain (two dependent loads plus indexing per
+// element). Gathers are plain loads — lane moves only, bit-identical to
+// the scalar loop. vgather takes i32 indices, so callers must guard the
+// reachable span (gather_fits_i32, declared further up).
+
+inline void gather_strided_avx2(const float* s, std::uint64_t stride2,
+                                std::uint64_t count, float* re, float* im) {
+  const __m256i step = _mm256_set1_epi32(static_cast<int>(stride2));
+  __m256i idx = _mm256_mullo_epi32(
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7), step);
+  const __m256i step8 = _mm256_slli_epi32(step, 3);
+  const __m256i one = _mm256_set1_epi32(1);
+  std::uint64_t q = 0;
+  for (; q + 8 <= count; q += 8) {
+    _mm256_storeu_ps(re + q, _mm256_i32gather_ps(s, idx, 4));
+    _mm256_storeu_ps(im + q,
+                     _mm256_i32gather_ps(s, _mm256_add_epi32(idx, one), 4));
+    idx = _mm256_add_epi32(idx, step8);
+  }
+  for (; q < count; ++q) {
+    re[q] = s[q * stride2];
+    im[q] = s[q * stride2 + 1];
+  }
+}
+
+inline void gather_strided_avx2(const double* s, std::uint64_t stride2,
+                                std::uint64_t count, double* re, double* im) {
+  const __m128i step = _mm_set1_epi32(static_cast<int>(stride2));
+  __m128i idx = _mm_mullo_epi32(_mm_setr_epi32(0, 1, 2, 3), step);
+  const __m128i step4 = _mm_slli_epi32(step, 2);
+  const __m128i one = _mm_set1_epi32(1);
+  std::uint64_t q = 0;
+  for (; q + 4 <= count; q += 4) {
+    _mm256_storeu_pd(re + q, _mm256_i32gather_pd(s, idx, 8));
+    _mm256_storeu_pd(im + q,
+                     _mm256_i32gather_pd(s, _mm_add_epi32(idx, one), 8));
+    idx = _mm_add_epi32(idx, step4);
+  }
+  for (; q < count; ++q) {
+    re[q] = s[q * stride2];
+    im[q] = s[q * stride2 + 1];
+  }
+}
+
+// ---- Bit-reversal permuted split loads ----
+//
+// re/im[q] = src[idx[q]]: the index vector comes from memory (the cached
+// bit-reversal table) instead of an affine progression, otherwise the
+// same two-gathers-per-vector shape as the strided path. idx entries are
+// < 2^30 by the dispatch contract, so doubling into scalar-component
+// indices cannot overflow i32.
+
+inline void permute_split_x86(const cplx_t<float>* src,
+                              const std::uint32_t* idx, std::uint64_t count,
+                              float* re, float* im) {
+  const float* s = reinterpret_cast<const float*>(src);
+  const __m256i one = _mm256_set1_epi32(1);
+  std::uint64_t q = 0;
+  for (; q + 8 <= count; q += 8) {
+    const __m256i fi = _mm256_slli_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + q)), 1);
+    _mm256_storeu_ps(re + q, _mm256_i32gather_ps(s, fi, 4));
+    _mm256_storeu_ps(im + q,
+                     _mm256_i32gather_ps(s, _mm256_add_epi32(fi, one), 4));
+  }
+  for (; q < count; ++q) {
+    const cplx_t<float> x = src[idx[q]];
+    re[q] = x.real();
+    im[q] = x.imag();
+  }
+}
+
+inline void permute_split_x86(const cplx_t<double>* src,
+                              const std::uint32_t* idx, std::uint64_t count,
+                              double* re, double* im) {
+  const double* s = reinterpret_cast<const double*>(src);
+  const __m128i one = _mm_set1_epi32(1);
+  std::uint64_t q = 0;
+  for (; q + 4 <= count; q += 4) {
+    const __m128i fi = _mm_slli_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + q)), 1);
+    _mm256_storeu_pd(re + q, _mm256_i32gather_pd(s, fi, 8));
+    _mm256_storeu_pd(im + q,
+                     _mm256_i32gather_pd(s, _mm_add_epi32(fi, one), 8));
+  }
+  for (; q < count; ++q) {
+    const cplx_t<double> x = src[idx[q]];
+    re[q] = x.real();
+    im[q] = x.imag();
+  }
+}
+
+template <typename T>
+void permute_split_avx2(const cplx_t<T>* src, const std::uint32_t* idx,
+                        std::uint64_t count, T* re, T* im) {
+  permute_split_x86(src, idx, count, re, im);
+}
+
+template <typename T>
+void gather_split_avx2(const cplx_t<T>* src, std::uint64_t stride,
+                       std::uint64_t count, T* re, T* im) {
+  if (stride != 1) {
+    if (gather_fits_i32(2 * stride, count))
+      gather_strided_avx2(reinterpret_cast<const T*>(src), 2 * stride, count,
+                          re, im);
+    else
+      gather_split_generic<T>(src, stride, count, re, im);
+    return;
+  }
+  const std::uint64_t w = kAvx2Width<T>;
+  const T* s = reinterpret_cast<const T*>(src);
+  std::uint64_t q = 0;
+  for (; q + w <= count; q += w) {
+    if constexpr (sizeof(T) == 4)
+      deinterleave8_ps(s + 2 * q, re + q, im + q);
+    else
+      deinterleave4_pd(s + 2 * q, re + q, im + q);
+  }
+  for (; q < count; ++q) {
+    const cplx_t<T> x = src[q];
+    re[q] = x.real();
+    im[q] = x.imag();
+  }
+}
+
+template <typename T>
+void scatter_merge_avx2(const T* re, const T* im, std::uint64_t count,
+                        cplx_t<T>* dst, std::uint64_t stride) {
+  if (stride != 1) {
+    scatter_merge_generic<T>(re, im, count, dst, stride);
+    return;
+  }
+  const std::uint64_t w = kAvx2Width<T>;
+  T* d = reinterpret_cast<T*>(dst);
+  std::uint64_t q = 0;
+  for (; q + w <= count; q += w) {
+    if constexpr (sizeof(T) == 4)
+      interleave8_ps(re + q, im + q, d + 2 * q);
+    else
+      interleave4_pd(re + q, im + q, d + 2 * q);
+  }
+  for (; q < count; ++q) dst[q] = cplx_t<T>(re[q], im[q]);
+}
+
+// ---- Stockham combine: addsub-based complex multiply on interleaved
+// data. Lane 2k holds wr*br - wi*bi, lane 2k+1 holds wr*bi + wi*br — the
+// exact scalar operation sequence of cplx_t<T> multiplication. ----
+
+inline void stockham_combine_avx2_impl(const cplx_t<float>* src,
+                                       cplx_t<float>* dst, std::uint64_t n,
+                                       std::uint64_t len,
+                                       const cplx_t<float>* tw) {
+  const std::uint64_t half = n / 2;
+  const std::uint64_t groups = half / len;
+  const float* s = reinterpret_cast<const float*>(src);
+  const float* w = reinterpret_cast<const float*>(tw);
+  float* d = reinterpret_cast<float*>(dst);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    std::uint64_t k = 0;
+    for (; k + 4 <= len; k += 4) {
+      const __m256 wv = _mm256_loadu_ps(w + 2 * k);
+      const __m256 a = _mm256_loadu_ps(s + 2 * (g * len + k));
+      const __m256 b = _mm256_loadu_ps(s + 2 * (g * len + k + half));
+      const __m256 wr = _mm256_moveldup_ps(wv);
+      const __m256 wi = _mm256_movehdup_ps(wv);
+      const __m256 bsw = _mm256_permute_ps(b, 0xB1);
+      const __m256 t = _mm256_addsub_ps(_mm256_mul_ps(wr, b), _mm256_mul_ps(wi, bsw));
+      _mm256_storeu_ps(d + 2 * (2 * g * len + k), _mm256_add_ps(a, t));
+      _mm256_storeu_ps(d + 2 * (2 * g * len + k + len), _mm256_sub_ps(a, t));
+    }
+    for (; k < len; ++k) {
+      const cplx_t<float> a = src[g * len + k];
+      const cplx_t<float> t = tw[k] * src[g * len + k + half];
+      dst[2 * g * len + k] = a + t;
+      dst[2 * g * len + k + len] = a - t;
+    }
+  }
+}
+
+inline void stockham_combine_avx2_impl(const cplx_t<double>* src,
+                                       cplx_t<double>* dst, std::uint64_t n,
+                                       std::uint64_t len,
+                                       const cplx_t<double>* tw) {
+  const std::uint64_t half = n / 2;
+  const std::uint64_t groups = half / len;
+  const double* s = reinterpret_cast<const double*>(src);
+  const double* w = reinterpret_cast<const double*>(tw);
+  double* d = reinterpret_cast<double*>(dst);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    std::uint64_t k = 0;
+    for (; k + 2 <= len; k += 2) {
+      const __m256d wv = _mm256_loadu_pd(w + 2 * k);
+      const __m256d a = _mm256_loadu_pd(s + 2 * (g * len + k));
+      const __m256d b = _mm256_loadu_pd(s + 2 * (g * len + k + half));
+      const __m256d wr = _mm256_movedup_pd(wv);
+      const __m256d wi = _mm256_permute_pd(wv, 0xF);
+      const __m256d bsw = _mm256_permute_pd(b, 0x5);
+      const __m256d t = _mm256_addsub_pd(_mm256_mul_pd(wr, b), _mm256_mul_pd(wi, bsw));
+      _mm256_storeu_pd(d + 2 * (2 * g * len + k), _mm256_add_pd(a, t));
+      _mm256_storeu_pd(d + 2 * (2 * g * len + k + len), _mm256_sub_pd(a, t));
+    }
+    for (; k < len; ++k) {
+      const cplx_t<double> a = src[g * len + k];
+      const cplx_t<double> t = tw[k] * src[g * len + k + half];
+      dst[2 * g * len + k] = a + t;
+      dst[2 * g * len + k + len] = a - t;
+    }
+  }
+}
+
+template <typename T>
+void stockham_combine_avx2(const cplx_t<T>* src, cplx_t<T>* dst, std::uint64_t n,
+                           std::uint64_t len, const cplx_t<T>* tw) {
+  stockham_combine_avx2_impl(src, dst, n, len, tw);
+}
+
+// ---- Transpose tile micro-kernels (complex elements as 64-bit /
+// 128-bit lane moves) ----
+
+inline void transpose_tile_avx2_impl(const cplx_t<float>* src, cplx_t<float>* dst,
+                                     std::uint64_t ss, std::uint64_t ds,
+                                     std::uint64_t rows, std::uint64_t cols) {
+  std::uint64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    std::uint64_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const __m256i* s0 = reinterpret_cast<const __m256i*>(src + (r + 0) * ss + c);
+      const __m256i* s1 = reinterpret_cast<const __m256i*>(src + (r + 1) * ss + c);
+      const __m256i* s2 = reinterpret_cast<const __m256i*>(src + (r + 2) * ss + c);
+      const __m256i* s3 = reinterpret_cast<const __m256i*>(src + (r + 3) * ss + c);
+      const __m256i r0 = _mm256_loadu_si256(s0);
+      const __m256i r1 = _mm256_loadu_si256(s1);
+      const __m256i r2 = _mm256_loadu_si256(s2);
+      const __m256i r3 = _mm256_loadu_si256(s3);
+      const __m256i t0 = _mm256_unpacklo_epi64(r0, r1);  // a0 b0 | a2 b2
+      const __m256i t1 = _mm256_unpackhi_epi64(r0, r1);  // a1 b1 | a3 b3
+      const __m256i t2 = _mm256_unpacklo_epi64(r2, r3);
+      const __m256i t3 = _mm256_unpackhi_epi64(r2, r3);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + (c + 0) * ds + r),
+                          _mm256_permute2x128_si256(t0, t2, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + (c + 1) * ds + r),
+                          _mm256_permute2x128_si256(t1, t3, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + (c + 2) * ds + r),
+                          _mm256_permute2x128_si256(t0, t2, 0x31));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + (c + 3) * ds + r),
+                          _mm256_permute2x128_si256(t1, t3, 0x31));
+    }
+    for (; c < cols; ++c)
+      for (std::uint64_t rr = r; rr < r + 4; ++rr)
+        dst[c * ds + rr] = src[rr * ss + c];
+  }
+  for (; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) dst[c * ds + r] = src[r * ss + c];
+}
+
+inline void transpose_tile_avx2_impl(const cplx_t<double>* src, cplx_t<double>* dst,
+                                     std::uint64_t ss, std::uint64_t ds,
+                                     std::uint64_t rows, std::uint64_t cols) {
+  std::uint64_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    std::uint64_t c = 0;
+    for (; c + 2 <= cols; c += 2) {
+      const __m256d r0 =
+          _mm256_loadu_pd(reinterpret_cast<const double*>(src + (r + 0) * ss + c));
+      const __m256d r1 =
+          _mm256_loadu_pd(reinterpret_cast<const double*>(src + (r + 1) * ss + c));
+      _mm256_storeu_pd(reinterpret_cast<double*>(dst + (c + 0) * ds + r),
+                       _mm256_permute2f128_pd(r0, r1, 0x20));
+      _mm256_storeu_pd(reinterpret_cast<double*>(dst + (c + 1) * ds + r),
+                       _mm256_permute2f128_pd(r0, r1, 0x31));
+    }
+    for (; c < cols; ++c) {
+      dst[c * ds + r] = src[r * ss + c];
+      dst[c * ds + r + 1] = src[(r + 1) * ss + c];
+    }
+  }
+  for (; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) dst[c * ds + r] = src[r * ss + c];
+}
+
+template <typename T>
+void transpose_tile_avx2(const cplx_t<T>* src, cplx_t<T>* dst,
+                         std::uint64_t src_stride, std::uint64_t dst_stride,
+                         std::uint64_t rows, std::uint64_t cols) {
+  transpose_tile_avx2_impl(src, dst, src_stride, dst_stride, rows, cols);
+}
+
+}  // namespace
+}  // namespace c64fft::fft::kernels::detail

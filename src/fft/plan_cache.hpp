@@ -24,6 +24,7 @@
 
 #include "codelet/dep_counter.hpp"
 #include "fft/plan.hpp"
+#include "fft/schedule.hpp"
 #include "fft/twiddle.hpp"
 
 namespace c64fft::fft {
@@ -170,6 +171,18 @@ class PlanCache {
   PlanCacheStats stats() const;
   void clear();
 
+  /// Replace the resident tuned-schedule set (tools/fft_tune output). The
+  /// schedules steer which PlanKeys future acquire() callers build — the
+  /// entries already cached stay valid, so swapping schedules mid-run is
+  /// safe (at worst the old-shaped entries age out through the LRU).
+  void set_schedules(ScheduleSet schedules);
+
+  /// Tuned schedule for (n, precision, isa), if one was loaded. Serves the
+  /// executor's per-transform lookup; lock cost is one uncontended mutex
+  /// plus a linear scan of a tens-of-entries vector.
+  std::optional<TunedSchedule> tuned_for(std::uint64_t n, Precision precision,
+                                         util::IsaLevel isa) const;
+
  private:
   using LruList = std::list<std::pair<PlanKey, std::shared_ptr<const PlanEntry>>>;
 
@@ -178,6 +191,7 @@ class PlanCache {
   LruList lru_;  // front = most recently used
   std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> map_;
   PlanCacheStats stats_;
+  ScheduleSet schedules_;
 };
 
 }  // namespace c64fft::fft

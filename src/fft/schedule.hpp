@@ -1,0 +1,73 @@
+#pragma once
+// Tuned execution schedules: the output of the offline autotuner
+// (tools/fft_tune) and the input the executor uses to pick a plan shape.
+//
+// A schedule is keyed by (transform size, precision, kernel ISA) and
+// carries the two searched knobs:
+//   radix_log2 — the plan's codelet radix (changes the stage
+//                decomposition, and with it the task graph, the chain
+//                algebra, and the memory-traffic census), and
+//   fuse_log2  — how many leading butterfly levels of each chain the
+//                kernel collapses into one fused pass (3 = radix-8,
+//                2 = radix-4, 0 = per-level loops only).
+// Both knobs are pure scheduling: every setting computes bit-identical
+// results, only the loop/stage structure (and therefore throughput)
+// changes.
+//
+// The on-disk form is JSON (see to_json); the executor loads it when
+// C64FFT_SCHEDULE names a file, and PlanCache serves lookups. An entry
+// tuned for one machine is safe — at worst slower — on another, which is
+// why the ISA is part of the key: the tuner records what the kernels were
+// running on, and lookups only match schedules tuned for the ISA that is
+// actually active.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fft/types.hpp"
+#include "util/cpu_features.hpp"
+
+namespace c64fft::fft {
+
+struct TunedSchedule {
+  std::uint64_t n = 0;
+  Precision precision = Precision::kF64;
+  util::IsaLevel isa = util::IsaLevel::kScalar;
+  std::uint32_t radix_log2 = 6;
+  std::uint32_t fuse_log2 = 3;
+};
+
+/// An ordered set of tuned schedules with (n, precision, isa) as the
+/// unique key. Small (tens of entries) — lookups scan linearly.
+class ScheduleSet {
+ public:
+  /// Insert or replace the entry with s's key.
+  void insert(const TunedSchedule& s);
+
+  std::optional<TunedSchedule> find(std::uint64_t n, Precision precision,
+                                    util::IsaLevel isa) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<TunedSchedule>& entries() const noexcept { return entries_; }
+
+  /// Serialize as {"version":1,"schedules":[...]} (stable field order,
+  /// one schedule per line — diff-friendly for committing tuned files).
+  std::string to_json() const;
+
+  /// Parse the to_json() format. Unknown fields are ignored; a missing
+  /// required field, a bad enum name, or out-of-range knob values throw
+  /// std::invalid_argument naming the offending entry.
+  static ScheduleSet from_json(const std::string& text);
+
+  /// from_json() over a file's contents; std::runtime_error when
+  /// unreadable.
+  static ScheduleSet load_file(const std::string& path);
+
+ private:
+  std::vector<TunedSchedule> entries_;
+};
+
+}  // namespace c64fft::fft

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fft/kernels/dispatch.hpp"
 #include "util/bit_ops.hpp"
 
 namespace c64fft::fft {
@@ -11,26 +12,22 @@ namespace c64fft::fft {
 namespace {
 
 // One decimation step: combine sub-transforms of length `len` from `src`
-// into length 2*len in `dst`, autosorting along the way. The twiddle trig
-// is evaluated in double and narrowed per element for the f32 variant.
+// into length 2*len in `dst`, autosorting along the way. The twiddle of
+// combine column k depends only on k — never on the group — so it is
+// evaluated once per pass into `tw` (same trig calls, in double,
+// narrowed per element for the f32 variant: bit-identical to computing
+// it inside the group loop) and the data sweep runs through the
+// process-active SIMD kernel table.
 template <typename T>
 void stockham_pass(const cplx_t<T>* src, cplx_t<T>* dst, std::uint64_t n,
-                   std::uint64_t len) {
-  const std::uint64_t half = n / 2;
-  const std::uint64_t groups = half / len;  // sub-transform pairs
+                   std::uint64_t len, cplx_t<T>* tw) {
   const double step = -std::numbers::pi / static_cast<double>(len);
-  for (std::uint64_t g = 0; g < groups; ++g) {
-    for (std::uint64_t k = 0; k < len; ++k) {
-      const double angle = step * static_cast<double>(k);
-      const cplx_t<T> w(static_cast<T>(std::cos(angle)),
-                        static_cast<T>(std::sin(angle)));
-      const cplx_t<T> a = src[g * len + k];
-      const cplx_t<T> b = src[g * len + k + half];
-      const cplx_t<T> t = w * b;
-      dst[2 * g * len + k] = a + t;
-      dst[2 * g * len + k + len] = a - t;
-    }
+  for (std::uint64_t k = 0; k < len; ++k) {
+    const double angle = step * static_cast<double>(k);
+    tw[k] = cplx_t<T>(static_cast<T>(std::cos(angle)),
+                      static_cast<T>(std::sin(angle)));
   }
+  kernels::active_kernels<T>().stockham_combine(src, dst, n, len, tw);
 }
 
 template <typename T>
@@ -41,10 +38,11 @@ std::vector<cplx_t<T>> stockham_impl(std::span<const cplx_t<T>> input) {
   std::vector<cplx_t<T>> a(input.begin(), input.end());
   if (n == 1) return a;
   std::vector<cplx_t<T>> b(n);
+  std::vector<cplx_t<T>> tw(n / 2);
   cplx_t<T>* src = a.data();
   cplx_t<T>* dst = b.data();
   for (std::uint64_t len = 1; len < n; len *= 2) {
-    stockham_pass<T>(src, dst, n, len);
+    stockham_pass<T>(src, dst, n, len, tw.data());
     std::swap(src, dst);
   }
   return src == a.data() ? a : b;

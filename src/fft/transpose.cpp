@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fft/kernels/dispatch.hpp"
+
 namespace c64fft::fft {
 
 namespace {
@@ -30,13 +32,17 @@ template <typename T>
 void blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> dst,
                   std::uint64_t rows, std::uint64_t cols) {
   check_shape(src.size(), dst.size(), rows, cols);
+  // Each tile runs through the process-active SIMD kernel table's
+  // transpose micro-kernel (register-blocked shuffles on AVX2+, the plain
+  // doubly-nested copy on the scalar table). Pure element moves — the
+  // result is the same permutation whatever the table.
+  const kernels::KernelDispatch<T>& K = kernels::active_kernels<T>();
   for_each_transpose_tile(
       rows, cols,
       [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
           std::uint64_t cmax) {
-        for (std::uint64_t r = r0; r < rmax; ++r)
-          for (std::uint64_t c = c0; c < cmax; ++c)
-            dst[c * rows + r] = src[r * cols + c];
+        K.transpose_tile(src.data() + r0 * cols + c0, dst.data() + c0 * rows + r0,
+                         cols, rows, rmax - r0, cmax - c0);
       });
 }
 

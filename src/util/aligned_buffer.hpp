@@ -12,10 +12,19 @@
 
 namespace c64fft::util {
 
-template <typename T, std::size_t Alignment = 64>
+/// Default buffer alignment: one full cache line, which is also the width
+/// of one AVX-512 register. Kernel working tiles allocated at this
+/// alignment guarantee that no aligned 512-bit (or narrower) SIMD load of
+/// a tile row is ever split across two cache lines.
+inline constexpr std::size_t kSimdAlignment = 64;
+
+template <typename T, std::size_t Alignment = kSimdAlignment>
 class AlignedBuffer {
   static_assert(Alignment >= alignof(T));
   static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= kSimdAlignment,
+                "kernel buffers must be at least one cache line aligned so "
+                "AVX-512 loads never straddle two lines");
 
  public:
   AlignedBuffer() = default;

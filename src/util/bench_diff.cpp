@@ -66,6 +66,35 @@ std::vector<BenchDelta> diff_benchmarks(const JsonValue& baseline,
   return deltas;
 }
 
+double benchmark_metric(const JsonValue& report, const std::string& name,
+                        const std::string& metric) {
+  // Scans the raw rows, not extract_rows: a metric lookup may target an
+  // aggregate row by its full name (e.g. ".../real_time_median" from a
+  // --benchmark_report_aggregates_only run), which the diff's
+  // mean-only aggregate filter would hide.
+  for (const JsonValue& b : report.at("benchmarks").items())
+    if (b.at("name").as_string() == name) return b.at(metric).as_number();
+  throw JsonParseError("benchmark row '" + name + "' not found in report");
+}
+
+double benchmark_metric_min(const JsonValue& report, const std::string& name,
+                            const std::string& metric) {
+  double best = 0.0;
+  bool found = false;
+  for (const JsonValue& b : report.at("benchmarks").items()) {
+    if (b.at("name").as_string() != name) continue;
+    if (const JsonValue* rt = b.find("run_type");
+        rt && rt->is_string() && rt->as_string() == "aggregate")
+      continue;
+    const double v = b.at(metric).as_number();
+    if (!found || v < best) best = v;
+    found = true;
+  }
+  if (!found)
+    throw JsonParseError("benchmark row '" + name + "' not found in report");
+  return best;
+}
+
 bool has_regression(std::span<const BenchDelta> deltas) {
   return std::any_of(deltas.begin(), deltas.end(),
                      [](const BenchDelta& d) { return d.regressed; });

@@ -63,4 +63,22 @@ bool has_regression(std::span<const BenchDelta> deltas);
 std::string format_bench_report(std::span<const BenchDelta> deltas,
                                 const BenchDiffOptions& opts);
 
+/// The `metric` value of the named benchmark row in one report (raw rows,
+/// so aggregate rows are addressable by their full ".../real_time_median"
+/// names). Throws JsonParseError when the report has no such row — the
+/// engine behind bench_check's cross-row --ratio-min gate (e.g.
+/// "forced-scalar time / SIMD time must stay >= 1.3x").
+double benchmark_metric(const JsonValue& report, const std::string& name,
+                        const std::string& metric = "real_time");
+
+/// The minimum `metric` over every non-aggregate row with this name — in
+/// a --benchmark_repetitions run each repetition is its own row under the
+/// shared name. The minimum over interleaved repetitions estimates each
+/// row's *uncontended* runtime, which is what a code-speedup gate asserts:
+/// noisy-neighbor interference only ever adds time, and a spike would have
+/// to hit all repetitions of one row but none of the other to bias the
+/// ratio. Throws JsonParseError when no such row exists.
+double benchmark_metric_min(const JsonValue& report, const std::string& name,
+                            const std::string& metric = "real_time");
+
 }  // namespace c64fft::util

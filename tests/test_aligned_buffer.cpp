@@ -15,6 +15,16 @@ TEST(AlignedBuffer, DefaultEmpty) {
   EXPECT_EQ(b.data(), nullptr);
 }
 
+TEST(AlignedBuffer, DefaultAlignmentIsOneCacheLine) {
+  static_assert(kSimdAlignment == 64);
+  // The default template argument must give cache-line (= AVX-512
+  // register width) alignment without the call site spelling it.
+  AlignedBuffer<float> f(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) % kSimdAlignment, 0u);
+  AlignedBuffer<std::complex<double>> c(9);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % kSimdAlignment, 0u);
+}
+
 TEST(AlignedBuffer, AlignmentHolds) {
   AlignedBuffer<double, 64> b(17);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);

@@ -14,7 +14,9 @@
 #include "analysis/baseline.hpp"
 #include "analysis/model.hpp"
 #include "fft/executor.hpp"
+#include "fft/kernels/dispatch.hpp"
 #include "fft/plan.hpp"
+#include "util/cpu_features.hpp"
 #include "util/json.hpp"
 
 namespace c64fft::analysis {
@@ -500,6 +502,70 @@ TEST(Pipeline, CostProfileIsConsistent) {
   // Per-phase rows exist for every phase.
   for (std::size_t p = 0; p < m.phases.size(); ++p)
     EXPECT_TRUE(metrics.count("phase" + std::to_string(p) + "_span")) << p;
+}
+
+// ---- Kernel dispatch check ----
+
+TEST(Pipeline, ModelsRecordTheActiveKernelIsa) {
+  const PipelineModel m = build_classic_pipeline(FftPlan(1024, 5));
+  EXPECT_EQ(m.kernel_isa,
+            util::to_string(fft::kernels::active_kernel_isa()));
+  const auto report = analyze_pipeline(m);
+  EXPECT_EQ(check_of(report, "kernel").status, "pass") << report.to_json();
+  // Pipeline reports surface the dispatch id in the layout slot.
+  EXPECT_EQ(report.layout, m.kernel_isa);
+}
+
+TEST(Pipeline, ForcedIsaLevelsAreStampedAndVerifyClean) {
+  const util::IsaLevel prev = fft::kernels::active_kernel_isa();
+  for (const util::IsaLevel level :
+       {util::IsaLevel::kScalar, util::IsaLevel::kAvx2,
+        util::IsaLevel::kAvx512}) {
+    const util::IsaLevel active = fft::kernels::set_kernel_isa(level);
+    const PipelineModel m = build_four_step_pipeline(4096, 6);
+    EXPECT_EQ(m.kernel_isa, util::to_string(active));
+    const auto& check = check_of(analyze_pipeline(m), "kernel");
+    EXPECT_EQ(check.status, "pass") << util::to_string(level);
+    EXPECT_EQ(check.metrics.at("isa_level"), static_cast<double>(active));
+  }
+  fft::kernels::set_kernel_isa(prev);
+}
+
+TEST(Pipeline, UnknownKernelIsaIdFailsTheKernelCheck) {
+  PipelineModel m = build_classic_pipeline(FftPlan(256, 4));
+  m.kernel_isa = "sse9";
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "kernel", "unknown-kernel-isa"))
+      << report.to_json();
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(Pipeline, UnsupportedKernelIsaIdFailsOnLesserHosts) {
+  // Only meaningful where the hardware cannot execute AVX-512: a model
+  // claiming the avx512 table then names a kernel this host cannot run.
+  if (util::isa_supported(util::IsaLevel::kAvx512))
+    GTEST_SKIP() << "host executes every registered table";
+  PipelineModel m = build_classic_pipeline(FftPlan(256, 4));
+  m.kernel_isa = "avx512";
+  const auto report = analyze_pipeline(m);
+  EXPECT_TRUE(has_code(report, "kernel", "unsupported-kernel-isa"))
+      << report.to_json();
+}
+
+TEST(Pipeline, HandBuiltModelsSkipTheKernelCheck) {
+  PipelineModel m;
+  m.name = "hand-built";
+  m.n = 16;
+  const std::uint32_t buf = m.add_buffer("data", 16, /*input=*/true);
+  PhaseModel phase;
+  phase.name = "noop";
+  PipelineTask task;
+  task.reads.push_back({buf, 0});
+  phase.tasks.push_back(std::move(task));
+  m.phases.push_back(std::move(phase));
+  const auto report = analyze_pipeline(m);
+  EXPECT_EQ(check_of(report, "kernel").status, "skipped");
+  EXPECT_EQ(check_of(report, "kernel").errors(), 0u);
 }
 
 // ---- Baseline gate ----

@@ -92,6 +92,41 @@ TEST(BenchDiff, NonMeanAggregatesAreSkipped) {
   EXPECT_DOUBLE_EQ(deltas[0].current, 105.0);
 }
 
+TEST(BenchDiff, MetricLookupSeesAllAggregateRows) {
+  // benchmark_metric must find rows the diff's mean-only aggregate filter
+  // hides: the ratio gate targets ".../real_time_median" rows from an
+  // aggregates-only interleaved run.
+  const auto rep = json_parse(R"({"benchmarks": [
+    {"name": "x/4096", "real_time": 10.0},
+    {"name": "x/4096/real_time_median", "run_type": "aggregate",
+     "aggregate_name": "median", "real_time": 12.0},
+    {"name": "x/4096/real_time_stddev", "run_type": "aggregate",
+     "aggregate_name": "stddev", "real_time": 0.5}
+  ]})");
+  EXPECT_DOUBLE_EQ(benchmark_metric(rep, "x/4096", "real_time"), 10.0);
+  EXPECT_DOUBLE_EQ(
+      benchmark_metric(rep, "x/4096/real_time_median", "real_time"), 12.0);
+  EXPECT_DOUBLE_EQ(
+      benchmark_metric(rep, "x/4096/real_time_stddev", "real_time"), 0.5);
+  EXPECT_THROW(benchmark_metric(rep, "y/1024", "real_time"), JsonParseError);
+}
+
+TEST(BenchDiff, MetricMinSpansRepetitionRows) {
+  // A --benchmark_repetitions run emits one iteration row per repetition
+  // under the shared name; benchmark_metric_min takes the fastest and
+  // ignores the aggregate rows the same run appends.
+  const auto rep = json_parse(R"({"benchmarks": [
+    {"name": "x/4096", "run_type": "iteration", "real_time": 30.0},
+    {"name": "x/4096", "run_type": "iteration", "real_time": 21.0},
+    {"name": "x/4096", "run_type": "iteration", "real_time": 55.0},
+    {"name": "x/4096", "run_type": "aggregate", "aggregate_name": "mean",
+     "real_time": 1.0}
+  ]})");
+  EXPECT_DOUBLE_EQ(benchmark_metric_min(rep, "x/4096", "real_time"), 21.0);
+  EXPECT_THROW(benchmark_metric_min(rep, "y/1024", "real_time"),
+               JsonParseError);
+}
+
 TEST(BenchDiff, MalformedReportThrows) {
   const auto base = report({{"a", 100.0}});
   EXPECT_THROW(diff_benchmarks(base, json_parse("{}"), {}), JsonParseError);

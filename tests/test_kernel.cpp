@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "fft/bit_reversal.hpp"
 #include "fft/reference.hpp"
+#include "fft/stockham.hpp"
+#include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
+#include "util/cpu_features.hpp"
 #include "util/prng.hpp"
+#include "util/ulp.hpp"
 
 namespace c64fft::fft {
 namespace {
@@ -165,6 +170,145 @@ TEST(ButterflyChain, SingleLevelMatchesDirectButterfly) {
   butterfly_chain(chain, 3, 4, 2, 1, 4, tw);
   EXPECT_NEAR(std::abs(chain[0] - want_lo), 0.0, 1e-15);
   EXPECT_NEAR(std::abs(chain[1] - want_hi), 0.0, 1e-15);
+}
+
+// ---- Kernel dispatch matrix ----
+//
+// Every supported ISA level must produce (a) results bit-identical to the
+// scalar table — the wide kernels execute one butterfly per lane in the
+// scalar operation order, with FMA contraction disabled — and (b) results
+// within the documented peak-ULP envelope of the f64 serial reference.
+// The sweep covers both precisions and every N in 2^4..2^12, crossing
+// every chain shape the codelet algebra produces at radix 64 (single
+// whole-transform task, full stages, 1..5-level partial last stages).
+
+/// Restores the process-default kernel ISA (and scrubs C64FFT_ISA) no
+/// matter how a test exits, so ISA forcing never leaks across tests.
+struct IsaGuard {
+  ~IsaGuard() {
+    unsetenv("C64FFT_ISA");
+    kernels::reset_kernel_isa_from_env();
+  }
+};
+
+constexpr double kF32SweepUlpTol = 24.0;  // matches test_ulp's pipeline tol
+constexpr double kF64SweepUlpTol = 64.0;  // two f64 orderings vs each other
+
+template <typename T>
+std::vector<cplx_t<T>> codelet_transform(util::IsaLevel isa,
+                                         const std::vector<cplx_t<T>>& input,
+                                         unsigned radix_log2) {
+  kernels::set_kernel_isa(isa);
+  std::vector<cplx_t<T>> data = input;
+  const FftPlan plan(data.size(), radix_log2);
+  const BasicTwiddleTable<T> tw(data.size(), TwiddleLayout::kLinear);
+  BasicKernelScratch<T> scratch(plan.radix());
+  bit_reverse_permute(std::span<cplx_t<T>>(data));
+  for (std::uint32_t s = 0; s < plan.stage_count(); ++s)
+    for (std::uint64_t i = 0; i < plan.tasks_per_stage(); ++i)
+      run_codelet(plan, s, i, std::span<cplx_t<T>>(data), tw, scratch);
+  return data;
+}
+
+template <typename T>
+void check_dispatch_matrix() {
+  IsaGuard guard;
+  util::Xoshiro256 rng(0x15A);
+  for (unsigned logn = 4; logn <= 12; ++logn) {
+    const std::uint64_t n = std::uint64_t{1} << logn;
+    std::vector<cplx_t<T>> input(n);
+    for (cplx_t<T>& v : input)
+      v = cplx_t<T>(static_cast<T>(rng.next_double() * 2 - 1),
+                    static_cast<T>(rng.next_double() * 2 - 1));
+    // f64 reference spectrum for the accuracy envelope.
+    std::vector<cplx> want(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      want[i] = cplx(static_cast<double>(input[i].real()),
+                     static_cast<double>(input[i].imag()));
+    fft_serial_inplace(want);
+
+    const unsigned radix_log2 = std::min(6u, logn);
+    const std::vector<cplx_t<T>> scalar =
+        codelet_transform<T>(util::IsaLevel::kScalar, input, radix_log2);
+    const double tol =
+        std::is_same_v<T, float> ? kF32SweepUlpTol : kF64SweepUlpTol;
+    EXPECT_LT(util::max_ulp_error<T>(scalar, want), tol)
+        << "scalar n=" << n;
+
+    for (const util::IsaLevel isa :
+         {util::IsaLevel::kAvx2, util::IsaLevel::kAvx512}) {
+      if (!util::isa_supported(isa)) continue;
+      const std::vector<cplx_t<T>> wide =
+          codelet_transform<T>(isa, input, radix_log2);
+      ASSERT_EQ(kernels::active_kernel_isa(), isa);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(wide[i].real(), scalar[i].real())
+            << "isa=" << util::to_string(isa) << " n=" << n << " i=" << i;
+        ASSERT_EQ(wide[i].imag(), scalar[i].imag())
+            << "isa=" << util::to_string(isa) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, MatrixSweepF32BitIdenticalAcrossIsas) {
+  check_dispatch_matrix<float>();
+}
+
+TEST(KernelDispatch, MatrixSweepF64BitIdenticalAcrossIsas) {
+  check_dispatch_matrix<double>();
+}
+
+TEST(KernelDispatch, StockhamAndTransposeMatchScalarPerIsa) {
+  // The dispatch table's other entries (stockham_combine, transpose_tile)
+  // must also be bit-identical across levels.
+  IsaGuard guard;
+  const std::uint64_t n = 1ULL << 10;
+  const auto input = random_signal(n, 0x57C);
+  const std::uint64_t rows = 24, cols = 40;  // ragged: exercises tile edges
+  const auto matrix = random_signal(rows * cols, 0x7A2);
+  kernels::set_kernel_isa(util::IsaLevel::kScalar);
+  const std::vector<cplx> want = fft_stockham(input);
+  std::vector<cplx> want_t(rows * cols);
+  transpose_blocked(matrix, want_t, rows, cols);
+  for (const util::IsaLevel isa :
+       {util::IsaLevel::kAvx2, util::IsaLevel::kAvx512}) {
+    if (!util::isa_supported(isa)) continue;
+    kernels::set_kernel_isa(isa);
+    const std::vector<cplx> got = fft_stockham(input);
+    ASSERT_EQ(max_abs_error(got, want), 0.0) << util::to_string(isa);
+    std::vector<cplx> got_t(rows * cols);
+    transpose_blocked(matrix, got_t, rows, cols);
+    ASSERT_EQ(max_abs_error(got_t, want_t), 0.0) << util::to_string(isa);
+  }
+}
+
+TEST(KernelDispatch, EnvForcedScalarFallback) {
+  // C64FFT_ISA=scalar must drop the process to the portable table (the
+  // narrow-only contract), and the forced run must bit-match an explicit
+  // scalar run.
+  IsaGuard guard;
+  setenv("C64FFT_ISA", "scalar", 1);
+  kernels::reset_kernel_isa_from_env();
+  ASSERT_EQ(kernels::active_kernel_isa(), util::IsaLevel::kScalar);
+
+  const std::uint64_t n = 1ULL << 11;
+  auto input = random_signal(n, 0xE57);
+  const std::vector<cplx> forced =
+      codelet_transform<double>(util::IsaLevel::kScalar, input, 6);
+  unsetenv("C64FFT_ISA");
+  kernels::reset_kernel_isa_from_env();
+  const std::vector<cplx> scalar =
+      codelet_transform<double>(util::IsaLevel::kScalar, input, 6);
+  ASSERT_EQ(max_abs_error(forced, scalar), 0.0);
+}
+
+TEST(KernelDispatch, EnvRequestsAboveSupportClampDown) {
+  IsaGuard guard;
+  setenv("C64FFT_ISA", "avx512", 1);
+  kernels::reset_kernel_isa_from_env();
+  EXPECT_LE(static_cast<int>(kernels::active_kernel_isa()),
+            static_cast<int>(util::best_supported_isa()));
 }
 
 TEST(ButterflyChain, SplitMatchesComplexOnGenericChain) {

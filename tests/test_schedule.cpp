@@ -1,0 +1,218 @@
+#include "fft/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fft/executor.hpp"
+#include "fft/kernels/dispatch.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+TunedSchedule sched(std::uint64_t n, Precision p, util::IsaLevel isa,
+                    std::uint32_t radix, std::uint32_t fuse) {
+  return TunedSchedule{n, p, isa, radix, fuse};
+}
+
+TEST(ScheduleSet, InsertReplacesByKeyAndFindMatchesExactly) {
+  ScheduleSet set;
+  set.insert(sched(4096, Precision::kF32, util::IsaLevel::kAvx2, 6, 3));
+  set.insert(sched(4096, Precision::kF64, util::IsaLevel::kAvx2, 5, 2));
+  set.insert(sched(4096, Precision::kF32, util::IsaLevel::kScalar, 4, 0));
+  EXPECT_EQ(set.size(), 3u);
+
+  // Same key replaces in place.
+  set.insert(sched(4096, Precision::kF32, util::IsaLevel::kAvx2, 7, 0));
+  EXPECT_EQ(set.size(), 3u);
+  const auto hit = set.find(4096, Precision::kF32, util::IsaLevel::kAvx2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->radix_log2, 7u);
+  EXPECT_EQ(hit->fuse_log2, 0u);
+
+  // Every key component must match.
+  EXPECT_FALSE(set.find(8192, Precision::kF32, util::IsaLevel::kAvx2));
+  EXPECT_FALSE(set.find(4096, Precision::kF64, util::IsaLevel::kScalar));
+  EXPECT_FALSE(set.find(4096, Precision::kF32, util::IsaLevel::kAvx512));
+}
+
+TEST(ScheduleSet, JsonRoundTripPreservesEveryEntry) {
+  ScheduleSet set;
+  set.insert(sched(1024, Precision::kF32, util::IsaLevel::kScalar, 5, 0));
+  set.insert(sched(4096, Precision::kF64, util::IsaLevel::kAvx2, 6, 3));
+  set.insert(sched(65536, Precision::kF32, util::IsaLevel::kAvx512, 8, 2));
+
+  const ScheduleSet back = ScheduleSet::from_json(set.to_json());
+  ASSERT_EQ(back.size(), set.size());
+  for (const TunedSchedule& e : set.entries()) {
+    const auto hit = back.find(e.n, e.precision, e.isa);
+    ASSERT_TRUE(hit.has_value()) << "n=" << e.n;
+    EXPECT_EQ(hit->radix_log2, e.radix_log2);
+    EXPECT_EQ(hit->fuse_log2, e.fuse_log2);
+  }
+  EXPECT_TRUE(ScheduleSet::from_json(ScheduleSet().to_json()).empty());
+}
+
+TEST(ScheduleSet, FromJsonRejectsMalformedDocuments) {
+  EXPECT_THROW(ScheduleSet::from_json("[]"), std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json("{}"), std::invalid_argument);
+  const auto entry = [](const std::string& body) {
+    return "{\"version\":1,\"schedules\":[" + body + "]}";
+  };
+  // Missing field, bad enum, non-pow2 n, out-of-range knobs.
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4096,\"precision\":\"f32\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4096,\"precision\":\"f16\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":3}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4096,\"precision\":\"f32\",\"isa\":\"auto\","
+                   "\"radix_log2\":6,\"fuse_log2\":3}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4095,\"precision\":\"f32\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":3}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4096,\"precision\":\"f32\",\"isa\":\"avx2\","
+                   "\"radix_log2\":9,\"fuse_log2\":3}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":4096,\"precision\":\"f32\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":1}")),
+               std::invalid_argument);
+}
+
+// ---- Executor round trip ----
+
+std::vector<cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v)
+    x = cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+TEST(ScheduleExecutor, TunedRadixChangesTheExecutedPlanShape) {
+  // Install a radix-4 schedule for (256, f64, active ISA). The tuned
+  // transform must build the SAME plan-cache entry an explicit
+  // radix_log2=4 call uses (a cache hit proves the executed radix
+  // sequence changed), while the untuned default would have built a
+  // radix-6 entry.
+  FftExecutor exec;
+  ScheduleSet set;
+  set.insert(sched(256, Precision::kF64, kernels::active_kernel_isa(), 4, 3));
+  exec.set_schedules(std::move(set));
+
+  auto data = random_signal(256, 1);
+  exec.forward(std::span<cplx>(data));
+  ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GE(stats.schedule_hits, 1u);
+
+  // Explicit radix-4 call: same PlanKey -> pure cache hit.
+  HostFftOptions opts;
+  opts.workers = 1;
+  opts.radix_log2 = 4;
+  exec.forward(std::span<cplx>(data), opts);
+  stats = exec.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+
+  // An explicit non-default radix always beats the schedule: radix 5 is a
+  // new key, so a second miss appears. (An explicit 6 is indistinguishable
+  // from the default and therefore still tuned — the documented contract.)
+  opts.radix_log2 = 5;
+  exec.forward(std::span<cplx>(data), opts);
+  EXPECT_EQ(exec.stats().cache.misses, 2u);
+}
+
+TEST(ScheduleExecutor, EveryScheduleIsBitIdentical) {
+  // fuse_log2/radix_log2 are pure scheduling: a tuned executor must give
+  // bit-identical spectra to an untuned one.
+  const auto input = random_signal(1024, 7);
+  std::vector<cplx> base = input;
+  {
+    FftExecutor plain;
+    plain.forward(std::span<cplx>(base));
+  }
+  for (const std::uint32_t radix : {4u, 5u, 6u}) {
+    for (const std::uint32_t fuse : {0u, 2u, 3u}) {
+      FftExecutor exec;
+      ScheduleSet set;
+      set.insert(
+          sched(1024, Precision::kF64, kernels::active_kernel_isa(), radix, fuse));
+      exec.set_schedules(std::move(set));
+      std::vector<cplx> data = input;
+      exec.forward(std::span<cplx>(data));
+      for (std::uint64_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data[i].real(), base[i].real())
+            << "radix=" << radix << " fuse=" << fuse << " i=" << i;
+        ASSERT_EQ(data[i].imag(), base[i].imag())
+            << "radix=" << radix << " fuse=" << fuse << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ScheduleExecutor, LoadSchedulesRoundTripsThroughAFile) {
+  const std::string path = ::testing::TempDir() + "c64fft_sched_test.json";
+  {
+    ScheduleSet set;
+    set.insert(sched(512, Precision::kF64, kernels::active_kernel_isa(), 5, 2));
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << set.to_json();
+  }
+  FftExecutor exec;
+  EXPECT_EQ(exec.load_schedules(path), 1u);
+  auto data = random_signal(512, 3);
+  exec.forward(std::span<cplx>(data));
+  EXPECT_GE(exec.stats().schedule_hits, 1u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(exec.load_schedules("/nonexistent/sched.json"),
+               std::runtime_error);
+}
+
+TEST(ScheduleExecutor, EnvScheduleLoadsAtConstruction) {
+  const std::string path = ::testing::TempDir() + "c64fft_sched_env.json";
+  {
+    ScheduleSet set;
+    set.insert(sched(512, Precision::kF64, kernels::active_kernel_isa(), 4, 0));
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << set.to_json();
+  }
+  setenv("C64FFT_SCHEDULE", path.c_str(), 1);
+  {
+    FftExecutor exec;
+    auto data = random_signal(512, 9);
+    exec.forward(std::span<cplx>(data));
+    EXPECT_GE(exec.stats().schedule_hits, 1u);
+  }
+  // A malformed file is ignored (env contract: bad values change nothing).
+  {
+    std::ofstream out(path);
+    out << "{not json";
+  }
+  {
+    FftExecutor exec;
+    auto data = random_signal(512, 9);
+    exec.forward(std::span<cplx>(data));
+    EXPECT_EQ(exec.stats().schedule_hits, 0u);
+  }
+  unsetenv("C64FFT_SCHEDULE");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace c64fft::fft

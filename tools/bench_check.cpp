@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   using namespace c64fft::util;
 
   CliParser cli("Compare a google-benchmark JSON report against a baseline.");
-  cli.add_string("baseline", "", "committed baseline report (required)");
+  cli.add_string("baseline", "",
+                 "committed baseline report (required unless only the "
+                 "cross-row ratio gate runs)");
   cli.add_string("current", "", "freshly produced report (required)");
   cli.add_string("metric", "cpu_time",
                  "field to compare: cpu_time, real_time, items_per_second, "
@@ -30,6 +32,19 @@ int main(int argc, char** argv) {
   cli.add_flag("allow-missing",
                "do not fail when a baseline benchmark is absent from the "
                "current report");
+  cli.add_string("ratio-num", "",
+                 "cross-row gate, numerator row name in the CURRENT report "
+                 "(e.g. the forced-scalar benchmark)");
+  cli.add_string("ratio-den", "",
+                 "cross-row gate, denominator row name (e.g. the "
+                 "SIMD-dispatched benchmark)");
+  cli.add_double("ratio-min", 0.0,
+                 "fail unless current[ratio-num] / current[ratio-den] >= "
+                 "this (0 disables the gate)");
+  cli.add_string("ratio-agg", "value",
+                 "how to read each ratio row: value (exact single row) or "
+                 "min (minimum over the repetition rows sharing the name "
+                 "— the uncontended-time estimate)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -40,9 +55,8 @@ int main(int argc, char** argv) {
 
   const std::string baseline_path = cli.get_string("baseline");
   const std::string current_path = cli.get_string("current");
-  if (baseline_path.empty() || current_path.empty()) {
-    std::cerr << "bench_check: --baseline and --current are required\n"
-              << cli.help();
+  if (current_path.empty()) {
+    std::cerr << "bench_check: --current is required\n" << cli.help();
     return 2;
   }
 
@@ -55,12 +69,56 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string ratio_num = cli.get_string("ratio-num");
+  const std::string ratio_den = cli.get_string("ratio-den");
+  const double ratio_min = cli.get_double("ratio-min");
+  const std::string ratio_agg = cli.get_string("ratio-agg");
+  if (ratio_agg != "value" && ratio_agg != "min") {
+    std::cerr << "bench_check: --ratio-agg must be value or min\n";
+    return 2;
+  }
+  if ((ratio_min > 0.0) != (!ratio_num.empty() && !ratio_den.empty())) {
+    std::cerr << "bench_check: --ratio-min, --ratio-num and --ratio-den must "
+                 "be given together\n";
+    return 2;
+  }
+  if (baseline_path.empty() && !(ratio_min > 0.0)) {
+    std::cerr << "bench_check: --baseline is required without a ratio gate\n"
+              << cli.help();
+    return 2;
+  }
+
   try {
-    const JsonValue baseline = json_parse_file(baseline_path);
     const JsonValue current = json_parse_file(current_path);
-    const auto deltas = diff_benchmarks(baseline, current, opts);
-    std::cout << format_bench_report(deltas, opts);
-    return has_regression(deltas) ? 1 : 0;
+    bool failed = false;
+    if (!baseline_path.empty()) {
+      const JsonValue baseline = json_parse_file(baseline_path);
+      const auto deltas = diff_benchmarks(baseline, current, opts);
+      std::cout << format_bench_report(deltas, opts);
+      failed = has_regression(deltas);
+    }
+    if (ratio_min > 0.0) {
+      // Cross-row speedup gate over the CURRENT report: both rows come
+      // from the same run on the same machine, so the ratio is immune to
+      // the host-speed drift the per-row tolerance must absorb. With
+      // --ratio-agg=min each side is the fastest of its interleaved
+      // repetitions — the uncontended-time estimate, immune to the
+      // one-sided noise spikes that skew a mean or even a median.
+      const bool use_min = ratio_agg == "min";
+      const double num = use_min
+                             ? benchmark_metric_min(current, ratio_num, opts.metric)
+                             : benchmark_metric(current, ratio_num, opts.metric);
+      const double den = use_min
+                             ? benchmark_metric_min(current, ratio_den, opts.metric)
+                             : benchmark_metric(current, ratio_den, opts.metric);
+      const double ratio = den > 0.0 ? num / den : 0.0;
+      const bool ok = ratio >= ratio_min;
+      std::cout << "ratio gate: " << ratio_num << " / " << ratio_den << " = "
+                << ratio << " (require >= " << ratio_min << ") "
+                << (ok ? "PASS" : "FAIL") << "\n";
+      failed |= !ok;
+    }
+    return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << "bench_check: " << e.what() << "\n";
     return 2;

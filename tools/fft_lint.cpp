@@ -13,6 +13,13 @@
 // matrix: every Table-I schedule/layout variant plus every composite kind
 // (classic, four-step, batch, 2-D, real) at both precisions.
 //
+// Pipeline models record the kernel dispatch table ("scalar" / "avx2" /
+// "avx512") the runtime would execute with; the kernel check validates
+// the id against the dispatch registry and host cpuid support. --isa=X
+// forces the level before the models are built (clamped to hardware
+// support, like C64FFT_ISA), so a lint of the forced-scalar CI lane
+// verifies the same configuration that lane runs.
+//
 // Exit status classifies the most fundamental failed check so CI can
 // triage without parsing:
 //   0  every check passed (warnings allowed unless --strict-*)
@@ -32,12 +39,15 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "fft/executor.hpp"
+#include "fft/kernels/dispatch.hpp"
 #include "util/cli.hpp"
+#include "util/cpu_features.hpp"
 
 using namespace c64fft;
 
@@ -62,7 +72,11 @@ constexpr VariantSpec kShippedVariants[] = {
 
 void print_human(const analysis::AnalysisReport& report) {
   std::cout << report.plan_name << ": n=" << report.n << " radix=2^" << report.radix_log2
-            << " stages=" << report.stages << " codelets=" << report.codelets << '\n';
+            << " stages=" << report.stages << " codelets=" << report.codelets;
+  // Pipeline reports carry the kernel dispatch id in the layout slot.
+  if (report.schedule == "pipeline" && !report.layout.empty())
+    std::cout << " isa=" << report.layout;
+  std::cout << '\n';
   for (const auto& check : report.checks) {
     std::cout << "  [" << check.status << "] " << check.name;
     if (!check.note.empty()) std::cout << " (" << check.note << ')';
@@ -79,7 +93,7 @@ void print_human(const analysis::AnalysisReport& report) {
 int classify_exit(const std::vector<analysis::AnalysisReport>& reports) {
   bool any_error = false;
   bool graph = false, races = false, coverage = false, cost = false,
-       banks = false;
+       banks = false, kernel = false;
   for (const analysis::AnalysisReport& r : reports) {
     for (const analysis::CheckResult& c : r.checks) {
       if (c.errors() == 0) continue;
@@ -89,8 +103,11 @@ int classify_exit(const std::vector<analysis::AnalysisReport>& reports) {
       coverage |= c.name == "coverage";
       cost |= c.name == "cost";
       banks |= c.name == "banks" || c.name == "cache-sets";
+      kernel |= c.name == "kernel";
     }
   }
+  // A bad kernel-isa id is a model-construction error: the usage class.
+  if (kernel) return 2;
   if (graph) return 3;
   if (races) return 4;
   if (coverage) return 5;
@@ -121,6 +138,9 @@ int main(int argc, char** argv) {
   cli.add_int("cols-log2", 6, "log2 of the matrix cols for --plan-kind=fft2d");
   cli.add_int("workers", 4,
               "worker count the pipeline model grains its sweeps for");
+  cli.add_string("isa", "auto",
+                 "kernel dispatch level the pipeline models record: scalar "
+                 "| avx2 | avx512 | auto (clamped to hardware support)");
   cli.add_flag("coverage",
                "run the pipeline write-coverage proof (implied by composite "
                "plan kinds and --all)");
@@ -165,6 +185,18 @@ int main(int argc, char** argv) {
     std::cerr << "fft_lint: --element-bytes must be 8, 16 or 0 (model width)\n";
     return 2;
   }
+
+  const std::string& isa_name = cli.get_string("isa");
+  const std::optional<util::IsaLevel> isa = util::parse_isa_name(isa_name);
+  if (!isa) {
+    std::cerr << "fft_lint: unknown --isa '" << isa_name
+              << "' (scalar | avx2 | avx512 | auto)\n";
+    return 2;
+  }
+  const util::IsaLevel active = fft::kernels::set_kernel_isa(*isa);
+  if (active != *isa)
+    std::cerr << "fft_lint: --isa=" << isa_name << " not supported here, using "
+              << util::to_string(active) << '\n';
 
   analysis::AnalysisOptions opts;
   opts.banks.banks = static_cast<unsigned>(cli.get_int("banks"));

@@ -43,3 +43,37 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "run_bench_check: bench_check reported regressions (${rc})")
 endif()
+
+# RATIO_FILTER/RATIO_NUM/RATIO_DEN/RATIO_MIN (optional, given together)
+# add the cross-row speedup gate: a second, filtered run re-measures just
+# the paired rows with randomly interleaved repetitions, and
+# min(current[RATIO_NUM]) / min(current[RATIO_DEN]) over each row's
+# repetitions must be >= RATIO_MIN. Both rows come from the same run on
+# the same machine (drift-immune), and gating on each side's fastest
+# repetition measures the uncontended runtimes — the property the gate
+# asserts is a speedup of the code, not of the neighbor load, and
+# interference only ever adds time. 31 repetitions give both rows enough
+# chances to land in quiet windows even on a busy host (medians were
+# tried first and still swung +/-10% with the noise).
+if(DEFINED RATIO_MIN)
+  execute_process(
+    COMMAND ${MICRO_KERNELS}
+            --benchmark_out=${OUT}.ratio.json
+            --benchmark_out_format=json
+            "--benchmark_filter=${RATIO_FILTER}"
+            --benchmark_min_time=0.05
+            --benchmark_repetitions=31
+            --benchmark_enable_random_interleaving=true
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run_bench_check: ratio rerun exited with ${rc}")
+  endif()
+  execute_process(
+    COMMAND ${BENCH_CHECK} --current=${OUT}.ratio.json --metric=real_time
+            --ratio-num=${RATIO_NUM} --ratio-den=${RATIO_DEN}
+            --ratio-min=${RATIO_MIN} --ratio-agg=min
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run_bench_check: ratio gate failed (${rc})")
+  endif()
+endif()
