@@ -44,7 +44,7 @@ if [[ $fast -eq 0 ]]; then
   cmake -B build-tsan -S . -DC64FFT_TSAN=ON >/dev/null
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j \
-    -R 'test_executor|test_ws_deque|test_ws_runtime|test_host_runtime'
+    -R 'test_executor|test_ws_deque|test_ws_runtime|test_host_runtime|test_serve'
 fi
 
 echo "check.sh: all configurations passed"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <utility>
 
 #include "codelet/ws_deque.hpp"
 
@@ -243,12 +245,46 @@ double HostRuntime::balance_ratio() const noexcept {
   return static_cast<double>(mx) * workers_ / static_cast<double>(total);
 }
 
+void HostRuntime::set_phase_hook(PhaseHook hook) {
+  phase_hook_ = std::move(hook);
+}
+
 void HostRuntime::run_phase(std::span<const CodeletKey> seeds, PoolPolicy policy,
                             const CodeletBody& body) {
-  if (mode_ == SchedulerMode::kSequential)
-    run_phase_sequential(seeds, policy, body);
-  else
-    run_phase_work_stealing(seeds, policy, body);
+  // Timing only exists when someone listens: the hot no-hook path pays no
+  // clock reads. The hook fires after the drain but before any captured
+  // codelet exception propagates, so a metrics layer sees failed phases.
+  if (!phase_hook_) {
+    if (mode_ == SchedulerMode::kSequential)
+      run_phase_sequential(seeds, policy, body);
+    else
+      run_phase_work_stealing(seeds, policy, body);
+    return;
+  }
+  PhaseStats stats;
+  stats.seeds = seeds.size();
+  const std::uint64_t executed_before = executed_;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    if (mode_ == SchedulerMode::kSequential)
+      run_phase_sequential(seeds, policy, body);
+    else
+      run_phase_work_stealing(seeds, policy, body);
+  } catch (...) {
+    stats.executed = executed_ - executed_before;
+    stats.nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    phase_hook_(stats);
+    throw;
+  }
+  stats.executed = executed_ - executed_before;
+  stats.nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  phase_hook_(stats);
 }
 
 void HostRuntime::run_phase_work_stealing(std::span<const CodeletKey> seeds,

@@ -57,6 +57,21 @@ class Pusher {
 /// ready (typically after DependencyCounters::arrive returns true).
 using CodeletBody = std::function<void(CodeletKey, unsigned worker, Pusher&)>;
 
+/// What one completed phase looked like, handed to the completion hook:
+/// how many codelets seeded it, how many executed to quiescence (fewer
+/// than the total enabled when the phase failed mid-drain), and the
+/// caller-observed wall time of the whole phase.
+struct PhaseStats {
+  std::uint64_t seeds = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t nanos = 0;
+};
+
+/// Phase completion hook (see HostRuntime::set_phase_hook). Runs on the
+/// run_phase caller thread after quiescence, before any captured codelet
+/// exception is rethrown — so a metrics layer observes failed phases too.
+using PhaseHook = std::function<void(const PhaseStats&)>;
+
 class HostRuntime {
  public:
   /// Spawns `workers - 1` persistent worker threads (the run_phase caller
@@ -75,6 +90,15 @@ class HostRuntime {
   /// on the worker and rethrown here after the phase drains.
   void run_phase(std::span<const CodeletKey> seeds, PoolPolicy policy,
                  const CodeletBody& body);
+
+  /// Install (or clear, with an empty function) the phase completion hook:
+  /// invoked once per run_phase, on the calling thread, after the phase
+  /// drains. This is the completion seam the serving layer's metrics hang
+  /// off — scheduler phases per second and codelets per phase without any
+  /// polling. Must not be called concurrently with run_phase (the
+  /// executor installs it under the same mutex that serializes phases);
+  /// the hook itself must not re-enter run_phase.
+  void set_phase_hook(PhaseHook hook);
 
   /// Total codelets executed across all phases so far.
   std::uint64_t executed() const noexcept { return executed_; }
@@ -111,6 +135,7 @@ class HostRuntime {
   std::uint64_t executed_ = 0;
   std::uint64_t steals_ = 0;
   std::vector<std::uint64_t> per_worker_;
+  PhaseHook phase_hook_;
 };
 
 }  // namespace c64fft::codelet

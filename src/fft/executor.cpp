@@ -103,9 +103,24 @@ codelet::HostRuntime& FftExecutor::team(unsigned workers,
   if (!runtime_ || runtime_->workers() != workers || runtime_->mode() != mode) {
     runtime_.reset();  // join the old team before spawning its replacement
     runtime_ = std::make_unique<codelet::HostRuntime>(workers, mode);
+    runtime_->set_phase_hook(phase_hook_);
     ++teams_created_;
   }
   return *runtime_;
+}
+
+const std::vector<std::uint32_t>& FftExecutor::bitrev_table_locked(
+    std::uint64_t len, unsigned bits) {
+  for (auto& [l, table] : bitrev_tables_)
+    if (l == len) return table;
+  // Bound the cache: 32 distinct lengths is far beyond any real traffic
+  // mix; drop the oldest entry rather than growing without limit.
+  if (bitrev_tables_.size() >= 32)
+    bitrev_tables_.erase(bitrev_tables_.begin());
+  auto& slot = bitrev_tables_.emplace_back(len, std::vector<std::uint32_t>(len));
+  for (std::uint64_t i = 0; i < len; ++i)
+    slot.second[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
+  return slot.second;
 }
 
 template <typename T>
@@ -115,11 +130,16 @@ void FftExecutor::ensure_worker_buffers(std::uint64_t radix, unsigned workers) {
     keys_buf_.assign(workers, {});
   }
   NumericState<T>& st = num<T>();
-  if (st.scratch_radix == radix && st.scratch.size() == workers) return;
+  // Oversized tiles are valid for any smaller radix (run_codelet asserts
+  // scratch >= plan.radix()), so keep the largest set seen: mixed traffic
+  // alternating a radix-16 with a radix-64 shape must not reallocate the
+  // scratch on every switch.
+  if (st.scratch_radix >= radix && st.scratch.size() == workers) return;
+  const std::uint64_t alloc_radix = std::max(radix, st.scratch_radix);
   st.scratch.clear();
   st.scratch.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) st.scratch.emplace_back(radix);
-  st.scratch_radix = radix;
+  for (unsigned w = 0; w < workers; ++w) st.scratch.emplace_back(alloc_radix);
+  st.scratch_radix = alloc_radix;
 }
 
 template <typename T>
@@ -127,6 +147,10 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
                         const HostFftOptions& opts, Variant variant,
                         TwiddleDirection dir) {
   if (batch.empty()) return;
+  // Unlocked fast-fail; the authoritative re-check happens under mutex_
+  // below (close() flips the flag while holding the same mutex, so a
+  // caller that passes that check runs on a team close() has not joined).
+  if (closed_.load(std::memory_order_acquire)) throw ExecutorClosedError();
   const std::uint64_t n = batch.front().size();
   for (const std::span<cplx_t<T>>& t : batch)
     if (t.size() != n)
@@ -159,6 +183,7 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
         PlanKey{n, radix_log2, opts.layout, PlanKind::kFourStep,
                 precision_of<T>});
     std::lock_guard lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed)) throw ExecutorClosedError();
     for (const std::span<cplx_t<T>>& t : batch)
       run_four_step_locked<T>(*entry, t, opts, variant, dir);
     four_step_ += batch.size();
@@ -171,6 +196,7 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
       PlanKey{n, radix_log2, opts.layout, PlanKind::kClassic,
               precision_of<T>});
   std::lock_guard lock(mutex_);
+  if (closed_.load(std::memory_order_relaxed)) throw ExecutorClosedError();
   run_classic_locked<T>(*entry, batch, opts, variant, dir);
   transforms_ += (batch.size() == 1) ? 1 : 0;
   batched_ += (batch.size() == 1) ? 0 : batch.size();
@@ -195,32 +221,35 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
   const unsigned bits = plan.log2_size();
   const unsigned fuse_log2 = tuned_fuse_locked<T>(n);
 
-  // Serial fast path: a single transform on a one-worker team has no
-  // scheduling to exercise — every variant degenerates to in-order
-  // execution — so instead of the swap-based permutation phase plus a
-  // stage-0 gather/scatter round-trip per codelet, it runs the same fused
-  // split-complex stage 0 as the four-step row sweep (cached bit-reversal
-  // index table feeding the dispatched permuted gather), then the
-  // remaining stages in order. Same butterflies in the same order, so the
-  // output is bit-identical to the phased path under every variant.
-  if (b_count == 1 && rt.workers() == 1) {
-    if (bitrev_len_ != n) {
-      bitrev_idx_.resize(n);
-      for (std::uint64_t i = 0; i < n; ++i)
-        bitrev_idx_[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
-      bitrev_len_ = n;
-    }
+  // Serial fast path: on a one-worker team there is no scheduling to
+  // exercise — every variant degenerates to in-order execution — so
+  // instead of the swap-based permutation phase plus a stage-0
+  // gather/scatter round-trip per codelet, each transform runs the same
+  // fused split-complex stage 0 as the four-step row sweep (cached
+  // bit-reversal index table feeding the dispatched permuted gather),
+  // then the remaining stages in order. Same butterflies in the same
+  // order, so the output is bit-identical to the phased path under every
+  // variant. Whole batches take this path too (not just b_count == 1):
+  // a coalesced batch of B small transforms on a one-worker team then
+  // pays the plan/twiddle/tuned-schedule lookups and the executor lock
+  // once for all B, with per-transform work identical to B single calls —
+  // the per-request dispatch overhead is what request coalescing exists
+  // to amortize.
+  if (rt.workers() == 1) {
+    const std::vector<std::uint32_t>& brev_table = bitrev_table_locked(n, bits);
     NumericState<T>& st = num<T>();
     if (st.row_split.empty()) st.row_split.resize(1);
     if (st.row_split[0].size() < 2 * n) st.row_split[0].resize(2 * n);
     T* const re = st.row_split[0].data();
     T* const im = re + n;
-    run_stage0_bitrev(plan, batch[0], twiddles,
-                      std::span<const std::uint32_t>(bitrev_idx_), re, im,
-                      scratch[0], fuse_log2);
-    for (std::uint32_t s = 1; s < stages; ++s)
-      for (std::uint64_t t = 0; t < tasks; ++t)
-        run_codelet(plan, s, t, batch[0], twiddles, scratch[0], fuse_log2);
+    for (const std::span<cplx_t<T>>& data : batch) {
+      run_stage0_bitrev(plan, data, twiddles,
+                        std::span<const std::uint32_t>(brev_table), re, im,
+                        scratch[0], fuse_log2);
+      for (std::uint32_t s = 1; s < stages; ++s)
+        for (std::uint64_t t = 0; t < tasks; ++t)
+          run_codelet(plan, s, t, data, twiddles, scratch[0], fuse_log2);
+    }
     return;
   }
 
@@ -414,17 +443,11 @@ void FftExecutor::run_rows_locked(const PlanEntry& entry, std::span<cplx_t<T>> d
   NumericState<T>& st = num<T>();
 
   // The row permutation repeats row_count times, so computing
-  // bit_reverse(i) per element per row is pure waste: a cached index
-  // table (a few KiB for the cache-resident sub-sizes, rebuilt only when
-  // the row length changes) feeds run_stage0_bitrev's fused gather.
-  if (bitrev_len_ != row_len) {
-    bitrev_idx_.resize(row_len);
-    const unsigned bits = plan.log2_size();
-    for (std::uint64_t i = 0; i < row_len; ++i)
-      bitrev_idx_[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
-    bitrev_len_ = row_len;
-  }
-  const std::span<const std::uint32_t> brev(bitrev_idx_);
+  // bit_reverse(i) per element per row is pure waste: a cached per-length
+  // index table (a few KiB for the cache-resident sub-sizes) feeds
+  // run_stage0_bitrev's fused gather.
+  const std::span<const std::uint32_t> brev(
+      bitrev_table_locked(row_len, plan.log2_size()));
 
   // Row-length split-complex scratch for the fused stage-0 pass, one per
   // worker (the kernel scratch is only radix-sized).
@@ -671,6 +694,10 @@ unsigned FftExecutor::default_workers() const {
 
 void FftExecutor::shutdown() {
   std::lock_guard lock(mutex_);
+  shutdown_locked();
+}
+
+void FftExecutor::shutdown_locked() {
   runtime_.reset();
   members_buf_.clear();
   keys_buf_.clear();
@@ -684,9 +711,29 @@ void FftExecutor::shutdown() {
   f32_.four_step_scratch.shrink_to_fit();
   f32_.row_split.clear();
   f32_.scratch_radix = 0;
-  bitrev_idx_.clear();
-  bitrev_idx_.shrink_to_fit();
-  bitrev_len_ = 0;
+  bitrev_tables_.clear();
+  bitrev_tables_.shrink_to_fit();
+}
+
+void FftExecutor::close() {
+  std::lock_guard lock(mutex_);
+  // Order matters: the flag flips while the phase mutex is held, so any
+  // transform that already passed its unlocked fast-fail is either (a)
+  // finished with its phase — we join a quiescent team — or (b) still
+  // waiting on mutex_, in which case it re-checks the flag after we
+  // release and throws instead of respawning the team we just joined.
+  closed_.store(true, std::memory_order_release);
+  shutdown_locked();
+}
+
+bool FftExecutor::closed() const noexcept {
+  return closed_.load(std::memory_order_acquire);
+}
+
+void FftExecutor::set_phase_hook(codelet::PhaseHook hook) {
+  std::lock_guard lock(mutex_);
+  phase_hook_ = std::move(hook);
+  if (runtime_) runtime_->set_phase_hook(phase_hook_);
 }
 
 void FftExecutor::clear_cache() { cache_.clear(); }

@@ -104,6 +104,15 @@ struct ExecutorOptions {
   unsigned four_step_threshold_log2 = kDefaultFourStepThresholdLog2;
 };
 
+/// Thrown by every transform entry point after close(): the typed
+/// "serving is over" error. Distinct from std::invalid_argument shape
+/// errors so a serving front-end can map it to a clean shutdown rejection
+/// instead of a client bug.
+class ExecutorClosedError : public std::runtime_error {
+ public:
+  ExecutorClosedError() : std::runtime_error("FftExecutor: closed") {}
+};
+
 struct ExecutorStats {
   PlanCacheStats cache;
   /// Transforms dispatched one at a time / via batch submissions (both
@@ -222,6 +231,25 @@ class FftExecutor {
   /// quiescing the process.
   void shutdown();
 
+  /// Terminal shutdown: like shutdown(), but transforms submitted after
+  /// (or concurrently with) the call throw ExecutorClosedError instead of
+  /// lazily respawning the team. This is the teardown-ordering fix for the
+  /// serving path: before close(), a caller racing shutdown() would
+  /// observe the joined team being respawned under it — a transform
+  /// "completing" on a team the quiescing thread believed dead. After
+  /// close() returns, teams_created never moves again. Irreversible for
+  /// this executor instance; calls already executing a phase finish
+  /// normally (close() waits for them via the phase mutex).
+  void close();
+  bool closed() const noexcept;
+
+  /// Install a phase completion hook (codelet::PhaseHook) on the
+  /// persistent team — re-installed automatically when the team is
+  /// respawned after shutdown()/resize(). The serving layer's metrics use
+  /// this to count scheduler phases and codelets without polling. Pass an
+  /// empty function to clear.
+  void set_phase_hook(codelet::PhaseHook hook);
+
   void clear_cache();
   ExecutorStats stats() const;
 
@@ -283,11 +311,24 @@ class FftExecutor {
   template <typename T>
   unsigned tuned_fuse_locked(std::uint64_t n);
   void apply_env_overrides();
+  /// Join the team and drop the per-worker buffers (mutex_ held) — the
+  /// shared body of shutdown() and close().
+  void shutdown_locked();
+
+  /// Cached bit-reversal index table for row length `len` (mutex_ held):
+  /// one table per distinct length, so mixed multi-tenant traffic
+  /// alternating sizes does not rebuild (and reallocate) the table on
+  /// every size switch the way a single-slot cache did.
+  const std::vector<std::uint32_t>& bitrev_table_locked(std::uint64_t len,
+                                                        unsigned bits);
 
   ExecutorOptions opts_;
   PlanCache cache_;
   /// Atomic so the routing check in run() needs no lock; 0 = disabled.
   std::atomic<unsigned> four_step_threshold_log2_;
+  /// Set by close(); checked (unlocked fast-fail plus the authoritative
+  /// re-check under mutex_) by every transform dispatch.
+  std::atomic<bool> closed_{false};
 
   /// Guards the team, the per-worker buffers, and phase execution.
   mutable std::mutex mutex_;
@@ -296,10 +337,11 @@ class FftExecutor {
   std::vector<std::vector<codelet::CodeletKey>> keys_buf_;
   NumericState<double> f64_;
   NumericState<float> f32_;
-  /// Bit-reversal index table of the last run_rows_locked row length
-  /// (shared across precisions — it is pure index algebra).
-  std::vector<std::uint32_t> bitrev_idx_;
-  std::uint64_t bitrev_len_ = 0;
+  /// Bit-reversal index tables keyed by row length, shared across
+  /// precisions (pure index algebra). Insert-ordered; bounded by evicting
+  /// the oldest entry (see bitrev_table_locked).
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint32_t>>> bitrev_tables_;
+  codelet::PhaseHook phase_hook_;
   std::uint64_t transforms_ = 0;
   std::uint64_t batched_ = 0;
   std::uint64_t four_step_ = 0;

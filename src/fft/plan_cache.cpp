@@ -134,7 +134,9 @@ std::size_t PlanCache::size() const {
 
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  PlanCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
 }
 
 void PlanCache::clear() {

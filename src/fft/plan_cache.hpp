@@ -149,6 +149,10 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Entries resident at the time of the stats() call (<= capacity). A
+  /// snapshot, not a counter — together with hits/misses/evictions it is
+  /// the residency picture fft_loadgen and fft_lint --cache-stats print.
+  std::uint64_t entries = 0;
 };
 
 /// Mutex-guarded LRU map from PlanKey to shared immutable PlanEntry.

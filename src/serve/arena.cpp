@@ -1,0 +1,99 @@
+#include "serve/arena.hpp"
+
+#include <algorithm>
+
+namespace c64fft::serve {
+
+const char* to_string(LeaseStatus s) noexcept {
+  switch (s) {
+    case LeaseStatus::kOk: return "ok";
+    case LeaseStatus::kTooLarge: return "too-large";
+    case LeaseStatus::kExhausted: return "exhausted";
+    case LeaseStatus::kQuotaExceeded: return "quota-exceeded";
+    case LeaseStatus::kUnknownTenant: return "unknown-tenant";
+  }
+  return "?";
+}
+
+BufferArena::BufferArena(const ArenaOptions& opts) : opts_(opts) {
+  opts_.slab_count = std::max<std::size_t>(1, opts_.slab_count);
+  opts_.slab_bytes = std::max<std::size_t>(util::kSimdAlignment, opts_.slab_bytes);
+  // Round slabs up to whole cache lines so every slab base, not just the
+  // first, lands on the 64-byte alignment the kernels assume.
+  opts_.slab_bytes =
+      (opts_.slab_bytes + util::kSimdAlignment - 1) & ~(util::kSimdAlignment - 1);
+  storage_ = util::AlignedBuffer<std::byte>(opts_.slab_bytes * opts_.slab_count);
+  free_.reserve(opts_.slab_count);
+  // LIFO free stack: push in reverse so slab 0 is handed out first, and a
+  // just-released (cache-warm) slab is the next one leased.
+  for (std::size_t i = opts_.slab_count; i-- > 0;)
+    free_.push_back(static_cast<std::uint32_t>(i));
+}
+
+void BufferArena::set_tenant_quota(TenantId tenant, std::size_t max_bytes) {
+  std::lock_guard lock(mutex_);
+  if (tenant >= quota_.size()) {
+    quota_.resize(tenant + 1, 0);
+    used_.resize(tenant + 1, 0);
+  }
+  quota_[tenant] = max_bytes;
+}
+
+BufferArena::LeaseResult BufferArena::lease(TenantId tenant, std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  if (tenant >= quota_.size() || quota_[tenant] == 0) {
+    ++rejected_;
+    return {LeaseStatus::kUnknownTenant, {}};
+  }
+  if (bytes > opts_.slab_bytes) {
+    ++rejected_;
+    return {LeaseStatus::kTooLarge, {}};
+  }
+  if (used_[tenant] + opts_.slab_bytes > quota_[tenant]) {
+    ++rejected_;
+    return {LeaseStatus::kQuotaExceeded, {}};
+  }
+  if (free_.empty()) {
+    ++rejected_;
+    return {LeaseStatus::kExhausted, {}};
+  }
+  const std::uint32_t slab = free_.back();
+  free_.pop_back();
+  used_[tenant] += opts_.slab_bytes;
+  ++leases_;
+  std::byte* base = storage_.data() + std::size_t{slab} * opts_.slab_bytes;
+  return {LeaseStatus::kOk, BufferLease(this, slab, tenant, bytes, base)};
+}
+
+void BufferArena::release_slab(std::uint32_t slab, TenantId tenant) noexcept {
+  std::lock_guard lock(mutex_);
+  free_.push_back(slab);  // capacity reserved for slab_count: never grows
+  used_[tenant] -= opts_.slab_bytes;
+}
+
+std::size_t BufferArena::tenant_pinned(TenantId tenant) const {
+  std::lock_guard lock(mutex_);
+  return tenant < used_.size() ? used_[tenant] : 0;
+}
+
+ArenaStats BufferArena::stats() const {
+  std::lock_guard lock(mutex_);
+  ArenaStats s;
+  s.leases = leases_;
+  s.rejected = rejected_;
+  s.slab_count = opts_.slab_count;
+  s.slab_bytes = opts_.slab_bytes;
+  s.slabs_in_use = opts_.slab_count - free_.size();
+  s.bytes_pinned = s.slabs_in_use * opts_.slab_bytes;
+  return s;
+}
+
+void BufferLease::release() noexcept {
+  if (arena_ == nullptr) return;
+  arena_->release_slab(slab_, tenant_);
+  arena_ = nullptr;
+  data_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace c64fft::serve

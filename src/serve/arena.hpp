@@ -1,0 +1,178 @@
+#pragma once
+// Zero-copy buffer lease arena for the serving front-end.
+//
+// The steady-state contract of FftServer is that a request never copies
+// its signal and never allocates on the submit path. Both properties start
+// here: clients lease a 64-byte-aligned slab from a BufferArena that was
+// carved out of ONE AlignedBuffer at construction, fill it in place,
+// submit the span, and read the transform back out of the same memory.
+// lease()/release() touch only a preallocated free-list under a mutex —
+// no allocator call ever happens after the arena is built.
+//
+// Multi-tenant isolation is byte-quota based: every lease pins whole slabs
+// and the pinned bytes are charged against the leasing tenant's quota, so
+// one tenant burning through buffers degrades into *its own* typed
+// rejections (LeaseStatus::kQuotaExceeded) instead of starving the others.
+// (The sibling quota — distinct plan-cache shapes per tenant — lives in
+// FftServer, which is what observes request shapes.) See DESIGN.md
+// "Serving front-end".
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/aligned_buffer.hpp"
+
+namespace c64fft::serve {
+
+/// Dense tenant handle minted by FftServer::add_tenant (arena quota
+/// tables are indexed by it).
+using TenantId = std::uint32_t;
+
+enum class LeaseStatus : std::uint8_t {
+  kOk,
+  /// Request exceeds one slab — the arena never hands out multi-slab
+  /// (non-contiguous) leases; size the slabs for the largest transform.
+  kTooLarge,
+  /// No free slab (arena-wide backpressure, all tenants).
+  kExhausted,
+  /// The tenant's pinned bytes would exceed its registered quota.
+  kQuotaExceeded,
+  /// TenantId never registered with set_tenant_quota.
+  kUnknownTenant,
+};
+
+const char* to_string(LeaseStatus s) noexcept;
+
+struct ArenaOptions {
+  /// Bytes per slab; rounded up to a multiple of the 64-byte alignment.
+  /// One lease = one slab, so this bounds the largest request
+  /// (2^16-point f64 = 1 MiB with the default).
+  std::size_t slab_bytes = std::size_t{1} << 20;
+  std::size_t slab_count = 64;
+};
+
+struct ArenaStats {
+  std::uint64_t leases = 0;    ///< successful lease() calls, lifetime
+  std::uint64_t rejected = 0;  ///< failed lease() calls, lifetime
+  std::uint64_t slabs_in_use = 0;
+  std::uint64_t slab_count = 0;
+  std::uint64_t slab_bytes = 0;
+  /// Bytes currently pinned (slabs_in_use * slab_bytes).
+  std::uint64_t bytes_pinned = 0;
+};
+
+class BufferArena;
+
+/// Move-only RAII handle on one leased slab. Destruction (or release())
+/// returns the slab; both are allocation-free. The default-constructed
+/// lease is empty (valid() == false) — the shape a rejected LeaseResult
+/// carries.
+class BufferLease {
+ public:
+  BufferLease() = default;
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+  BufferLease(BufferLease&& other) noexcept { move_from(other); }
+  BufferLease& operator=(BufferLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~BufferLease() { release(); }
+
+  bool valid() const noexcept { return arena_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// The leased bytes (the requested size, not the full slab). 64-byte
+  /// aligned — safe for any aligned SIMD load the kernels issue.
+  std::span<std::byte> bytes() const noexcept { return {data_, bytes_}; }
+
+  /// The lease viewed as an array of T (complex elements in practice).
+  /// Count is the requested bytes over sizeof(T).
+  template <typename T>
+  std::span<T> as() const noexcept {
+    return {reinterpret_cast<T*>(data_), bytes_ / sizeof(T)};
+  }
+
+  TenantId tenant() const noexcept { return tenant_; }
+
+  /// Return the slab now (idempotent).
+  void release() noexcept;
+
+ private:
+  friend class BufferArena;
+  BufferLease(BufferArena* arena, std::uint32_t slab, TenantId tenant,
+              std::size_t bytes, std::byte* data) noexcept
+      : arena_(arena), data_(data), bytes_(bytes), slab_(slab), tenant_(tenant) {}
+
+  void move_from(BufferLease& other) noexcept {
+    arena_ = other.arena_;
+    data_ = other.data_;
+    bytes_ = other.bytes_;
+    slab_ = other.slab_;
+    tenant_ = other.tenant_;
+    other.arena_ = nullptr;
+    other.data_ = nullptr;
+    other.bytes_ = 0;
+  }
+
+  BufferArena* arena_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::uint32_t slab_ = 0;
+  TenantId tenant_ = 0;
+};
+
+/// Fixed pool of 64-byte-aligned slabs carved from one allocation.
+/// Thread-safe; every post-construction operation except
+/// set_tenant_quota() is allocation-free.
+class BufferArena {
+ public:
+  explicit BufferArena(const ArenaOptions& opts = {});
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// Register (or resize) a tenant's byte quota. Registration-time only —
+  /// this call may allocate (it grows the per-tenant tables); lease() for
+  /// an unregistered tenant is a typed kUnknownTenant rejection, never an
+  /// implicit registration.
+  void set_tenant_quota(TenantId tenant, std::size_t max_bytes);
+
+  struct LeaseResult {
+    LeaseStatus status = LeaseStatus::kExhausted;
+    BufferLease lease;
+  };
+
+  /// Lease one slab holding at least `bytes`. Allocation-free; quota
+  /// accounting charges the whole pinned slab, not the requested bytes.
+  LeaseResult lease(TenantId tenant, std::size_t bytes);
+
+  std::size_t slab_bytes() const noexcept { return opts_.slab_bytes; }
+  std::size_t slab_count() const noexcept { return opts_.slab_count; }
+
+  /// Bytes currently pinned by `tenant` (0 for unknown tenants).
+  std::size_t tenant_pinned(TenantId tenant) const;
+
+  ArenaStats stats() const;
+
+ private:
+  friend class BufferLease;
+  void release_slab(std::uint32_t slab, TenantId tenant) noexcept;
+
+  ArenaOptions opts_;
+  util::AlignedBuffer<std::byte> storage_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint32_t> free_;  // stack of free slab indices
+  std::vector<std::size_t> used_;    // pinned bytes per tenant
+  std::vector<std::size_t> quota_;   // max bytes per tenant
+  std::uint64_t leases_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace c64fft::serve

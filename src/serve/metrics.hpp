@@ -1,0 +1,105 @@
+#pragma once
+// Allocation-free latency histogram for the serving front-end.
+//
+// Completion latency is recorded on the hot path (once per request, by
+// the dispatcher thread), so the recorder must be wait-free and must not
+// allocate. This is a fixed log-linear histogram: each power-of-two
+// octave of nanoseconds is split into 4 linear sub-buckets, giving
+// <= 19% relative quantile error over the full uint64 range for 256
+// atomic counters. Quantile extraction walks the array and interpolates
+// linearly inside the landing bucket — that only runs in stats(), off
+// the hot path.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace c64fft::serve {
+
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 2;  // 4 sub-buckets per octave
+  static constexpr std::size_t kBuckets = 64u << kSubBits;
+
+  /// Wait-free, allocation-free; safe from any thread.
+  void record(std::uint64_t ns) noexcept {
+    counts_[bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (prev < ns &&
+           !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  LatencySnapshot snapshot() const {
+    std::array<std::uint64_t, kBuckets> c;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      c[i] = counts_[i].load(std::memory_order_relaxed);
+      total += c[i];
+    }
+    LatencySnapshot s;
+    s.count = total;
+    s.max_ns = max_ns_.load(std::memory_order_relaxed);
+    if (total == 0) return s;
+    s.mean_ns = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                static_cast<double>(total);
+    s.p50_ns = quantile(c, total, 0.50);
+    s.p99_ns = quantile(c, total, 0.99);
+    return s;
+  }
+
+ private:
+  static std::size_t bucket(std::uint64_t ns) noexcept {
+    // Values below 2^kSubBits index their own exact bucket; above that the
+    // octave comes from the leading bit and the sub-bucket from the next
+    // kSubBits bits.
+    if (ns < (1u << kSubBits)) return static_cast<std::size_t>(ns);
+    const unsigned exp = std::bit_width(ns) - 1;
+    const unsigned sub =
+        static_cast<unsigned>((ns >> (exp - kSubBits)) & ((1u << kSubBits) - 1));
+    return (static_cast<std::size_t>(exp) << kSubBits) | sub;
+  }
+
+  /// Inclusive lower edge of bucket i (inverse of bucket()).
+  static double bucket_lo(std::size_t i) noexcept {
+    const unsigned exp = static_cast<unsigned>(i >> kSubBits);
+    const unsigned sub = static_cast<unsigned>(i & ((1u << kSubBits) - 1));
+    if (exp < kSubBits) return static_cast<double>(i);
+    const double base = static_cast<double>(std::uint64_t{1} << exp);
+    return base + static_cast<double>(sub) * (base / (1u << kSubBits));
+  }
+
+  static double quantile(const std::array<std::uint64_t, kBuckets>& c,
+                         std::uint64_t total, double q) noexcept {
+    const double target = q * static_cast<double>(total);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (c[i] == 0) continue;
+      const double next = seen + static_cast<double>(c[i]);
+      if (next >= target) {
+        const double frac = (target - seen) / static_cast<double>(c[i]);
+        const double lo = bucket_lo(i);
+        const double hi = i + 1 < kBuckets ? bucket_lo(i + 1) : lo * 2.0;
+        return lo + frac * (hi - lo);
+      }
+      seen = next;
+    }
+    return bucket_lo(kBuckets - 1);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace c64fft::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <optional>
+#include <regex>
 #include <sstream>
 
 namespace c64fft::util {
@@ -13,8 +15,16 @@ struct Row {
   double value;
 };
 
-// Extract (name, metric) rows, skipping non-mean aggregates.
-std::vector<Row> extract_rows(const JsonValue& report, const std::string& metric) {
+// Extract (name, metric) rows, skipping non-mean aggregates and rows
+// the name filters drop. Filtering happens BEFORE the metric is read:
+// a shared baseline file may carry rows from several binaries whose
+// reports don't all record the same metrics (e.g. the fft_loadgen LG_
+// rows have items_per_second, plain micro_kernels timing rows don't),
+// and a filtered-out row must not fail the parse for a metric it was
+// never going to contribute to.
+std::vector<Row> extract_rows(const JsonValue& report, const std::string& metric,
+                              const std::optional<std::regex>& keep,
+                              const std::optional<std::regex>& drop) {
   const JsonValue& benches = report.at("benchmarks");
   std::vector<Row> rows;
   for (const JsonValue& b : benches.items()) {
@@ -23,7 +33,10 @@ std::vector<Row> extract_rows(const JsonValue& report, const std::string& metric
       const JsonValue* agg = b.find("aggregate_name");
       if (!agg || !agg->is_string() || agg->as_string() != "mean") continue;
     }
-    rows.push_back({b.at("name").as_string(), b.at(metric).as_number()});
+    std::string name = b.at("name").as_string();
+    if (keep && !std::regex_search(name, *keep)) continue;
+    if (drop && std::regex_search(name, *drop)) continue;
+    rows.push_back({std::move(name), b.at(metric).as_number()});
   }
   return rows;
 }
@@ -38,8 +51,11 @@ std::vector<BenchDelta> diff_benchmarks(const JsonValue& baseline,
                                         const JsonValue& current,
                                         const BenchDiffOptions& opts) {
   const bool rate = metric_is_rate(opts.metric);
-  const auto base_rows = extract_rows(baseline, opts.metric);
-  const auto cur_rows = extract_rows(current, opts.metric);
+  std::optional<std::regex> keep, drop;
+  if (!opts.filter.empty()) keep.emplace(opts.filter);
+  if (!opts.exclude.empty()) drop.emplace(opts.exclude);
+  const auto base_rows = extract_rows(baseline, opts.metric, keep, drop);
+  const auto cur_rows = extract_rows(current, opts.metric, keep, drop);
 
   std::vector<BenchDelta> deltas;
   deltas.reserve(base_rows.size());

@@ -30,6 +30,15 @@ struct BenchDiffOptions {
   /// When true, a baseline benchmark missing from the current report is a
   /// failure (benchmarks silently disappearing hides regressions).
   bool require_all_baseline = true;
+  /// ECMAScript regexes scoping the diff by benchmark name (searched, not
+  /// anchored — anchor explicitly with ^). Empty = no constraint. They
+  /// exist so ONE committed baseline file can hold rows produced by
+  /// different binaries (micro_kernels "BM_*" rows next to fft_loadgen
+  /// "LG_*" rows) while each gate diffs only the rows its own run
+  /// regenerated — without them, require_all_baseline would fail every
+  /// gate on the other binary's rows.
+  std::string filter;   ///< keep only names matching this
+  std::string exclude;  ///< then drop names matching this
 };
 
 struct BenchDelta {
@@ -48,9 +57,11 @@ struct BenchDelta {
 bool metric_is_rate(const std::string& metric);
 
 /// Diff two parsed reports. Throws JsonParseError when either document
-/// lacks the google-benchmark "benchmarks" array or a row lacks `metric`.
-/// Benchmarks only present in `current` are ignored (new benches are not
-/// regressions).
+/// lacks the google-benchmark "benchmarks" array or a row lacks `metric`,
+/// std::regex_error on a malformed filter/exclude. Benchmarks only
+/// present in `current` are ignored (new benches are not regressions);
+/// baseline rows outside filter/exclude are ignored entirely (neither
+/// compared nor reported missing).
 std::vector<BenchDelta> diff_benchmarks(const JsonValue& baseline,
                                         const JsonValue& current,
                                         const BenchDiffOptions& opts = {});

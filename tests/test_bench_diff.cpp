@@ -136,6 +136,63 @@ TEST(BenchDiff, MalformedReportThrows) {
       JsonParseError);
 }
 
+TEST(BenchDiff, FilterScopesDiffToMatchingRows) {
+  const auto base = report({{"BM_Kernel/64", 100.0}, {"LG_Serve", 100.0}});
+  const auto cur = report({{"BM_Kernel/64", 500.0}, {"LG_Serve", 100.0}});
+  BenchDiffOptions opts;
+  opts.filter = "^LG_";
+  const auto deltas = diff_benchmarks(base, cur, opts);
+  // The 5x-slower BM_ row is outside the filter: ignored entirely, not
+  // even reported.
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].name, "LG_Serve");
+  EXPECT_FALSE(has_regression(deltas));
+}
+
+TEST(BenchDiff, ExcludeDropsMatchingRows) {
+  const auto base = report({{"BM_Kernel/64", 100.0}, {"LG_Serve", 100.0}});
+  const auto cur = report({{"BM_Kernel/64", 100.0}, {"LG_Serve", 500.0}});
+  BenchDiffOptions opts;
+  opts.exclude = "^LG_";
+  const auto deltas = diff_benchmarks(base, cur, opts);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].name, "BM_Kernel/64");
+  EXPECT_FALSE(has_regression(deltas));
+}
+
+TEST(BenchDiff, FilterAppliesBeforeMetricExtraction) {
+  // A shared baseline carries rows from several binaries, and not every
+  // binary's report records every metric. A row the filter drops must
+  // never fail the parse for a metric it doesn't have (here: BM_ rows
+  // without items_per_second while diffing the LG_ rows on it).
+  const JsonValue base = json_parse(R"({"benchmarks": [
+    {"name": "BM_Kernel/64", "real_time": 100.0},
+    {"name": "LG_Serve", "real_time": 5.0, "items_per_second": 1000.0}]})");
+  const JsonValue cur = json_parse(R"({"benchmarks": [
+    {"name": "LG_Serve", "real_time": 5.0, "items_per_second": 990.0}]})");
+  BenchDiffOptions opts;
+  opts.metric = "items_per_second";
+  opts.filter = "^LG_";
+  const auto deltas = diff_benchmarks(base, cur, opts);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_FALSE(deltas[0].regressed);
+  // Without the filter the missing metric on the BM_ row is a real
+  // malformed-report error, exactly as before.
+  BenchDiffOptions unfiltered;
+  unfiltered.metric = "items_per_second";
+  EXPECT_THROW(diff_benchmarks(base, cur, unfiltered), JsonParseError);
+}
+
+TEST(BenchDiff, FilterUsesSearchNotFullMatch) {
+  const auto base = report({{"LG_ServeCoalesced", 100.0}});
+  const auto cur = report({{"LG_ServeCoalesced", 100.0}});
+  BenchDiffOptions opts;
+  opts.filter = "Coalesced";  // substring, no anchors
+  EXPECT_EQ(diff_benchmarks(base, cur, opts).size(), 1u);
+  opts.filter = "^Coalesced";  // anchored: no longer matches mid-name
+  EXPECT_EQ(diff_benchmarks(base, cur, opts).size(), 0u);
+}
+
 TEST(BenchDiff, ReportFormatting) {
   const auto base = report({{"fast", 100.0}, {"slow", 100.0}, {"gone", 1.0}});
   const auto cur = report({{"fast", 90.0}, {"slow", 200.0}});

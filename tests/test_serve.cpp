@@ -1,0 +1,482 @@
+// FftServer / BufferArena / LatencyHistogram: the multi-tenant serving
+// front-end. These tests pin the coalescing-correctness contract (a
+// coalesced batch is bit-identical per transform to a loop of single
+// executor calls, both precisions), the typed-rejection backpressure and
+// per-tenant quotas, zero-copy arena lease semantics, the
+// shutdown/teardown ordering (including the borrowed-executor close()
+// race this layer exists to fix), and multi-tenant concurrent submission
+// (run under TSan via C64FFT_TSAN).
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::serve {
+namespace {
+
+template <typename T>
+std::vector<std::complex<T>> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::complex<T>> v(n);
+  for (auto& x : v)
+    x = {static_cast<T>(rng.next_double() * 2 - 1),
+         static_cast<T>(rng.next_double() * 2 - 1)};
+  return v;
+}
+
+TenantQuota roomy_quota() {
+  TenantQuota q;
+  q.max_arena_bytes = std::size_t{16} << 20;
+  q.max_plan_shapes = 16;
+  return q;
+}
+
+// ---- BufferArena ----
+
+TEST(BufferArena, LeaseIsAlignedZeroCopyAndRecycled) {
+  ArenaOptions ao;
+  ao.slab_bytes = 4096;
+  ao.slab_count = 2;
+  BufferArena arena(ao);
+  arena.set_tenant_quota(0, std::size_t{1} << 20);
+
+  auto r = arena.lease(0, 1024);
+  ASSERT_EQ(r.status, LeaseStatus::kOk);
+  ASSERT_TRUE(r.lease.valid());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.lease.as<fft::cplx>().data()) % 64,
+            0u);
+  EXPECT_EQ(r.lease.as<fft::cplx>().size(), 1024u / sizeof(fft::cplx));
+
+  // Writing through the span and reading it back is the same memory —
+  // the lease is a view into the arena, never a copy.
+  r.lease.as<fft::cplx>()[0] = {3.0, -4.0};
+  EXPECT_EQ(r.lease.as<fft::cplx>()[0], (fft::cplx{3.0, -4.0}));
+
+  const std::byte* first = r.lease.as<std::byte>().data();
+  EXPECT_EQ(arena.stats().slabs_in_use, 1u);
+  r.lease.release();
+  EXPECT_EQ(arena.stats().slabs_in_use, 0u);
+
+  // The freed slab is reused (LIFO freelist: warm slab first).
+  auto r2 = arena.lease(0, 4096);
+  ASSERT_EQ(r2.status, LeaseStatus::kOk);
+  EXPECT_EQ(r2.lease.as<std::byte>().data(), first);
+}
+
+TEST(BufferArena, TypedRejections) {
+  ArenaOptions ao;
+  ao.slab_bytes = 1024;
+  ao.slab_count = 2;
+  BufferArena arena(ao);
+  arena.set_tenant_quota(0, 2048);
+  arena.set_tenant_quota(1, 1024);
+
+  EXPECT_EQ(arena.lease(7, 64).status, LeaseStatus::kUnknownTenant);
+  EXPECT_EQ(arena.lease(0, 4096).status, LeaseStatus::kTooLarge);
+
+  // Tenant 1's quota is one slab: the second lease is a quota reject
+  // even though a free slab exists.
+  auto a = arena.lease(1, 512);
+  ASSERT_EQ(a.status, LeaseStatus::kOk);
+  EXPECT_EQ(arena.lease(1, 512).status, LeaseStatus::kQuotaExceeded);
+
+  // Tenant 0 may take the last slab; then the pool is dry for everyone.
+  auto b = arena.lease(0, 512);
+  ASSERT_EQ(b.status, LeaseStatus::kOk);
+  EXPECT_EQ(arena.lease(0, 512).status, LeaseStatus::kExhausted);
+  EXPECT_GE(arena.stats().rejected, 3u);
+}
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHistogram, SnapshotTracksPercentilesAndMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(1000);
+  h.record(1000000);
+  const LatencySnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max_ns, 1000000u);
+  // p50 lands in the 1000ns bucket; p99 boundary still within the bulk.
+  EXPECT_GE(s.p50_ns, 512.0);
+  EXPECT_LE(s.p50_ns, 2048.0);
+  EXPECT_GE(s.p99_ns, s.p50_ns);
+  EXPECT_GT(s.mean_ns, 1000.0);
+}
+
+// ---- FftServer: correctness ----
+
+TEST(Serve, CoalescedBatchBitIdenticalToSingleCallLoop) {
+  // Bit-identity, not tolerance: coalescing must never change results.
+  // Reference: the same executor configuration, one forward() per
+  // buffer. Submissions of one shape landing in one dispatch round are
+  // grouped into a single forward_batch, which the executor pins as
+  // bit-identical to the loop — so the server path must match exactly.
+  constexpr std::uint64_t kN = 256;
+  constexpr int kK = 8;
+  ServerOptions so;
+  so.coalesce_window_us = 200000;  // hold the batch open...
+  so.max_coalesce = kK;            // ...until all kK requests are in
+  so.arena.slab_bytes = kN * sizeof(fft::cplx);
+  so.arena.slab_count = kK + 1;
+  FftServer server(so);
+  const TenantId t = server.add_tenant(roomy_quota());
+
+  fft::FftExecutor reference;
+  fft::HostFftOptions hopts;
+  hopts.workers = 1;
+  hopts.radix_log2 = fft::validate_fft_shape(kN, hopts.radix_log2, true);
+
+  // f64 round.
+  {
+    std::vector<std::vector<fft::cplx>> want(kK);
+    std::vector<BufferLease> leases;
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < kK; ++i) {
+      want[i] = random_signal<double>(kN, 100 + i);
+      auto r = server.arena().lease(t, kN * sizeof(fft::cplx));
+      ASSERT_EQ(r.status, LeaseStatus::kOk);
+      std::memcpy(r.lease.as<fft::cplx>().data(), want[i].data(),
+                  kN * sizeof(fft::cplx));
+      leases.push_back(std::move(r.lease));
+    }
+    for (int i = 0; i < kK; ++i) {
+      auto s = server.submit(t, leases[i].as<fft::cplx>(), Direction::kForward);
+      ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+      tickets.push_back(std::move(s.ticket));
+    }
+    for (auto& tk : tickets)
+      EXPECT_EQ(tk.wait().status, RequestStatus::kOk);
+    for (int i = 0; i < kK; ++i) {
+      reference.forward(std::span<fft::cplx>(want[i]), hopts);
+      EXPECT_EQ(std::memcmp(leases[i].as<fft::cplx>().data(), want[i].data(),
+                            kN * sizeof(fft::cplx)),
+                0)
+          << "f64 buffer " << i;
+    }
+  }
+
+  // f32 round, inverse direction for coverage.
+  {
+    std::vector<std::vector<fft::cplx32>> want(kK);
+    std::vector<BufferLease> leases;
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < kK; ++i) {
+      want[i] = random_signal<float>(kN, 200 + i);
+      auto r = server.arena().lease(t, kN * sizeof(fft::cplx32));
+      ASSERT_EQ(r.status, LeaseStatus::kOk);
+      std::memcpy(r.lease.as<fft::cplx32>().data(), want[i].data(),
+                  kN * sizeof(fft::cplx32));
+      leases.push_back(std::move(r.lease));
+    }
+    for (int i = 0; i < kK; ++i) {
+      auto s = server.submit(t, leases[i].as<fft::cplx32>(), Direction::kInverse);
+      ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+      tickets.push_back(std::move(s.ticket));
+    }
+    for (auto& tk : tickets)
+      EXPECT_EQ(tk.wait().status, RequestStatus::kOk);
+    for (int i = 0; i < kK; ++i) {
+      reference.inverse(std::span<fft::cplx32>(want[i]), hopts);
+      EXPECT_EQ(std::memcmp(leases[i].as<fft::cplx32>().data(), want[i].data(),
+                            kN * sizeof(fft::cplx32)),
+                0)
+          << "f32 buffer " << i;
+    }
+  }
+
+  // The rounds really were coalesced, not drained one by one.
+  EXPECT_GE(server.stats().coalescing_factor, 2.0);
+}
+
+TEST(Serve, CallbackCompletionDeliversOnDispatcherThread) {
+  FftServer server;
+  const TenantId t = server.add_tenant(roomy_quota());
+  auto data = random_signal<double>(64, 1);
+
+  struct Ctx {
+    std::atomic<int> calls{0};
+    std::atomic<bool> ok{false};
+  } ctx;
+  const CompletionFn cb = [](void* p, const Completion& done) {
+    auto* c = static_cast<Ctx*>(p);
+    c->ok.store(done.status == RequestStatus::kOk && done.latency_ns > 0);
+    c->calls.fetch_add(1);
+  };
+  auto s = server.submit(t, std::span<fft::cplx>(data), Direction::kForward,
+                         Lane::kInteractive, cb, &ctx);
+  ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+  EXPECT_FALSE(s.ticket.valid());  // callback mode mints no ticket
+  while (ctx.calls.load() == 0) std::this_thread::yield();
+  EXPECT_TRUE(ctx.ok.load());
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+// ---- FftServer: admission control ----
+
+TEST(Serve, TypedSubmitRejections) {
+  ServerOptions so;
+  so.queue_capacity = 2;
+  so.coalesce_window_us = 10000000;  // park admitted work until shutdown
+  FftServer server(so);
+  TenantQuota tight;
+  tight.max_plan_shapes = 1;
+  const TenantId t = server.add_tenant(tight);
+
+  auto good = random_signal<double>(64, 2);
+  auto odd = random_signal<double>(100, 3);
+
+  EXPECT_EQ(server
+                .submit(t, std::span<fft::cplx>(odd.data(), 100),
+                        Direction::kForward)
+                .status,
+            SubmitStatus::kInvalidSize);
+  EXPECT_EQ(server
+                .submit(TenantId{42}, std::span<fft::cplx>(good),
+                        Direction::kForward)
+                .status,
+            SubmitStatus::kUnknownTenant);
+
+  // First shape (64, f64) charges the tenant's only plan-shape slot;
+  // a second distinct shape is a quota reject...
+  auto s1 = server.submit(t, std::span<fft::cplx>(good), Direction::kForward);
+  ASSERT_EQ(s1.status, SubmitStatus::kAccepted);
+  auto other = random_signal<double>(128, 4);
+  EXPECT_EQ(
+      server.submit(t, std::span<fft::cplx>(other), Direction::kForward).status,
+      SubmitStatus::kPlanQuotaExceeded);
+  // ...while more of the SAME shape is fine (until the pool runs out).
+  auto good2 = random_signal<double>(64, 5);
+  auto s2 = server.submit(t, std::span<fft::cplx>(good2), Direction::kForward);
+  ASSERT_EQ(s2.status, SubmitStatus::kAccepted);
+
+  // queue_capacity 2, both slots taken and parked in the coalescing
+  // window: backpressure.
+  auto good3 = random_signal<double>(64, 6);
+  EXPECT_EQ(
+      server.submit(t, std::span<fft::cplx>(good3), Direction::kForward).status,
+      SubmitStatus::kQueueFull);
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.rejected_invalid, 1u);
+  EXPECT_EQ(st.rejected_tenant, 1u);
+  EXPECT_EQ(st.rejected_plan_quota, 1u);
+  EXPECT_EQ(st.rejected_queue_full, 1u);
+
+  // Shutdown still drains the two admitted requests to completion.
+  server.shutdown();
+  EXPECT_EQ(s1.ticket.wait().status, RequestStatus::kOk);
+  EXPECT_EQ(s2.ticket.wait().status, RequestStatus::kOk);
+  EXPECT_EQ(
+      server.submit(t, std::span<fft::cplx>(good3), Direction::kForward).status,
+      SubmitStatus::kShuttingDown);
+}
+
+TEST(Serve, LaneCapacityBackpressuresPerLane) {
+  ServerOptions so;
+  so.lane_capacity = {1, 4, 4};
+  so.coalesce_window_us = 10000000;
+  FftServer server(so);
+  const TenantId t = server.add_tenant(roomy_quota());
+  auto a = random_signal<double>(64, 7);
+  auto b = random_signal<double>(64, 8);
+
+  auto s1 = server.submit(t, std::span<fft::cplx>(a), Direction::kForward,
+                          Lane::kInteractive);
+  ASSERT_EQ(s1.status, SubmitStatus::kAccepted);
+  // Interactive ring is full; the normal lane still admits.
+  EXPECT_EQ(server
+                .submit(t, std::span<fft::cplx>(b), Direction::kForward,
+                        Lane::kInteractive)
+                .status,
+            SubmitStatus::kQueueFull);
+  auto s2 = server.submit(t, std::span<fft::cplx>(b), Direction::kForward,
+                          Lane::kNormal);
+  EXPECT_EQ(s2.status, SubmitStatus::kAccepted);
+  server.shutdown();
+  EXPECT_EQ(s1.ticket.wait().status, RequestStatus::kOk);
+  EXPECT_EQ(s2.ticket.wait().status, RequestStatus::kOk);
+}
+
+// ---- FftServer: shutdown & teardown ordering ----
+
+TEST(Serve, ShutdownIsIdempotentAndDrains) {
+  FftServer server;
+  const TenantId t = server.add_tenant(roomy_quota());
+  std::vector<std::vector<fft::cplx>> bufs;
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    bufs.push_back(random_signal<double>(128, 10 + i));
+    auto s =
+        server.submit(t, std::span<fft::cplx>(bufs.back()), Direction::kForward);
+    ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+    tickets.push_back(std::move(s.ticket));
+  }
+  server.shutdown();
+  server.shutdown();  // idempotent
+  for (auto& tk : tickets) EXPECT_EQ(tk.wait().status, RequestStatus::kOk);
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST(Serve, ShutdownRacesWithConcurrentSubmitters) {
+  // The regression this layer fixes: tearing the serving path down while
+  // clients are mid-submit must never lose an admitted request, deliver
+  // a completion twice, or crash — every submit either completes or is
+  // rejected with a typed status.
+  ServerOptions so;
+  so.workers = 2;
+  FftServer server(so);
+  const TenantId t = server.add_tenant(roomy_quota());
+
+  constexpr int kThreads = 4;
+  std::atomic<std::uint64_t> ok{0}, rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      auto data = random_signal<double>(64, 50 + ti);
+      for (int i = 0; i < 200; ++i) {
+        auto s =
+            server.submit(t, std::span<fft::cplx>(data), Direction::kForward);
+        if (s.status != SubmitStatus::kAccepted) {
+          EXPECT_EQ(s.status, SubmitStatus::kShuttingDown);
+          rejected.fetch_add(1);
+          continue;
+        }
+        const Completion done = s.ticket.wait();
+        EXPECT_NE(done.status, RequestStatus::kError);
+        ok.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(server.stats().completed, ok.load());
+  EXPECT_EQ(ok.load() + rejected.load(), kThreads * 200u);
+}
+
+TEST(Serve, BorrowedExecutorClosedUnderneathIsTypedShutdown) {
+  // Process-teardown ordering hazard: a server borrowing a shared
+  // executor must survive that executor being close()d first — in-flight
+  // requests complete with kShutdown (not a crash, not a hang), and the
+  // server flips to rejecting.
+  fft::FftExecutor shared_exec;
+  ServerOptions so;
+  so.executor = &shared_exec;
+  FftServer server(so);
+  const TenantId t = server.add_tenant(roomy_quota());
+
+  auto data = random_signal<double>(64, 99);
+  auto warm = server.submit(t, std::span<fft::cplx>(data), Direction::kForward);
+  ASSERT_EQ(warm.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(warm.ticket.wait().status, RequestStatus::kOk);
+
+  shared_exec.close();
+
+  auto s = server.submit(t, std::span<fft::cplx>(data), Direction::kForward);
+  ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(s.ticket.wait().status, RequestStatus::kShutdown);
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(
+      server.submit(t, std::span<fft::cplx>(data), Direction::kForward).status,
+      SubmitStatus::kShuttingDown);
+  // shutdown() must not try to close the borrowed (already closed)
+  // executor.
+  server.shutdown();
+}
+
+// ---- FftServer: multi-tenant stress (TSan lane) ----
+
+TEST(Serve, MultiTenantConcurrentMixedTraffic) {
+  // Mixed shapes, precisions, lanes, and completion styles from many
+  // tenant threads at once, against a 2-worker executor. Run under TSan
+  // (scripts/check.sh) this is the data-race proof for the whole
+  // submit/dispatch/complete surface.
+  ServerOptions so;
+  so.workers = 2;
+  so.coalesce_window_us = 100;
+  so.arena.slab_bytes = 512 * sizeof(fft::cplx);
+  so.arena.slab_count = 32;
+  FftServer server(so);
+
+  constexpr int kTenants = 4;
+  constexpr int kPerTenant = 60;
+  std::array<TenantId, kTenants> tenants;
+  for (auto& id : tenants) id = server.add_tenant(roomy_quota());
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> cb_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int ti = 0; ti < kTenants; ++ti) {
+    threads.emplace_back([&, ti] {
+      const TenantId tenant = tenants[ti];
+      const std::uint64_t n = ti % 2 == 0 ? 128 : 512;
+      const Lane lane = static_cast<Lane>(ti % kLaneCount);
+      auto data64 = random_signal<double>(n, 1000 + ti);
+      auto data32 = random_signal<float>(n, 2000 + ti);
+      for (int i = 0; i < kPerTenant; ++i) {
+        const Direction dir =
+            i % 2 == 0 ? Direction::kForward : Direction::kInverse;
+        if (i % 3 == 2) {
+          // Callback-style completion; spin until delivered so the
+          // buffer is never submitted twice concurrently.
+          std::atomic<int> done{0};
+          struct Ctx {
+            std::atomic<int>* done;
+            std::atomic<std::uint64_t>* cb_ok;
+          } ctx{&done, &cb_ok};
+          auto s = server.submit(
+              tenant, std::span<fft::cplx32>(data32), dir, lane,
+              [](void* p, const Completion& c) {
+                auto* x = static_cast<Ctx*>(p);
+                if (c.status == RequestStatus::kOk) x->cb_ok->fetch_add(1);
+                x->done->store(1, std::memory_order_release);
+              },
+              &ctx);
+          ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+          while (done.load(std::memory_order_acquire) == 0)
+            std::this_thread::yield();
+        } else {
+          auto s = server.submit(tenant, std::span<fft::cplx>(data64), dir, lane);
+          ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+          if (s.ticket.wait().status == RequestStatus::kOk) ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, kTenants * static_cast<std::uint64_t>(kPerTenant));
+  EXPECT_EQ(ok.load() + cb_ok.load(), st.completed);
+  EXPECT_EQ(st.rejected_queue_full, 0u);
+  EXPECT_GT(st.executor.cache.entries, 0u);  // PlanCache::stats() surfaced
+  server.shutdown();
+}
+
+TEST(Serve, DefaultServerBorrowsDefaultExecutor) {
+  FftServer& server = default_server();
+  ASSERT_TRUE(server.accepting());
+  const TenantId t = server.add_tenant(roomy_quota());
+  auto data = random_signal<double>(64, 321);
+  auto s = server.submit(t, std::span<fft::cplx>(data), Direction::kForward);
+  ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(s.ticket.wait().status, RequestStatus::kOk);
+  // Teardown ordering (server drained before the borrowed executor dies)
+  // is exercised at process exit of this very binary.
+}
+
+}  // namespace
+}  // namespace c64fft::serve

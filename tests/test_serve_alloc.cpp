@@ -1,0 +1,154 @@
+// The zero-allocation serving contract, measured: this binary implements
+// the serve/alloc_probe.hpp operator-new replacement (its OWN global
+// new/delete — which is why it is a separate test binary), warms a
+// server, then counts every heap allocation across a steady-state
+// submit→complete loop. The client thread's counter covers
+// submit()/Ticket::wait(); the ServerOptions::alloc_probe hook has the
+// dispatcher split its thread's count into executor-internal work and
+// the serving layer's own drain/group/complete path. Steady state, both
+// must hold: client-side delta 0, serving-layer delta 0.
+
+#define C64FFT_ALLOC_PROBE_IMPLEMENT
+#include "serve/alloc_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::serve {
+namespace {
+
+std::vector<fft::cplx> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<fft::cplx> v(n);
+  for (auto& x : v)
+    x = fft::cplx(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  return v;
+}
+
+TEST(ServeAllocProbe, CountsThisThreadsAllocations) {
+  const std::uint64_t before = thread_alloc_count();
+  auto* p = new int(7);
+  const std::uint64_t after = thread_alloc_count();
+  delete p;
+  EXPECT_GT(after, before);  // the probe really is this binary's new
+}
+
+TEST(ServeAllocProbe, SteadyStateSubmitCompletePathIsAllocationFree) {
+  ServerOptions so;
+  so.alloc_probe = &thread_alloc_count;
+  FftServer server(so);
+  TenantQuota quota;
+  quota.max_plan_shapes = 4;
+  const TenantId t = server.add_tenant(quota);
+
+  constexpr std::uint64_t kN = 256;
+  auto data = random_signal(kN, 42);
+  const std::span<fft::cplx> span(data);
+
+  // Warmup: first submissions build the plan (trig tables, bitrev
+  // tables — and, first time each DIRECTION runs, the conjugated
+  // twiddles of the inverse path) and fault in any lazy runtime state.
+  // Allocations here are expected and not the contract.
+  for (int i = 0; i < 16; ++i) {
+    auto s = server.submit(t, span,
+                           i % 2 == 0 ? Direction::kForward
+                                      : Direction::kInverse);
+    ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+    ASSERT_EQ(s.ticket.wait().status, RequestStatus::kOk);
+  }
+
+  const ServerStats warm = server.stats();
+  const std::uint64_t client_before = thread_alloc_count();
+  std::uint64_t client_after = client_before;
+  for (int i = 0; i < 100; ++i) {
+    auto s = server.submit(t, span,
+                           i % 2 == 0 ? Direction::kForward
+                                      : Direction::kInverse);
+    if (s.status != SubmitStatus::kAccepted) break;  // assert after loop
+    if (s.ticket.wait().status != RequestStatus::kOk) break;
+    client_after = thread_alloc_count();
+  }
+  // Assertions AFTER the measured loop: gtest machinery allocates.
+  const ServerStats steady = server.stats();
+  EXPECT_EQ(client_after - client_before, 0u)
+      << "submit()/Ticket::wait() allocated on the client thread";
+  EXPECT_EQ(steady.dispatch_allocs - warm.dispatch_allocs, 0u)
+      << "the dispatcher's drain/group/complete path allocated";
+  // workers=1 rides the executor's serial fast path, whose steady state
+  // (cached plan, cached bitrev table, no team) is also allocation-free.
+  EXPECT_EQ(steady.executor_allocs - warm.executor_allocs, 0u)
+      << "the executor allocated on a cache-hit serial transform";
+  EXPECT_EQ(steady.completed - warm.completed, 100u);
+}
+
+// Self-resubmitting completion chain for the callback-mode test below
+// (namespace scope: the callback must name itself to re-arm).
+struct ChainCtx {
+  FftServer* server = nullptr;
+  TenantId tenant = 0;
+  std::span<fft::cplx> span;
+  std::atomic<int> remaining{0};
+  std::atomic<int> errors{0};
+};
+
+void chain_on_done(void* p, const Completion& done) {
+  auto* c = static_cast<ChainCtx*>(p);
+  if (done.status != RequestStatus::kOk) c->errors.fetch_add(1);
+  if (c->remaining.fetch_sub(1, std::memory_order_acq_rel) <= 1) return;
+  c->server->submit(c->tenant, c->span, Direction::kForward, Lane::kNormal,
+                    &chain_on_done, p);
+}
+
+TEST(ServeAllocProbe, CallbackResubmitLoopIsAllocationFree) {
+  // The async serving shape tools/fft_loadgen drives: completions
+  // resubmit from the dispatcher thread, so the ENTIRE steady-state
+  // cycle (complete → callback → submit → drain → execute) runs on one
+  // thread under the serving layer's allocation accounting.
+  ServerOptions so;
+  so.alloc_probe = &thread_alloc_count;
+  FftServer server(so);
+  const TenantId t = server.add_tenant({});
+
+  constexpr std::uint64_t kN = 128;
+  auto data = random_signal(kN, 7);
+
+  ChainCtx ctx;
+  ctx.server = &server;
+  ctx.tenant = t;
+  ctx.span = std::span<fft::cplx>(data);
+
+  // Warmup round trip, then measure a 200-cycle self-sustaining chain.
+  ctx.remaining.store(8);
+  ASSERT_EQ(server
+                .submit(t, ctx.span, Direction::kForward, Lane::kNormal,
+                        &chain_on_done, &ctx)
+                .status,
+            SubmitStatus::kAccepted);
+  while (ctx.remaining.load(std::memory_order_acquire) > 0)
+    std::this_thread::yield();
+
+  const ServerStats warm = server.stats();
+  ctx.remaining.store(200);
+  ASSERT_EQ(server
+                .submit(t, ctx.span, Direction::kForward, Lane::kNormal,
+                        &chain_on_done, &ctx)
+                .status,
+            SubmitStatus::kAccepted);
+  while (ctx.remaining.load(std::memory_order_acquire) > 0)
+    std::this_thread::yield();
+  const ServerStats steady = server.stats();
+
+  EXPECT_EQ(ctx.errors.load(), 0);
+  EXPECT_EQ(steady.dispatch_allocs - warm.dispatch_allocs, 0u)
+      << "callback-resubmit steady state allocated in the serving layer";
+  EXPECT_EQ(steady.completed - warm.completed, 200u);
+}
+
+}  // namespace
+}  // namespace c64fft::serve

@@ -32,6 +32,12 @@ int main(int argc, char** argv) {
   cli.add_flag("allow-missing",
                "do not fail when a baseline benchmark is absent from the "
                "current report");
+  cli.add_string("filter", "",
+                 "regex: diff only baseline rows whose name matches (lets "
+                 "one baseline file serve several benchmark binaries)");
+  cli.add_string("exclude", "",
+                 "regex: skip baseline rows whose name matches (applied "
+                 "after --filter)");
   cli.add_string("ratio-num", "",
                  "cross-row gate, numerator row name in the CURRENT report "
                  "(e.g. the forced-scalar benchmark)");
@@ -64,6 +70,8 @@ int main(int argc, char** argv) {
   opts.metric = cli.get_string("metric");
   opts.tolerance = cli.get_double("tolerance");
   opts.require_all_baseline = !cli.flag("allow-missing");
+  opts.filter = cli.get_string("filter");
+  opts.exclude = cli.get_string("exclude");
   if (opts.tolerance < 0.0) {
     std::cerr << "bench_check: tolerance must be >= 0\n";
     return 2;

@@ -40,6 +40,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -170,6 +171,11 @@ int main(int argc, char** argv) {
   cli.add_string("seed-defect", "",
                  "inject a known defect to exercise the exit codes: cycle | "
                  "race | tile-overlap | skew");
+  cli.add_flag("cache-stats",
+               "after linting, execute each verified shape once through a "
+               "private executor (both precisions, serial) and print the "
+               "plan-cache residency picture: hits, misses, evictions, "
+               "entries");
   cli.add_flag("json", "emit the JSON report on stdout");
   cli.add_string("json-file", "", "also write the JSON report to this path");
 
@@ -382,6 +388,47 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::string cache_stats_line;
+  if (cli.flag("cache-stats")) {
+    // Tie the static picture to the runtime one: run every linted shape
+    // through a private executor (serial path — the cache behaves
+    // identically) at both precisions, then report what the plan cache
+    // retained. Distinct precisions are distinct entries by design, so
+    // `entries` should read 2x the unique (n, radix) shapes unless the
+    // LRU had to evict.
+    try {
+      fft::FftExecutor exec;
+      fft::HostFftOptions hopts;
+      hopts.workers = 1;
+      std::vector<std::pair<std::uint64_t, unsigned>> shapes;
+      for (const analysis::AnalysisReport& r : reports)
+        shapes.emplace_back(r.n, r.radix_log2);
+      std::sort(shapes.begin(), shapes.end());
+      shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
+      std::vector<fft::cplx> buf64;
+      std::vector<fft::cplx32> buf32;
+      for (const auto& [shape_n, shape_radix] : shapes) {
+        hopts.radix_log2 = fft::validate_fft_shape(shape_n, shape_radix, true);
+        buf64.assign(shape_n, fft::cplx{});
+        exec.forward(std::span<fft::cplx>(buf64), hopts);
+        buf32.assign(shape_n, fft::cplx32{});
+        exec.forward(std::span<fft::cplx32>(buf32), hopts);
+      }
+      const fft::ExecutorStats st = exec.stats();
+      std::ostringstream line;
+      line << "plan cache: hits=" << st.cache.hits
+           << " misses=" << st.cache.misses
+           << " evictions=" << st.cache.evictions
+           << " entries=" << st.cache.entries << " (" << shapes.size()
+           << " shapes x 2 precisions)\n";
+      cache_stats_line = line.str();
+    } catch (const std::exception& e) {
+      std::cerr << "fft_lint: --cache-stats execution failed: " << e.what()
+                << '\n';
+      return 2;
+    }
+  }
+
   std::string json_all = "[";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     if (cli.flag("json") || !cli.get_string("json-file").empty()) {
@@ -392,6 +439,10 @@ int main(int argc, char** argv) {
   }
   json_all += ']';
 
+  // After the reports in human mode; on stderr in JSON mode so stdout
+  // stays a single parseable document.
+  if (!cache_stats_line.empty())
+    (cli.flag("json") ? std::cerr : std::cout) << cache_stats_line;
   if (cli.flag("json")) std::cout << json_all << '\n';
   if (!cli.get_string("json-file").empty()) {
     std::ofstream out(cli.get_string("json-file"));
