@@ -649,6 +649,7 @@ void BM_ClassicFftLargeN(benchmark::State& state) {
   fft::ExecutorOptions eo;
   eo.workers = 2;
   eo.four_step_threshold_log2 = 0;
+  eo.hierarchical_threshold_log2 = 0;  // pin: measure the classic path only
   fft::FftExecutor ex(eo);
   fft::HostFftOptions opts;
   opts.workers = 2;
@@ -669,6 +670,8 @@ void BM_FourStepFftLargeN(benchmark::State& state) {
   fft::ExecutorOptions eo;
   eo.workers = 2;
   eo.four_step_threshold_log2 = 2;
+  eo.hierarchical_threshold_log2 = 0;  // pin: measure four-step, not the
+                                       // hierarchical path that outranks it
   fft::FftExecutor ex(eo);
   fft::HostFftOptions opts;
   opts.workers = 2;
@@ -681,7 +684,34 @@ void BM_FourStepFftLargeN(benchmark::State& state) {
                           static_cast<int64_t>(data.size()));
 }
 BENCHMARK(BM_FourStepFftLargeN)
-    ->Arg(14)->Arg(16)->Arg(18)->Arg(20)
+    ->Arg(14)->Arg(16)->Arg(18)->Arg(20)->Arg(22)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Hierarchical pipelined path at enormous N: the row behind the executor's
+// default hierarchical routing threshold
+// (kDefaultHierarchicalThresholdLog2) and the 1.25x four-step ratio gate
+// at 2^22 (tools/CMakeLists.txt bench_check). Same warmed protocol as the
+// pair above; identical butterfly work to four-step at these sizes (the
+// default leaf gives the same split), so the delta is pure scheduling:
+// three pipelined streaming passes against five barrier-phased ones.
+void BM_HierarchicalFftLargeN(benchmark::State& state) {
+  auto data = random_signal(std::uint64_t{1} << state.range(0), 14);
+  fft::ExecutorOptions eo;
+  eo.workers = 2;
+  eo.hierarchical_threshold_log2 = 2;  // always route hierarchical
+  fft::FftExecutor ex(eo);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  ex.forward(data, opts);  // warm: sub-plans + both scratch matrices
+  for (auto _ : state) {
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HierarchicalFftLargeN)
+    ->Arg(20)->Arg(22)->Arg(24)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace

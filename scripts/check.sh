@@ -36,15 +36,17 @@ if [[ $fast -eq 0 ]]; then
   echo "== precision label under UBSan =="
   ctest --test-dir build-ubsan -L precision --output-on-failure
   # TSan watches the concurrency surface: the work-stealing deques, the
-  # runtime's phase/counter machinery and the executor's batched dispatch.
-  # Only the threaded tests run here — TSan is slow, and the numeric tests
-  # add no thread interleavings it could observe. (ASan and TSan are
-  # mutually exclusive instrumentations, hence the separate tree.)
+  # runtime's phase/counter machinery, the executor's batched dispatch and
+  # the hierarchical tile pipeline (dependency-counted cross-stage pushes
+  # are exactly where a missed release order would race). Only the
+  # threaded tests run here — TSan is slow, and the numeric tests add no
+  # thread interleavings it could observe. (ASan and TSan are mutually
+  # exclusive instrumentations, hence the separate tree.)
   echo "== concurrency tests under TSan =="
   cmake -B build-tsan -S . -DC64FFT_TSAN=ON >/dev/null
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j \
-    -R 'test_executor|test_ws_deque|test_ws_runtime|test_host_runtime|test_serve'
+    -R 'test_executor|test_ws_deque|test_ws_runtime|test_host_runtime|test_serve|test_hierarchical'
 fi
 
 echo "check.sh: all configurations passed"

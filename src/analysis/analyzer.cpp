@@ -101,6 +101,8 @@ AnalysisReport analyze_pipeline(const PipelineModel& model,
     CostModelOptions cost = opts.cost;
     report.checks.push_back(model_costs(model, cost));
   }
+  if (opts.check_tile_traffic)
+    report.checks.push_back(report_tile_traffic(model, opts.tile_traffic));
   return report;
 }
 

@@ -11,6 +11,7 @@
 #include "analysis/pipeline.hpp"
 #include "analysis/race.hpp"
 #include "analysis/report.hpp"
+#include "analysis/tile_traffic.hpp"
 #include "analysis/verifier.hpp"
 
 namespace c64fft::analysis {
@@ -40,12 +41,17 @@ AnalysisReport analyze_plan(const fft::FftPlan& plan, fft::TwiddleLayout layout,
 struct PipelineAnalysisOptions {
   bool check_coverage = true;
   bool check_cost = true;
+  /// Per-level tile-traffic report (bytes per phase, transpose vs
+  /// butterfly split, per-phase skew) — a report-style check like the
+  /// bank lint, warnings unless tile_traffic.strict.
+  bool check_tile_traffic = true;
   /// Validate PipelineModel::kernel_isa against the kernel dispatch
   /// registry and host cpuid support. Cheap, so always on; a failure is
   /// a model-construction error (fft_lint exit 2).
   bool check_kernel = true;
   CoverageOptions coverage;
   CostModelOptions cost;
+  TileTrafficOptions tile_traffic;
 };
 
 /// The kernel-dispatch check on its own: the model's kernel_isa id must

@@ -80,6 +80,22 @@ std::vector<LintBaselineRow> collect_lint_rows(unsigned workers) {
 
     append_row(rows, build_four_step_pipeline(std::uint64_t{1} << 18, 6, opts),
                "four-step-n262144-r6" + suffix, workers);
+
+    // Hierarchical rows pin the leaf and block-rows knobs explicitly: the
+    // builder's defaults derive both from the host L2 via cache_info(),
+    // and baseline rows must stay pure plan algebra — identical on every
+    // machine that runs the gate. leaf=9 keeps 2^18 single-level
+    // (512x512); leaf=6 forces the three-level recursion at 2^19.
+    PipelineBuildOptions hier = opts;
+    hier.hier_leaf_log2 = 9;
+    hier.hier_block_rows = 64;
+    append_row(rows,
+               build_hierarchical_pipeline(std::uint64_t{1} << 18, 6, hier),
+               "hierarchical-n262144-r6" + suffix, workers);
+    hier.hier_leaf_log2 = 6;
+    append_row(rows,
+               build_hierarchical_pipeline(std::uint64_t{1} << 19, 6, hier),
+               "hierarchical3l-n524288-r6" + suffix, workers);
     append_row(rows, build_batch_pipeline(fft::FftPlan(256, 6), 8, opts),
                "batch8-n256-r6" + suffix, workers);
     append_row(rows, build_fft2d_pipeline(64, 64, 6, opts),

@@ -31,7 +31,8 @@ struct LintBaselineRow {
 };
 
 /// The shipped verification matrix: classic (linear + hashed twiddles),
-/// four-step 2^18, batch of 8, square and rectangular fft2d, real-input —
+/// four-step 2^18, hierarchical 2^18 (single-level) and 2^19 (forced
+/// three-level), batch of 8, square and rectangular fft2d, real-input —
 /// each at f64 (16-byte) and f32 (8-byte) element width.
 std::vector<LintBaselineRow> collect_lint_rows(unsigned workers = 4);
 

@@ -67,6 +67,16 @@ struct PipelineTask {
   /// that as `passes` keeps the footprint (the coverage input) exact
   /// while the cost model still charges the repeated traffic.
   std::uint64_t passes = 1;
+  /// Of `passes`, how many stream the footprint as data movement
+  /// (transpose / gather / writeback / permutation) rather than in-place
+  /// butterfly work — the input of the tile-traffic split. kAutoMovement
+  /// derives it from the footprint: all passes for flop-free tasks, one
+  /// for a fused single-pass movement (the twiddle-transpose), zero for
+  /// in-place compute. Builders of fused multi-pass tasks (the
+  /// hierarchical tail: gather-in + sweep + writeback-out) set it
+  /// explicitly.
+  static constexpr std::uint64_t kAutoMovement = ~std::uint64_t{0};
+  std::uint64_t movement_passes = kAutoMovement;
 };
 
 /// One barrier-separated phase.
@@ -114,6 +124,14 @@ struct PipelineBuildOptions {
   unsigned element_bytes = 16;
   /// Twiddle storage layout of the classic stage phases.
   fft::TwiddleLayout layout = fft::TwiddleLayout::kLinear;
+  /// Hierarchical leaf cap (log2 points); 0 derives it from the host L2
+  /// exactly like the executor (fft::hierarchical_leaf_log2). Forcing a
+  /// small leaf is how tests model multi-level decompositions at sizes
+  /// the element-exact footprints can afford.
+  unsigned hier_leaf_log2 = 0;
+  /// Rows per pipelined hierarchical block; 0 = the executor's grain
+  /// policy (fft::hierarchical_grain).
+  std::uint64_t hier_block_rows = 0;
 };
 
 /// Classic single-transform pipeline: the chunked bit-reversal phase
@@ -143,6 +161,24 @@ PipelineModel build_batch_pipeline(const fft::FftPlan& plan,
 PipelineModel build_four_step_pipeline(std::uint64_t n, unsigned radix_log2,
                                        const PipelineBuildOptions& opts = {},
                                        std::string name = {});
+
+/// Hierarchical large-N pipeline (executor run_hierarchical_locked): the
+/// barrier hull of the tile-pipelined level — gather-transpose blocks of
+/// data columns into the contiguous gather matrix, in-place column FFTs
+/// over each block's rows, then the fused tail per output block
+/// (twiddle-gather + row FFTs + writeback-transpose into natural order).
+/// Tasks are the dependency-counted blocks the runtime actually
+/// schedules (fft::hierarchical_grain), footprints element-exact, so the
+/// coverage proof shows every data element written by exactly one fused
+/// tail task. A multi-level split models the column transform as one
+/// condensed per-row recursion phase: footprints stay exact (each task
+/// owns its row of the gather matrix) while the recursion's repeated
+/// streaming is charged via `passes`; the inner levels' own scratch —
+/// like the per-worker T4 panels — is deliberately not modelled (both
+/// are sized cache-resident by the leaf policy).
+PipelineModel build_hierarchical_pipeline(std::uint64_t n, unsigned radix_log2,
+                                          const PipelineBuildOptions& opts = {},
+                                          std::string name = {});
 
 /// 2-D row-column pipeline (fft::forward_2d): batched row sweep,
 /// transpose (in place when square, through scratch otherwise), batched

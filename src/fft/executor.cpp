@@ -7,8 +7,15 @@
 #include <utility>
 
 #include "codelet/dep_counter.hpp"
+#include "fft/kernels/dispatch.hpp"
 #include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
+#include "util/cpu_features.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 namespace c64fft::fft {
 
@@ -16,6 +23,7 @@ namespace {
 
 using codelet::CodeletKey;
 using codelet::PoolPolicy;
+
 
 /// Scale pass of the inverse transform (the only O(N) epilogue left: the
 /// input-conjugation pass is gone — the conjugated twiddle table computes
@@ -41,6 +49,26 @@ bool env_unsigned(const char* name, unsigned& out) {
   return true;
 }
 
+/// Ask the kernel for transparent huge pages over `bytes` at `p` (no-op
+/// off Linux or when THP is disabled system-wide). The hierarchical
+/// gather matrix is walked on its strided side in 16-element chunks one
+/// 32 KiB+ row apart — with 4 KiB pages every chunk is a fresh dTLB
+/// entry, with 2 MiB pages 64 consecutive rows share one. Purely an
+/// allocation attribute: the values computed are untouched.
+void advise_huge_pages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  const std::uintptr_t page = 4096;
+  const std::uintptr_t lo = (reinterpret_cast<std::uintptr_t>(p) + page - 1) &
+                            ~(page - 1);
+  const std::uintptr_t hi =
+      (reinterpret_cast<std::uintptr_t>(p) + bytes) & ~(page - 1);
+  if (hi > lo) ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
 }  // namespace
 
 SweepGrain four_step_sweep_grain(std::uint64_t row_count, unsigned workers) {
@@ -55,28 +83,97 @@ SweepGrain bitrev_sweep_grain(std::uint64_t n, unsigned workers) {
 }
 
 PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2) {
-  return (threshold_log2 != 0 && n >= 4 && util::ilog2(n) >= threshold_log2)
+  return routed_plan_kind(n, threshold_log2, kDefaultHierarchicalThresholdLog2);
+}
+
+PlanKind routed_plan_kind(std::uint64_t n, unsigned four_step_threshold_log2,
+                          unsigned hierarchical_threshold_log2) {
+  if (n < 4) return PlanKind::kClassic;
+  const unsigned log2n = util::ilog2(n);
+  if (hierarchical_threshold_log2 != 0 && log2n >= hierarchical_threshold_log2)
+    return PlanKind::kHierarchical;
+  return (four_step_threshold_log2 != 0 && log2n >= four_step_threshold_log2)
              ? PlanKind::kFourStep
              : PlanKind::kClassic;
 }
 
+namespace {
+
+/// Rows per pipelined block of a hierarchical-level sweep over a matrix of
+/// `rows` rows of `row_bytes` each (see hierarchical_grain's contract in
+/// the header).
+std::uint64_t block_rows_for(std::uint64_t rows, std::uint64_t row_bytes,
+                             unsigned workers, std::uint64_t l2_bytes,
+                             std::uint64_t tuned) {
+  if (rows <= kTransposeTile) return rows;
+  std::uint64_t br;
+  if (tuned != 0) {
+    br = tuned;
+  } else {
+    br = row_bytes != 0 ? l2_bytes / (2 * row_bytes) : rows;
+    // Keep at least workers*4 blocks in flight so the pipeline has
+    // overlap to exploit even when L2 would hold a bigger panel.
+    br = std::min(br, std::max<std::uint64_t>(
+                          kTransposeTile, rows / (std::uint64_t{workers} * 4)));
+  }
+  br = std::max<std::uint64_t>(br / kTransposeTile, 1) * kTransposeTile;
+  return std::min(br, rows);
+}
+
+}  // namespace
+
+HierarchicalGrain hierarchical_grain(std::uint64_t n1, std::uint64_t n2,
+                                     unsigned workers, unsigned element_bytes,
+                                     std::uint64_t l2_bytes,
+                                     std::uint64_t tuned_block_rows) {
+  HierarchicalGrain g;
+  // Gather/column stages sweep the n2 x n1 gather matrix (n2 rows of n1
+  // points); scatter/row stages sweep its n1 x n2 mirror.
+  g.block_rows1 = block_rows_for(n2, n1 * element_bytes, workers, l2_bytes,
+                                 tuned_block_rows);
+  g.blocks1 = g.block_rows1 != 0 ? util::ceil_div(n2, g.block_rows1) : 0;
+  g.block_rows2 = block_rows_for(n1, n2 * element_bytes, workers, l2_bytes,
+                                 tuned_block_rows);
+  g.blocks2 = g.block_rows2 != 0 ? util::ceil_div(n1, g.block_rows2) : 0;
+  return g;
+}
+
+ExecutorEnvSnapshot read_executor_env() {
+  ExecutorEnvSnapshot snap;
+  unsigned v = 0;
+  if (env_unsigned("C64FFT_WORKERS", v)) snap.workers = v;
+  if (env_unsigned("C64FFT_FOURSTEP_THRESHOLD_LOG2", v))
+    snap.four_step_threshold_log2 = v;
+  if (env_unsigned("C64FFT_HIERARCHICAL_THRESHOLD_LOG2", v))
+    snap.hierarchical_threshold_log2 = v;
+  if (const char* path = std::getenv("C64FFT_SCHEDULE");
+      path != nullptr && *path != '\0')
+    snap.schedule_path = path;
+  return snap;
+}
+
 void FftExecutor::apply_env_overrides() {
-  unsigned workers = opts_.workers;
-  if (env_unsigned("C64FFT_WORKERS", workers) && workers > 0)
-    opts_.workers = workers;
-  unsigned threshold = opts_.four_step_threshold_log2;
-  if (env_unsigned("C64FFT_FOURSTEP_THRESHOLD_LOG2", threshold))
-    opts_.four_step_threshold_log2 = threshold;
+  // Every env knob arrives through ONE snapshot struct, so this body — the
+  // shared spine of the constructor and reconfigure() — is the only place
+  // overrides are applied: a knob added to ExecutorEnvSnapshot cannot be
+  // picked up at construction yet silently missed on reconfigure().
+  const ExecutorEnvSnapshot env = read_executor_env();
+  if (env.workers && *env.workers > 0) opts_.workers = *env.workers;
+  if (env.four_step_threshold_log2)
+    opts_.four_step_threshold_log2 = *env.four_step_threshold_log2;
   four_step_threshold_log2_.store(opts_.four_step_threshold_log2,
                                   std::memory_order_relaxed);
+  if (env.hierarchical_threshold_log2)
+    opts_.hierarchical_threshold_log2 = *env.hierarchical_threshold_log2;
+  hierarchical_threshold_log2_.store(opts_.hierarchical_threshold_log2,
+                                     std::memory_order_relaxed);
   // Kernel ISA selection is process-wide, not per-executor, but this is
   // the natural re-read point for C64FFT_ISA after a warm-up mutation
   // (same contract as the variables above).
   kernels::reset_kernel_isa_from_env();
-  if (const char* path = std::getenv("C64FFT_SCHEDULE");
-      path != nullptr && *path != '\0') {
+  if (env.schedule_path) {
     try {
-      cache_.set_schedules(ScheduleSet::load_file(path));
+      cache_.set_schedules(ScheduleSet::load_file(*env.schedule_path));
     } catch (const std::exception&) {
       // Env contract: a value that fails to parse changes nothing.
       // load_schedules() is the strict, throwing alternative.
@@ -87,7 +184,8 @@ void FftExecutor::apply_env_overrides() {
 FftExecutor::FftExecutor(const ExecutorOptions& opts)
     : opts_(opts),
       cache_(opts.capacity),
-      four_step_threshold_log2_(opts.four_step_threshold_log2) {
+      four_step_threshold_log2_(opts.four_step_threshold_log2),
+      hierarchical_threshold_log2_(opts.hierarchical_threshold_log2) {
   if (opts.workers == 0)
     throw std::invalid_argument("FftExecutor: zero workers");
   // Environment snapshot happens here, once; see the header contract and
@@ -111,10 +209,22 @@ codelet::HostRuntime& FftExecutor::team(unsigned workers,
 
 const std::vector<std::uint32_t>& FftExecutor::bitrev_table_locked(
     std::uint64_t len, unsigned bits) {
-  for (auto& [l, table] : bitrev_tables_)
-    if (l == len) return table;
+  for (auto it = bitrev_tables_.begin(); it != bitrev_tables_.end(); ++it) {
+    if (it->first == len) {
+      // Move-to-back on hit so eviction below is least-recently-used, not
+      // insertion-ordered. The hierarchical path fetches two tables
+      // back-to-back (sub-FFT lengths n1 then n2) and holds spans into
+      // both across one pipeline phase — with insertion-order eviction a
+      // full cache could free the n1 table while the n2 fetch inserts.
+      // The rotate moves the std::vector shells only; spans into the
+      // tables' heap buffers stay valid.
+      std::rotate(it, it + 1, bitrev_tables_.end());
+      return bitrev_tables_.back().second;
+    }
+  }
   // Bound the cache: 32 distinct lengths is far beyond any real traffic
-  // mix; drop the oldest entry rather than growing without limit.
+  // mix; drop the least-recently-used entry rather than growing without
+  // limit.
   if (bitrev_tables_.size() >= 32)
     bitrev_tables_.erase(bitrev_tables_.begin());
   auto& slot = bitrev_tables_.emplace_back(len, std::vector<std::uint32_t>(len));
@@ -173,12 +283,39 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
       radix_log2 = validate_fft_shape(n, tuned->radix_log2, /*clamp_radix=*/true);
   }
 
-  // Large-N routing: at/above the threshold every transform of the batch
-  // runs the four-step decomposition (whose sub-batches bypass this check
-  // by construction, so the recursion depth is exactly one).
-  const unsigned threshold =
-      four_step_threshold_log2_.load(std::memory_order_relaxed);
-  if (routed_plan_kind(n, threshold) == PlanKind::kFourStep) {
+  // Large-N routing: the hierarchical check outranks four-step (it is the
+  // same decomposition with strictly better scheduling). Both paths' inner
+  // sweeps and recursion levels bypass this routing by construction.
+  const PlanKind kind = routed_plan_kind(
+      n, four_step_threshold_log2_.load(std::memory_order_relaxed),
+      hierarchical_threshold_log2_.load(std::memory_order_relaxed));
+  if (kind == PlanKind::kHierarchical) {
+    // A tuned schedule steers both hierarchical knobs: the leaf is part of
+    // the plan key (it fixes the level tree), the block rows are a pure
+    // runtime grain threaded to the pipeline.
+    unsigned leaf = 0;
+    std::uint64_t block_rows = 0;
+    if (const std::optional<TunedSchedule> tuned = cache_.tuned_for(
+            n, precision_of<T>, kernels::active_kernel_isa())) {
+      leaf = tuned->hier_leaf_log2;
+      block_rows = tuned->hier_block_rows;
+    }
+    if (leaf == 0)
+      leaf = hierarchical_leaf_log2(util::cache_info().l2_bytes,
+                                    sizeof(cplx_t<T>));
+    std::shared_ptr<const PlanEntry> entry = cache_.acquire(
+        PlanKey{n, radix_log2, opts.layout, PlanKind::kHierarchical,
+                precision_of<T>, leaf});
+    std::lock_guard lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed)) throw ExecutorClosedError();
+    for (const std::span<cplx_t<T>>& t : batch)
+      run_hierarchical_locked<T>(*entry, t, opts, dir, block_rows, /*depth=*/0);
+    hierarchical_ += batch.size();
+    transforms_ += (batch.size() == 1) ? 1 : 0;
+    batched_ += (batch.size() == 1) ? 0 : batch.size();
+    return;
+  }
+  if (kind == PlanKind::kFourStep) {
     std::shared_ptr<const PlanEntry> entry = cache_.acquire(
         PlanKey{n, radix_log2, opts.layout, PlanKind::kFourStep,
                 precision_of<T>});
@@ -543,6 +680,255 @@ void FftExecutor::run_four_step_locked(const PlanEntry& entry,
   }
 }
 
+template <typename T>
+void FftExecutor::run_hierarchical_locked(const PlanEntry& entry,
+                                          std::span<cplx_t<T>> data,
+                                          const HostFftOptions& opts,
+                                          TwiddleDirection dir,
+                                          std::uint64_t tuned_block_rows,
+                                          unsigned depth) {
+  // Same index algebra as run_four_step_locked (see its comment), but
+  // executed as ONE dependency-counted pipeline phase over tile BLOCKS
+  // instead of five barrier-separated full-array passes:
+  //
+  //   T1[i]  gather-transpose of block i            data  -> s     (stage 0)
+  //   T2[i]  column FFTs of block i, in place       s     -> s     (stage 1)
+  //   T4[j]  twiddle-gather + row FFTs + writeback  s     -> data  (stage 2)
+  //
+  //        T1[0] --> T2[0] ---.
+  //        T1[1] --> T2[1] ---+--> T4[0], T4[1], ... T4[B2-1]
+  //        T1[i] --> T2[i] ---'    (each T4 fans in from ALL T2)
+  //
+  // T1[i] -> T2[i] is a direct LIFO push (the worker that gathered the
+  // panel immediately sweeps it while it is cache-hot), while every T4[j]
+  // fans in from all B1 column blocks through a per-block dependency
+  // counter — a T4 row is a twiddled COLUMN of s, so a row block is ready
+  // only once every column sweep has landed. The transpose of one block
+  // therefore overlaps the butterfly sweep of another with no full-array
+  // sync point anywhere.
+  //
+  // T4 is the fused heart of the path: the four-step's n1 x n2 scatter
+  // matrix (its pass-3 target) is never materialized. Each T4 twiddle-
+  // gathers its own block_rows2 rows into a per-worker L2-resident panel
+  // (transpose_twiddle_tile_panel — interleaved per-row recurrences, one
+  // strided walk of s), sweeps the panel rows while they are hot, and
+  // transposes the panel out to `data` in natural order. Against the
+  // barrier path that saves a full strided matrix write + read-for-
+  // ownership + re-read (the scatter matrix round-trip), which is where
+  // the measured large-N win comes from on one core; the dep-counted
+  // overlap adds on top once the team is real. Anti-dependence safety: T4
+  // writes `data`, which T1 reads — but every T4 transitively waits on
+  // all B1 T2s, and each T2 on its T1, so all reads of `data` complete
+  // before the first writeback.
+  //
+  // Bit-identity: block boundaries are kTransposeTile-aligned, so each
+  // stage enumerates exactly the tile grid of the corresponding
+  // full-matrix pass, through kernels whose per-element multiplication
+  // chains are those of the four-step passes (KernelDispatch::
+  // transpose_tile; transpose_twiddle_tile_panel with the same hoisted w1
+  // seed — see its header contract) and the same per-row FFT bodies — the
+  // output equals run_four_step_locked's for the same (n1, n2) split,
+  // butterfly for butterfly.
+  //
+  // Multi-level entries (levels() > 1) recurse for the column transform —
+  // the inner level runs its own pipeline phases, one per column row —
+  // after which s is fully swept, so the tail seeds the fused T4 stage
+  // directly. No pass scales: the public inverse wrappers apply the 1/N.
+  const std::uint64_t n1 = entry.split().n1;
+  const std::uint64_t n2 = entry.split().n2;
+  const std::uint64_t n = n1 * n2;
+  const bool single_level = entry.levels() == 1;
+
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+  const unsigned workers = rt.workers();
+  NumericState<T>& st = num<T>();
+
+  // One gather matrix per recursion depth (s = n2 x n1) so an inner level
+  // never clobbers the buffer its caller is mid-way through. Spans survive
+  // the recursion's resize of the outer vector: moves preserve the inner
+  // heap buffers. Fresh allocations are advised toward huge pages — the
+  // strided side of every tile pass walks s one 16-element chunk per row.
+  if (st.hier_scratch.size() < depth + 1) st.hier_scratch.resize(depth + 1);
+  if (st.hier_scratch[depth].size() < n) {
+    st.hier_scratch[depth].resize(n);
+    advise_huge_pages(st.hier_scratch[depth].data(), n * sizeof(cplx_t<T>));
+  }
+  const std::span<cplx_t<T>> s(st.hier_scratch[depth].data(), n);
+
+  if (!single_level) {
+    // Column pass by recursion: serial gather here (the inner pipelines
+    // below own the team), then the inner hierarchical transform once per
+    // column row of s.
+    transpose_blocked(std::span<const cplx_t<T>>(data.data(), n), s, n1, n2);
+    for (std::uint64_t r = 0; r < n2; ++r)
+      run_hierarchical_locked<T>(*entry.col_entry(), s.subspan(r * n1, n1),
+                                 opts, dir, tuned_block_rows, depth + 1);
+  }
+
+  // Per-worker buffer prep AFTER any recursion (the inner levels resize
+  // st.scratch / st.row_split for their own plan shapes).
+  const FftPlan& row_plan = entry.row_entry()->plan();
+  const BasicTwiddleTable<T>& row_tw = entry.row_entry()->twiddles_for<T>(dir);
+  const FftPlan* col_plan = nullptr;
+  const BasicTwiddleTable<T>* col_tw = nullptr;
+  std::span<const std::uint32_t> brev1;
+  unsigned col_fuse = 0;
+  if (single_level) {
+    col_plan = &entry.col_entry()->plan();
+    col_tw = &entry.col_entry()->twiddles_for<T>(dir);
+    ensure_worker_buffers<T>(std::max(col_plan->radix(), row_plan.radix()),
+                             workers);
+    brev1 = std::span<const std::uint32_t>(
+        bitrev_table_locked(n1, col_plan->log2_size()));
+    col_fuse = tuned_fuse_locked<T>(n1);
+  } else {
+    ensure_worker_buffers<T>(row_plan.radix(), workers);
+  }
+  const std::span<const std::uint32_t> brev2(
+      bitrev_table_locked(n2, row_plan.log2_size()));
+  const unsigned row_fuse = tuned_fuse_locked<T>(n2);
+  const std::uint64_t split_len = single_level ? std::max(n1, n2) : n2;
+  if (st.row_split.size() < workers) st.row_split.resize(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    if (st.row_split[w].size() < 2 * split_len)
+      st.row_split[w].resize(2 * split_len);
+
+  const HierarchicalGrain grain =
+      hierarchical_grain(n1, n2, workers, sizeof(cplx_t<T>),
+                         util::cache_info().l2_bytes, tuned_block_rows);
+  const std::uint64_t br1 = grain.block_rows1;
+  const std::uint64_t B1 = grain.blocks1;
+  const std::uint64_t br2 = grain.block_rows2;
+  const std::uint64_t B2 = grain.blocks2;
+
+  // Per-worker T4 panel: block_rows2 contiguous n2-point rows. Sized to
+  // the largest grain seen (tuned block rows included) and huge-page
+  // advised like s.
+  if (st.hier_panel.size() < workers) st.hier_panel.resize(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    if (st.hier_panel[w].size() < br2 * n2) {
+      st.hier_panel[w].resize(br2 * n2);
+      advise_huge_pages(st.hier_panel[w].data(),
+                        br2 * n2 * sizeof(cplx_t<T>));
+    }
+
+  const cplx_t<T> w1 = unit_root<T>(n, 1, dir);
+  const kernels::KernelDispatch<T>& K = kernels::active_kernels<T>();
+  const std::uint32_t row_stages = row_plan.stage_count();
+  const std::uint64_t row_tasks = row_plan.tasks_per_stage();
+
+  // Stage layout {T1, T2, T4}: only T4 fans in through the counters (the
+  // T1 -> T2 edge is a direct push), so stages 0/1 have zero groups. A
+  // multi-level tail has no T1/T2 tasks at all — the recursion finished s
+  // before the phase — so its T4s seed unguarded.
+  const std::uint64_t groups_per_stage[3] = {0, 0, single_level ? B2 : 0};
+  const std::uint32_t thresholds[3] = {1, 1, static_cast<std::uint32_t>(B1)};
+  codelet::DependencyCounters counters(groups_per_stage, thresholds);
+
+  std::vector<CodeletKey> seeds;
+  seeds.reserve(single_level ? B1 : B2);
+  if (single_level) {
+    for (std::uint64_t i = 0; i < B1; ++i) seeds.push_back({0, i});
+  } else {
+    for (std::uint64_t j = 0; j < B2; ++j) seeds.push_back({2, j});
+  }
+
+  rt.run_phase(seeds, PoolPolicy::kLifo, [&](CodeletKey key, unsigned worker,
+                                             codelet::Pusher& pusher) {
+    if (key.stage == 0) {
+      // T1: gather-transpose the strided data columns of block i into
+      // contiguous rows of s. The src side reads one 16-element chunk per
+      // data row — a stride the hardware prefetcher never locks onto — so
+      // each tile software-prefetches the stripe below it one tile ahead
+      // of use (prefetch is a pure hint: no values change).
+      const std::uint64_t c0b = key.index * br1;
+      const std::uint64_t cend = std::min(n2, c0b + br1);
+      for (std::uint64_t r0 = 0; r0 < n1; r0 += kTransposeTile) {
+        const std::uint64_t rmax = std::min(n1, r0 + kTransposeTile);
+        for (std::uint64_t c0 = c0b; c0 < cend; c0 += kTransposeTile) {
+          const std::uint64_t cmax = std::min(cend, c0 + kTransposeTile);
+          for (std::uint64_t r = r0; r < rmax && r + kTransposeTile < n1; ++r)
+            __builtin_prefetch(data.data() + (r + kTransposeTile) * n2 + c0,
+                               0, 2);
+          K.transpose_tile(data.data() + r0 * n2 + c0,
+                           s.data() + c0 * n1 + r0, n2, n1, rmax - r0,
+                           cmax - c0);
+        }
+      }
+      // LIFO pool: the pushing worker pops this next, sweeping the panel
+      // it just gathered while it is still cache-hot.
+      pusher.push({1, key.index});
+      return;
+    }
+    if (key.stage == 1) {
+      // T2: column FFTs over the block's rows of s, in place (single-level
+      // only; a multi-level tail has no stage-1 tasks), then release every
+      // T4 whose fan-in completes with this block.
+      const std::uint64_t r0b = key.index * br1;
+      const std::uint64_t rend = std::min(n2, r0b + br1);
+      T* const re = st.row_split[worker].data();
+      T* const im = re + n1;
+      for (std::uint64_t r = r0b; r < rend; ++r) {
+        const std::span<cplx_t<T>> row = s.subspan(r * n1, n1);
+        run_stage0_bitrev(*col_plan, row, *col_tw, brev1, re, im,
+                          st.scratch[worker], col_fuse);
+        const std::uint32_t col_stages = col_plan->stage_count();
+        const std::uint64_t col_tasks = col_plan->tasks_per_stage();
+        for (std::uint32_t stg = 1; stg < col_stages; ++stg)
+          for (std::uint64_t t = 0; t < col_tasks; ++t)
+            run_codelet(*col_plan, stg, t, row, *col_tw, st.scratch[worker],
+                        col_fuse);
+      }
+      std::vector<CodeletKey>& keys = keys_buf_[worker];
+      keys.clear();
+      for (std::uint64_t j = 0; j < B2; ++j)
+        if (counters.arrive(2, j)) keys.push_back({2, j});
+      if (!keys.empty()) pusher.push_batch(keys);
+      return;
+    }
+    // T4: twiddle-gather the block's rows — twiddled columns of s — into
+    // this worker's panel, sweep the panel rows while they are hot, then
+    // writeback-transpose into `data` in natural output order (same
+    // destination addressing the four-step's final pass produces).
+    const std::uint64_t r0b = key.index * br2;
+    const std::uint64_t rend = std::min(n1, r0b + br2);
+    cplx_t<T>* const panel = st.hier_panel[worker].data();
+    for (std::uint64_t r0 = 0; r0 < n2; r0 += kTransposeTile) {
+      const std::uint64_t rmax = std::min(n2, r0 + kTransposeTile);
+      // Same strided-chunk walk as T1's src side: hint the stripe below
+      // into cache one tile ahead of its use.
+      for (std::uint64_t r = rmax; r < std::min(n2, rmax + kTransposeTile);
+           ++r)
+        __builtin_prefetch(s.data() + r * n1 + r0b, 0, 2);
+      for (std::uint64_t c0 = r0b; c0 < rend; c0 += kTransposeTile)
+        transpose_twiddle_tile_panel<T>(s.data(), panel, n2, n1, dir, r0,
+                                        rmax, c0,
+                                        std::min(rend, c0 + kTransposeTile),
+                                        w1, r0b);
+    }
+    T* const re = st.row_split[worker].data();
+    T* const im = re + n2;
+    for (std::uint64_t r = r0b; r < rend; ++r) {
+      const std::span<cplx_t<T>> row(panel + (r - r0b) * n2, n2);
+      run_stage0_bitrev(row_plan, row, row_tw, brev2, re, im,
+                        st.scratch[worker], row_fuse);
+      for (std::uint32_t stg = 1; stg < row_stages; ++stg)
+        for (std::uint64_t t = 0; t < row_tasks; ++t)
+          run_codelet(row_plan, stg, t, row, row_tw, st.scratch[worker],
+                      row_fuse);
+    }
+    for (std::uint64_t r0 = r0b; r0 < rend; r0 += kTransposeTile) {
+      const std::uint64_t rmax = std::min(rend, r0 + kTransposeTile);
+      for (std::uint64_t c0 = 0; c0 < n2; c0 += kTransposeTile) {
+        const std::uint64_t cmax = std::min(n2, c0 + kTransposeTile);
+        K.transpose_tile(panel + (r0 - r0b) * n2 + c0,
+                         data.data() + c0 * n1 + r0, n2, n1, rmax - r0,
+                         cmax - c0);
+      }
+    }
+  });
+}
+
 void FftExecutor::forward(std::span<cplx> data, const HostFftOptions& opts,
                           Variant variant) {
   const std::span<cplx> one[1] = {data};
@@ -676,6 +1062,16 @@ unsigned FftExecutor::four_step_threshold_log2() const {
   return four_step_threshold_log2_.load(std::memory_order_relaxed);
 }
 
+void FftExecutor::set_hierarchical_threshold_log2(unsigned log2n) {
+  std::lock_guard lock(mutex_);
+  opts_.hierarchical_threshold_log2 = log2n;
+  hierarchical_threshold_log2_.store(log2n, std::memory_order_relaxed);
+}
+
+unsigned FftExecutor::hierarchical_threshold_log2() const {
+  return hierarchical_threshold_log2_.load(std::memory_order_relaxed);
+}
+
 void FftExecutor::set_schedules(ScheduleSet schedules) {
   cache_.set_schedules(std::move(schedules));
 }
@@ -704,11 +1100,19 @@ void FftExecutor::shutdown_locked() {
   f64_.scratch.clear();
   f64_.four_step_scratch.clear();
   f64_.four_step_scratch.shrink_to_fit();
+  f64_.hier_scratch.clear();
+  f64_.hier_scratch.shrink_to_fit();
+  f64_.hier_panel.clear();
+  f64_.hier_panel.shrink_to_fit();
   f64_.row_split.clear();
   f64_.scratch_radix = 0;
   f32_.scratch.clear();
   f32_.four_step_scratch.clear();
   f32_.four_step_scratch.shrink_to_fit();
+  f32_.hier_scratch.clear();
+  f32_.hier_scratch.shrink_to_fit();
+  f32_.hier_panel.clear();
+  f32_.hier_panel.shrink_to_fit();
   f32_.row_split.clear();
   f32_.scratch_radix = 0;
   bitrev_tables_.clear();
@@ -745,6 +1149,7 @@ ExecutorStats FftExecutor::stats() const {
   s.transforms = transforms_;
   s.batched = batched_;
   s.four_step = four_step_;
+  s.hierarchical = hierarchical_;
   s.teams_created = teams_created_;
   s.schedule_hits = schedule_hits_;
   return s;

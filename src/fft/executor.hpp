@@ -28,6 +28,15 @@
 // env-overridable and read at construction only (see the constructor and
 // reconfigure()). See DESIGN.md "Four-step large-N path".
 //
+// Enormous transforms route through the hierarchical multi-level path
+// (PlanKind::kHierarchical): the same N = n1*n2 algebra, recursively
+// applied until every sub-FFT's working set fits the targeted cache
+// level, and executed as ONE tile-granular dependency-counted pipeline
+// phase instead of barrier-separated passes — the gather-transpose of one
+// tile block overlaps the butterfly sweep of another, and per-block
+// counter fan-ins replace every full-array sync point. See DESIGN.md
+// "Hierarchical multi-level path".
+//
 // Precision: every entry point exists for cplx (f64) and cplx32 (f32).
 // The two precisions dispatch through one shared member-template body
 // (run_t<T> and friends, defined in executor.cpp), share the ONE
@@ -45,6 +54,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -68,6 +78,19 @@ namespace c64fft::fft {
 /// shared default stays size-based for predictability.)
 inline constexpr unsigned kDefaultFourStepThresholdLog2 = 18;
 
+/// Transforms with log2(N) >= this route through the hierarchical
+/// multi-level path (PlanKind::kHierarchical) by default, taking
+/// precedence over the four-step routing. 2^20 = 16 MiB of cplx data: by
+/// then the four-step path's five barrier-phased full-array passes are
+/// memory-bound end to end, and the hierarchical pipeline — which fuses
+/// transpose, twiddle application, and butterfly sweeps into
+/// tile-granular dependency-counted tasks on one runtime phase — wins on
+/// traffic alone (three streaming passes instead of five, with every
+/// butterfly sweep running on a cache-hot block). At the default leaf the
+/// split equals the four-step factorization, so routing through this path
+/// changes scheduling only: the output stays bit-identical.
+inline constexpr unsigned kDefaultHierarchicalThresholdLog2 = 20;
+
 /// Chunk decomposition of the executor's data-parallel utility phases
 /// (`chunks` codelets of `per` units each; the last chunk may be short).
 /// Exposed so the static pipeline model (analysis::build_*_pipeline)
@@ -86,10 +109,41 @@ SweepGrain four_step_sweep_grain(std::uint64_t row_count, unsigned workers);
 /// (run_classic_locked): always workers*4 chunk codelets over n elements.
 SweepGrain bitrev_sweep_grain(std::uint64_t n, unsigned workers);
 
-/// The PlanKind run_t routes an n-point transform to under
-/// `threshold_log2` (0 disables four-step routing) — the executor's own
-/// routing predicate, shared with fft_lint --plan-kind=auto.
+/// Tile-block grain of the hierarchical pipeline (run_hierarchical_locked)
+/// for one level with split n1 x n2: the gather/column stages sweep the
+/// n2 x n1 scratch in `blocks1` blocks of `block_rows1` rows (the last
+/// block may be short), and the scatter/row stages sweep the n1 x n2
+/// scratch in `blocks2` blocks of `block_rows2` rows. Block rows are
+/// multiples of the transpose tile edge so no tile ever straddles two
+/// blocks — that alignment is what makes the pipelined per-block tile
+/// sweeps bit-identical to the full-matrix barrier passes.
+struct HierarchicalGrain {
+  std::uint64_t block_rows1 = 0;
+  std::uint64_t blocks1 = 0;
+  std::uint64_t block_rows2 = 0;
+  std::uint64_t blocks2 = 0;
+};
+
+/// The grain policy, exported so the static pipeline model
+/// (analysis::build_hierarchical_pipeline) enumerates exactly the blocks
+/// the executor runs: a block's row panel targets half of `l2_bytes`
+/// (leaving the other half for the destination tiles streaming through),
+/// capped so at least workers*4 blocks exist to overlap, rounded down to
+/// a tile-edge multiple. `tuned_block_rows` (a TunedSchedule's
+/// hier_block_rows; 0 = policy default) overrides the panel target.
+HierarchicalGrain hierarchical_grain(std::uint64_t n1, std::uint64_t n2,
+                                     unsigned workers, unsigned element_bytes,
+                                     std::uint64_t l2_bytes,
+                                     std::uint64_t tuned_block_rows);
+
+/// The PlanKind run_t routes an n-point transform to under the two
+/// routing thresholds (each 0 disables its path; the hierarchical check
+/// wins when both match) — the executor's own routing predicate, shared
+/// with fft_lint --plan-kind=auto. The two-argument overload applies the
+/// default hierarchical threshold.
 PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2);
+PlanKind routed_plan_kind(std::uint64_t n, unsigned four_step_threshold_log2,
+                          unsigned hierarchical_threshold_log2);
 
 struct ExecutorOptions {
   /// Team shape used by the option-less transform overloads (per-call
@@ -102,7 +156,35 @@ struct ExecutorOptions {
   /// through the four-step decomposition (PlanKind::kFourStep); 0 disables
   /// the routing so every size runs the classic monolithic plan.
   unsigned four_step_threshold_log2 = kDefaultFourStepThresholdLog2;
+  /// Transforms with log2(N) >= this value route through the hierarchical
+  /// pipelined path (PlanKind::kHierarchical) instead — checked before the
+  /// four-step rule; 0 disables hierarchical routing entirely.
+  unsigned hierarchical_threshold_log2 = kDefaultHierarchicalThresholdLog2;
 };
+
+/// One consistent snapshot of every C64FFT_* variable the executor reads,
+/// taken by read_executor_env(). The constructor and reconfigure() both
+/// apply overrides FROM THIS STRUCT ONLY — adding an env knob means adding
+/// a field here, so the two code paths cannot silently diverge (the bug
+/// this replaces: a knob read at construction that reconfigure() forgot,
+/// leaving a live executor half-updated). A field is nullopt when its
+/// variable is unset or failed to parse (strict parse: full-string,
+/// non-negative decimal for the numeric knobs).
+struct ExecutorEnvSnapshot {
+  /// C64FFT_WORKERS (>= 1; 0 parses but is rejected at apply time).
+  std::optional<unsigned> workers;
+  /// C64FFT_FOURSTEP_THRESHOLD_LOG2 (0 disables the four-step path).
+  std::optional<unsigned> four_step_threshold_log2;
+  /// C64FFT_HIERARCHICAL_THRESHOLD_LOG2 (0 disables the hierarchical
+  /// path).
+  std::optional<unsigned> hierarchical_threshold_log2;
+  /// C64FFT_SCHEDULE — path of a tuned-schedule JSON file.
+  std::optional<std::string> schedule_path;
+};
+
+/// Read every executor env knob once, into one snapshot (no caching: each
+/// call re-reads the environment).
+ExecutorEnvSnapshot read_executor_env();
 
 /// Thrown by every transform entry point after close(): the typed
 /// "serving is over" error. Distinct from std::invalid_argument shape
@@ -122,6 +204,9 @@ struct ExecutorStats {
   /// Top-level transforms that took the four-step path (their internal
   /// sub-batches are not double-counted in transforms/batched).
   std::uint64_t four_step = 0;
+  /// Top-level transforms that took the hierarchical pipelined path
+  /// (recursive inner levels are not double-counted).
+  std::uint64_t hierarchical = 0;
   /// Worker teams this executor created over its lifetime.
   std::uint64_t teams_created = 0;
   /// Plan-shape lookups answered by a loaded tuned schedule (one per
@@ -137,12 +222,16 @@ class FftExecutor {
   ///  * C64FFT_WORKERS                 — default team size (>= 1)
   ///  * C64FFT_FOURSTEP_THRESHOLD_LOG2 — four-step routing threshold
   ///                                     (0 disables the four-step path)
+  ///  * C64FFT_HIERARCHICAL_THRESHOLD_LOG2 — hierarchical routing
+  ///                                     threshold (0 disables the path)
   ///  * C64FFT_SCHEDULE                — path of a tuned-schedule JSON
   ///                                     file (tools/fft_tune --emit)
   ///                                     loaded into the plan cache
-  /// A variable that is unset or fails to parse leaves the corresponding
-  /// option untouched (an unreadable or malformed schedule file is
-  /// likewise ignored — use load_schedules() for a throwing load). Call
+  /// All of them arrive via ONE ExecutorEnvSnapshot (read_executor_env),
+  /// the single list of env knobs shared with reconfigure(). A variable
+  /// that is unset or fails to parse leaves the corresponding option
+  /// untouched (an unreadable or malformed schedule file is likewise
+  /// ignored — use load_schedules() for a throwing load). Call
   /// reconfigure() to re-read them after warm-up.
   explicit FftExecutor(const ExecutorOptions& opts = {});
   ~FftExecutor();
@@ -209,6 +298,12 @@ class FftExecutor {
   void set_four_step_threshold_log2(unsigned log2n);
   unsigned four_step_threshold_log2() const;
 
+  /// Programmatic equivalent of C64FFT_HIERARCHICAL_THRESHOLD_LOG2
+  /// (0 disables hierarchical routing). Takes effect on the next
+  /// transform; cached plans of any kind stay valid.
+  void set_hierarchical_threshold_log2(unsigned log2n);
+  unsigned hierarchical_threshold_log2() const;
+
   /// Install a tuned-schedule set (tools/fft_tune output): subsequent
   /// transforms whose (size, precision, active kernel ISA) match an entry
   /// use its radix_log2 — unless the caller passed a non-default
@@ -266,6 +361,21 @@ class FftExecutor {
     std::vector<cplx_t<T>> four_step_scratch;
     std::vector<std::vector<T>> row_split;
     std::uint64_t scratch_radix = 0;
+    /// Hierarchical-path gather matrix (the n2 x n1 `s`), one buffer per
+    /// recursion depth so an inner level's pipeline never clobbers the
+    /// buffer its caller is mid-way through. There is no second (n1 x n2)
+    /// matrix: the fused row stage never materializes the twiddled
+    /// transpose — each T4 gathers its own block of it into a per-worker
+    /// panel (below). The buffers are madvise'd toward huge pages: the
+    /// strided side of every gather/scatter tile walks `s` in 16-element
+    /// chunks one row apart, and 2 MiB pages cut those walks' TLB misses
+    /// by the page-size ratio.
+    std::vector<std::vector<cplx_t<T>>> hier_scratch;
+    /// Per-worker row panel of the fused T4 stage: block_rows2 contiguous
+    /// n2-point rows, twiddle-gathered from `s`, swept in place, then
+    /// transposed out to `data`. Sized for the largest (block_rows2 x n2)
+    /// seen; L2-resident by the grain policy's construction.
+    std::vector<std::vector<cplx_t<T>>> hier_panel;
   };
 
   template <typename T>
@@ -297,6 +407,19 @@ class FftExecutor {
   void run_four_step_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                             const HostFftOptions& opts, Variant variant,
                             TwiddleDirection dir);
+  /// One hierarchical transform (mutex_ held), recursive over the plan
+  /// entry's column chain. The single-level body runs ONE runtime phase of
+  /// dependency-counted tile-block tasks — gather-transpose of block i+1
+  /// and the twiddle-scatter of block i overlap the butterfly sweep of
+  /// block i-1, with a per-scatter-block counter fan-in gating each row
+  /// sweep — instead of the four-step path's five barrier-separated
+  /// full-array passes. Multi-level entries first recurse per column row,
+  /// then pipeline the scatter/row-sweep/writeback tail. Output is
+  /// bit-identical to run_four_step_locked for the same (n1, n2) split.
+  template <typename T>
+  void run_hierarchical_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
+                               const HostFftOptions& opts, TwiddleDirection dir,
+                               std::uint64_t tuned_block_rows, unsigned depth);
   /// Four-step sub-FFT sweep (mutex_ held): row_count consecutive
   /// plan-sized rows of `data`, each transformed completely by one worker
   /// while cache-resident; chunks of rows are the codelets of one phase on
@@ -326,6 +449,7 @@ class FftExecutor {
   PlanCache cache_;
   /// Atomic so the routing check in run() needs no lock; 0 = disabled.
   std::atomic<unsigned> four_step_threshold_log2_;
+  std::atomic<unsigned> hierarchical_threshold_log2_;
   /// Set by close(); checked (unlocked fast-fail plus the authoritative
   /// re-check under mutex_) by every transform dispatch.
   std::atomic<bool> closed_{false};
@@ -345,6 +469,7 @@ class FftExecutor {
   std::uint64_t transforms_ = 0;
   std::uint64_t batched_ = 0;
   std::uint64_t four_step_ = 0;
+  std::uint64_t hierarchical_ = 0;
   std::uint64_t teams_created_ = 0;
   std::uint64_t schedule_hits_ = 0;
 };

@@ -47,10 +47,17 @@ struct StageInfo {
 ///    as a batch of classic cache-resident FFTs, and the inter-step
 ///    twiddle scaling is fused into a blocked transpose (transpose.hpp).
 ///    The executor routes N at/above its threshold through this kind.
-enum class PlanKind { kClassic, kFourStep };
+///  * kHierarchical — the four-step decomposition applied recursively:
+///    the row sub-FFT is capped at a cache-resident leaf size and the
+///    column sub-FFT re-splits hierarchically until it fits too, so
+///    every butterfly sweep at every level runs on a working set sized
+///    for the targeted cache level. The executor drives it as a
+///    tile-granular dependency-counted pipeline instead of the
+///    four-step path's barrier-phased passes.
+enum class PlanKind { kClassic, kFourStep, kHierarchical };
 
-/// Stable lower-case name ("classic" / "four-step") used by lint tooling
-/// and baseline metric keys.
+/// Stable lower-case name ("classic" / "four-step" / "hierarchical") used
+/// by lint tooling and baseline metric keys.
 const char* to_string(PlanKind kind) noexcept;
 
 /// Factorization N = n1 * n2 used by the four-step path. Balanced
@@ -65,6 +72,34 @@ struct FourStepSplit {
 /// Split for the four-step path. N must be a power of two >= 4 (both
 /// factors >= 2); throws std::invalid_argument otherwise.
 FourStepSplit four_step_split(std::uint64_t n);
+
+/// One level of the hierarchical decomposition: N = n1 * n2 viewed as an
+/// n1 x n2 matrix, where n2 is the row sub-FFT (always a classic
+/// cache-resident leaf) and n1 the column sub-FFT, which re-splits
+/// hierarchically whenever it is still too large for the leaf cap.
+struct HierarchicalSplit {
+  std::uint64_t n1 = 0;
+  std::uint64_t n2 = 0;
+  /// Total decomposition levels at and below this node (1 == the split
+  /// degenerates to the balanced four-step factorization).
+  unsigned levels = 1;
+  /// True when the n1 sub-FFT is itself hierarchical (levels > 1).
+  bool col_recursive = false;
+};
+
+/// Leaf size cap (log2 points) for the hierarchical planner: the largest
+/// sub-FFT whose working set — a block of rows plus its scratch, ~8x the
+/// row itself — still fits `cache_bytes`. Clamped to [4, 16] so exotic
+/// sysconf answers can never produce degenerate or unbounded leaves.
+unsigned hierarchical_leaf_log2(std::uint64_t cache_bytes, unsigned element_bytes);
+
+/// Split for the hierarchical path. While log2(N) <= 2 * leaf_log2 the
+/// split is balanced — identical to four_step_split(n), one level — so
+/// the default planner reproduces the four-step shape (and its bit-exact
+/// output) until N genuinely outgrows two leaf halves; beyond that the
+/// row factor is pinned to the leaf and the column factor recurses.
+/// N must be a power of two >= 4; leaf_log2 is clamped to [2, 30].
+HierarchicalSplit hierarchical_split(std::uint64_t n, unsigned leaf_log2);
 
 /// Shared shape validator for every FFT entry point (plan construction,
 /// the public api.cpp wrappers, the executor): N must be a power of two

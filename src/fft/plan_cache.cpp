@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/cpu_features.hpp"
+
 namespace c64fft::fft {
 
 PlanEntry::PlanEntry(const PlanKey& key)
@@ -39,15 +41,38 @@ PlanEntry::PlanEntry(const PlanKey& key, FourStepSplit split,
     throw std::invalid_argument("PlanEntry: four-step split/sub-entry mismatch");
 }
 
+PlanEntry::PlanEntry(const PlanKey& key, HierarchicalSplit split,
+                     std::shared_ptr<const PlanEntry> col_entry,
+                     std::shared_ptr<const PlanEntry> row_entry)
+    : key_(key),
+      split_{split.n1, split.n2},
+      levels_(split.levels),
+      col_entry_(std::move(col_entry)),
+      row_entry_(std::move(row_entry)) {
+  if (key.kind != PlanKind::kHierarchical)
+    throw std::invalid_argument(
+        "PlanEntry: hierarchical constructor requires kHierarchical key");
+  const PlanKind col_kind =
+      split.col_recursive ? PlanKind::kHierarchical : PlanKind::kClassic;
+  if (split_.n1 * split_.n2 != key.n || !col_entry_ || !row_entry_ ||
+      col_entry_->key().n != split_.n1 || row_entry_->key().n != split_.n2 ||
+      col_entry_->kind() != col_kind ||
+      row_entry_->kind() != PlanKind::kClassic ||
+      col_entry_->precision() != key.precision ||
+      row_entry_->precision() != key.precision)
+    throw std::invalid_argument(
+        "PlanEntry: hierarchical split/sub-entry mismatch");
+}
+
 const PlanEntry& PlanEntry::require_classic() const {
   if (key_.kind != PlanKind::kClassic)
-    throw std::logic_error("PlanEntry: classic-only accessor on a four-step entry");
+    throw std::logic_error("PlanEntry: classic-only accessor on a composite entry");
   return *this;
 }
 
-const PlanEntry& PlanEntry::require_four_step() const {
-  if (key_.kind != PlanKind::kFourStep)
-    throw std::logic_error("PlanEntry: four-step accessor on a classic entry");
+const PlanEntry& PlanEntry::require_composite() const {
+  if (key_.kind == PlanKind::kClassic)
+    throw std::logic_error("PlanEntry: composite accessor on a classic entry");
   return *this;
 }
 
@@ -105,6 +130,34 @@ std::shared_ptr<const PlanEntry> PlanCache::acquire(const PlanKey& key) {
                     key.layout, PlanKind::kClassic, key.precision};
     auto col = acquire(col_key);
     auto row = split.n1 == split.n2 ? col : acquire(row_key);
+    entry = std::make_shared<const PlanEntry>(key, split, std::move(col),
+                                              std::move(row));
+  } else if (key.kind == PlanKind::kHierarchical) {
+    // Recursion depth equals the level count: the row leaf is classic,
+    // the column sub-key re-enters as kHierarchical (same leaf cap) until
+    // the balanced split fits inside two leaves.
+    const unsigned leaf =
+        key.hier_leaf_log2 != 0
+            ? key.hier_leaf_log2
+            : hierarchical_leaf_log2(
+                  util::cache_info().l2_bytes,
+                  key.precision == Precision::kF32 ? 8 : 16);
+    const HierarchicalSplit split = hierarchical_split(key.n, leaf);
+    PlanKey row_key{split.n2, validate_fft_shape(split.n2, key.radix_log2, true),
+                    key.layout, PlanKind::kClassic, key.precision};
+    std::shared_ptr<const PlanEntry> col;
+    if (split.col_recursive) {
+      PlanKey col_key{split.n1, key.radix_log2, key.layout,
+                      PlanKind::kHierarchical, key.precision, leaf};
+      col = acquire(col_key);
+    } else {
+      PlanKey col_key{split.n1,
+                      validate_fft_shape(split.n1, key.radix_log2, true),
+                      key.layout, PlanKind::kClassic, key.precision};
+      col = split.n1 == split.n2 ? nullptr : acquire(col_key);
+    }
+    auto row = acquire(row_key);
+    if (!col) col = row;  // square single-level split shares one sub-entry
     entry = std::make_shared<const PlanEntry>(key, split, std::move(col),
                                               std::move(row));
   } else {

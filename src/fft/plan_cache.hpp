@@ -45,6 +45,10 @@ struct PlanKey {
   TwiddleLayout layout = TwiddleLayout::kLinear;
   PlanKind kind = PlanKind::kClassic;
   Precision precision = Precision::kF64;
+  /// kHierarchical only: the leaf cap (log2 points) the planner split this
+  /// entry with; 0 everywhere else. Part of the key so a re-tuned leaf
+  /// builds a fresh entry instead of silently reusing the old split.
+  unsigned hier_leaf_log2 = 0;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -53,8 +57,10 @@ struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const noexcept {
     std::uint64_t h = k.n * 0x9e3779b97f4a7c15ull;
     h ^= (std::uint64_t{k.radix_log2} << 1) ^
+         (std::uint64_t{k.hier_leaf_log2} << 40) ^
          (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0) ^
          (k.kind == PlanKind::kFourStep ? 0xc2b2ae3d27d4eb4full : 0) ^
+         (k.kind == PlanKind::kHierarchical ? 0x2545f4914f6cdd1dull : 0) ^
          (k.precision == Precision::kF32 ? 0xa0761d6478bd642full : 0);
     h ^= h >> 33;
     return static_cast<std::size_t>(h);
@@ -74,6 +80,15 @@ class PlanEntry {
   /// generated on the fly by transpose_twiddle_blocked, so a four-step
   /// entry is O(n1 + n2) where a classic entry would be O(N).
   PlanEntry(const PlanKey& key, FourStepSplit split,
+            std::shared_ptr<const PlanEntry> col_entry,
+            std::shared_ptr<const PlanEntry> row_entry);
+
+  /// Builds a hierarchical entry: like the four-step constructor, but the
+  /// column sub-entry may itself be hierarchical (the recursive split of
+  /// a still-too-large n1); the row sub-entry is always a classic
+  /// cache-resident leaf. `split.levels` is the total level count of this
+  /// subtree, surfaced via levels().
+  PlanEntry(const PlanKey& key, HierarchicalSplit split,
             std::shared_ptr<const PlanEntry> col_entry,
             std::shared_ptr<const PlanEntry> row_entry);
 
@@ -114,19 +129,23 @@ class PlanEntry {
     return codelet::DependencyCounters(e.groups_, e.thresholds_);
   }
 
-  // ---- Four-step entries only ----
+  // ---- Composite (four-step / hierarchical) entries only ----
 
-  const FourStepSplit& split() const { return require_four_step().split_; }
+  const FourStepSplit& split() const { return require_composite().split_; }
   const std::shared_ptr<const PlanEntry>& col_entry() const {
-    return require_four_step().col_entry_;
+    return require_composite().col_entry_;
   }
   const std::shared_ptr<const PlanEntry>& row_entry() const {
-    return require_four_step().row_entry_;
+    return require_composite().row_entry_;
   }
+  /// Total decomposition levels of this subtree (1 for four-step and for
+  /// a single-level hierarchical entry; grows with each recursive column
+  /// split). Composite only.
+  unsigned levels() const { return require_composite().levels_; }
 
  private:
   const PlanEntry& require_classic() const;
-  const PlanEntry& require_four_step() const;
+  const PlanEntry& require_composite() const;
 
   PlanKey key_;
   // Classic state (null for four-step entries). Exactly one of the
@@ -139,8 +158,9 @@ class PlanEntry {
   mutable std::unique_ptr<TwiddleTableF> inverse32_;
   std::vector<std::uint64_t> groups_;
   std::vector<std::uint32_t> thresholds_;
-  // Four-step state (empty for classic entries).
+  // Composite state (empty for classic entries).
   FourStepSplit split_;
+  unsigned levels_ = 1;
   std::shared_ptr<const PlanEntry> col_entry_;
   std::shared_ptr<const PlanEntry> row_entry_;
 };
@@ -167,7 +187,12 @@ class PlanCache {
   /// (evicting the least recently used entry when over capacity). A
   /// kFourStep key first acquires the two classic sub-entries (length n1
   /// and n2, radix clamped per sub-size), so those stay independently
-  /// cached and shared with direct transforms of the same size.
+  /// cached and shared with direct transforms of the same size. A
+  /// kHierarchical key does the same recursively: the row leaf is always
+  /// classic, and the column sub-entry re-acquires as kHierarchical (same
+  /// leaf cap) while it is still too large for the leaf. A kHierarchical
+  /// key with hier_leaf_log2 == 0 resolves the cap from the measured
+  /// cache hierarchy (util::cache_info) at acquire time.
   std::shared_ptr<const PlanEntry> acquire(const PlanKey& key);
 
   std::size_t size() const;

@@ -62,7 +62,14 @@ std::string ScheduleSet::to_json() const {
     out << "    {\"n\": " << e.n << ", \"precision\": \""
         << fft::to_string(e.precision) << "\", \"isa\": \""
         << util::to_string(e.isa) << "\", \"radix_log2\": " << e.radix_log2
-        << ", \"fuse_log2\": " << e.fuse_log2 << "}";
+        << ", \"fuse_log2\": " << e.fuse_log2;
+    // Emitted only when tuned: files without hierarchical knobs stay
+    // byte-identical to the pre-hierarchical format.
+    if (e.hier_leaf_log2 != 0)
+      out << ", \"hier_leaf_log2\": " << e.hier_leaf_log2;
+    if (e.hier_block_rows != 0)
+      out << ", \"hier_block_rows\": " << e.hier_block_rows;
+    out << "}";
   }
   out << (entries_.empty() ? "]\n}\n" : "\n  ]\n}\n");
   return out.str();
@@ -125,6 +132,26 @@ ScheduleSet parse_schedule_doc(const util::JsonValue& doc) {
     if (s.fuse_log2 != 0 && s.fuse_log2 != 2 && s.fuse_log2 != 3)
       throw std::invalid_argument("schedule entry " + std::to_string(index) +
                                   ": fuse_log2 must be 0, 2, or 3");
+
+    // Optional hierarchical knobs; absent (the pre-hierarchical file
+    // format) means 0 = planner default. Same clamp ranges the planner
+    // itself enforces, so a loaded value can never build a degenerate
+    // split.
+    if (entry.find("hier_leaf_log2") != nullptr) {
+      s.hier_leaf_log2 =
+          static_cast<std::uint32_t>(field_u64(entry, "hier_leaf_log2", index));
+      if (s.hier_leaf_log2 != 0 &&
+          (s.hier_leaf_log2 < 4 || s.hier_leaf_log2 > 16))
+        throw std::invalid_argument("schedule entry " + std::to_string(index) +
+                                    ": hier_leaf_log2 out of range [4, 16]");
+    }
+    if (entry.find("hier_block_rows") != nullptr) {
+      s.hier_block_rows =
+          static_cast<std::uint32_t>(field_u64(entry, "hier_block_rows", index));
+      if (s.hier_block_rows > 4096)
+        throw std::invalid_argument("schedule entry " + std::to_string(index) +
+                                    ": hier_block_rows out of range [0, 4096]");
+    }
 
     set.insert(s);
     ++index;

@@ -37,6 +37,18 @@ struct TunedSchedule {
   util::IsaLevel isa = util::IsaLevel::kScalar;
   std::uint32_t radix_log2 = 6;
   std::uint32_t fuse_log2 = 3;
+  /// Hierarchical-path knobs (tools/fft_tune --hierarchical). 0 means
+  /// "planner default" — derive the leaf from the measured cache
+  /// hierarchy and the block-row grain from the worker count — and is
+  /// omitted from the JSON, so files tuned before these knobs existed
+  /// parse (and re-serialize) unchanged.
+  ///   hier_leaf_log2  — leaf sub-FFT cap (log2 points) of the recursive
+  ///                     split; fixes the level count and every per-level
+  ///                     (n1, n2).
+  ///   hier_block_rows — rows per pipelined tile-block of the scatter /
+  ///                     row-sweep stages.
+  std::uint32_t hier_leaf_log2 = 0;
+  std::uint32_t hier_block_rows = 0;
 };
 
 /// An ordered set of tuned schedules with (n, precision, isa) as the

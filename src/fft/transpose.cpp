@@ -75,25 +75,8 @@ void twiddle_blocked_impl(std::span<const cplx_t<T>> src, std::span<cplx_t<T>> d
       rows, cols,
       [&](std::uint64_t r0, std::uint64_t rmax, std::uint64_t c0,
           std::uint64_t cmax) {
-        // The factors W^(r*c) are geometric along both tile axes: along a
-        // source row the ratio is W^r, and from one row to the next the
-        // row seed W^(r*c0) advances by W^c0 while the row ratio W^r
-        // advances by W^1. Three unit-root evaluations therefore seed the
-        // whole tile and recurrences of at most kTile multiplies cover the
-        // rest (r*c < rows*cols, so the exponents never need reduction;
-        // every chain is at most 2*kTile multiplies from a fresh sincos).
-        cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
-        cplx_t<T> step = unit_root<T>(n, r0, dir);
-        const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
-        for (std::uint64_t r = r0; r < rmax; ++r) {
-          cplx_t<T> w = w_row;
-          for (std::uint64_t c = c0; c < cmax; ++c) {
-            dst[c * rows + r] = src[r * cols + c] * w;
-            w *= step;
-          }
-          w_row *= w_col;
-          step *= w1;
-        }
+        transpose_twiddle_tile<T>(src.data(), dst.data(), rows, cols, dir, r0,
+                                  rmax, c0, cmax, w1);
       });
 }
 

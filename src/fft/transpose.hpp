@@ -67,6 +67,88 @@ inline void for_each_transpose_tile_pair(std::uint64_t n, Fn&& fn) {
   }
 }
 
+/// One tile of the fused twiddle-transpose: for the row-major rows x cols
+/// `src` (full-matrix base pointer) and its cols x rows transpose `dst`,
+/// applies dst[c * rows + r] = src[r * cols + c] * W^(r*c) over the tile
+/// [r0, rmax) x [c0, cmax), where W = w1 is the (rows*cols)-th unit root
+/// of the pass direction. The factors W^(r*c) are geometric along both
+/// tile axes: along a source row the ratio is W^r, and from one row to
+/// the next the row seed W^(r*c0) advances by W^c0 while the row ratio
+/// W^r advances by W^1. Three unit-root evaluations therefore seed the
+/// whole tile and recurrences of at most kTransposeTile multiplies cover
+/// the rest (r*c < rows*cols, so the exponents never need reduction).
+///
+/// This is the single twiddle-application kernel of the four-step AND
+/// hierarchical paths: transpose_twiddle_blocked iterates it over the
+/// whole matrix, and the executor's pipelined scatter calls it per tile —
+/// same seeds, same recurrence, bit-identical products either way. `w1`
+/// must be unit_root<T>(rows * cols, 1, dir), hoisted by the caller so a
+/// full-matrix sweep pays its sincos once.
+template <typename T>
+inline void transpose_twiddle_tile(const cplx_t<T>* src, cplx_t<T>* dst,
+                                   std::uint64_t rows, std::uint64_t cols,
+                                   TwiddleDirection dir, std::uint64_t r0,
+                                   std::uint64_t rmax, std::uint64_t c0,
+                                   std::uint64_t cmax, const cplx_t<T>& w1) {
+  const std::uint64_t n = rows * cols;
+  cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
+  cplx_t<T> step = unit_root<T>(n, r0, dir);
+  const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
+  for (std::uint64_t r = r0; r < rmax; ++r) {
+    cplx_t<T> w = w_row;
+    for (std::uint64_t c = c0; c < cmax; ++c) {
+      dst[c * rows + r] = src[r * cols + c] * w;
+      w *= step;
+    }
+    w_row *= w_col;
+    step *= w1;
+  }
+}
+
+/// Panel-gather form of the same tile, used by the hierarchical pipeline's
+/// fused row stage: `dst` holds only source columns [dst_col0, ...) — a
+/// per-worker panel instead of the full cols x rows matrix — so the write
+/// lands at dst[(c - dst_col0) * rows + r]. The twiddles are generated by
+/// exactly the multiplication chains of transpose_twiddle_tile (the row
+/// seeds advance w_row *= w_col / step *= w1 in the same order, and each
+/// in-row value is the same sequence of rounded w *= step products), so
+/// every product is bit-identical to the full-matrix scatter; only the
+/// loop nest differs. The interchange (c outer, r inner) is the
+/// performance point: the per-row recurrences are independent chains, so
+/// running up to kTransposeTile of them abreast hides the serial
+/// complex-multiply latency that bounds the row-major order, and the
+/// panel writes of one c are contiguous.
+template <typename T>
+inline void transpose_twiddle_tile_panel(const cplx_t<T>* src, cplx_t<T>* dst,
+                                         std::uint64_t rows, std::uint64_t cols,
+                                         TwiddleDirection dir, std::uint64_t r0,
+                                         std::uint64_t rmax, std::uint64_t c0,
+                                         std::uint64_t cmax,
+                                         const cplx_t<T>& w1,
+                                         std::uint64_t dst_col0) {
+  const std::uint64_t n = rows * cols;
+  const std::uint64_t tr = rmax - r0;
+  cplx_t<T> w[kTransposeTile];
+  cplx_t<T> stp[kTransposeTile];
+  cplx_t<T> w_row = unit_root<T>(n, r0 * c0, dir);
+  cplx_t<T> step = unit_root<T>(n, r0, dir);
+  const cplx_t<T> w_col = unit_root<T>(n, c0, dir);
+  for (std::uint64_t i = 0; i < tr; ++i) {
+    w[i] = w_row;
+    stp[i] = step;
+    w_row *= w_col;
+    step *= w1;
+  }
+  for (std::uint64_t c = c0; c < cmax; ++c) {
+    cplx_t<T>* const out = dst + (c - dst_col0) * rows + r0;
+    const cplx_t<T>* const in = src + r0 * cols + c;
+    for (std::uint64_t i = 0; i < tr; ++i) {
+      out[i] = in[i * cols] * w[i];
+      w[i] *= stp[i];
+    }
+  }
+}
+
 /// dst[c * rows + r] = src[r * cols + c] for a row-major rows x cols
 /// `src`. `dst` must not alias `src`. Throws std::invalid_argument on
 /// size mismatch.

@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace c64fft::util {
 
 const char* to_string(IsaLevel level) noexcept {
@@ -46,6 +50,36 @@ CpuFeatures detect() {
 const CpuFeatures& cpu_features() {
   static const CpuFeatures f = detect();
   return f;
+}
+
+namespace {
+
+CacheInfo detect_caches() {
+  CacheInfo c;  // conservative defaults from the struct initializers
+#if defined(__unix__) || defined(__APPLE__)
+  const auto probe = [](int name, std::uint64_t& out) {
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+    const long v = ::sysconf(name);
+    if (v > 0) out = static_cast<std::uint64_t>(v);
+#else
+    (void)name;
+    (void)out;
+#endif
+  };
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  probe(_SC_LEVEL1_DCACHE_SIZE, c.l1d_bytes);
+  probe(_SC_LEVEL2_CACHE_SIZE, c.l2_bytes);
+  probe(_SC_LEVEL3_CACHE_SIZE, c.l3_bytes);
+#endif
+#endif
+  return c;
+}
+
+}  // namespace
+
+const CacheInfo& cache_info() {
+  static const CacheInfo c = detect_caches();
+  return c;
 }
 
 IsaLevel best_supported_isa() {

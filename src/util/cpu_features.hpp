@@ -10,6 +10,7 @@
 // clamps to scalar). `kScalar` is always valid: it is the portable
 // autovectorized kernel set that every other level is tested against.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -45,6 +46,19 @@ IsaLevel best_supported_isa();
 
 /// True when this host can execute `level`.
 bool isa_supported(IsaLevel level);
+
+/// Data-cache capacities of the executing core, in bytes. Probed once via
+/// sysconf (Linux exposes the cpuid/dt leaves through
+/// _SC_LEVEL*_DCACHE_SIZE / _SC_LEVEL*_CACHE_SIZE) and cached; levels the
+/// OS does not report fall back to conservative defaults so planner
+/// arithmetic never divides by zero on exotic hosts.
+struct CacheInfo {
+  std::uint64_t l1d_bytes = 32ull << 10;
+  std::uint64_t l2_bytes = 1ull << 20;
+  std::uint64_t l3_bytes = 8ull << 20;
+};
+
+const CacheInfo& cache_info();
 
 /// The process-default kernel ISA: best_supported_isa(), narrowed by a
 /// valid C64FFT_ISA environment variable ("scalar" | "avx2" | "avx512" |

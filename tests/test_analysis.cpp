@@ -347,6 +347,11 @@ TEST(Pipeline, EveryBuilderIsCleanAtBothPrecisions) {
     models.push_back(build_batch_pipeline(FftPlan(256, 6), 8, opts));
     models.push_back(build_four_step_pipeline(4096, 6, opts));   // 64 x 64
     models.push_back(build_four_step_pipeline(8192, 6, opts));   // 64 x 128
+    opts.hier_leaf_log2 = 6;
+    models.push_back(build_hierarchical_pipeline(4096, 6, opts));  // 64 x 64
+    opts.hier_leaf_log2 = 5;
+    models.push_back(build_hierarchical_pipeline(4096, 6, opts));  // 2 levels
+    opts.hier_leaf_log2 = 0;
     models.push_back(build_fft2d_pipeline(32, 32, 6, opts));
     models.push_back(build_fft2d_pipeline(16, 32, 6, opts));
     models.push_back(build_real_fft_pipeline(512, 6, opts));
@@ -383,6 +388,57 @@ TEST(Pipeline, ModelMirrorsExecutorGrains) {
   EXPECT_EQ(fs.phases.back().name, "final-transpose");
   const PipelineModel rect = build_four_step_pipeline(8192, 6, opts);
   EXPECT_EQ(rect.phases.back().name, "copy-back");
+
+  // Hierarchical tasks are the dependency-counted blocks of the runtime
+  // grain, not per-tile fictions.
+  PipelineBuildOptions hopts;
+  hopts.workers = 4;
+  hopts.hier_leaf_log2 = 6;
+  const PipelineModel hier = build_hierarchical_pipeline(4096, 6, hopts);
+  ASSERT_EQ(hier.phases.size(), 3u);
+  EXPECT_EQ(hier.phases[0].name, "gather");
+  EXPECT_EQ(hier.phases[1].name, "col-sweep");
+  EXPECT_EQ(hier.phases[2].name, "fused-row");
+  const fft::HierarchicalGrain grain = fft::hierarchical_grain(
+      64, 64, 4, 16, util::cache_info().l2_bytes, 0);
+  EXPECT_EQ(hier.phases[0].tasks.size(), grain.blocks1);
+  EXPECT_EQ(hier.phases[1].tasks.size(), grain.blocks1);
+  EXPECT_EQ(hier.phases[2].tasks.size(), grain.blocks2);
+
+  // A forced-small leaf recurses: the column transform condenses to one
+  // task per gather row, charged the inner levels' full pass count.
+  hopts.hier_leaf_log2 = 5;
+  const PipelineModel multi = build_hierarchical_pipeline(4096, 6, hopts);
+  ASSERT_EQ(multi.phases.size(), 3u);
+  EXPECT_EQ(multi.phases[1].name, "col-recursive");
+  EXPECT_EQ(multi.phases[1].tasks.size(),
+            fft::hierarchical_split(4096, 5).n2);
+  EXPECT_GT(multi.phases[1].tasks.front().passes, 1u);
+}
+
+TEST(Pipeline, TileTrafficSplitsTransposeFromButterfly) {
+  PipelineBuildOptions opts;
+  opts.hier_leaf_log2 = 6;
+  const PipelineModel m = build_hierarchical_pipeline(4096, 6, opts);
+  const auto report = analyze_pipeline(m);
+  const auto& metrics = check_of(report, "tile-traffic").metrics;
+  // Gather is pure movement, the column sweep pure butterfly, and the
+  // fused tail exactly two movement passes (gather-in + writeback-out)
+  // around its row-FFT streams.
+  EXPECT_GT(metrics.at("phase0_transpose_bytes"), 0.0);
+  EXPECT_EQ(metrics.at("phase0_butterfly_bytes"), 0.0);
+  EXPECT_EQ(metrics.at("phase1_transpose_bytes"), 0.0);
+  EXPECT_GT(metrics.at("phase1_butterfly_bytes"), 0.0);
+  const double fused_transpose = metrics.at("phase2_transpose_bytes");
+  const double fused_butterfly = metrics.at("phase2_butterfly_bytes");
+  EXPECT_GT(fused_transpose, 0.0);
+  EXPECT_GT(fused_butterfly, 0.0);
+  const fft::FftPlan row_plan(64, 6);
+  const auto& fused = m.phases[2].tasks.front();
+  EXPECT_EQ(fused.passes, row_plan.stage_count() + 2);
+  EXPECT_EQ(fused.movement_passes, 2u);
+  EXPECT_NEAR(metrics.at("transpose_bytes") + metrics.at("butterfly_bytes"),
+              metrics.at("total_bytes"), 0.5);
 }
 
 // ---- Seeded pipeline defects ----
@@ -460,6 +516,33 @@ TEST(Pipeline, SeededSkewIsFlaggedAndStrictPromotes) {
 
   PipelineAnalysisOptions strict;
   strict.cost.strict = true;
+  const auto hard = analyze_pipeline(skewed, strict);
+  EXPECT_GT(hard.errors(), 0u);
+  EXPECT_FALSE(hard.passed());
+}
+
+TEST(Pipeline, SeededTileTrafficImbalanceIsFlaggedAndStrictPromotes) {
+  PipelineBuildOptions opts;
+  opts.hier_leaf_log2 = 6;
+  PipelineModel balanced = build_hierarchical_pipeline(4096, 6, opts);
+  {
+    const auto report = analyze_pipeline(balanced);
+    EXPECT_FALSE(has_code(report, "tile-traffic", "tile-traffic-imbalance"))
+        << report.to_json();
+  }
+
+  // One gather block suddenly re-streams its tiles 16x — the skewed
+  // per-level traffic the report exists to surface (a mis-grained block
+  // doing many blocks' movement behind the same dependency counter).
+  PipelineModel skewed = std::move(balanced);
+  skewed.phases.front().tasks.front().passes *= 16;
+  const auto report = analyze_pipeline(skewed);
+  EXPECT_TRUE(has_code(report, "tile-traffic", "tile-traffic-imbalance"))
+      << report.to_json();
+  EXPECT_EQ(report.errors(), 0u);  // warning by default
+
+  PipelineAnalysisOptions strict;
+  strict.tile_traffic.strict = true;
   const auto hard = analyze_pipeline(skewed, strict);
   EXPECT_GT(hard.errors(), 0u);
   EXPECT_FALSE(hard.passed());
@@ -572,7 +655,7 @@ TEST(Pipeline, HandBuiltModelsSkipTheKernelCheck) {
 
 TEST(LintBaseline, RowsRoundTripThroughJson) {
   const auto rows = collect_lint_rows();
-  ASSERT_EQ(rows.size(), 14u);  // 7 shapes x 2 precisions
+  ASSERT_EQ(rows.size(), 18u);  // 9 shapes x 2 precisions
   const std::string json = lint_rows_to_json(rows);
   const auto parsed = lint_rows_from_json(util::json_parse(json));
   ASSERT_EQ(parsed.size(), rows.size());

@@ -1,0 +1,373 @@
+// Hierarchical multi-level large-N path (PlanKind::kHierarchical): split
+// algebra and cache-driven leaf selection, plan-cache pinning of the
+// recursive sub-plan chain, bit-identity of the tile-pipelined execution
+// with the barrier-phased four-step path at N in {2^18, 2^20, 2^22} (both
+// precisions), numerical agreement with the classic path and the O(N^2)
+// reference, batch-vs-loop identity, forced multi-level recursion, tuned
+// block-row overrides, and the consolidated env snapshot that feeds the
+// constructor and reconfigure(). Registered under the `large_n` ctest
+// label:
+//     ctest -L large_n --output-on-failure
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "fft/executor.hpp"
+#include "fft/kernels/dispatch.hpp"
+#include "fft/plan_cache.hpp"
+#include "fft/reference.hpp"
+#include "fft/transpose.hpp"
+#include "util/cpu_features.hpp"
+#include "util/prng.hpp"
+
+namespace c64fft::fft {
+namespace {
+
+template <typename T>
+std::vector<cplx_t<T>> random_signal(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<cplx_t<T>> v(n);
+  for (auto& x : v)
+    x = cplx_t<T>(static_cast<T>(rng.next_double() * 2 - 1),
+                  static_cast<T>(rng.next_double() * 2 - 1));
+  return v;
+}
+
+ExecutorOptions classic_opts() {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 0;    // never route four-step
+  o.hierarchical_threshold_log2 = 0;  // never route hierarchical
+  return o;
+}
+
+ExecutorOptions four_step_opts() {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 2;     // always route four-step
+  o.hierarchical_threshold_log2 = 0;  // hierarchical disabled
+  return o;
+}
+
+ExecutorOptions hier_opts() {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.hierarchical_threshold_log2 = 2;  // always route hierarchical
+  return o;
+}
+
+/// One-entry schedule set forcing the hierarchical knobs for (n, T) under
+/// the process-active kernel ISA (the lookup key the executor uses).
+template <typename T>
+ScheduleSet forced_schedule(std::uint64_t n, std::uint32_t leaf_log2,
+                            std::uint32_t block_rows) {
+  TunedSchedule s;
+  s.n = n;
+  s.precision = precision_of<T>;
+  s.isa = kernels::active_kernel_isa();
+  s.hier_leaf_log2 = leaf_log2;
+  s.hier_block_rows = block_rows;
+  ScheduleSet set;
+  set.insert(s);
+  return set;
+}
+
+TEST(HierarchicalSplitAlgebra, BalancedBelowTwiceLeaf) {
+  // While log2(n) <= 2*leaf the split IS the four-step split: one level,
+  // classic children — the bit-identity anchor of the whole path.
+  for (unsigned logn : {14u, 18u, 22u, 28u}) {
+    const HierarchicalSplit h = hierarchical_split(1ULL << logn, 14);
+    const FourStepSplit f = four_step_split(1ULL << logn);
+    EXPECT_EQ(h.n1, f.n1) << logn;
+    EXPECT_EQ(h.n2, f.n2) << logn;
+    EXPECT_EQ(h.levels, 1u) << logn;
+    EXPECT_FALSE(h.col_recursive) << logn;
+  }
+}
+
+TEST(HierarchicalSplitAlgebra, RecursiveAboveTwiceLeaf) {
+  // log2(n) > 2*leaf peels a 2^leaf row factor and recurses on the rest.
+  const HierarchicalSplit h = hierarchical_split(1ULL << 12, 4);
+  EXPECT_EQ(h.n2, 16u);
+  EXPECT_EQ(h.n1, 256u);
+  EXPECT_TRUE(h.col_recursive);
+  EXPECT_EQ(h.levels, 2u);
+  // Three levels: 2^18 with leaf 5 -> 32 * (32 * 2^8).
+  const HierarchicalSplit deep = hierarchical_split(1ULL << 18, 5);
+  EXPECT_EQ(deep.n2, 32u);
+  EXPECT_EQ(deep.levels, 3u);
+  EXPECT_THROW(hierarchical_split(2, 14), std::invalid_argument);
+  EXPECT_THROW(hierarchical_split(96, 14), std::invalid_argument);
+}
+
+TEST(HierarchicalSplitAlgebra, LeafTracksCacheSize) {
+  // leaf = log2(points that fit in cache at 8 bytes-per-point headroom).
+  EXPECT_EQ(hierarchical_leaf_log2(2ull << 20, 16), 14u);  // 2 MiB L2, f64
+  EXPECT_EQ(hierarchical_leaf_log2(2ull << 20, 8), 15u);   // f32
+  EXPECT_EQ(hierarchical_leaf_log2(1ull << 10, 16), 4u);   // clamped low
+  EXPECT_EQ(hierarchical_leaf_log2(1ull << 40, 16), 16u);  // clamped high
+  // The measured hierarchy feeds the default: whatever this host reports,
+  // the derived leaf stays inside the clamp range.
+  const unsigned leaf = hierarchical_leaf_log2(util::cache_info().l2_bytes, 16);
+  EXPECT_GE(leaf, 4u);
+  EXPECT_LE(leaf, 16u);
+}
+
+TEST(HierarchicalGrainPolicy, TileAlignedBlocksCoverAllRows) {
+  const HierarchicalGrain g =
+      hierarchical_grain(2048, 2048, 2, 16, 2ull << 20, 0);
+  EXPECT_EQ(g.block_rows1 % kTransposeTile, 0u);
+  EXPECT_EQ(g.block_rows2 % kTransposeTile, 0u);
+  EXPECT_GE(g.blocks1 * g.block_rows1, 2048u);
+  EXPECT_GE(g.blocks2 * g.block_rows2, 2048u);
+  // At least workers*4 blocks so the pipeline has overlap to exploit.
+  EXPECT_GE(g.blocks1, 8u);
+  // A tuned override wins but is still tile-aligned.
+  const HierarchicalGrain t =
+      hierarchical_grain(2048, 2048, 2, 16, 2ull << 20, 40);
+  EXPECT_EQ(t.block_rows1, 32u);
+}
+
+TEST(HierarchicalPlanCache, EntryPinsSubEntriesRecursively) {
+  PlanCache cache(8);
+  // Forced leaf 4 at 2^12: 16 x 256 with a recursive 256-point column.
+  const PlanKey key{1ULL << 12, 6, TwiddleLayout::kLinear,
+                    PlanKind::kHierarchical, Precision::kF64, 4};
+  auto entry = cache.acquire(key);
+  ASSERT_EQ(entry->kind(), PlanKind::kHierarchical);
+  EXPECT_EQ(entry->levels(), 2u);
+  EXPECT_EQ(entry->split().n1, 256u);
+  EXPECT_EQ(entry->split().n2, 16u);
+  EXPECT_EQ(entry->row_entry()->kind(), PlanKind::kClassic);
+  ASSERT_EQ(entry->col_entry()->kind(), PlanKind::kHierarchical);
+  EXPECT_EQ(entry->col_entry()->levels(), 1u);
+  EXPECT_EQ(entry->col_entry()->split().n1, 16u);
+  EXPECT_EQ(entry->col_entry()->split().n2, 16u);
+  // The inner level's square split shares one classic sub-entry, itself an
+  // ordinary cache resident.
+  EXPECT_EQ(entry->col_entry()->col_entry().get(),
+            entry->col_entry()->row_entry().get());
+  // Sub-keys carry the radix clamped to the sub-size (16 points -> 4).
+  auto direct = cache.acquire(PlanKey{16, 4, TwiddleLayout::kLinear});
+  EXPECT_EQ(direct.get(), entry->col_entry()->row_entry().get());
+  // Classic-only accessors stay fenced off on composite entries.
+  EXPECT_THROW(entry->plan(), std::logic_error);
+  // Distinct leaves build distinct plan trees (the leaf is in the key).
+  auto other = cache.acquire(PlanKey{1ULL << 12, 6, TwiddleLayout::kLinear,
+                                     PlanKind::kHierarchical, Precision::kF64,
+                                     6});
+  EXPECT_NE(other.get(), entry.get());
+  EXPECT_EQ(other->levels(), 1u);
+}
+
+TEST(Hierarchical, RoutingPrecedence) {
+  // The hierarchical check outranks four-step; 0 disables each path.
+  EXPECT_EQ(routed_plan_kind(1ULL << 20, 18, 20), PlanKind::kHierarchical);
+  EXPECT_EQ(routed_plan_kind(1ULL << 19, 18, 20), PlanKind::kFourStep);
+  EXPECT_EQ(routed_plan_kind(1ULL << 19, 0, 20), PlanKind::kClassic);
+  EXPECT_EQ(routed_plan_kind(1ULL << 20, 18, 0), PlanKind::kFourStep);
+  EXPECT_EQ(routed_plan_kind(1ULL << 10, 18, 20), PlanKind::kClassic);
+  // The 2-arg overload applies the default hierarchical threshold.
+  EXPECT_EQ(routed_plan_kind(1ULL << kDefaultHierarchicalThresholdLog2, 18),
+            PlanKind::kHierarchical);
+}
+
+TEST(Hierarchical, ForwardBitIdenticalToFourStepLargeN) {
+  // The tentpole equivalence: at the default leaf the hierarchical split
+  // equals the four-step split, the tile grids align, and the kernels are
+  // shared — so the pipelined execution must reproduce the barrier-phased
+  // four-step output BIT FOR BIT, forward and inverse.
+  for (unsigned logn : {18u, 20u, 22u}) {
+    const std::uint64_t n = 1ULL << logn;
+    const auto input = random_signal<double>(n, logn);
+    FftExecutor four(four_step_opts());
+    FftExecutor hier(hier_opts());
+
+    auto want = input;
+    four.forward(want);
+    auto got = input;
+    hier.forward(got);
+    EXPECT_EQ(hier.stats().hierarchical, 1u);
+    EXPECT_EQ(hier.stats().four_step, 0u);
+    EXPECT_EQ(got, want) << "forward n=" << n;
+
+    auto want_inv = want;
+    four.inverse(want_inv);
+    auto got_inv = want;
+    hier.inverse(got_inv);
+    EXPECT_EQ(got_inv, want_inv) << "inverse n=" << n;
+  }
+}
+
+TEST(Hierarchical, ForwardBitIdenticalToFourStepF32) {
+  for (unsigned logn : {18u, 20u, 22u}) {
+    const std::uint64_t n = 1ULL << logn;
+    const auto input = random_signal<float>(n, 40 + logn);
+    FftExecutor four(four_step_opts());
+    FftExecutor hier(hier_opts());
+    auto want = input;
+    four.forward(want);
+    auto got = input;
+    hier.forward(got);
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(Hierarchical, MatchesClassicAndReference) {
+  // Independent anchors: the classic monolithic plan at 2^18 and the
+  // O(N^2) DFT at 2^12 (where that is still affordable).
+  const std::uint64_t n = 1ULL << 18;
+  const auto input = random_signal<double>(n, 7);
+  FftExecutor classic(classic_opts());
+  FftExecutor hier(hier_opts());
+  auto want = input;
+  classic.forward(want);
+  auto got = input;
+  hier.forward(got);
+  EXPECT_LT(rel_l2_error(got, want), 1e-12);
+
+  const auto small = random_signal<double>(1ULL << 12, 8);
+  auto hgot = small;
+  hier.forward(hgot);
+  EXPECT_LT(rel_l2_error(hgot, dft_reference(small)), 1e-12);
+}
+
+TEST(Hierarchical, RoundTripRecoversInput) {
+  const std::uint64_t n = 1ULL << 20;
+  const auto input = random_signal<double>(n, 11);
+  FftExecutor hier(hier_opts());
+  auto rt = input;
+  hier.forward(rt);
+  hier.inverse(rt);
+  EXPECT_LT(max_abs_error(rt, input), 1e-9);
+}
+
+TEST(Hierarchical, BatchMatchesLoopBitIdentically) {
+  // forward_batch/inverse_batch thread through the same locked body one
+  // transform at a time — identical dispatch, so identical bits.
+  const std::uint64_t n = 1ULL << 20;
+  const std::size_t b = 3;
+  std::vector<std::vector<cplx>> singles, batch;
+  for (std::size_t i = 0; i < b; ++i) {
+    singles.push_back(random_signal<double>(n, 300 + i));
+    batch.push_back(singles.back());
+  }
+  FftExecutor hier(hier_opts());
+  for (auto& t : singles) hier.forward(t);
+  std::vector<std::span<cplx>> spans;
+  for (auto& t : batch) spans.emplace_back(t);
+  hier.forward_batch(spans);
+  EXPECT_EQ(hier.stats().hierarchical, b + 3);  // 3 singles + 3 batched
+  for (std::size_t i = 0; i < b; ++i) EXPECT_EQ(batch[i], singles[i]) << i;
+
+  for (auto& t : singles) hier.inverse(t);
+  hier.inverse_batch(spans);
+  for (std::size_t i = 0; i < b; ++i) EXPECT_EQ(batch[i], singles[i]) << i;
+}
+
+TEST(Hierarchical, ForcedMultiLevelRecursionIsCorrect) {
+  // A tuned leaf far below the cache-derived default forces real
+  // recursion (3 levels at 2^18 with leaf 5). The split now differs from
+  // four-step's, so the anchor is numerical agreement with the classic
+  // path, not bit-identity.
+  const std::uint64_t n = 1ULL << 18;
+  const auto input = random_signal<double>(n, 13);
+  FftExecutor classic(classic_opts());
+  auto want = input;
+  classic.forward(want);
+
+  FftExecutor hier(hier_opts());
+  hier.set_schedules(forced_schedule<double>(n, 5, 0));
+  auto got = input;
+  hier.forward(got);
+  EXPECT_LT(rel_l2_error(got, want), 1e-12);
+
+  auto rt = got;
+  hier.inverse(rt);
+  EXPECT_LT(max_abs_error(rt, input), 1e-10);
+
+  // f32 recursion through the same tree.
+  const auto input32 = random_signal<float>(n, 14);
+  FftExecutor hier32(hier_opts());
+  hier32.set_schedules(forced_schedule<float>(n, 5, 0));
+  auto got32 = input32;
+  hier32.forward(got32);
+  FftExecutor classic32(classic_opts());
+  auto want32 = input32;
+  classic32.forward(want32);
+  EXPECT_LT(rel_l2_error(got32, want32), 1e-4);
+}
+
+TEST(Hierarchical, TunedBlockRowsIsPureScheduling) {
+  // hier_block_rows changes the pipeline grain only — output must stay
+  // bit-identical to the default grain.
+  const std::uint64_t n = 1ULL << 18;
+  const auto input = random_signal<double>(n, 17);
+  FftExecutor def(hier_opts());
+  auto want = input;
+  def.forward(want);
+  for (std::uint32_t rows : {16u, 48u, 256u}) {
+    FftExecutor tuned(hier_opts());
+    tuned.set_schedules(forced_schedule<double>(n, 0, rows));
+    auto got = input;
+    tuned.forward(got);
+    EXPECT_EQ(got, want) << "block_rows=" << rows;
+  }
+}
+
+TEST(Hierarchical, ThresholdRoutesOnlyEnormousTransforms) {
+  ExecutorOptions o;
+  o.workers = 2;
+  o.four_step_threshold_log2 = 0;
+  o.hierarchical_threshold_log2 = 14;
+  FftExecutor ex(o);
+  auto small = random_signal<double>(1ULL << 12, 1);
+  auto large = random_signal<double>(1ULL << 14, 2);
+  ex.forward(small);
+  EXPECT_EQ(ex.stats().hierarchical, 0u);
+  ex.forward(large);
+  EXPECT_EQ(ex.stats().hierarchical, 1u);
+
+  ex.set_hierarchical_threshold_log2(0);
+  EXPECT_EQ(ex.hierarchical_threshold_log2(), 0u);
+  ex.forward(large);
+  EXPECT_EQ(ex.stats().hierarchical, 1u);  // unchanged: routing disabled
+}
+
+TEST(HierarchicalEnvSnapshot, OneStructFeedsConstructorAndReconfigure) {
+  // The consolidated snapshot: every executor env knob is read into one
+  // struct, and BOTH construction and reconfigure() apply from it — so a
+  // post-warm-up env change is either fully observed or not at all.
+  ::setenv("C64FFT_HIERARCHICAL_THRESHOLD_LOG2", "13", 1);
+  ::setenv("C64FFT_FOURSTEP_THRESHOLD_LOG2", "11", 1);
+  const ExecutorEnvSnapshot snap = read_executor_env();
+  ASSERT_TRUE(snap.hierarchical_threshold_log2.has_value());
+  EXPECT_EQ(*snap.hierarchical_threshold_log2, 13u);
+  ASSERT_TRUE(snap.four_step_threshold_log2.has_value());
+  EXPECT_EQ(*snap.four_step_threshold_log2, 11u);
+  EXPECT_FALSE(snap.schedule_path.has_value());
+
+  FftExecutor ex(classic_opts());  // ctor applies the env snapshot
+  EXPECT_EQ(ex.hierarchical_threshold_log2(), 13u);
+  EXPECT_EQ(ex.four_step_threshold_log2(), 11u);
+
+  ::setenv("C64FFT_HIERARCHICAL_THRESHOLD_LOG2", "15", 1);
+  ex.reconfigure();
+  EXPECT_EQ(ex.hierarchical_threshold_log2(), 15u);
+
+  // Malformed values change nothing (strict parse).
+  ::setenv("C64FFT_HIERARCHICAL_THRESHOLD_LOG2", "15x", 1);
+  ex.reconfigure();
+  EXPECT_EQ(ex.hierarchical_threshold_log2(), 15u);
+
+  ::unsetenv("C64FFT_HIERARCHICAL_THRESHOLD_LOG2");
+  ::unsetenv("C64FFT_FOURSTEP_THRESHOLD_LOG2");
+  const ExecutorEnvSnapshot clear = read_executor_env();
+  EXPECT_FALSE(clear.hierarchical_threshold_log2.has_value());
+  EXPECT_FALSE(clear.four_step_threshold_log2.has_value());
+}
+
+}  // namespace
+}  // namespace c64fft::fft

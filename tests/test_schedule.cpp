@@ -58,6 +58,61 @@ TEST(ScheduleSet, JsonRoundTripPreservesEveryEntry) {
   EXPECT_TRUE(ScheduleSet::from_json(ScheduleSet().to_json()).empty());
 }
 
+TEST(ScheduleSet, JsonRoundTripPreservesHierarchicalKnobs) {
+  // The fft_tune --hierarchical output: entries whose hierarchical knobs
+  // are set round-trip exactly, and entries without them (the
+  // pre-hierarchical format) parse to the 0 = planner-default sentinel —
+  // the serialized text must not even mention the fields, so old files
+  // re-serialize byte-identically.
+  TunedSchedule hier = sched(1u << 20, Precision::kF64, util::IsaLevel::kAvx2,
+                             6, 3);
+  hier.hier_leaf_log2 = 11;
+  hier.hier_block_rows = 32;
+  ScheduleSet set;
+  set.insert(hier);
+  set.insert(sched(4096, Precision::kF32, util::IsaLevel::kScalar, 5, 2));
+
+  const std::string json = set.to_json();
+  const ScheduleSet back = ScheduleSet::from_json(json);
+  const auto tuned = back.find(1u << 20, Precision::kF64,
+                               util::IsaLevel::kAvx2);
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_EQ(tuned->hier_leaf_log2, 11u);
+  EXPECT_EQ(tuned->hier_block_rows, 32u);
+
+  const auto plain = back.find(4096, Precision::kF32, util::IsaLevel::kScalar);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->hier_leaf_log2, 0u);
+  EXPECT_EQ(plain->hier_block_rows, 0u);
+
+  // The default-valued entry's serialized line carries no hierarchical
+  // fields (count the mentions: exactly one entry was non-default).
+  std::size_t mentions = 0;
+  for (std::size_t pos = json.find("hier_leaf_log2"); pos != std::string::npos;
+       pos = json.find("hier_leaf_log2", pos + 1))
+    ++mentions;
+  EXPECT_EQ(mentions, 1u);
+}
+
+TEST(ScheduleSet, FromJsonRejectsOutOfRangeHierarchicalKnobs) {
+  const auto entry = [](const std::string& body) {
+    return "{\"version\":1,\"schedules\":[" + body + "]}";
+  };
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":1048576,\"precision\":\"f64\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":3,\"hier_leaf_log2\":3}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":1048576,\"precision\":\"f64\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":3,\"hier_leaf_log2\":17}")),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduleSet::from_json(entry(
+                   "{\"n\":1048576,\"precision\":\"f64\",\"isa\":\"avx2\","
+                   "\"radix_log2\":6,\"fuse_log2\":3,"
+                   "\"hier_block_rows\":8192}")),
+               std::invalid_argument);
+}
+
 TEST(ScheduleSet, FromJsonRejectsMalformedDocuments) {
   EXPECT_THROW(ScheduleSet::from_json("[]"), std::invalid_argument);
   EXPECT_THROW(ScheduleSet::from_json("{}"), std::invalid_argument);

@@ -9,9 +9,11 @@
 // --plan-kind): the write-coverage / single-assignment proof and the
 // critical-path & load cost model over the composite pipeline model
 // (transposes, sub-FFT sweeps, pack/untangle passes) built from the same
-// hooks the executor runs. --all statically verifies the full shipped
-// matrix: every Table-I schedule/layout variant plus every composite kind
-// (classic, four-step, batch, 2-D, real) at both precisions.
+// hooks the executor runs, plus the per-level tile-traffic report
+// (transpose vs butterfly bytes per phase). --all statically verifies the
+// full shipped matrix: every Table-I schedule/layout variant plus every
+// composite kind (classic, four-step, hierarchical — single- and
+// multi-level, batch, 2-D, real) at both precisions.
 //
 // Pipeline models record the kernel dispatch table ("scalar" / "avx2" /
 // "avx512") the runtime would execute with; the kernel check validates
@@ -102,7 +104,7 @@ int classify_exit(const std::vector<analysis::AnalysisReport>& reports) {
       graph |= c.name == "graph";
       races |= c.name == "races";
       coverage |= c.name == "coverage";
-      cost |= c.name == "cost";
+      cost |= c.name == "cost" || c.name == "tile-traffic";
       banks |= c.name == "banks" || c.name == "cache-sets";
       kernel |= c.name == "kernel";
     }
@@ -132,9 +134,15 @@ int main(int argc, char** argv) {
   cli.add_string("layout", "linear", "twiddle layout: linear | hashed");
   cli.add_string("schedule", "fine", "scheduler: coarse | fine | guided");
   cli.add_string("plan-kind", "classic",
-                 "pipeline shape: classic | four-step | batch | fft2d | "
-                 "real | auto (executor routing for --logn)");
+                 "pipeline shape: classic | four-step | hierarchical | "
+                 "batch | fft2d | real | auto (executor routing for --logn)");
   cli.add_int("batch", 8, "transforms per batch for --plan-kind=batch");
+  cli.add_int("leaf-log2", 0,
+              "hierarchical leaf cap (log2 points); 0 derives it from the "
+              "host L2 like the executor");
+  cli.add_int("block-rows", 0,
+              "rows per hierarchical pipeline block; 0 = the executor's "
+              "grain policy");
   cli.add_int("rows-log2", 6, "log2 of the matrix rows for --plan-kind=fft2d");
   cli.add_int("cols-log2", 6, "log2 of the matrix cols for --plan-kind=fft2d");
   cli.add_int("workers", 4,
@@ -230,6 +238,10 @@ int main(int argc, char** argv) {
   build.layout = cli.get_string("layout") == "hashed"
                      ? fft::TwiddleLayout::kBitReversed
                      : fft::TwiddleLayout::kLinear;
+  build.hier_leaf_log2 = static_cast<unsigned>(cli.get_int("leaf-log2"));
+  build.hier_block_rows =
+      static_cast<std::uint64_t>(cli.get_int("block-rows"));
+  pipe_opts.tile_traffic.strict = cli.flag("strict-cost");
 
   const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
   const auto radix_log2 = static_cast<unsigned>(cli.get_int("radix-log2"));
@@ -299,6 +311,21 @@ int main(int argc, char** argv) {
                                                "four-step" + prec),
             pipe_opts));
         reports.push_back(analysis::analyze_pipeline(
+            analysis::build_hierarchical_pipeline(
+                std::uint64_t{1} << 18, 6, b, "hierarchical" + prec),
+            pipe_opts));
+        {
+          // Forced-small leaf so the multi-level (col-recursive) shape is
+          // statically verified too, at a size the element-exact
+          // footprints afford.
+          analysis::PipelineBuildOptions ml = b;
+          ml.hier_leaf_log2 = 6;  // 2^19 -> 2^13 x 2^6 -> (2^7 x 2^6) x 2^6
+          reports.push_back(analysis::analyze_pipeline(
+              analysis::build_hierarchical_pipeline(
+                  std::uint64_t{1} << 19, 6, ml, "hierarchical-3l" + prec),
+              pipe_opts));
+        }
+        reports.push_back(analysis::analyze_pipeline(
             analysis::build_batch_pipeline(fft::FftPlan(256, 6), 8, b,
                                            "batch8" + prec),
             pipe_opts));
@@ -314,11 +341,14 @@ int main(int argc, char** argv) {
       }
     } else {
       std::string kind = cli.get_string("plan-kind");
-      if (kind == "auto")
-        kind = fft::routed_plan_kind(n, fft::kDefaultFourStepThresholdLog2) ==
-                       fft::PlanKind::kFourStep
-                   ? "four-step"
-                   : "classic";
+      if (kind == "auto") {
+        switch (fft::routed_plan_kind(n, fft::kDefaultFourStepThresholdLog2,
+                                      fft::kDefaultHierarchicalThresholdLog2)) {
+          case fft::PlanKind::kHierarchical: kind = "hierarchical"; break;
+          case fft::PlanKind::kFourStep: kind = "four-step"; break;
+          default: kind = "classic"; break;
+        }
+      }
       const bool want_pipeline = cli.flag("coverage") || cli.flag("critical-path");
       if (cli.flag("coverage") != cli.flag("critical-path")) {
         pipe_opts.check_coverage = cli.flag("coverage");
@@ -360,6 +390,10 @@ int main(int argc, char** argv) {
       } else if (kind == "four-step") {
         reports.push_back(analysis::analyze_pipeline(
             analysis::build_four_step_pipeline(n, radix_log2, build),
+            pipe_opts));
+      } else if (kind == "hierarchical") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_hierarchical_pipeline(n, radix_log2, build),
             pipe_opts));
       } else if (kind == "batch") {
         reports.push_back(analysis::analyze_pipeline(

@@ -14,9 +14,17 @@
 // path, not a side channel. Winners serialize with --emit to the JSON
 // format FftExecutor::load_schedules / C64FFT_SCHEDULE consume.
 //
+// With --hierarchical the searched grid switches to the large-N
+// hierarchical path's knobs — hier_leaf_log2 (the recursive split's leaf
+// cap, which fixes the level count and every per-level (n1, n2)) and
+// hier_block_rows (rows per pipelined tile-block) — through an executor
+// whose threshold routes the tuned sizes onto PlanKind::kHierarchical.
+//
 //   fft_tune                                   # tune defaults, print table
 //   fft_tune --sizes=4096,16384 --precision=f32 --emit=schedule.json
 //   fft_tune --isa=avx2 --verbose              # every candidate's timing
+//   fft_tune --hierarchical --sizes=1048576 --emit=hier.json
+//                                              # large-N hierarchical grid
 //
 // Exit codes: 0 success, 2 usage error.
 
@@ -137,6 +145,70 @@ fft::TunedSchedule tune_one(fft::FftExecutor& exec, std::uint64_t n,
   return best;
 }
 
+/// Hierarchical-path search: the (hier_leaf_log2, hier_block_rows) grid at
+/// large n, through an executor whose threshold routes these sizes onto
+/// PlanKind::kHierarchical. Every candidate is installed as a one-entry
+/// ScheduleSet — the same plan-cache lookup (PlanKey::hier_leaf_log2, the
+/// run_hierarchical_locked block-rows override) a production C64FFT_SCHEDULE
+/// file drives — so what wins here is exactly what a tuned file replays.
+/// Candidate 0 means "planner default" for either knob (leaf derived from
+/// the measured cache hierarchy, block rows from the L2 panel policy), so
+/// the defaults compete on equal footing and are emitted explicitly only
+/// when a non-default setting beats them.
+template <typename T>
+fft::TunedSchedule tune_hierarchical_one(
+    fft::FftExecutor& exec, std::uint64_t n, util::IsaLevel isa,
+    const std::vector<std::uint64_t>& leaf_candidates,
+    const std::vector<std::uint64_t>& block_rows_candidates, unsigned warmup,
+    unsigned reps, std::uint64_t seed, bool verbose) {
+  const fft::Precision precision = fft::precision_of<T>;
+  const unsigned log2n = util::ilog2(n);
+  fft::TunedSchedule best;
+  double best_ns = 0.0;
+  bool have_best = false;
+  for (const std::uint64_t leaf_log2 : leaf_candidates) {
+    // A leaf must leave at least one split level (leaf < log2n) and stay
+    // inside the schedule format's range; 0 delegates to the planner.
+    if (leaf_log2 != 0 && (leaf_log2 < 4 || leaf_log2 > 16 ||
+                           leaf_log2 >= log2n))
+      continue;
+    for (const std::uint64_t block_rows : block_rows_candidates) {
+      if (block_rows > 4096) continue;
+      fft::TunedSchedule candidate;
+      candidate.n = n;
+      candidate.precision = precision;
+      candidate.isa = isa;
+      candidate.hier_leaf_log2 = static_cast<std::uint32_t>(leaf_log2);
+      candidate.hier_block_rows = static_cast<std::uint32_t>(block_rows);
+      fft::ScheduleSet one;
+      one.insert(candidate);
+      exec.set_schedules(std::move(one));
+      const double ns = median_forward_ns<T>(exec, n, warmup, reps, seed);
+      if (verbose)
+        std::cout << "  n=" << n << ' ' << to_string(precision)
+                  << " isa=" << util::to_string(isa)
+                  << " hier_leaf_log2=" << leaf_log2
+                  << " hier_block_rows=" << block_rows << "  " << ns / 1e6
+                  << " ms\n";
+      if (!have_best || ns < best_ns) {
+        best = candidate;
+        best_ns = ns;
+        have_best = true;
+      }
+    }
+  }
+  if (!have_best)
+    throw std::invalid_argument(
+        "fft_tune: no legal hierarchical candidate for n=" +
+        std::to_string(n));
+  std::cout << "n=" << n << ' ' << to_string(precision)
+            << " isa=" << util::to_string(isa)
+            << ": best hier_leaf_log2=" << best.hier_leaf_log2
+            << " hier_block_rows=" << best.hier_block_rows << "  "
+            << best_ns / 1e6 << " ms\n";
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +226,14 @@ int main(int argc, char** argv) {
                  "the host clamp down)");
   cli.add_string("radix", "4,5,6,7,8", "radix_log2 candidates");
   cli.add_string("fuse", "0,2,3", "fuse_log2 candidates (0, 2, 3)");
+  cli.add_flag("hierarchical",
+               "search the hierarchical-path grid (leaf, block-rows) instead "
+               "of (radix, fuse); sizes route through PlanKind::kHierarchical");
+  cli.add_string("leaf", "0,10,11,12,14",
+                 "hier_leaf_log2 candidates (0 = planner default from the "
+                 "measured cache hierarchy)");
+  cli.add_string("block-rows", "0,16,32,64",
+                 "hier_block_rows candidates (0 = L2 panel policy default)");
   cli.add_int("reps", 31, "timed repetitions per candidate (median wins)");
   cli.add_int("warmup", 5, "untimed warm-up repetitions per candidate");
   cli.add_int("workers", 1,
@@ -213,13 +293,36 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(std::max<std::int64_t>(0, cli.get_int("warmup")));
     const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+    const bool hierarchical = cli.flag("hierarchical");
     fft::ExecutorOptions opts;
     opts.workers = static_cast<unsigned>(
         std::max<std::int64_t>(1, cli.get_int("workers")));
+    if (hierarchical) {
+      // Route every tuned size onto the hierarchical path regardless of
+      // the default threshold — the grid being searched only executes
+      // there.
+      opts.hierarchical_threshold_log2 = 2;
+    }
     fft::FftExecutor exec(opts);
+
+    const std::vector<std::uint64_t> leaf_candidates =
+        parse_u64_list(cli.get_string("leaf"), "--leaf");
+    const std::vector<std::uint64_t> block_rows_candidates =
+        parse_u64_list(cli.get_string("block-rows"), "--block-rows");
 
     fft::ScheduleSet winners;
     for (const std::uint64_t n : sizes) {
+      if (hierarchical) {
+        if (do_f32)
+          winners.insert(tune_hierarchical_one<float>(
+              exec, n, isa, leaf_candidates, block_rows_candidates, warmup,
+              reps, seed, cli.flag("verbose")));
+        if (do_f64)
+          winners.insert(tune_hierarchical_one<double>(
+              exec, n, isa, leaf_candidates, block_rows_candidates, warmup,
+              reps, seed, cli.flag("verbose")));
+        continue;
+      }
       if (do_f32)
         winners.insert(tune_one<float>(exec, n, isa, radix_candidates,
                                        fuse_candidates, warmup, reps, seed,
