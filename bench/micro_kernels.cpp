@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -713,6 +714,55 @@ void BM_HierarchicalFftLargeN(benchmark::State& state) {
 BENCHMARK(BM_HierarchicalFftLargeN)
     ->Arg(20)->Arg(22)->Arg(24)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Arbitrary-N routing payoff: the factorization-driven mixed-radix path at
+// N = 1,000,000 (stages [8,8,5,5,5,5,5,5] from 2^6 * 5^6) against what the
+// pow2-only core forced before the refactor — zero-pad to the next power
+// of two (2^20) and transform that. The padded row pays its O(N) pad
+// copy every iteration: the copy is part of the workaround's cost, and
+// it still buys only an approximation (padding changes the spectrum;
+// recovering exact bins needs a chirp-z pass on top, not charged here).
+// Same warmed-executor protocol and worker count as the LargeN rows; the
+// opt-in bench gate (RATIO3 in tools/CMakeLists.txt) pins exact-N as
+// faster than the padded transform.
+constexpr std::uint64_t kMillionN = 1000000;
+
+void BM_MixedRadixFft1M(benchmark::State& state) {
+  auto data = random_signal(kMillionN, 15);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  fft::FftExecutor ex;
+  ex.forward(data, opts);  // warm: factorization plan + flat twiddles
+  for (auto _ : state) {
+    ex.forward(data, opts);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kMillionN));
+}
+BENCHMARK(BM_MixedRadixFft1M)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_PaddedPow2Fft1M(benchmark::State& state) {
+  constexpr std::uint64_t kPadded = std::uint64_t{1} << 20;
+  const auto signal = random_signal(kMillionN, 15);
+  std::vector<cplx> padded(kPadded);
+  fft::HostFftOptions opts;
+  opts.workers = 2;
+  fft::FftExecutor ex;
+  std::copy(signal.begin(), signal.end(), padded.begin());
+  ex.forward(padded, opts);  // warm: pow2 plan for 2^20 resident
+  for (auto _ : state) {
+    std::copy(signal.begin(), signal.end(), padded.begin());
+    std::fill(padded.begin() + static_cast<std::ptrdiff_t>(kMillionN),
+              padded.end(), cplx{});
+    ex.forward(padded, opts);
+    benchmark::DoNotOptimize(padded.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kMillionN));
+}
+BENCHMARK(BM_PaddedPow2Fft1M)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -104,6 +104,14 @@ std::vector<LintBaselineRow> collect_lint_rows(unsigned workers) {
                "fft2d-32x64-r6" + suffix, workers);
     append_row(rows, build_real_fft_pipeline(4096, 6, opts),
                "real-n4096-r6" + suffix, workers);
+    // Arbitrary-N rows: one 7-smooth composite through the mixed-radix
+    // hull and one prime through the Bluestein chirp-z hull. Both are
+    // pure plan algebra (no cache_info dependence), so they gate like
+    // the classic rows.
+    append_row(rows, build_mixed_radix_pipeline(1000, opts),
+               "mixed-radix-n1000" + suffix, workers);
+    append_row(rows, build_bluestein_pipeline(101, 6, opts),
+               "bluestein-n101" + suffix, workers);
   }
   return rows;
 }

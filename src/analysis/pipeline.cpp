@@ -6,6 +6,7 @@
 #include "fft/executor.hpp"
 #include "fft/fft2d.hpp"
 #include "fft/kernels/dispatch.hpp"
+#include "fft/mixed_radix.hpp"
 #include "fft/real_fft.hpp"
 #include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
@@ -530,6 +531,166 @@ PipelineModel build_hierarchical_pipeline(std::uint64_t n, unsigned radix_log2,
     fused.tasks.push_back(std::move(task));
   }
   m.phases.push_back(std::move(fused));
+  return m;
+}
+
+PipelineModel build_mixed_radix_pipeline(std::uint64_t n,
+                                         const PipelineBuildOptions& opts,
+                                         std::string name) {
+  const fft::MixedRadixPlan plan(n);  // throws unless 2 <= n, 7-smooth
+  PipelineModel m = make_base(name.empty() ? "mixed-radix" : std::move(name),
+                              n, /*radix_log2=*/1, opts);
+  const std::uint32_t data = m.add_buffer("data", n, /*input=*/true);
+  const std::uint32_t tw =
+      m.add_buffer("twiddles", plan.twiddle_count(), /*input=*/true);
+  const std::uint32_t scratch = m.add_buffer("scratch", n, /*input=*/false);
+
+  // Digit-reversal gather, grained exactly like the runtime phase:
+  // scratch[p] = data[perm[p]] over bitrev_sweep_grain chunks.
+  {
+    PhaseModel phase;
+    phase.name = "permute";
+    phase.full_coverage.push_back(scratch);
+    const auto perm = plan.permutation();
+    const fft::SweepGrain grain = fft::bitrev_sweep_grain(n, opts.workers);
+    for (std::uint64_t c = 0; c < grain.chunks; ++c) {
+      const std::uint64_t begin = c * grain.per;
+      if (begin >= n) break;
+      const std::uint64_t end = std::min<std::uint64_t>(n, begin + grain.per);
+      PipelineTask task;
+      task.index = c;
+      for (std::uint64_t p = begin; p < end; ++p) {
+        task.reads.push_back({data, perm[p]});
+        task.writes.push_back({scratch, p});
+      }
+      phase.tasks.push_back(std::move(task));
+    }
+    m.phases.push_back(std::move(phase));
+  }
+
+  // One phase per stage over its n/r butterflies, chunked to the
+  // executor's workers*4 cap. Butterfly g = (b, j) touches the r
+  // elements b*L + j + u*L_p and reads the r-1 flat twiddles at
+  // twiddle_offset + j*(r-1) + (u-1) — the exact runner index algebra.
+  const std::uint32_t stages = plan.stage_count();
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    const fft::MixedRadixStage& stage = plan.stages()[s];
+    const std::uint64_t r = stage.radix;
+    const std::uint64_t lp = stage.prev_len;
+    const std::uint64_t g_count = n / r;
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(g_count, std::uint64_t{opts.workers} * 4);
+    const std::uint64_t per = util::ceil_div(g_count, chunks);
+    const std::uint32_t src = (s == 0) ? scratch : data;
+    PhaseModel phase;
+    phase.name = "stage" + std::to_string(s);
+    phase.full_coverage.push_back(data);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t g_begin = c * per;
+      if (g_begin >= g_count) break;
+      const std::uint64_t g_end =
+          std::min<std::uint64_t>(g_count, g_begin + per);
+      PipelineTask task;
+      task.index = c;
+      for (std::uint64_t g = g_begin; g < g_end; ++g) {
+        const std::uint64_t b = g / lp;
+        const std::uint64_t j = g % lp;
+        const std::uint64_t base = b * stage.len + j;
+        for (std::uint64_t u = 0; u < r; ++u) {
+          task.reads.push_back({src, base + u * lp});
+          task.writes.push_back({data, base + u * lp});
+        }
+        for (std::uint64_t u = 1; u < r; ++u)
+          task.reads.push_back(
+              {tw, stage.twiddle_offset + j * (r - 1) + (u - 1)});
+      }
+      task.flops =
+          (g_end - g_begin) * fft::MixedRadixPlan::butterfly_flops(stage.radix);
+      phase.tasks.push_back(std::move(task));
+    }
+    m.phases.push_back(std::move(phase));
+  }
+  return m;
+}
+
+PipelineModel build_bluestein_pipeline(std::uint64_t n, unsigned radix_log2,
+                                       const PipelineBuildOptions& opts,
+                                       std::string name) {
+  if (n < 2)
+    throw std::invalid_argument("build_bluestein_pipeline: n >= 2 required");
+  const std::uint64_t conv_n = fft::bluestein_fft_size(n);
+  const fft::FftPlan conv_plan(
+      conv_n, fft::validate_fft_shape(conv_n, radix_log2, true));
+
+  PipelineModel m = make_base(name.empty() ? "bluestein" : std::move(name), n,
+                              conv_plan.radix_log2(), opts);
+  const std::uint32_t data = m.add_buffer("data", n, /*input=*/true);
+  const std::uint32_t chirp = m.add_buffer("chirp", n, /*input=*/true);
+  const std::uint32_t bfilter =
+      m.add_buffer("chirp-fft", conv_n, /*input=*/true);
+  const std::uint32_t conv = m.add_buffer("conv", conv_n, /*input=*/false);
+
+  // Modulate + zero-fill: one serial pass (the executor runs it inline —
+  // O(M) noise against the inner FFTs it brackets).
+  {
+    PhaseModel phase;
+    phase.name = "modulate";
+    phase.full_coverage.push_back(conv);
+    PipelineTask task;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      task.reads.push_back({data, j});
+      task.reads.push_back({chirp, j});
+      task.writes.push_back({conv, j});
+    }
+    for (std::uint64_t j = n; j < conv_n; ++j)
+      task.writes.push_back({conv, j});
+    task.flops = n * kCplxMulFlops;
+    phase.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(phase));
+  }
+
+  ClassicPhaseSpec spec;
+  spec.data_buf = conv;
+  spec.twiddle_buf = m.add_buffer("twiddles", conv_n / 2, /*input=*/true);
+  spec.layout = opts.layout;
+  spec.workers = opts.workers;
+  spec.prefix = "fwd-";
+  append_classic_phases(m, conv_plan, spec);
+
+  // Pointwise convolution by the precomputed chirp-filter spectrum.
+  {
+    PhaseModel phase;
+    phase.name = "pointwise";
+    phase.full_coverage.push_back(conv);
+    PipelineTask task;
+    for (std::uint64_t j = 0; j < conv_n; ++j) {
+      task.reads.push_back({conv, j});
+      task.reads.push_back({bfilter, j});
+      task.writes.push_back({conv, j});
+    }
+    task.flops = conv_n * kCplxMulFlops;
+    phase.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(phase));
+  }
+
+  spec.prefix = "inv-";
+  append_classic_phases(m, conv_plan, spec);
+
+  // Demodulate back into the public buffer, folding in the inner 1/M.
+  {
+    PhaseModel phase;
+    phase.name = "demodulate";
+    phase.full_coverage.push_back(data);
+    PipelineTask task;
+    for (std::uint64_t j = 0; j < n; ++j) {
+      task.reads.push_back({conv, j});
+      task.reads.push_back({chirp, j});
+      task.writes.push_back({data, j});
+    }
+    task.flops = n * (kCplxMulFlops + 2);
+    phase.tasks.push_back(std::move(task));
+    m.phases.push_back(std::move(phase));
+  }
   return m;
 }
 

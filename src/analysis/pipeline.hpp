@@ -180,6 +180,30 @@ PipelineModel build_hierarchical_pipeline(std::uint64_t n, unsigned radix_log2,
                                           const PipelineBuildOptions& opts = {},
                                           std::string name = {});
 
+/// Mixed-radix composite-N pipeline (executor run_mixed_radix_locked):
+/// the chunked digit-reversal gather (fft::bitrev_sweep_grain, data ->
+/// scratch) followed by one phase per stage of the factorization — stage
+/// 0 reads the permuted scratch and writes data, later stages run in
+/// place on data. Tasks are the executor's butterfly chunks (workers*4
+/// cap), footprints the exact radix-r index sets plus the flat per-stage
+/// twiddle reads, so the coverage proof shows every element written by
+/// exactly one butterfly per stage. Throws unless n is 7-smooth.
+PipelineModel build_mixed_radix_pipeline(std::uint64_t n,
+                                         const PipelineBuildOptions& opts = {},
+                                         std::string name = {});
+
+/// Bluestein chirp-z pipeline (executor run_bluestein_locked) for
+/// arbitrary N: serial chirp modulation into the M = next_pow2(2N-1)
+/// convolution buffer (zero-filled tail), classic forward M-point FFT,
+/// serial pointwise multiply by the precomputed chirp-filter spectrum,
+/// classic inverse M-point FFT, serial demodulation back into data. The
+/// inner transforms are modelled on the classic path — the shipped
+/// routing for every M below the four-step threshold, which covers all
+/// lint/baseline sizes; bigger M would swap in the four-step hull.
+PipelineModel build_bluestein_pipeline(std::uint64_t n, unsigned radix_log2,
+                                       const PipelineBuildOptions& opts = {},
+                                       std::string name = {});
+
 /// 2-D row-column pipeline (fft::forward_2d): batched row sweep,
 /// transpose (in place when square, through scratch otherwise), batched
 /// column sweep, transpose back.

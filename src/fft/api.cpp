@@ -85,11 +85,16 @@ std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cpl
                                     const HostFftOptions& opts) {
   if (a.size() != b.size())
     throw std::invalid_argument("circular_convolve: length mismatch");
+  if (a.size() < 2)
+    throw std::invalid_argument("circular_convolve: length must be >= 2");
   std::vector<cplx> fa(a.begin(), a.end());
   std::vector<cplx> fb(b.begin(), b.end());
-  // Both forwards go down as ONE batched submission (one bit-reversal
-  // phase + one set of stage phases for the pair), and `fa` is reused as
-  // the output buffer of the pointwise product and the inverse.
+  // Transforms run at the EXACT length — the executor routes composite
+  // sizes to the mixed-radix plan and awkward ones to Bluestein — because
+  // a circular convolution's period is its length: padding here would
+  // compute a different convolution. Both forwards go down as ONE batched
+  // submission (shared plan/twiddle lookups for the pair), and `fa` is
+  // reused as the output buffer of the pointwise product and the inverse.
   const HostFftOptions clamped = clamp_radix(fa.size(), opts);
   const std::span<cplx> pair[2] = {fa, fb};
   default_executor().forward_batch(pair, clamped);

@@ -45,8 +45,14 @@ std::vector<cplx32> inverse_copy(std::span<const cplx32> data,
 std::vector<double> power_spectrum(std::span<const double> signal,
                                    const HostFftOptions& opts = {});
 
-/// Circular convolution of two equal-length power-of-two sequences via
-/// FFT (pointwise product in the frequency domain).
+/// Circular convolution of two equal-length sequences via FFT (pointwise
+/// product in the frequency domain). Any length N >= 2 is accepted and
+/// ALWAYS runs transforms of the exact length: 7-smooth composites take
+/// the factorization-driven mixed-radix plan, and prime/awkward lengths
+/// take Bluestein, whose pow2 padding is internal to the executor.
+/// Padding to the next pow2 at this layer would change the convolution's
+/// period — not merely its cost — so the exact-N plan is both the cheaper
+/// and the only correct choice.
 std::vector<cplx> circular_convolve(std::span<const cplx> a, std::span<const cplx> b,
                                     const HostFftOptions& opts = {});
 

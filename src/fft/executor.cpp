@@ -8,6 +8,7 @@
 
 #include "codelet/dep_counter.hpp"
 #include "fft/kernels/dispatch.hpp"
+#include "fft/mixed_radix.hpp"
 #include "fft/transpose.hpp"
 #include "util/bit_ops.hpp"
 #include "util/cpu_features.hpp"
@@ -88,6 +89,12 @@ PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2) {
 
 PlanKind routed_plan_kind(std::uint64_t n, unsigned four_step_threshold_log2,
                           unsigned hierarchical_threshold_log2) {
+  // Non-pow2 routing is factorization-driven and threshold-blind: every
+  // 7-smooth composite runs the mixed-radix plan, everything else the
+  // Bluestein chirp-z path (whose INTERNAL pow2 convolution FFTs re-enter
+  // here with M = next_pow2(2n-1) and do obey the thresholds).
+  if (n >= 2 && !util::is_pow2(n))
+    return factorize(n).smooth ? PlanKind::kMixedRadix : PlanKind::kBluestein;
   if (n < 4) return PlanKind::kClassic;
   const unsigned log2n = util::ilog2(n);
   if (hierarchical_threshold_log2 != 0 && log2n >= hierarchical_threshold_log2)
@@ -270,6 +277,65 @@ void FftExecutor::run_t(std::span<const std::span<cplx_t<T>>> batch,
   // Shape errors surface before any cache/team work; no clamping here —
   // this is the fft_host contract (api.cpp clamps on its own behalf).
   validate_fft_shape(n, opts.radix_log2, /*clamp_radix=*/false);
+
+  // Non-pow2 sizes dispatch on factorization alone, before the tuned
+  // schedules and size thresholds below (those steer the pow2 plans only).
+  // Mixed-radix and Bluestein keys pin radix_log2 = 1 and the linear
+  // layout: neither knob shapes these plans, and canonical values keep one
+  // cache entry per (n, precision) no matter what options callers pass.
+  if (!util::is_pow2(n)) {
+    const Factorization f = factorize(n);
+    if (f.smooth) {
+      std::shared_ptr<const PlanEntry> entry = cache_.acquire(PlanKey{
+          n, /*radix_log2=*/1, TwiddleLayout::kLinear, PlanKind::kMixedRadix,
+          precision_of<T>, /*hier_leaf_log2=*/0, factorization_digest(f)});
+      std::lock_guard lock(mutex_);
+      if (closed_.load(std::memory_order_relaxed)) throw ExecutorClosedError();
+      if (batch.size() > 1)
+        run_mixed_radix_batch_locked<T>(*entry, batch, opts, dir);
+      else
+        run_mixed_radix_locked<T>(*entry, batch.front(), opts, dir);
+      mixed_radix_ += batch.size();
+      transforms_ += (batch.size() == 1) ? 1 : 0;
+      batched_ += (batch.size() == 1) ? 0 : batch.size();
+      return;
+    }
+    // Bluestein: the chirp entry plus the inner pow2 convolution plan,
+    // both from the shared cache — the inner entry IS the entry a direct
+    // M-point transform builds (same key), so a mixed traffic stream of
+    // prime and pow2 sizes shares plans instead of duplicating them.
+    const std::uint64_t m = bluestein_fft_size(n);
+    std::shared_ptr<const PlanEntry> entry = cache_.acquire(PlanKey{
+        n, /*radix_log2=*/1, TwiddleLayout::kLinear, PlanKind::kBluestein,
+        precision_of<T>});
+    const PlanKind conv_kind = routed_plan_kind(
+        m, four_step_threshold_log2_.load(std::memory_order_relaxed),
+        hierarchical_threshold_log2_.load(std::memory_order_relaxed));
+    unsigned conv_radix = validate_fft_shape(m, opts.radix_log2, true);
+    unsigned conv_leaf = 0;
+    if (const std::optional<TunedSchedule> tuned = cache_.tuned_for(
+            m, precision_of<T>, kernels::active_kernel_isa())) {
+      if (opts.radix_log2 == HostFftOptions{}.radix_log2)
+        conv_radix = validate_fft_shape(m, tuned->radix_log2, true);
+      conv_leaf = tuned->hier_leaf_log2;
+    }
+    if (conv_kind == PlanKind::kHierarchical && conv_leaf == 0)
+      conv_leaf = hierarchical_leaf_log2(util::cache_info().l2_bytes,
+                                         sizeof(cplx_t<T>));
+    if (conv_kind != PlanKind::kHierarchical) conv_leaf = 0;
+    std::shared_ptr<const PlanEntry> conv = cache_.acquire(PlanKey{
+        m, conv_radix, opts.layout, conv_kind, precision_of<T>, conv_leaf});
+    std::lock_guard lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed)) throw ExecutorClosedError();
+    if (batch.size() > 1)
+      run_bluestein_batch_locked<T>(*entry, *conv, batch, opts, variant, dir);
+    else
+      run_bluestein_locked<T>(*entry, *conv, batch.front(), opts, variant, dir);
+    bluestein_ += batch.size();
+    transforms_ += (batch.size() == 1) ? 1 : 0;
+    batched_ += (batch.size() == 1) ? 0 : batch.size();
+    return;
+  }
 
   // A loaded tuned schedule steers the plan radix — but only when the
   // caller left HostFftOptions::radix_log2 at its default: an explicit
@@ -552,6 +618,237 @@ void FftExecutor::run_classic_locked(const PlanEntry& entry,
       rt.run_phase(phase2, PoolPolicy::kLifo, fine_body(stages - 1));
     }
   }
+}
+
+template <typename T>
+void FftExecutor::run_mixed_radix_locked(const PlanEntry& entry,
+                                         std::span<cplx_t<T>> data,
+                                         const HostFftOptions& opts,
+                                         TwiddleDirection dir) {
+  const MixedRadixPlan& plan = entry.mixed_plan();
+  const std::uint64_t n = plan.size();
+  const std::span<const cplx_t<T>> tw = entry.mixed_twiddles_for<T>(dir);
+
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+  NumericState<T>& st = num<T>();
+  if (st.mixed_scratch.size() < n) st.mixed_scratch.resize(n);
+
+  // One-worker teams skip the phase machinery entirely: same permutation,
+  // same butterflies in the same order, so the output is bit-identical to
+  // the phased path (stage butterflies are disjoint — any schedule of one
+  // stage computes the same values).
+  if (rt.workers() == 1) {
+    mixed_radix_serial<T>(plan, tw, data, st.mixed_scratch, dir);
+    return;
+  }
+
+  const std::span<cplx_t<T>> scratch(st.mixed_scratch.data(), n);
+  const std::span<const cplx_t<T>> cdata(data.data(), n);
+  const std::span<const cplx_t<T>> cscratch(scratch.data(), n);
+
+  // Digit-reversal gather as one chunked phase: scratch[p] = data[perm[p]].
+  {
+    const SweepGrain grain = bitrev_sweep_grain(n, rt.workers());
+    const std::uint64_t per = grain.per;
+    std::vector<CodeletKey> seeds;
+    seeds.reserve(grain.chunks);
+    for (std::uint64_t c = 0; c < grain.chunks; ++c) seeds.push_back({0, c});
+    rt.run_phase(seeds, PoolPolicy::kFifo,
+                 [&](CodeletKey key, unsigned, codelet::Pusher&) {
+                   const std::uint64_t b = key.index * per;
+                   mixed_radix_permute<T>(plan, cdata, scratch, b,
+                                          std::min(n, b + per));
+                 });
+  }
+
+  // One data-parallel phase per stage over its n/r butterflies. Stage 0
+  // reads the permuted scratch and writes data (fully disjoint buffers);
+  // later stages run in place on data.
+  const std::uint32_t stages = plan.stage_count();
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    const MixedRadixStage& stage = plan.stages()[s];
+    const std::uint64_t g_count = n / stage.radix;
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(g_count, std::uint64_t{rt.workers()} * 4);
+    const std::uint64_t per = util::ceil_div(g_count, chunks);
+    std::vector<CodeletKey> seeds;
+    seeds.reserve(chunks);
+    for (std::uint64_t c = 0; c < chunks; ++c) seeds.push_back({s, c});
+    const std::span<const cplx_t<T>> src = (s == 0) ? cscratch : cdata;
+    rt.run_phase(seeds, PoolPolicy::kFifo,
+                 [&](CodeletKey key, unsigned, codelet::Pusher&) {
+                   const std::uint64_t b = key.index * per;
+                   run_mixed_radix_stage<T>(plan, s, tw, src, data, b,
+                                            std::min(g_count, b + per), dir);
+                 });
+  }
+}
+
+template <typename T>
+void FftExecutor::run_mixed_radix_batch_locked(
+    const PlanEntry& entry, std::span<const std::span<cplx_t<T>>> batch,
+    const HostFftOptions& opts, TwiddleDirection dir) {
+  const MixedRadixPlan& plan = entry.mixed_plan();
+  const std::span<const cplx_t<T>> tw = entry.mixed_twiddles_for<T>(dir);
+
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+  NumericState<T>& st = num<T>();
+
+  // One-worker teams have no phases to amortize: loop the serial body
+  // directly, paying the plan/twiddle lookups and the lock once for the
+  // whole batch (the same degenerate shape as the classic batch path).
+  if (rt.workers() == 1) {
+    for (const std::span<cplx_t<T>>& data : batch)
+      mixed_radix_serial<T>(plan, tw, data, st.mixed_scratch, dir);
+    return;
+  }
+
+  // One phase, one whole-transform codelet per transform. Each codelet
+  // runs the same permutation and the same stage butterflies in the same
+  // order as the serial body — bit-identical to a loop of single calls —
+  // against its claiming worker's own scratch, so B coalesced transforms
+  // pay one phase instead of B * (stages + 1).
+  if (st.mixed_batch_scratch.size() < rt.workers())
+    st.mixed_batch_scratch.resize(rt.workers());
+  std::vector<CodeletKey> seeds;
+  seeds.reserve(batch.size());
+  for (std::uint64_t b = 0; b < batch.size(); ++b) seeds.push_back({0, b});
+  rt.run_phase(seeds, PoolPolicy::kFifo,
+               [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
+                 mixed_radix_serial<T>(plan, tw, batch[key.index],
+                                       st.mixed_batch_scratch[worker], dir);
+               });
+}
+
+template <typename T>
+void FftExecutor::run_bluestein_locked(const PlanEntry& entry,
+                                       const PlanEntry& conv,
+                                       std::span<cplx_t<T>> data,
+                                       const HostFftOptions& opts,
+                                       Variant variant, TwiddleDirection dir) {
+  // Chirp-z: X[k] = c[k] * (1/M) * IFFT_M( FFT_M(x .* c) .* B )[k] with
+  // c the length-n chirp and B the precomputed FFT of the chirp filter,
+  // both direction-resolved tables of `entry`. The two M-point transforms
+  // are always one forward plus one inverse regardless of the outer
+  // direction. The O(M) modulate/pointwise passes run serially: they are
+  // noise against the inner FFTs they bracket.
+  const std::uint64_t n = data.size();
+  const std::uint64_t m = entry.conv_size();
+  const std::span<const cplx_t<T>> chirp = entry.chirp_for<T>(dir);
+  const std::span<const cplx_t<T>> bfft = entry.chirp_fft_for<T>(dir);
+
+  NumericState<T>& st = num<T>();
+  if (st.bluestein_scratch.size() < m) st.bluestein_scratch.resize(m);
+  const std::span<cplx_t<T>> buf(st.bluestein_scratch.data(), m);
+
+  for (std::uint64_t j = 0; j < n; ++j) buf[j] = data[j] * chirp[j];
+  std::fill(buf.begin() + static_cast<std::ptrdiff_t>(n), buf.end(),
+            cplx_t<T>{});
+
+  const auto run_inner = [&](TwiddleDirection inner_dir) {
+    switch (conv.kind()) {
+      case PlanKind::kHierarchical:
+        run_hierarchical_locked<T>(conv, buf, opts, inner_dir,
+                                   /*tuned_block_rows=*/0, /*depth=*/0);
+        break;
+      case PlanKind::kFourStep:
+        run_four_step_locked<T>(conv, buf, opts, variant, inner_dir);
+        break;
+      default: {
+        const std::span<cplx_t<T>> one[1] = {buf};
+        run_classic_locked<T>(conv, one, opts, variant, inner_dir);
+        break;
+      }
+    }
+  };
+  run_inner(TwiddleDirection::kForward);
+  for (std::uint64_t j = 0; j < m; ++j) buf[j] *= bfft[j];
+  run_inner(TwiddleDirection::kInverse);
+
+  // Demodulate, folding in the inner inverse's 1/M (the locked bodies
+  // never scale; the public inverse wrappers add the outer 1/n on top).
+  const T inv_m = static_cast<T>(1.0 / static_cast<double>(m));
+  for (std::uint64_t j = 0; j < n; ++j) data[j] = buf[j] * chirp[j] * inv_m;
+}
+
+template <typename T>
+void FftExecutor::run_bluestein_batch_locked(
+    const PlanEntry& entry, const PlanEntry& conv,
+    std::span<const std::span<cplx_t<T>>> batch, const HostFftOptions& opts,
+    Variant variant, TwiddleDirection dir) {
+  codelet::HostRuntime& rt = team(opts.workers, opts.mode);
+
+  // Fall back to the per-transform path when there is nothing to amortize
+  // (one-worker teams run no phases) or when the convolution size routes
+  // four-step/hierarchical — those paths schedule phases of their own,
+  // which cannot nest inside a codelet body.
+  if (rt.workers() == 1 || conv.kind() != PlanKind::kClassic) {
+    for (const std::span<cplx_t<T>>& t : batch)
+      run_bluestein_locked<T>(entry, conv, t, opts, variant, dir);
+    return;
+  }
+
+  const std::uint64_t n = batch.front().size();
+  const std::uint64_t m = entry.conv_size();
+  const std::span<const cplx_t<T>> chirp = entry.chirp_for<T>(dir);
+  const std::span<const cplx_t<T>> bfft = entry.chirp_fft_for<T>(dir);
+  const FftPlan& plan = conv.plan();
+  const BasicTwiddleTable<T>& tw_fwd =
+      conv.twiddles_for<T>(TwiddleDirection::kForward);
+  const BasicTwiddleTable<T>& tw_inv =
+      conv.twiddles_for<T>(TwiddleDirection::kInverse);
+  const std::uint32_t stages = plan.stage_count();
+  const std::uint64_t tasks = plan.tasks_per_stage();
+  const unsigned bits = plan.log2_size();
+  const unsigned fuse_log2 = tuned_fuse_locked<T>(m);
+  const std::span<const std::uint32_t> brev(bitrev_table_locked(m, bits));
+
+  ensure_worker_buffers<T>(plan.radix(), rt.workers());
+  NumericState<T>& st = num<T>();
+  std::vector<BasicKernelScratch<T>>& scratch = st.scratch;
+  if (st.row_split.size() < rt.workers()) st.row_split.resize(rt.workers());
+  if (st.bluestein_batch_scratch.size() < rt.workers())
+    st.bluestein_batch_scratch.resize(rt.workers());
+  for (unsigned w = 0; w < rt.workers(); ++w) {
+    if (st.row_split[w].size() < 2 * m) st.row_split[w].resize(2 * m);
+    if (st.bluestein_batch_scratch[w].size() < m)
+      st.bluestein_batch_scratch[w].resize(m);
+  }
+  const T inv_m = static_cast<T>(1.0 / static_cast<double>(m));
+
+  // One phase, one whole-chirp-z-chain codelet per transform: modulate,
+  // forward M-point FFT, pointwise filter, inverse M-point FFT,
+  // demodulate — the inner FFTs use the same fused-stage-0 serial classic
+  // body as the one-worker fast path, so each transform's output is
+  // bit-identical to a single run_bluestein_locked call, while B
+  // coalesced transforms pay one phase instead of B whole phased chains.
+  std::vector<CodeletKey> seeds;
+  seeds.reserve(batch.size());
+  for (std::uint64_t b = 0; b < batch.size(); ++b) seeds.push_back({0, b});
+  rt.run_phase(
+      seeds, PoolPolicy::kFifo,
+      [&](CodeletKey key, unsigned worker, codelet::Pusher&) {
+        std::span<cplx_t<T>> data = batch[key.index];
+        const std::span<cplx_t<T>> buf(st.bluestein_batch_scratch[worker].data(),
+                                       m);
+        T* const re = st.row_split[worker].data();
+        T* const im = re + m;
+        for (std::uint64_t j = 0; j < n; ++j) buf[j] = data[j] * chirp[j];
+        std::fill(buf.begin() + static_cast<std::ptrdiff_t>(n), buf.end(),
+                  cplx_t<T>{});
+        const auto serial_fft = [&](const BasicTwiddleTable<T>& tw) {
+          run_stage0_bitrev(plan, buf, tw, brev, re, im, scratch[worker],
+                            fuse_log2);
+          for (std::uint32_t s = 1; s < stages; ++s)
+            for (std::uint64_t t = 0; t < tasks; ++t)
+              run_codelet(plan, s, t, buf, tw, scratch[worker], fuse_log2);
+        };
+        serial_fft(tw_fwd);
+        for (std::uint64_t j = 0; j < m; ++j) buf[j] *= bfft[j];
+        serial_fft(tw_inv);
+        for (std::uint64_t j = 0; j < n; ++j)
+          data[j] = buf[j] * chirp[j] * inv_m;
+      });
 }
 
 template <typename T>
@@ -1104,6 +1401,14 @@ void FftExecutor::shutdown_locked() {
   f64_.hier_scratch.shrink_to_fit();
   f64_.hier_panel.clear();
   f64_.hier_panel.shrink_to_fit();
+  f64_.mixed_scratch.clear();
+  f64_.mixed_scratch.shrink_to_fit();
+  f64_.bluestein_scratch.clear();
+  f64_.bluestein_scratch.shrink_to_fit();
+  f64_.mixed_batch_scratch.clear();
+  f64_.mixed_batch_scratch.shrink_to_fit();
+  f64_.bluestein_batch_scratch.clear();
+  f64_.bluestein_batch_scratch.shrink_to_fit();
   f64_.row_split.clear();
   f64_.scratch_radix = 0;
   f32_.scratch.clear();
@@ -1113,6 +1418,14 @@ void FftExecutor::shutdown_locked() {
   f32_.hier_scratch.shrink_to_fit();
   f32_.hier_panel.clear();
   f32_.hier_panel.shrink_to_fit();
+  f32_.mixed_scratch.clear();
+  f32_.mixed_scratch.shrink_to_fit();
+  f32_.bluestein_scratch.clear();
+  f32_.bluestein_scratch.shrink_to_fit();
+  f32_.mixed_batch_scratch.clear();
+  f32_.mixed_batch_scratch.shrink_to_fit();
+  f32_.bluestein_batch_scratch.clear();
+  f32_.bluestein_batch_scratch.shrink_to_fit();
   f32_.row_split.clear();
   f32_.scratch_radix = 0;
   bitrev_tables_.clear();
@@ -1150,6 +1463,8 @@ ExecutorStats FftExecutor::stats() const {
   s.batched = batched_;
   s.four_step = four_step_;
   s.hierarchical = hierarchical_;
+  s.mixed_radix = mixed_radix_;
+  s.bluestein = bluestein_;
   s.teams_created = teams_created_;
   s.schedule_hits = schedule_hits_;
   return s;

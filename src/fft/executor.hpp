@@ -136,10 +136,14 @@ HierarchicalGrain hierarchical_grain(std::uint64_t n1, std::uint64_t n2,
                                      std::uint64_t l2_bytes,
                                      std::uint64_t tuned_block_rows);
 
-/// The PlanKind run_t routes an n-point transform to under the two
-/// routing thresholds (each 0 disables its path; the hierarchical check
-/// wins when both match) — the executor's own routing predicate, shared
-/// with fft_lint --plan-kind=auto. The two-argument overload applies the
+/// The PlanKind run_t routes an n-point transform to. Non-pow2 sizes are
+/// decided first, by factorization alone: 7-smooth composites run
+/// kMixedRadix, everything else kBluestein (the thresholds never apply —
+/// they govern only which pow2 decomposition runs, including Bluestein's
+/// internal convolution FFTs). Pow2 sizes fall through to the two
+/// log2-thresholds (each 0 disables its path; the hierarchical check wins
+/// when both match) — the executor's own routing predicate, shared with
+/// fft_lint --plan-kind=auto. The two-argument overload applies the
 /// default hierarchical threshold.
 PlanKind routed_plan_kind(std::uint64_t n, unsigned threshold_log2);
 PlanKind routed_plan_kind(std::uint64_t n, unsigned four_step_threshold_log2,
@@ -207,6 +211,13 @@ struct ExecutorStats {
   /// Top-level transforms that took the hierarchical pipelined path
   /// (recursive inner levels are not double-counted).
   std::uint64_t hierarchical = 0;
+  /// Top-level transforms that ran a factorization-driven mixed-radix plan
+  /// (every non-pow2 7-smooth size).
+  std::uint64_t mixed_radix = 0;
+  /// Top-level transforms that ran the Bluestein chirp-z path (prime and
+  /// non-7-smooth sizes); the two internal pow2 convolution FFTs are not
+  /// double-counted in transforms/four_step/hierarchical.
+  std::uint64_t bluestein = 0;
   /// Worker teams this executor created over its lifetime.
   std::uint64_t teams_created = 0;
   /// Plan-shape lookups answered by a loaded tuned schedule (one per
@@ -259,10 +270,11 @@ class FftExecutor {
   void inverse(std::span<cplx32> data, Variant variant = Variant::kFine);
 
   /// Batched transforms: every span is one independent transform; all must
-  /// share one power-of-two length (throws std::invalid_argument
-  /// otherwise). The whole batch runs as one bit-reversal phase plus the
-  /// variant's stage phases, bit-identical per transform to a loop of
-  /// single calls.
+  /// share one length >= 2 (throws std::invalid_argument otherwise). A
+  /// pow2 batch runs as one bit-reversal phase plus the variant's stage
+  /// phases; composite/prime lengths run their mixed-radix or Bluestein
+  /// plan per transform with the plan/twiddle lookups amortized across the
+  /// batch. Bit-identical per transform to a loop of single calls.
   void forward_batch(std::span<const std::span<cplx>> batch,
                      const HostFftOptions& opts, Variant variant = Variant::kFine);
   void forward_batch(std::span<const std::span<cplx>> batch,
@@ -376,6 +388,23 @@ class FftExecutor {
     /// transposed out to `data`. Sized for the largest (block_rows2 x n2)
     /// seen; L2-resident by the grain policy's construction.
     std::vector<std::vector<cplx_t<T>>> hier_panel;
+    /// Mixed-radix ping buffer: the digit-reversal permutation target
+    /// (stage 0 reads it back into `data`; later stages run in place).
+    std::vector<cplx_t<T>> mixed_scratch;
+    /// Bluestein convolution buffer of length M = next_pow2(2n-1). Its
+    /// inner pow2 FFTs may themselves route four-step/hierarchical, which
+    /// use four_step_scratch / hier_scratch — never this buffer — so the
+    /// chirp-modulated signal survives the inner transforms.
+    std::vector<cplx_t<T>> bluestein_scratch;
+    /// Per-worker whole-transform scratch of the BATCHED composite paths
+    /// (one root codelet per transform, each transform serialized by the
+    /// worker that claims it — the same phase-amortization shape as the
+    /// pow2 batch path, so coalesced composite traffic pays one phase per
+    /// batch instead of several per transform). Each worker needs its own
+    /// permutation / convolution buffer because transforms run
+    /// concurrently.
+    std::vector<std::vector<cplx_t<T>>> mixed_batch_scratch;
+    std::vector<std::vector<cplx_t<T>>> bluestein_batch_scratch;
   };
 
   template <typename T>
@@ -420,6 +449,54 @@ class FftExecutor {
   void run_hierarchical_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
                                const HostFftOptions& opts, TwiddleDirection dir,
                                std::uint64_t tuned_block_rows, unsigned depth);
+  /// One mixed-radix transform (mutex_ held): digit-reversal permutation
+  /// into the ping buffer as a chunked phase, then one data-parallel phase
+  /// per stage over its butterfly groups (butterflies of one stage touch
+  /// disjoint indices, so any schedule is race-free and bit-identical).
+  /// A one-worker team runs the same butterflies serially in order.
+  template <typename T>
+  void run_mixed_radix_locked(const PlanEntry& entry, std::span<cplx_t<T>> data,
+                              const HostFftOptions& opts, TwiddleDirection dir);
+  /// A batch of mixed-radix transforms (mutex_ held): ONE phase with one
+  /// codelet per transform, each running the serial whole-transform body
+  /// against a per-worker scratch buffer — same butterflies in the same
+  /// order as the phased single-transform path, so bit-identical, while a
+  /// coalesced batch of B composite transforms pays one phase instead of
+  /// B * (stages + 1). One-worker teams loop the serial body directly.
+  template <typename T>
+  void run_mixed_radix_batch_locked(const PlanEntry& entry,
+                                    std::span<const std::span<cplx_t<T>>> batch,
+                                    const HostFftOptions& opts,
+                                    TwiddleDirection dir);
+  /// One Bluestein chirp-z transform (mutex_ held): chirp-modulate into
+  /// the M-point convolution buffer, run the shared-cache pow2 forward
+  /// plan, pointwise-multiply by the precomputed chirp-filter spectrum,
+  /// run the pow2 inverse plan, then demodulate (folding the 1/M) back
+  /// into `data`. `conv` is the inner pow2 plan entry (kind = the routed
+  /// kind for M); both inner FFTs always run forward+inverse of M
+  /// regardless of the outer direction — the direction lives entirely in
+  /// the chirp tables.
+  template <typename T>
+  void run_bluestein_locked(const PlanEntry& entry, const PlanEntry& conv,
+                            std::span<cplx_t<T>> data,
+                            const HostFftOptions& opts, Variant variant,
+                            TwiddleDirection dir);
+  /// A batch of Bluestein transforms (mutex_ held): when the inner
+  /// convolution is a classic plan, ONE phase with one codelet per
+  /// transform — each worker runs the whole chirp-z chain (modulate,
+  /// serial M-point forward, pointwise, serial M-point inverse,
+  /// demodulate) against its own convolution buffer, using the same
+  /// fused-stage-0 serial classic body as the one-worker fast path (bit-
+  /// identical to the phased inner transforms by the classic contract).
+  /// Falls back to the per-transform path for one-worker teams and for
+  /// convolution sizes that route four-step/hierarchical (those pipelines
+  /// cannot nest inside a codelet).
+  template <typename T>
+  void run_bluestein_batch_locked(const PlanEntry& entry,
+                                  const PlanEntry& conv,
+                                  std::span<const std::span<cplx_t<T>>> batch,
+                                  const HostFftOptions& opts, Variant variant,
+                                  TwiddleDirection dir);
   /// Four-step sub-FFT sweep (mutex_ held): row_count consecutive
   /// plan-sized rows of `data`, each transformed completely by one worker
   /// while cache-resident; chunks of rows are the codelets of one phase on
@@ -470,6 +547,8 @@ class FftExecutor {
   std::uint64_t batched_ = 0;
   std::uint64_t four_step_ = 0;
   std::uint64_t hierarchical_ = 0;
+  std::uint64_t mixed_radix_ = 0;
+  std::uint64_t bluestein_ = 0;
   std::uint64_t teams_created_ = 0;
   std::uint64_t schedule_hits_ = 0;
 };

@@ -8,13 +8,16 @@
 namespace c64fft::fft {
 
 unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_radix) {
-  if (!util::is_pow2(n) || n < 2)
-    throw std::invalid_argument("fft: size must be a power of two >= 2");
+  if (n < 2) throw std::invalid_argument("fft: size must be >= 2");
   if (radix_log2 < 1 || radix_log2 > 8)
     throw std::invalid_argument("fft: radix_log2 must be in [1, 8]");
   const unsigned bits = util::ilog2(n);
   if (bits < radix_log2) {
-    if (!clamp_radix) throw std::invalid_argument("fft: size must be at least the radix");
+    // Non-pow2 sizes run mixed-radix/Bluestein plans, which ignore the
+    // radix entirely — a too-wide radix is never an error there, so the
+    // strict (clamp_radix=false) throw stays a pow2-only contract.
+    if (!clamp_radix && util::is_pow2(n))
+      throw std::invalid_argument("fft: size must be at least the radix");
     return bits;
   }
   return radix_log2;
@@ -26,6 +29,10 @@ const char* to_string(PlanKind kind) noexcept {
       return "four-step";
     case PlanKind::kHierarchical:
       return "hierarchical";
+    case PlanKind::kMixedRadix:
+      return "mixed-radix";
+    case PlanKind::kBluestein:
+      return "bluestein";
     case PlanKind::kClassic:
     default:
       return "classic";
@@ -78,6 +85,11 @@ HierarchicalSplit hierarchical_split(std::uint64_t n, unsigned leaf_log2) {
 
 FftPlan::FftPlan(std::uint64_t n, unsigned radix_log2)
     : n_(n), r_(validate_fft_shape(n, radix_log2, /*clamp_radix=*/false)) {
+  // validate_fft_shape accepts any N >= 2 (composite sizes route to the
+  // mixed-radix/Bluestein plans before ever reaching here), but this
+  // stage/task algebra is pow2-only — keep the historical contract.
+  if (!util::is_pow2(n))
+    throw std::invalid_argument("FftPlan: size must be a power of two >= 2");
   log2n_ = util::ilog2(n);
   tasks_ = n_ >> r_;
   const std::uint32_t full = log2n_ / r_;

@@ -54,10 +54,24 @@ struct StageInfo {
 ///    for the targeted cache level. The executor drives it as a
 ///    tile-granular dependency-counted pipeline instead of the
 ///    four-step path's barrier-phased passes.
-enum class PlanKind { kClassic, kFourStep, kHierarchical };
+///  * kMixedRadix — factorization-driven composite-N plan (mixed_radix
+///    .hpp): a factorize(n) stage vector of radix-2/3/4/5/7/8 codelets
+///    with generalized digit-reversal and per-stage twiddles. The
+///    executor routes every non-pow2 7-smooth size through this kind.
+///  * kBluestein — chirp-z for prime and non-7-smooth N: the transform
+///    becomes a circular convolution of length next_pow2(2n-1), executed
+///    through the shared pow2 plans of the same cache.
+enum class PlanKind {
+  kClassic,
+  kFourStep,
+  kHierarchical,
+  kMixedRadix,
+  kBluestein
+};
 
-/// Stable lower-case name ("classic" / "four-step" / "hierarchical") used
-/// by lint tooling and baseline metric keys.
+/// Stable lower-case name ("classic" / "four-step" / "hierarchical" /
+/// "mixed-radix" / "bluestein") used by lint tooling and baseline metric
+/// keys.
 const char* to_string(PlanKind kind) noexcept;
 
 /// Factorization N = n1 * n2 used by the four-step path. Balanced
@@ -102,11 +116,15 @@ unsigned hierarchical_leaf_log2(std::uint64_t cache_bytes, unsigned element_byte
 HierarchicalSplit hierarchical_split(std::uint64_t n, unsigned leaf_log2);
 
 /// Shared shape validator for every FFT entry point (plan construction,
-/// the public api.cpp wrappers, the executor): N must be a power of two
-/// >= 2 and radix_log2 in [1, 8]. Returns the radix_log2 to use. When
+/// the public api.cpp wrappers, the executor): any N >= 2 is accepted —
+/// pow2 sizes run the classic/four-step/hierarchical plans, composite
+/// sizes the mixed-radix plan, and everything else Bluestein — with
+/// radix_log2 in [1, 8]. Returns the radix_log2 to use. For pow2 N, when
 /// `clamp_radix` is true a radix wider than log2(N) is narrowed to
 /// log2(N) (the public-API convenience); when false it throws (the plan
-/// contract, relied on by tests).
+/// contract, relied on by tests). For non-pow2 N the radix is advisory —
+/// mixed-radix and Bluestein plans ignore it — so it is always clamped
+/// (against floor(log2 N)) and never throws on width.
 unsigned validate_fft_shape(std::uint64_t n, unsigned radix_log2, bool clamp_radix);
 
 class FftPlan {

@@ -4,14 +4,54 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fft/reference.hpp"
 #include "util/cpu_features.hpp"
 
 namespace c64fft::fft {
 
-PlanEntry::PlanEntry(const PlanKey& key)
-    : key_(key), plan_(std::make_unique<FftPlan>(key.n, key.radix_log2)) {
+namespace {
+
+std::vector<cplx32> narrow(const std::vector<cplx>& v) {
+  std::vector<cplx32> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = cplx32(static_cast<float>(v[i].real()),
+                    static_cast<float>(v[i].imag()));
+  return out;
+}
+
+}  // namespace
+
+PlanEntry::PlanEntry(const PlanKey& key) : key_(key) {
+  if (key.kind == PlanKind::kMixedRadix) {
+    mixed_ = std::make_unique<MixedRadixPlan>(key.n);
+    if (key.precision == Precision::kF32)
+      mixed_fwd32_ =
+          mixed_radix_twiddles<float>(*mixed_, TwiddleDirection::kForward);
+    else
+      mixed_fwd_ =
+          mixed_radix_twiddles<double>(*mixed_, TwiddleDirection::kForward);
+    return;
+  }
+  if (key.kind == PlanKind::kBluestein) {
+    if (key.n < 2)
+      throw std::invalid_argument("PlanEntry: Bluestein size must be >= 2");
+    conv_n_ = bluestein_fft_size(key.n);
+    std::vector<cplx> chirp, bfft;
+    build_bluestein(TwiddleDirection::kForward, chirp, bfft);
+    if (key.precision == Precision::kF32) {
+      chirp_fwd32_ = narrow(chirp);
+      bfft_fwd32_ = narrow(bfft);
+    } else {
+      chirp_fwd_ = std::move(chirp);
+      bfft_fwd_ = std::move(bfft);
+    }
+    return;
+  }
   if (key.kind != PlanKind::kClassic)
-    throw std::invalid_argument("PlanEntry: classic constructor requires kClassic key");
+    throw std::invalid_argument(
+        "PlanEntry: single-key constructor requires kClassic, kMixedRadix, "
+        "or kBluestein");
+  plan_ = std::make_unique<FftPlan>(key.n, key.radix_log2);
   if (key.precision == Precision::kF32)
     forward32_ = std::make_unique<TwiddleTableF>(key.n, key.layout);
   else
@@ -22,6 +62,47 @@ PlanEntry::PlanEntry(const PlanKey& key)
   for (std::uint32_t s = 1; s < stages; ++s) {
     groups_[s] = plan_->groups_in_stage(s);
     thresholds_[s] = plan_->group_threshold(s);
+  }
+}
+
+void PlanEntry::build_bluestein(TwiddleDirection dir,
+                                std::vector<cplx>& chirp_out,
+                                std::vector<cplx>& bfft_out) const {
+  // Everything evaluates in double regardless of the entry precision (the
+  // f32 tables are narrowed images), including the chirp-filter FFT: the
+  // serial pow2 reference keeps the filter's own rounding at f64.
+  const std::uint64_t n = key_.n;
+  chirp_out.resize(n);
+  for (std::uint64_t j = 0; j < n; ++j)
+    chirp_out[j] = bluestein_chirp<double>(n, j, dir);
+  bfft_out.assign(conv_n_, cplx{});
+  bfft_out[0] = std::conj(chirp_out[0]);
+  for (std::uint64_t j = 1; j < n; ++j) {
+    const cplx b = std::conj(chirp_out[j]);
+    bfft_out[j] = b;
+    bfft_out[conv_n_ - j] = b;
+  }
+  fft_serial_inplace(std::span<cplx>(bfft_out));
+}
+
+void PlanEntry::build_inverse_tables() const {
+  if (key_.kind == PlanKind::kMixedRadix) {
+    if (key_.precision == Precision::kF32)
+      mixed_inv32_ =
+          mixed_radix_twiddles<float>(*mixed_, TwiddleDirection::kInverse);
+    else
+      mixed_inv_ =
+          mixed_radix_twiddles<double>(*mixed_, TwiddleDirection::kInverse);
+    return;
+  }
+  std::vector<cplx> chirp, bfft;
+  build_bluestein(TwiddleDirection::kInverse, chirp, bfft);
+  if (key_.precision == Precision::kF32) {
+    chirp_inv32_ = narrow(chirp);
+    bfft_inv32_ = narrow(bfft);
+  } else {
+    chirp_inv_ = std::move(chirp);
+    bfft_inv_ = std::move(bfft);
   }
 }
 
@@ -71,9 +152,87 @@ const PlanEntry& PlanEntry::require_classic() const {
 }
 
 const PlanEntry& PlanEntry::require_composite() const {
-  if (key_.kind == PlanKind::kClassic)
-    throw std::logic_error("PlanEntry: composite accessor on a classic entry");
+  if (key_.kind != PlanKind::kFourStep && key_.kind != PlanKind::kHierarchical)
+    throw std::logic_error(
+        "PlanEntry: composite accessor on a non-four-step/hierarchical entry");
   return *this;
+}
+
+const PlanEntry& PlanEntry::require_mixed() const {
+  if (key_.kind != PlanKind::kMixedRadix)
+    throw std::logic_error(
+        "PlanEntry: mixed-radix accessor on a non-mixed-radix entry");
+  return *this;
+}
+
+const PlanEntry& PlanEntry::require_bluestein() const {
+  if (key_.kind != PlanKind::kBluestein)
+    throw std::logic_error(
+        "PlanEntry: Bluestein accessor on a non-Bluestein entry");
+  return *this;
+}
+
+const MixedRadixPlan& PlanEntry::mixed_plan() const {
+  return *require_mixed().mixed_;
+}
+
+std::span<const cplx> PlanEntry::mixed_twiddles(TwiddleDirection dir) const {
+  const PlanEntry& e = require_mixed();
+  if (e.key_.precision != Precision::kF64)
+    throw std::logic_error("PlanEntry: f64 twiddle accessor on an f32 entry");
+  if (dir == TwiddleDirection::kForward) return e.mixed_fwd_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return mixed_inv_;
+}
+
+std::span<const cplx32> PlanEntry::mixed_twiddles_f32(
+    TwiddleDirection dir) const {
+  const PlanEntry& e = require_mixed();
+  if (e.key_.precision != Precision::kF32)
+    throw std::logic_error("PlanEntry: f32 twiddle accessor on an f64 entry");
+  if (dir == TwiddleDirection::kForward) return e.mixed_fwd32_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return mixed_inv32_;
+}
+
+std::uint64_t PlanEntry::conv_size() const {
+  return require_bluestein().conv_n_;
+}
+
+std::span<const cplx> PlanEntry::chirp(TwiddleDirection dir) const {
+  const PlanEntry& e = require_bluestein();
+  if (e.key_.precision != Precision::kF64)
+    throw std::logic_error("PlanEntry: f64 chirp accessor on an f32 entry");
+  if (dir == TwiddleDirection::kForward) return e.chirp_fwd_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return chirp_inv_;
+}
+
+std::span<const cplx32> PlanEntry::chirp_f32(TwiddleDirection dir) const {
+  const PlanEntry& e = require_bluestein();
+  if (e.key_.precision != Precision::kF32)
+    throw std::logic_error("PlanEntry: f32 chirp accessor on an f64 entry");
+  if (dir == TwiddleDirection::kForward) return e.chirp_fwd32_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return chirp_inv32_;
+}
+
+std::span<const cplx> PlanEntry::chirp_fft(TwiddleDirection dir) const {
+  const PlanEntry& e = require_bluestein();
+  if (e.key_.precision != Precision::kF64)
+    throw std::logic_error("PlanEntry: f64 chirp accessor on an f32 entry");
+  if (dir == TwiddleDirection::kForward) return e.bfft_fwd_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return bfft_inv_;
+}
+
+std::span<const cplx32> PlanEntry::chirp_fft_f32(TwiddleDirection dir) const {
+  const PlanEntry& e = require_bluestein();
+  if (e.key_.precision != Precision::kF32)
+    throw std::logic_error("PlanEntry: f32 chirp accessor on an f64 entry");
+  if (dir == TwiddleDirection::kForward) return e.bfft_fwd32_;
+  std::call_once(inverse_once_, [this] { build_inverse_tables(); });
+  return bfft_inv32_;
 }
 
 const TwiddleTable& PlanEntry::twiddles(TwiddleDirection dir) const {

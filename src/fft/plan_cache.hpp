@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "codelet/dep_counter.hpp"
+#include "fft/mixed_radix.hpp"
 #include "fft/plan.hpp"
 #include "fft/schedule.hpp"
 #include "fft/twiddle.hpp"
@@ -49,6 +50,12 @@ struct PlanKey {
   /// entry with; 0 everywhere else. Part of the key so a re-tuned leaf
   /// builds a fresh entry instead of silently reusing the old split.
   unsigned hier_leaf_log2 = 0;
+  /// kMixedRadix only: factorization_digest() of the stage vector — the
+  /// key's fixed-width image of the factorization (deterministic from n
+  /// today, but part of the key so a future planner that chooses between
+  /// factorizations of one n keys them apart). 0 everywhere else,
+  /// including kBluestein (the residue is keyed by n itself).
+  std::uint64_t factor_digest = 0;
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -58,9 +65,12 @@ struct PlanKeyHash {
     std::uint64_t h = k.n * 0x9e3779b97f4a7c15ull;
     h ^= (std::uint64_t{k.radix_log2} << 1) ^
          (std::uint64_t{k.hier_leaf_log2} << 40) ^
+         (k.factor_digest * 0xff51afd7ed558ccdull) ^
          (k.layout == TwiddleLayout::kBitReversed ? 0x85ebca77ull : 0) ^
          (k.kind == PlanKind::kFourStep ? 0xc2b2ae3d27d4eb4full : 0) ^
          (k.kind == PlanKind::kHierarchical ? 0x2545f4914f6cdd1dull : 0) ^
+         (k.kind == PlanKind::kMixedRadix ? 0x94d049bb133111ebull : 0) ^
+         (k.kind == PlanKind::kBluestein ? 0xbf58476d1ce4e5b9ull : 0) ^
          (k.precision == Precision::kF32 ? 0xa0761d6478bd642full : 0);
     h ^= h >> 33;
     return static_cast<std::size_t>(h);
@@ -69,9 +79,17 @@ struct PlanKeyHash {
 
 class PlanEntry {
  public:
-  /// Builds a classic entry: the plan, the forward twiddle table, and the
-  /// counter template. Throws std::invalid_argument for bad shapes (no
-  /// radix clamping here — callers validate first).
+  /// Builds a classic, mixed-radix, or Bluestein entry from the key kind:
+  /// classic gets the FftPlan, forward twiddle table, and counter
+  /// template; mixed-radix gets the MixedRadixPlan (stage vector +
+  /// digit-reversal permutation) and its flat per-stage forward twiddles;
+  /// Bluestein gets the length-n chirp and the length-M FFT of the chirp
+  /// filter (M = bluestein_fft_size(n)) — the runtime convolution's pow2
+  /// plans are acquired separately from the shared cache. All kinds build
+  /// only the key's precision eagerly (f32 tables are narrowed images of
+  /// the double-evaluated values) and the inverse-direction tables
+  /// lazily. Throws std::invalid_argument for bad shapes (no radix
+  /// clamping here — callers validate first).
   explicit PlanEntry(const PlanKey& key);
 
   /// Builds a four-step entry: no plan/twiddles/counters of its own, just
@@ -143,9 +161,58 @@ class PlanEntry {
   /// split). Composite only.
   unsigned levels() const { return require_composite().levels_; }
 
+  // ---- Mixed-radix entries only ----
+
+  const MixedRadixPlan& mixed_plan() const;
+  /// Flat per-stage twiddle vector (mixed_radix_twiddles layout). Forward
+  /// always exists at the key's precision; inverse builds lazily. Asking
+  /// for the other precision throws std::logic_error, mirroring
+  /// twiddles()/twiddles_f32().
+  std::span<const cplx> mixed_twiddles(TwiddleDirection dir) const;
+  std::span<const cplx32> mixed_twiddles_f32(TwiddleDirection dir) const;
+  template <typename T>
+  std::span<const cplx_t<T>> mixed_twiddles_for(TwiddleDirection dir) const {
+    if constexpr (std::is_same_v<T, float>)
+      return mixed_twiddles_f32(dir);
+    else
+      return mixed_twiddles(dir);
+  }
+
+  // ---- Bluestein entries only ----
+
+  /// Convolution length M = bluestein_fft_size(n) of this entry.
+  std::uint64_t conv_size() const;
+  /// Chirp c[j] = exp(-+ pi i j^2 / n), length n, for the given OUTER
+  /// transform direction (the inner M-point FFTs are always one forward
+  /// plus one inverse regardless).
+  std::span<const cplx> chirp(TwiddleDirection dir) const;
+  std::span<const cplx32> chirp_f32(TwiddleDirection dir) const;
+  /// FFT_M of the chirp filter b (b[j] = b[M-j] = conj(c[j])), length M.
+  std::span<const cplx> chirp_fft(TwiddleDirection dir) const;
+  std::span<const cplx32> chirp_fft_f32(TwiddleDirection dir) const;
+  template <typename T>
+  std::span<const cplx_t<T>> chirp_for(TwiddleDirection dir) const {
+    if constexpr (std::is_same_v<T, float>)
+      return chirp_f32(dir);
+    else
+      return chirp(dir);
+  }
+  template <typename T>
+  std::span<const cplx_t<T>> chirp_fft_for(TwiddleDirection dir) const {
+    if constexpr (std::is_same_v<T, float>)
+      return chirp_fft_f32(dir);
+    else
+      return chirp_fft(dir);
+  }
+
  private:
   const PlanEntry& require_classic() const;
   const PlanEntry& require_composite() const;
+  const PlanEntry& require_mixed() const;
+  const PlanEntry& require_bluestein() const;
+  void build_bluestein(TwiddleDirection dir, std::vector<cplx>& chirp_out,
+                       std::vector<cplx>& bfft_out) const;
+  void build_inverse_tables() const;
 
   PlanKey key_;
   // Classic state (null for four-step entries). Exactly one of the
@@ -163,6 +230,24 @@ class PlanEntry {
   unsigned levels_ = 1;
   std::shared_ptr<const PlanEntry> col_entry_;
   std::shared_ptr<const PlanEntry> row_entry_;
+  // Mixed-radix state (kMixedRadix only). One precision populated, like
+  // the classic tables; inverse vectors fill under inverse_once_.
+  std::unique_ptr<MixedRadixPlan> mixed_;
+  std::vector<cplx> mixed_fwd_;
+  std::vector<cplx32> mixed_fwd32_;
+  mutable std::vector<cplx> mixed_inv_;
+  mutable std::vector<cplx32> mixed_inv32_;
+  // Bluestein state (kBluestein only): chirp (length n) and chirp-filter
+  // FFT (length M) per outer direction, one precision populated.
+  std::uint64_t conv_n_ = 0;
+  std::vector<cplx> chirp_fwd_;
+  std::vector<cplx32> chirp_fwd32_;
+  std::vector<cplx> bfft_fwd_;
+  std::vector<cplx32> bfft_fwd32_;
+  mutable std::vector<cplx> chirp_inv_;
+  mutable std::vector<cplx32> chirp_inv32_;
+  mutable std::vector<cplx> bfft_inv_;
+  mutable std::vector<cplx32> bfft_inv32_;
 };
 
 struct PlanCacheStats {

@@ -7,7 +7,10 @@ namespace c64fft::serve {
 
 namespace {
 
-bool is_pow2(std::uint64_t n) noexcept { return n >= 2 && (n & (n - 1)) == 0; }
+/// Admission check: any length >= 2 is servable — the executor routes
+/// pow2 sizes through the classic/four-step/hierarchical plans and
+/// composite/prime sizes through mixed-radix/Bluestein.
+bool valid_size(std::uint64_t n) noexcept { return n >= 2; }
 
 /// rejects_ array index for a non-accepted status.
 std::size_t reject_index(SubmitStatus s) noexcept {
@@ -128,7 +131,7 @@ SubmitResult FftServer::submit_impl(TenantId tenant, void* data,
     };
     if (!accepting_.load(std::memory_order_relaxed))
       return reject(SubmitStatus::kShuttingDown);
-    if (data == nullptr || !is_pow2(n))
+    if (data == nullptr || !valid_size(n))
       return reject(SubmitStatus::kInvalidSize);
     if (tenant >= tenants_.size()) return reject(SubmitStatus::kUnknownTenant);
 

@@ -66,7 +66,9 @@ enum class SubmitStatus : std::uint8_t {
   kQueueFull,
   /// shutdown() has begun (or the underlying executor was closed).
   kShuttingDown,
-  /// Length is not a power of two >= 2, or the span is empty.
+  /// Length < 2 or the span is null. Composite and prime lengths are
+  /// ACCEPTED (the executor runs them on mixed-radix/Bluestein plans);
+  /// only the degenerate sizes are invalid.
   kInvalidSize,
   /// TenantId was never minted by add_tenant().
   kUnknownTenant,

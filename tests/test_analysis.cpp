@@ -355,6 +355,9 @@ TEST(Pipeline, EveryBuilderIsCleanAtBothPrecisions) {
     models.push_back(build_fft2d_pipeline(32, 32, 6, opts));
     models.push_back(build_fft2d_pipeline(16, 32, 6, opts));
     models.push_back(build_real_fft_pipeline(512, 6, opts));
+    models.push_back(build_mixed_radix_pipeline(360, opts));   // [8, 5, 3, 3]
+    models.push_back(build_mixed_radix_pipeline(1000, opts));  // [8, 5, 5, 5]
+    models.push_back(build_bluestein_pipeline(101, 6, opts));  // prime, conv 256
     for (const PipelineModel& m : models) {
       const auto report = analyze_pipeline(m);
       EXPECT_EQ(report.errors(), 0u)
@@ -655,7 +658,7 @@ TEST(Pipeline, HandBuiltModelsSkipTheKernelCheck) {
 
 TEST(LintBaseline, RowsRoundTripThroughJson) {
   const auto rows = collect_lint_rows();
-  ASSERT_EQ(rows.size(), 18u);  // 9 shapes x 2 precisions
+  ASSERT_EQ(rows.size(), 22u);  // 11 shapes x 2 precisions
   const std::string json = lint_rows_to_json(rows);
   const auto parsed = lint_rows_from_json(util::json_parse(json));
   ASSERT_EQ(parsed.size(), rows.size());

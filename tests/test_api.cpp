@@ -39,10 +39,22 @@ TEST(Api, TinySizesClampRadix) {
 }
 
 TEST(Api, RejectsBadSizes) {
-  std::vector<cplx> odd(10);
-  EXPECT_THROW(forward(odd), std::invalid_argument);
+  // Arbitrary N >= 2 is accepted (composite sizes run the mixed-radix or
+  // Bluestein plan); only the degenerate sizes still throw.
   std::vector<cplx> one(1);
   EXPECT_THROW(forward(one), std::invalid_argument);
+  std::vector<cplx> empty;
+  EXPECT_THROW(forward(empty), std::invalid_argument);
+}
+
+TEST(Api, CompositeSizesRoundTrip) {
+  for (std::uint64_t n : {10ULL, 100ULL, 360ULL, 101ULL}) {
+    const auto input = random_signal(n, 17);
+    auto data = input;
+    forward(data);
+    inverse(data);
+    EXPECT_LT(max_abs_error(data, input), 1e-9) << "n=" << n;
+  }
 }
 
 TEST(Api, RoundTripAllVariants) {

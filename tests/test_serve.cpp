@@ -198,6 +198,85 @@ TEST(Serve, CoalescedBatchBitIdenticalToSingleCallLoop) {
   EXPECT_GE(server.stats().coalescing_factor, 2.0);
 }
 
+TEST(Serve, MixedPow2AndCompositeTrafficCoalescesPerExactKey) {
+  // One dispatch round of mixed traffic: a pow2 size, a 7-smooth
+  // composite, and a prime, plus one f32 shape. Coalescing must group by
+  // the EXACT (n, precision, direction) key — one executor batch per key,
+  // never a padded or merged one — and every result must stay
+  // bit-identical to a loop of single executor calls.
+  constexpr int kK = 4;
+  const std::uint64_t sizes64[3] = {256, 96, 101};
+  constexpr std::uint64_t kN32 = 96;
+  ServerOptions so;
+  so.coalesce_window_us = 200000;  // hold the round open...
+  so.max_coalesce = 4 * kK;        // ...until all 4 keys' requests are in
+  so.arena.slab_bytes = 256 * sizeof(fft::cplx);
+  so.arena.slab_count = 4 * kK + 1;
+  FftServer server(so);
+  const TenantId t = server.add_tenant(roomy_quota());
+
+  fft::FftExecutor reference;
+  fft::HostFftOptions hopts;
+  hopts.workers = 1;
+
+  std::vector<std::vector<fft::cplx>> want64;
+  std::vector<std::vector<fft::cplx32>> want32;
+  std::vector<BufferLease> leases64, leases32;
+  for (int i = 0; i < kK; ++i) {
+    for (std::uint64_t n : sizes64) {
+      want64.push_back(random_signal<double>(n, 300 + want64.size()));
+      auto r = server.arena().lease(t, n * sizeof(fft::cplx));
+      ASSERT_EQ(r.status, LeaseStatus::kOk);
+      std::memcpy(r.lease.as<fft::cplx>().data(), want64.back().data(),
+                  n * sizeof(fft::cplx));
+      leases64.push_back(std::move(r.lease));
+    }
+    want32.push_back(random_signal<float>(kN32, 400 + want32.size()));
+    auto r = server.arena().lease(t, kN32 * sizeof(fft::cplx32));
+    ASSERT_EQ(r.status, LeaseStatus::kOk);
+    std::memcpy(r.lease.as<fft::cplx32>().data(), want32.back().data(),
+                kN32 * sizeof(fft::cplx32));
+    leases32.push_back(std::move(r.lease));
+  }
+
+  std::vector<Ticket> tickets;
+  for (auto& l : leases64) {
+    auto s = server.submit(t, l.as<fft::cplx>(), Direction::kForward);
+    ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+    tickets.push_back(std::move(s.ticket));
+  }
+  for (auto& l : leases32) {
+    auto s = server.submit(t, l.as<fft::cplx32>(), Direction::kForward);
+    ASSERT_EQ(s.status, SubmitStatus::kAccepted);
+    tickets.push_back(std::move(s.ticket));
+  }
+  for (auto& tk : tickets) EXPECT_EQ(tk.wait().status, RequestStatus::kOk);
+
+  for (std::size_t i = 0; i < want64.size(); ++i) {
+    const std::uint64_t n = want64[i].size();
+    reference.forward(std::span<fft::cplx>(want64[i]), hopts);
+    EXPECT_EQ(std::memcmp(leases64[i].as<fft::cplx>().data(),
+                          want64[i].data(), n * sizeof(fft::cplx)),
+              0)
+        << "f64 n=" << n << " buffer " << i;
+  }
+  for (std::size_t i = 0; i < want32.size(); ++i) {
+    reference.forward(std::span<fft::cplx32>(want32[i]), hopts);
+    EXPECT_EQ(std::memcmp(leases32[i].as<fft::cplx32>().data(),
+                          want32[i].data(), kN32 * sizeof(fft::cplx32)),
+              0)
+        << "f32 buffer " << i;
+  }
+
+  // Exactly one executor batch per exact key: {256,f64}, {96,f64},
+  // {101,f64}, {96,f32} — the pow2 and composite shapes coalesced side by
+  // side in one round, kK-deep each.
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, 4u * kK);
+  EXPECT_EQ(st.batches, 4u);
+  EXPECT_GE(st.coalescing_factor, static_cast<double>(kK));
+}
+
 TEST(Serve, CallbackCompletionDeliversOnDispatcherThread) {
   FftServer server;
   const TenantId t = server.add_tenant(roomy_quota());
@@ -233,10 +312,12 @@ TEST(Serve, TypedSubmitRejections) {
   const TenantId t = server.add_tenant(tight);
 
   auto good = random_signal<double>(64, 2);
-  auto odd = random_signal<double>(100, 3);
+  auto tiny = random_signal<double>(1, 3);
 
+  // Composite lengths are servable now (mixed-radix/Bluestein plans);
+  // only the degenerate N < 2 is an invalid size.
   EXPECT_EQ(server
-                .submit(t, std::span<fft::cplx>(odd.data(), 100),
+                .submit(t, std::span<fft::cplx>(tiny.data(), 1),
                         Direction::kForward)
                 .status,
             SubmitStatus::kInvalidSize);

@@ -108,6 +108,44 @@ TEST(Ulp, F32RoundTripWithinBudgetAcrossSizes) {
   }
 }
 
+TEST(Ulp, F32CompositeSizesWithinBudget) {
+  // The mixed-radix (7-smooth composite) and Bluestein (prime) paths are
+  // held to the same f32 accuracy contract as the pow2 pipeline, judged
+  // against the exact-N f64 naive DFT. Bluestein's two internal pow2
+  // transforms plus the chirp modulations cost a little over the classic
+  // budget, so primes get a 2x peak-ULP allowance (rel-L2 is unchanged).
+  for (std::uint64_t n : {12ULL, 96ULL, 360ULL, 1000ULL}) {
+    const auto input = random_signal32(n, 0xc0de + n);
+    auto want = widen(input);
+    want = fft::dft_reference(std::span<const cplx>(want));
+    auto got = input;
+    fft::forward(got);
+    EXPECT_LT(util::max_ulp_error(got, want), kF32UlpTol) << "n=" << n;
+    EXPECT_LT(fft::rel_l2_error(got, want), kF32RelL2Tol) << "n=" << n;
+  }
+  for (std::uint64_t n : {101ULL, 499ULL}) {
+    const auto input = random_signal32(n, 0xc0de + n);
+    auto want = widen(input);
+    want = fft::dft_reference(std::span<const cplx>(want));
+    auto got = input;
+    fft::forward(got);
+    EXPECT_LT(util::max_ulp_error(got, want), 2 * kF32UlpTol) << "n=" << n;
+    EXPECT_LT(fft::rel_l2_error(got, want), kF32RelL2Tol) << "n=" << n;
+  }
+}
+
+TEST(Ulp, F32CompositeRoundTripWithinBudget) {
+  for (std::uint64_t n : {12ULL, 360ULL, 1000ULL, 101ULL}) {
+    const auto input = random_signal32(n, 0xdead + n);
+    auto data = input;
+    fft::forward(data);
+    fft::inverse(data);
+    const auto want = widen(input);
+    EXPECT_LT(util::max_ulp_error(data, want), 2 * kF32UlpTol) << "n=" << n;
+    EXPECT_LT(fft::rel_l2_error(data, want), kF32RelL2Tol) << "n=" << n;
+  }
+}
+
 TEST(Ulp, F64FourStepWithinBudget) {
   // Route mid sizes through the four-step decomposition and hold it to
   // the same peak-ULP discipline at double precision: the transpose

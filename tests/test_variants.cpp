@@ -122,9 +122,9 @@ TEST(Variants, GuidedMinimumThreeStagePath) {
 
 TEST(Variants, InvalidSizesThrow) {
   HostFftOptions opts;
-  std::vector<cplx> bad(100);
-  EXPECT_THROW(fft_host(bad, Variant::kFine, opts), std::invalid_argument);
-  std::vector<cplx> small(16);  // < radix 64
+  std::vector<cplx> one(1);  // any N >= 2 is valid now; N < 2 never is
+  EXPECT_THROW(fft_host(one, Variant::kFine, opts), std::invalid_argument);
+  std::vector<cplx> small(16);  // pow2 smaller than radix 64: strict path
   EXPECT_THROW(fft_host(small, Variant::kFine, opts), std::invalid_argument);
 }
 

@@ -13,7 +13,9 @@
 // (transpose vs butterfly bytes per phase). --all statically verifies the
 // full shipped matrix: every Table-I schedule/layout variant plus every
 // composite kind (classic, four-step, hierarchical — single- and
-// multi-level, batch, 2-D, real) at both precisions.
+// multi-level, batch, 2-D, real, mixed-radix, bluestein) at both
+// precisions. --size lints an exact (possibly composite) length, which
+// the auto routing sends down the factorization-driven paths.
 //
 // Pipeline models record the kernel dispatch table ("scalar" / "avx2" /
 // "avx512") the runtime would execute with; the kernel check validates
@@ -130,12 +132,16 @@ int main(int argc, char** argv) {
       "model failed, 7 bank/cache-set lint failed (most fundamental check "
       "wins)");
   cli.add_int("logn", 12, "log2 of the FFT size to lint");
+  cli.add_int("size", 0,
+              "exact transform size; overrides --logn (composite sizes "
+              "route to mixed-radix, primes to bluestein under auto)");
   cli.add_int("radix-log2", 6, "log2 of the codelet radix (paper: 6)");
   cli.add_string("layout", "linear", "twiddle layout: linear | hashed");
   cli.add_string("schedule", "fine", "scheduler: coarse | fine | guided");
   cli.add_string("plan-kind", "classic",
                  "pipeline shape: classic | four-step | hierarchical | "
-                 "batch | fft2d | real | auto (executor routing for --logn)");
+                 "batch | fft2d | real | mixed-radix | bluestein | auto "
+                 "(executor routing for the linted size)");
   cli.add_int("batch", 8, "transforms per batch for --plan-kind=batch");
   cli.add_int("leaf-log2", 0,
               "hierarchical leaf cap (log2 points); 0 derives it from the "
@@ -243,7 +249,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("block-rows"));
   pipe_opts.tile_traffic.strict = cli.flag("strict-cost");
 
-  const std::uint64_t n = std::uint64_t{1} << cli.get_int("logn");
+  const std::uint64_t n =
+      cli.get_int("size") != 0
+          ? static_cast<std::uint64_t>(cli.get_int("size"))
+          : std::uint64_t{1} << cli.get_int("logn");
   const auto radix_log2 = static_cast<unsigned>(cli.get_int("radix-log2"));
 
   std::vector<analysis::AnalysisReport> reports;
@@ -338,6 +347,17 @@ int main(int argc, char** argv) {
         reports.push_back(analysis::analyze_pipeline(
             analysis::build_real_fft_pipeline(4096, 6, b, "real" + prec),
             pipe_opts));
+        // The factorization-driven arbitrary-N paths: a 7-smooth
+        // composite through the mixed-radix pipeline and a prime through
+        // the Bluestein chirp-z hull (inner 256-point classic conv).
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_mixed_radix_pipeline(1000, b,
+                                                 "mixed-radix-1000" + prec),
+            pipe_opts));
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_bluestein_pipeline(101, 6, b,
+                                               "bluestein-101" + prec),
+            pipe_opts));
       }
     } else {
       std::string kind = cli.get_string("plan-kind");
@@ -346,6 +366,8 @@ int main(int argc, char** argv) {
                                       fft::kDefaultHierarchicalThresholdLog2)) {
           case fft::PlanKind::kHierarchical: kind = "hierarchical"; break;
           case fft::PlanKind::kFourStep: kind = "four-step"; break;
+          case fft::PlanKind::kMixedRadix: kind = "mixed-radix"; break;
+          case fft::PlanKind::kBluestein: kind = "bluestein"; break;
           default: kind = "classic"; break;
         }
       }
@@ -411,6 +433,13 @@ int main(int argc, char** argv) {
       } else if (kind == "real") {
         reports.push_back(analysis::analyze_pipeline(
             analysis::build_real_fft_pipeline(n, radix_log2, build),
+            pipe_opts));
+      } else if (kind == "mixed-radix") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_mixed_radix_pipeline(n, build), pipe_opts));
+      } else if (kind == "bluestein") {
+        reports.push_back(analysis::analyze_pipeline(
+            analysis::build_bluestein_pipeline(n, radix_log2, build),
             pipe_opts));
       } else {
         std::cerr << "fft_lint: unknown --plan-kind '" << kind << "'\n";

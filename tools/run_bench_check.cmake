@@ -59,11 +59,12 @@ endif()
 # chances to land in quiet windows even on a busy host (medians were
 # tried first and still swung +/-10% with the noise).
 #
-# RATIO2_* (same four variables) add an independent second gate with its
-# own filtered run — one bench_check ctest can then pin two unrelated
-# speedup pairs (e.g. the SIMD payoff and the hierarchical-vs-four-step
-# scheduling payoff) without paying the full baseline sweep twice.
-foreach(gate "" "2")
+# RATIO2_*/RATIO3_* (same four variables each) add independent further
+# gates with their own filtered runs — one bench_check ctest can then pin
+# several unrelated speedup pairs (the SIMD payoff, the hierarchical-vs-
+# four-step scheduling payoff, the exact-N mixed-radix-vs-padded-pow2
+# payoff) without paying the full baseline sweep repeatedly.
+foreach(gate "" "2" "3")
   if(DEFINED RATIO${gate}_MIN)
     execute_process(
       COMMAND ${MICRO_KERNELS}

@@ -19,11 +19,14 @@
 #      serving front-end exists to deliver — is immune to host drift.
 #
 # The traffic shape is pinned (8 clients x 4 tenants x 3 lanes, mixed
-# precision, N in {64, 128}, 8 outstanding each, workers=2): the payoff
-# being gated is phase-overhead amortization, so the executor must
+# precision, N in {64, 96, 101, 128}, 8 outstanding each, workers=2): the
+# payoff being gated is phase-overhead amortization, so the executor must
 # actually run scheduler phases (workers >= 2 — a 1-worker team takes
 # the serial fast path, where there are no phases to amortize and
-# per-buffer cache locality dominates instead).
+# per-buffer cache locality dominates instead). The size mix deliberately
+# spans all three plan routes — pow2 classic, 7-smooth composite (96,
+# mixed-radix) and prime (101, Bluestein) — so the gate covers exact-N
+# serving, not just pow2.
 #
 # Regenerating the committed LG_ baseline rows: run this compare mode
 # several times on a quiet machine and keep, per row, the run with the
@@ -45,7 +48,7 @@ endif()
 execute_process(
   COMMAND ${LOADGEN} --mode=compare
           --clients=8 --tenants=4 --outstanding=8
-          --sizes=64,128 --precision=mixed --workers=2
+          --sizes=64,96,101,128 --precision=mixed --workers=2
           --warmup-ms=200 --duration-ms=500
           --json=${OUT}
           --assert-min-coalesce=2
